@@ -1,0 +1,51 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"leapsandbounds/internal/wasm"
+	"leapsandbounds/internal/workloads"
+)
+
+func writeWorkload(t *testing.T, name string) string {
+	t.Helper()
+	spec, err := workloads.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := spec.Build(workloads.Test)
+	bin, err := wasm.Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "m.wasm")
+	if err := os.WriteFile(path, bin, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunSummaryAndDisassembly(t *testing.T) {
+	path := writeWorkload(t, "gemm")
+	if err := run(path, false, true); err != nil {
+		t.Fatalf("summary: %v", err)
+	}
+	if err := run(path, true, true); err != nil {
+		t.Fatalf("disassembly: %v", err)
+	}
+}
+
+func TestRunRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.wasm")
+	if err := os.WriteFile(path, []byte("not wasm"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, false, true); err == nil {
+		t.Error("garbage accepted")
+	}
+	if err := run(filepath.Join(t.TempDir(), "missing.wasm"), false, true); err == nil {
+		t.Error("missing file accepted")
+	}
+}

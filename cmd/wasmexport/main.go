@@ -1,0 +1,85 @@
+// Command wasmexport writes a workload's WebAssembly module to a
+// .wasm file, so it can be inspected with wasmdump, executed with
+// wasmrun, or fed to any other WebAssembly toolchain:
+//
+//	wasmexport -workload gemm -class bench -o gemm.wasm
+//	wasmexport -all -class test -o build/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"leapsandbounds/internal/wasm"
+	"leapsandbounds/internal/workloads"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "", "workload to export (see leapsbench -list)")
+		all      = flag.Bool("all", false, "export every workload")
+		class    = flag.String("class", "bench", "problem size class: test or bench")
+		out      = flag.String("o", "", "output file (single workload) or directory (-all)")
+	)
+	flag.Parse()
+
+	cls := workloads.Bench
+	if *class == "test" {
+		cls = workloads.Test
+	}
+
+	if err := run(*workload, *all, cls, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "wasmexport:", err)
+		os.Exit(1)
+	}
+}
+
+func run(workload string, all bool, cls workloads.Class, out string) error {
+	if all {
+		if out == "" {
+			out = "."
+		}
+		if err := os.MkdirAll(out, 0o755); err != nil {
+			return err
+		}
+		for _, spec := range workloads.All() {
+			path := filepath.Join(out, safeName(spec.Name)+".wasm")
+			if err := export(spec, cls, path); err != nil {
+				return err
+			}
+			fmt.Println(path)
+		}
+		return nil
+	}
+	if workload == "" {
+		return fmt.Errorf("one of -workload or -all is required")
+	}
+	spec, err := workloads.ByName(workload)
+	if err != nil {
+		return err
+	}
+	if out == "" {
+		out = safeName(spec.Name) + ".wasm"
+	}
+	if err := export(spec, cls, out); err != nil {
+		return err
+	}
+	fmt.Println(out)
+	return nil
+}
+
+func export(spec workloads.Spec, cls workloads.Class, path string) error {
+	m, _ := spec.Build(cls)
+	bin, err := wasm.Encode(m)
+	if err != nil {
+		return fmt.Errorf("%s: %w", spec.Name, err)
+	}
+	return os.WriteFile(path, bin, 0o644)
+}
+
+func safeName(name string) string {
+	return strings.ReplaceAll(name, ".", "_")
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"leapsandbounds/internal/validate"
+	"leapsandbounds/internal/wasm"
+	"leapsandbounds/internal/workloads"
+)
+
+func TestExportSingle(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "gemm.wasm")
+	if err := run("gemm", false, workloads.Test, out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := wasm.Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := validate.Module(m); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.ExportedFunc(workloads.Entry); !ok {
+		t.Error("exported module lost its entry")
+	}
+}
+
+func TestExportAll(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("", true, workloads.Test, dir); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != len(workloads.All()) {
+		t.Errorf("%d files, want %d", len(entries), len(workloads.All()))
+	}
+	// SPEC names have their dots sanitized.
+	if _, err := os.Stat(filepath.Join(dir, "505_mcf.wasm")); err != nil {
+		t.Error("505.mcf not exported as 505_mcf.wasm")
+	}
+}
+
+func TestExportErrors(t *testing.T) {
+	if err := run("", false, workloads.Test, ""); err == nil {
+		t.Error("no workload accepted")
+	}
+	if err := run("bogus", false, workloads.Test, ""); err == nil {
+		t.Error("bogus workload accepted")
+	}
+}

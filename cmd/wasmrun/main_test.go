@@ -1,0 +1,59 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"leapsandbounds/internal/wasm"
+	"leapsandbounds/internal/workloads"
+)
+
+func exportWorkload(t *testing.T, name string) string {
+	t.Helper()
+	spec, err := workloads.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := spec.Build(workloads.Test)
+	bin, err := wasm.Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "m.wasm")
+	if err := os.WriteFile(path, bin, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunInvokeAcrossEnginesAndStrategies(t *testing.T) {
+	path := exportWorkload(t, "atax")
+	for _, engine := range []string{"wavm", "wasmtime", "wasm3"} {
+		for _, strategy := range []string{"none", "trap", "mprotect", "uffd"} {
+			if err := run(engine, strategy, "x86_64", "run", path, nil); err != nil {
+				t.Errorf("%s/%s: %v", engine, strategy, err)
+			}
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	path := exportWorkload(t, "atax")
+	if err := run("quickjs", "trap", "x86_64", "run", path, nil); err == nil {
+		t.Error("unknown engine accepted")
+	}
+	if err := run("wavm", "mpx", "x86_64", "run", path, nil); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+	if err := run("wavm", "trap", "z80", "run", path, nil); err == nil {
+		t.Error("unknown profile accepted")
+	}
+	if err := run("wavm", "trap", "x86_64", "nonexistent", path, nil); err == nil {
+		t.Error("missing export accepted")
+	}
+	// Workload modules have no _start; default entry must error.
+	if err := run("wavm", "trap", "x86_64", "", path, nil); err == nil {
+		t.Error("missing _start accepted")
+	}
+}

@@ -1,0 +1,89 @@
+package leaps_test
+
+import (
+	"fmt"
+
+	leaps "leapsandbounds"
+	"leapsandbounds/gen"
+)
+
+// Example shows the minimal path: author a module, compile it on the
+// optimizing engine, and run it under the uffd bounds-checking
+// strategy.
+func Example() {
+	mb := gen.NewModule()
+	f := mb.Func("triple", gen.I32Type)
+	x := f.ParamI32("x")
+	f.Body(gen.Return(gen.Mul(gen.Get(x), gen.I32(3))))
+	mb.Export("triple", f)
+	module, _ := mb.Module()
+
+	engine, closeEngine, _ := leaps.NewEngine(leaps.EngineWAVM)
+	defer closeEngine()
+	cm, _ := engine.Compile(module)
+	inst, _ := cm.Instantiate(leaps.Config{
+		Strategy: leaps.Uffd,
+		Profile:  leaps.ProfileX86(),
+	}, nil)
+	defer inst.Close()
+
+	res, _ := inst.Invoke("triple", 14)
+	fmt.Println(res[0])
+	// Output: 42
+}
+
+// ExampleNewProcess demonstrates isolates sharing one simulated
+// process, which makes the kernel's memory-management counters —
+// the paper's subject — observable.
+func ExampleNewProcess() {
+	mb := gen.NewModule()
+	mb.Memory(1, 4)
+	f := mb.Func("touch", gen.I32Type)
+	f.Body(
+		gen.StoreI32(gen.I32(0), 0, gen.I32(1)),
+		gen.Return(gen.LoadI32(gen.I32(0), 0)),
+	)
+	mb.Export("touch", f)
+	module, _ := mb.Module()
+
+	engine, closeEngine, _ := leaps.NewEngine(leaps.EngineWasmtime)
+	defer closeEngine()
+	cm, _ := engine.Compile(module)
+
+	proc := leaps.NewProcess(leaps.ProfileX86())
+	defer proc.Close()
+
+	// Three isolate lifecycles under the uffd strategy: the arena
+	// pool means only the first one maps memory.
+	for i := 0; i < 3; i++ {
+		inst, _ := cm.Instantiate(proc.Config(leaps.Uffd), nil)
+		_, _ = inst.Invoke("touch")
+		inst.Close()
+	}
+	fmt.Println("mmap calls:", proc.VMStats().MmapCalls)
+	// Output: mmap calls: 1
+}
+
+// ExampleRunBenchmark runs one paper-protocol measurement: a
+// workload on an engine × strategy × profile configuration.
+func ExampleRunBenchmark() {
+	wl, _ := leaps.WorkloadByName("gemm")
+	res, _ := leaps.RunBenchmark(leaps.BenchOptions{
+		Engine:   leaps.EngineWAVM,
+		Workload: wl,
+		Class:    leaps.SizeTest,
+		Strategy: leaps.Mprotect,
+		Profile:  leaps.ProfileX86(),
+		Measure:  3,
+		Warmup:   1,
+	})
+	fmt.Println(res.Workload, res.Strategy, len(res.Times), "samples")
+	// Output: gemm mprotect 3 samples
+}
+
+// ExampleParseStrategy resolves strategy names from flags or config.
+func ExampleParseStrategy() {
+	s, _ := leaps.ParseStrategy("uffd")
+	fmt.Println(s)
+	// Output: uffd
+}

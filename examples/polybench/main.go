@@ -1,0 +1,70 @@
+// Polybench: run one PolyBench kernel across the full engine ×
+// bounds-checking-strategy matrix and print a Figure-2-style table
+// of execution-time ratios against the native twin.
+//
+//	go run ./examples/polybench [kernel]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	leaps "leapsandbounds"
+)
+
+func main() {
+	name := "gemm"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	wl, err := leaps.WorkloadByName(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	prof := leaps.ProfileX86()
+	native, err := leaps.RunBenchmark(leaps.BenchOptions{
+		Engine:   leaps.EngineNative,
+		Workload: wl,
+		Class:    leaps.SizeBench,
+		Profile:  prof,
+		Measure:  5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload %s, native median %v (checksum %#x)\n\n",
+		wl.Name, native.MedianWall.Round(time.Microsecond), native.Checksum)
+	fmt.Printf("%-10s %-10s %12s %10s %12s\n",
+		"engine", "strategy", "median", "vs native", "mmap-lock")
+
+	for _, engine := range []string{leaps.EngineWAVM, leaps.EngineWasmtime, leaps.EngineV8, leaps.EngineWasm3} {
+		strategies := leaps.Strategies()
+		if engine == leaps.EngineWasm3 {
+			strategies = []leaps.Strategy{leaps.Trap} // wasm3 is trap-only
+		}
+		for _, s := range strategies {
+			res, err := leaps.RunBenchmark(leaps.BenchOptions{
+				Engine:   engine,
+				Workload: wl,
+				Class:    leaps.SizeBench,
+				Strategy: s,
+				Profile:  prof,
+				Measure:  5,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if res.Checksum != native.Checksum {
+				log.Fatalf("%s/%v: checksum mismatch", engine, s)
+			}
+			fmt.Printf("%-10s %-10v %12v %9.2fx %12v\n",
+				engine, s,
+				res.MedianWall.Round(time.Microsecond),
+				float64(res.MedianWall)/float64(native.MedianWall),
+				time.Duration(res.VM.LockWaitNs).Round(time.Microsecond))
+		}
+	}
+}

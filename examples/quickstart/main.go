@@ -1,0 +1,75 @@
+// Quickstart: author a module with the gen DSL, compile it on the
+// optimizing engine, and invoke it under two different bounds-
+// checking strategies.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	leaps "leapsandbounds"
+	"leapsandbounds/gen"
+)
+
+func main() {
+	// A module with one exported function: dot product of two f64
+	// vectors living in linear memory.
+	mb := gen.NewModule()
+	mb.Memory(1, 4)
+	lay := gen.NewLayout(0)
+	a := lay.F64(1024)
+	b := lay.F64(1024)
+
+	f := mb.Func("dot", gen.F64Type)
+	n := f.ParamI32("n")
+	i := f.LocalI32("i")
+	acc := f.LocalF64("acc")
+	f.Body(
+		// Fill both vectors, then accumulate their dot product.
+		gen.For(i, gen.I32(0), gen.Get(n),
+			a.Store(gen.Get(i), gen.F64FromI32(gen.Get(i))),
+			b.Store(gen.Get(i), gen.F64(0.5)),
+		),
+		gen.For(i, gen.I32(0), gen.Get(n),
+			gen.Set(acc, gen.Add(gen.Get(acc),
+				gen.Mul(a.Load(gen.Get(i)), b.Load(gen.Get(i))))),
+		),
+		gen.Return(gen.Get(acc)),
+	)
+	mb.Export("dot", f)
+
+	module, err := mb.Module()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	engine, closeEngine, err := leaps.NewEngine(leaps.EngineWAVM)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer closeEngine()
+
+	compiled, err := engine.Compile(module)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, strategy := range []leaps.Strategy{leaps.Mprotect, leaps.Uffd} {
+		inst, err := compiled.Instantiate(leaps.Config{
+			Strategy: strategy,
+			Profile:  leaps.ProfileX86(),
+		}, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := inst.Invoke("dot", 1000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Results are raw bits; this function returns f64.
+		fmt.Printf("strategy %-8v dot(1000) = %v\n",
+			strategy, math.Float64frombits(res[0]))
+		inst.Close()
+	}
+}

@@ -1,0 +1,181 @@
+// Package gen is the public module-authoring API: a typed builder
+// DSL that compiles structured expressions to validated WebAssembly
+// binaries. It is how this repository's workloads are written, and
+// it is exported so embedders can author test modules without a
+// separate toolchain.
+//
+//	mb := gen.NewModule()
+//	mb.Memory(1, 16)
+//	f := mb.Func("sum", gen.I32Type)
+//	n := f.ParamI32("n")
+//	i := f.LocalI32("i")
+//	acc := f.LocalI32("acc")
+//	f.Body(
+//		gen.For(i, gen.I32(0), gen.Get(n),
+//			gen.Set(acc, gen.Add(gen.Get(acc), gen.Get(i))),
+//		),
+//		gen.Return(gen.Get(acc)),
+//	)
+//	mb.Export("sum", f)
+//	module, err := mb.Module()
+package gen
+
+import (
+	"leapsandbounds/internal/wasm"
+	"leapsandbounds/internal/wasmgen"
+)
+
+// Core builder types.
+type (
+	// ModuleBuilder accumulates a module under construction.
+	ModuleBuilder = wasmgen.ModuleBuilder
+	// Func builds one function.
+	Func = wasmgen.Func
+	// Local is a parameter or local variable handle.
+	Local = wasmgen.Local
+	// GlobalVar is a module global handle.
+	GlobalVar = wasmgen.GlobalVar
+	// Expr is a typed expression node.
+	Expr = wasmgen.Expr
+	// Stmt is a statement node.
+	Stmt = wasmgen.Stmt
+	// Arr is a typed linear-memory array view.
+	Arr = wasmgen.Arr
+	// Layout allocates array regions in linear memory.
+	Layout = wasmgen.Layout
+	// ValueType is a WebAssembly value type (for signatures).
+	ValueType = wasm.ValueType
+)
+
+// Value types for declaring signatures.
+const (
+	I32Type = wasm.I32
+	I64Type = wasm.I64
+	F32Type = wasm.F32
+	F64Type = wasm.F64
+)
+
+// NewModule returns an empty module builder.
+func NewModule() *ModuleBuilder { return wasmgen.NewModule() }
+
+// NewLayout starts a linear-memory layout at the given byte offset.
+func NewLayout(start uint32) *Layout { return wasmgen.NewLayout(start) }
+
+// Literals.
+var (
+	I32 = wasmgen.I32
+	U32 = wasmgen.U32
+	I64 = wasmgen.I64
+	F32 = wasmgen.F32
+	F64 = wasmgen.F64
+)
+
+// Variable access.
+var (
+	Get  = wasmgen.Get
+	GetG = wasmgen.GetG
+	Set  = wasmgen.Set
+	SetG = wasmgen.SetG
+	Inc  = wasmgen.Inc
+)
+
+// Arithmetic and logic.
+var (
+	Add    = wasmgen.Add
+	Sub    = wasmgen.Sub
+	Mul    = wasmgen.Mul
+	Div    = wasmgen.Div
+	DivU   = wasmgen.DivU
+	Rem    = wasmgen.Rem
+	RemU   = wasmgen.RemU
+	And    = wasmgen.And
+	Or     = wasmgen.Or
+	Xor    = wasmgen.Xor
+	Shl    = wasmgen.Shl
+	ShrS   = wasmgen.ShrS
+	ShrU   = wasmgen.ShrU
+	Rotl   = wasmgen.Rotl
+	Eq     = wasmgen.Eq
+	Ne     = wasmgen.Ne
+	Lt     = wasmgen.Lt
+	LtU    = wasmgen.LtU
+	Le     = wasmgen.Le
+	Gt     = wasmgen.Gt
+	GtU    = wasmgen.GtU
+	Ge     = wasmgen.Ge
+	GeU    = wasmgen.GeU
+	Eqz    = wasmgen.Eqz
+	Neg    = wasmgen.Neg
+	Abs    = wasmgen.Abs
+	Sqrt   = wasmgen.Sqrt
+	Floor  = wasmgen.Floor
+	Min    = wasmgen.Min
+	Max    = wasmgen.Max
+	Clz    = wasmgen.Clz
+	Ctz    = wasmgen.Ctz
+	Popcnt = wasmgen.Popcnt
+	Sel    = wasmgen.Sel
+)
+
+// Conversions.
+var (
+	F64FromI32  = wasmgen.F64FromI32
+	F64FromI32U = wasmgen.F64FromI32U
+	F64FromI64  = wasmgen.F64FromI64
+	F32FromI32  = wasmgen.F32FromI32
+	I32FromF64  = wasmgen.I32FromF64
+	I64FromF64  = wasmgen.I64FromF64
+	I64FromI32  = wasmgen.I64FromI32
+	I64FromI32U = wasmgen.I64FromI32U
+	I32FromI64  = wasmgen.I32FromI64
+	F64FromF32  = wasmgen.F64FromF32
+	F32FromF64  = wasmgen.F32FromF64
+)
+
+// Memory access.
+var (
+	LoadI32  = wasmgen.LoadI32
+	LoadI64  = wasmgen.LoadI64
+	LoadF32  = wasmgen.LoadF32
+	LoadF64  = wasmgen.LoadF64
+	LoadU8   = wasmgen.LoadU8
+	LoadI8   = wasmgen.LoadI8
+	LoadU16  = wasmgen.LoadU16
+	StoreI32 = wasmgen.StoreI32
+	StoreI64 = wasmgen.StoreI64
+	StoreF32 = wasmgen.StoreF32
+	StoreF64 = wasmgen.StoreF64
+	StoreU8  = wasmgen.StoreU8
+	StoreU16 = wasmgen.StoreU16
+	MemSize  = wasmgen.MemSize
+	MemGrow  = wasmgen.MemGrow
+	MemFill  = wasmgen.MemFill
+	MemCopy  = wasmgen.MemCopy
+	Idx2     = wasmgen.Idx2
+	Idx3     = wasmgen.Idx3
+	ArrF64   = wasmgen.ArrF64
+	ArrF32   = wasmgen.ArrF32
+	ArrI32   = wasmgen.ArrI32
+	ArrI64   = wasmgen.ArrI64
+	ArrU8    = wasmgen.ArrU8
+)
+
+// Control flow.
+var (
+	For          = wasmgen.For
+	ForStep      = wasmgen.ForStep
+	ForDown      = wasmgen.ForDown
+	While        = wasmgen.While
+	If           = wasmgen.If
+	IfElse       = wasmgen.IfElse
+	Break        = wasmgen.Break
+	Continue     = wasmgen.Continue
+	Return       = wasmgen.Return
+	ReturnVoid   = wasmgen.ReturnVoid
+	Seq          = wasmgen.Seq
+	Drop         = wasmgen.Drop
+	Call         = wasmgen.Call
+	CallS        = wasmgen.CallS
+	CallIndirect = wasmgen.CallIndirect
+	Unreachable  = wasmgen.Unreachable
+)

@@ -1,0 +1,3 @@
+module leapsandbounds
+
+go 1.23

@@ -1,0 +1,554 @@
+package compiled
+
+import (
+	"fmt"
+
+	"leapsandbounds/internal/isa"
+	"leapsandbounds/internal/trap"
+	"leapsandbounds/internal/wasm"
+)
+
+// cop is one compiled operation: it executes against the instance
+// value stack at the given frame base and returns the next pc
+// (negative to return from the function).
+type cop func(inst *Instance, base int, pc int) int
+
+// emit compiles the slot IR to closures plus the parallel class and
+// memory-access arrays used by cycle accounting.
+func emit(ir []sop) ([]cop, []isa.OpClass, []bool, error) {
+	code := make([]cop, 0, len(ir))
+	classes := make([]isa.OpClass, 0, len(ir))
+	memAcc := make([]bool, 0, len(ir))
+	for i := range ir {
+		c, err := emitOne(&ir[i])
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("compiled: op %d (%s): %w", i, ir[i].op, err)
+		}
+		code = append(code, c)
+		classes = append(classes, ir[i].class)
+		memAcc = append(memAcc, ir[i].memAcc)
+	}
+	return code, classes, memAcc, nil
+}
+
+func emitOne(s *sop) (cop, error) {
+	switch s.shape {
+	case shNop:
+		return func(inst *Instance, base, pc int) int { return pc + 1 }, nil
+	case shConst:
+		dst, k := s.dst, s.immA
+		return func(inst *Instance, base, pc int) int {
+			inst.stack[base+dst] = k
+			return pc + 1
+		}, nil
+	case shMove:
+		dst, src := s.dst, s.a
+		return func(inst *Instance, base, pc int) int {
+			st := inst.stack
+			st[base+dst] = st[base+src]
+			return pc + 1
+		}, nil
+	case shUn:
+		fn := unOps[s.op]
+		if fn == nil {
+			return nil, fmt.Errorf("no unary implementation")
+		}
+		dst, src := s.dst, s.a
+		return func(inst *Instance, base, pc int) int {
+			st := inst.stack
+			st[base+dst] = fn(st[base+src])
+			return pc + 1
+		}, nil
+	case shTruncSat:
+		fn := truncSatOps[s.sub]
+		if fn == nil {
+			return nil, fmt.Errorf("no trunc_sat implementation for %v", s.sub)
+		}
+		dst, src := s.dst, s.a
+		return func(inst *Instance, base, pc int) int {
+			st := inst.stack
+			st[base+dst] = fn(st[base+src])
+			return pc + 1
+		}, nil
+	case shBin:
+		return emitBin(s)
+	case shSelect:
+		dst, a, b, c := s.dst, s.a, s.b, s.c
+		return func(inst *Instance, base, pc int) int {
+			st := inst.stack
+			if uint32(st[base+c]) != 0 {
+				st[base+dst] = st[base+a]
+			} else {
+				st[base+dst] = st[base+b]
+			}
+			return pc + 1
+		}, nil
+	case shLoad:
+		return emitLoad(s)
+	case shStore:
+		return emitStore(s)
+	case shJump:
+		tgt := int(s.tgt)
+		if s.carrySrc >= 0 {
+			src, dst := s.carrySrc, s.carryDst
+			return func(inst *Instance, base, pc int) int {
+				st := inst.stack
+				st[base+dst] = st[base+src]
+				return tgt
+			}, nil
+		}
+		return func(inst *Instance, base, pc int) int { return tgt }, nil
+	case shIfFalse:
+		tgt, a := int(s.tgt), s.a
+		return func(inst *Instance, base, pc int) int {
+			if uint32(inst.stack[base+a]) == 0 {
+				return tgt
+			}
+			return pc + 1
+		}, nil
+	case shBranchIf:
+		tgt, a := int(s.tgt), s.a
+		if s.carrySrc >= 0 {
+			src, dst := s.carrySrc, s.carryDst
+			return func(inst *Instance, base, pc int) int {
+				st := inst.stack
+				if uint32(st[base+a]) != 0 {
+					st[base+dst] = st[base+src]
+					return tgt
+				}
+				return pc + 1
+			}, nil
+		}
+		return func(inst *Instance, base, pc int) int {
+			if uint32(inst.stack[base+a]) != 0 {
+				return tgt
+			}
+			return pc + 1
+		}, nil
+	case shCmpBranch:
+		return emitCmpBranch(s)
+	case shBrTable:
+		idxSlot := s.a
+		carrySrc := s.carrySrc
+		table := s.table
+		return func(inst *Instance, base, pc int) int {
+			st := inst.stack
+			i := int(uint32(st[base+idxSlot]))
+			if i >= len(table)-1 {
+				i = len(table) - 1
+			}
+			bt := &table[i]
+			if bt.Arity > 0 {
+				st[base+int(bt.PopTo)] = st[base+carrySrc]
+			}
+			return int(bt.Tgt)
+		}, nil
+	case shReturn:
+		if s.carrySrc >= 0 {
+			src := s.carrySrc
+			return func(inst *Instance, base, pc int) int {
+				st := inst.stack
+				st[base] = st[base+src]
+				return -1
+			}, nil
+		}
+		return func(inst *Instance, base, pc int) int { return -1 }, nil
+	case shUnreachable:
+		return func(inst *Instance, base, pc int) int {
+			trap.Throw(trap.Unreachable)
+			return -1
+		}, nil
+	case shCall:
+		fidx, argBase := s.fidx, s.argBase
+		return func(inst *Instance, base, pc int) int {
+			inst.callFunc(fidx, base+argBase)
+			return pc + 1
+		}, nil
+	case shCallInd:
+		typeIdx, idxSlot, argBase := s.fidx, s.a, s.argBase
+		return func(inst *Instance, base, pc int) int {
+			fi := inst.resolveIndirect(uint32(inst.stack[base+idxSlot]), typeIdx)
+			inst.callFunc(fi, base+argBase)
+			return pc + 1
+		}, nil
+	case shGlobalGet:
+		dst, idx := s.dst, s.fidx
+		return func(inst *Instance, base, pc int) int {
+			inst.stack[base+dst] = inst.base.Globals[idx]
+			return pc + 1
+		}, nil
+	case shGlobalSet:
+		src, idx := s.a, s.fidx
+		return func(inst *Instance, base, pc int) int {
+			inst.base.Globals[idx] = inst.stack[base+src]
+			return pc + 1
+		}, nil
+	case shMemSize:
+		dst := s.dst
+		return func(inst *Instance, base, pc int) int {
+			inst.stack[base+dst] = uint64(inst.base.Mem.SizePages())
+			return pc + 1
+		}, nil
+	case shMemGrow:
+		src, dst := s.a, s.dst
+		return func(inst *Instance, base, pc int) int {
+			st := inst.stack
+			st[base+dst] = uint64(uint32(inst.base.Mem.Grow(uint32(st[base+src]))))
+			return pc + 1
+		}, nil
+	case shMemCopy:
+		a, b, c := s.a, s.b, s.c
+		return func(inst *Instance, base, pc int) int {
+			st := inst.stack
+			inst.base.Mem.Copy(uint64(uint32(st[base+a])), uint64(uint32(st[base+b])), uint64(uint32(st[base+c])))
+			return pc + 1
+		}, nil
+	case shMemFill:
+		a, b, c := s.a, s.b, s.c
+		return func(inst *Instance, base, pc int) int {
+			st := inst.stack
+			inst.base.Mem.Fill(uint64(uint32(st[base+a])), st[base+b]&0xff, uint64(uint32(st[base+c])))
+			return pc + 1
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown shape %d", s.shape)
+	}
+}
+
+// emitBin compiles a binary op, specializing the hottest opcodes and
+// immediate-operand forms.
+func emitBin(s *sop) (cop, error) {
+	fn := binOps[s.op]
+	if fn == nil {
+		return nil, fmt.Errorf("no binary implementation")
+	}
+	dst := s.dst
+	switch {
+	case s.aImm && s.bImm:
+		// Both constant (possible for non-foldable ops like div).
+		ia, ib := s.immA, s.immB
+		return func(inst *Instance, base, pc int) int {
+			inst.stack[base+dst] = fn(ia, ib)
+			return pc + 1
+		}, nil
+	case s.bImm:
+		a, ib := s.a, s.immB
+		switch s.op {
+		case wasm.OpI32Add:
+			k := uint32(ib)
+			return func(inst *Instance, base, pc int) int {
+				st := inst.stack
+				st[base+dst] = uint64(uint32(st[base+a]) + k)
+				return pc + 1
+			}, nil
+		case wasm.OpI32Mul:
+			k := uint32(ib)
+			return func(inst *Instance, base, pc int) int {
+				st := inst.stack
+				st[base+dst] = uint64(uint32(st[base+a]) * k)
+				return pc + 1
+			}, nil
+		case wasm.OpI32Shl:
+			k := uint32(ib) & 31
+			return func(inst *Instance, base, pc int) int {
+				st := inst.stack
+				st[base+dst] = uint64(uint32(st[base+a]) << k)
+				return pc + 1
+			}, nil
+		}
+		return func(inst *Instance, base, pc int) int {
+			st := inst.stack
+			st[base+dst] = fn(st[base+a], ib)
+			return pc + 1
+		}, nil
+	case s.aImm:
+		ia, b := s.immA, s.b
+		return func(inst *Instance, base, pc int) int {
+			st := inst.stack
+			st[base+dst] = fn(ia, st[base+b])
+			return pc + 1
+		}, nil
+	default:
+		a, b := s.a, s.b
+		switch s.op {
+		case wasm.OpI32Add:
+			return func(inst *Instance, base, pc int) int {
+				st := inst.stack
+				st[base+dst] = uint64(uint32(st[base+a]) + uint32(st[base+b]))
+				return pc + 1
+			}, nil
+		case wasm.OpI32Sub:
+			return func(inst *Instance, base, pc int) int {
+				st := inst.stack
+				st[base+dst] = uint64(uint32(st[base+a]) - uint32(st[base+b]))
+				return pc + 1
+			}, nil
+		case wasm.OpI32Mul:
+			return func(inst *Instance, base, pc int) int {
+				st := inst.stack
+				st[base+dst] = uint64(uint32(st[base+a]) * uint32(st[base+b]))
+				return pc + 1
+			}, nil
+		case wasm.OpF64Add:
+			return func(inst *Instance, base, pc int) int {
+				st := inst.stack
+				st[base+dst] = p64(g64(st[base+a]) + g64(st[base+b]))
+				return pc + 1
+			}, nil
+		case wasm.OpF64Sub:
+			return func(inst *Instance, base, pc int) int {
+				st := inst.stack
+				st[base+dst] = p64(g64(st[base+a]) - g64(st[base+b]))
+				return pc + 1
+			}, nil
+		case wasm.OpF64Mul:
+			return func(inst *Instance, base, pc int) int {
+				st := inst.stack
+				st[base+dst] = p64(g64(st[base+a]) * g64(st[base+b]))
+				return pc + 1
+			}, nil
+		case wasm.OpF64Div:
+			return func(inst *Instance, base, pc int) int {
+				st := inst.stack
+				st[base+dst] = p64(g64(st[base+a]) / g64(st[base+b]))
+				return pc + 1
+			}, nil
+		}
+		return func(inst *Instance, base, pc int) int {
+			st := inst.stack
+			st[base+dst] = fn(st[base+a], st[base+b])
+			return pc + 1
+		}, nil
+	}
+}
+
+// emitCmpBranch compiles a fused compare+branch.
+func emitCmpBranch(s *sop) (cop, error) {
+	fn := binOps[s.cmpOp]
+	if fn == nil {
+		return nil, fmt.Errorf("no compare implementation for %s", s.cmpOp)
+	}
+	tgt := int(s.tgt)
+	onTrue := s.brOnTrue
+	// Hot specialization: i32 signed compare against a slot (loop
+	// bounds), both orders.
+	if s.cmpOp == wasm.OpI32GeS && !s.aImm && !s.bImm && !onTrue {
+		a, b := s.a, s.b
+		return func(inst *Instance, base, pc int) int {
+			st := inst.stack
+			if int32(st[base+a]) >= int32(st[base+b]) {
+				return pc + 1
+			}
+			return tgt
+		}, nil
+	}
+	if s.cmpOp == wasm.OpI32GeS && !s.aImm && !s.bImm && onTrue {
+		a, b := s.a, s.b
+		return func(inst *Instance, base, pc int) int {
+			st := inst.stack
+			if int32(st[base+a]) >= int32(st[base+b]) {
+				return tgt
+			}
+			return pc + 1
+		}, nil
+	}
+	load := func(s *sop) (func(inst *Instance, base int) (uint64, uint64), error) {
+		switch {
+		case s.aImm && s.bImm:
+			ia, ib := s.immA, s.immB
+			return func(inst *Instance, base int) (uint64, uint64) { return ia, ib }, nil
+		case s.aImm:
+			ia, b := s.immA, s.b
+			return func(inst *Instance, base int) (uint64, uint64) {
+				return ia, inst.stack[base+b]
+			}, nil
+		case s.bImm:
+			a, ib := s.a, s.immB
+			return func(inst *Instance, base int) (uint64, uint64) {
+				return inst.stack[base+a], ib
+			}, nil
+		default:
+			a, b := s.a, s.b
+			return func(inst *Instance, base int) (uint64, uint64) {
+				return inst.stack[base+a], inst.stack[base+b]
+			}, nil
+		}
+	}
+	ld, err := load(s)
+	if err != nil {
+		return nil, err
+	}
+	if onTrue {
+		return func(inst *Instance, base, pc int) int {
+			x, y := ld(inst, base)
+			if fn(x, y) != 0 {
+				return tgt
+			}
+			return pc + 1
+		}, nil
+	}
+	return func(inst *Instance, base, pc int) int {
+		x, y := ld(inst, base)
+		if fn(x, y) == 0 {
+			return tgt
+		}
+		return pc + 1
+	}, nil
+}
+
+// emitLoad compiles a memory load; the effective address is
+// uint64(uint32(base operand)) + offset, computed in 64 bits.
+func emitLoad(s *sop) (cop, error) {
+	off := s.off
+	dst := s.dst
+	aSlot := s.a
+	aImm := s.aImm
+	ea := func(inst *Instance, base int) uint64 {
+		if aImm {
+			return off
+		}
+		return uint64(uint32(inst.stack[base+aSlot])) + off
+	}
+	switch s.op {
+	case wasm.OpI32Load, wasm.OpF32Load:
+		if !aImm {
+			return func(inst *Instance, base, pc int) int {
+				addr := uint64(uint32(inst.stack[base+aSlot])) + off
+				inst.stack[base+dst] = uint64(inst.base.Mem.LoadU32(addr))
+				return pc + 1
+			}, nil
+		}
+		return func(inst *Instance, base, pc int) int {
+			inst.stack[base+dst] = uint64(inst.base.Mem.LoadU32(ea(inst, base)))
+			return pc + 1
+		}, nil
+	case wasm.OpI64Load, wasm.OpF64Load:
+		if !aImm {
+			return func(inst *Instance, base, pc int) int {
+				addr := uint64(uint32(inst.stack[base+aSlot])) + off
+				inst.stack[base+dst] = inst.base.Mem.LoadU64(addr)
+				return pc + 1
+			}, nil
+		}
+		return func(inst *Instance, base, pc int) int {
+			inst.stack[base+dst] = inst.base.Mem.LoadU64(ea(inst, base))
+			return pc + 1
+		}, nil
+	case wasm.OpI32Load8S:
+		return func(inst *Instance, base, pc int) int {
+			inst.stack[base+dst] = uint64(uint32(int32(int8(inst.base.Mem.LoadU8(ea(inst, base))))))
+			return pc + 1
+		}, nil
+	case wasm.OpI32Load8U:
+		return func(inst *Instance, base, pc int) int {
+			inst.stack[base+dst] = uint64(inst.base.Mem.LoadU8(ea(inst, base)))
+			return pc + 1
+		}, nil
+	case wasm.OpI32Load16S:
+		return func(inst *Instance, base, pc int) int {
+			inst.stack[base+dst] = uint64(uint32(int32(int16(inst.base.Mem.LoadU16(ea(inst, base))))))
+			return pc + 1
+		}, nil
+	case wasm.OpI32Load16U:
+		return func(inst *Instance, base, pc int) int {
+			inst.stack[base+dst] = uint64(inst.base.Mem.LoadU16(ea(inst, base)))
+			return pc + 1
+		}, nil
+	case wasm.OpI64Load8S:
+		return func(inst *Instance, base, pc int) int {
+			inst.stack[base+dst] = uint64(int64(int8(inst.base.Mem.LoadU8(ea(inst, base)))))
+			return pc + 1
+		}, nil
+	case wasm.OpI64Load8U:
+		return func(inst *Instance, base, pc int) int {
+			inst.stack[base+dst] = uint64(inst.base.Mem.LoadU8(ea(inst, base)))
+			return pc + 1
+		}, nil
+	case wasm.OpI64Load16S:
+		return func(inst *Instance, base, pc int) int {
+			inst.stack[base+dst] = uint64(int64(int16(inst.base.Mem.LoadU16(ea(inst, base)))))
+			return pc + 1
+		}, nil
+	case wasm.OpI64Load16U:
+		return func(inst *Instance, base, pc int) int {
+			inst.stack[base+dst] = uint64(inst.base.Mem.LoadU16(ea(inst, base)))
+			return pc + 1
+		}, nil
+	case wasm.OpI64Load32S:
+		return func(inst *Instance, base, pc int) int {
+			inst.stack[base+dst] = uint64(int64(int32(inst.base.Mem.LoadU32(ea(inst, base)))))
+			return pc + 1
+		}, nil
+	case wasm.OpI64Load32U:
+		return func(inst *Instance, base, pc int) int {
+			inst.stack[base+dst] = uint64(inst.base.Mem.LoadU32(ea(inst, base)))
+			return pc + 1
+		}, nil
+	default:
+		return nil, fmt.Errorf("bad load opcode")
+	}
+}
+
+// emitStore compiles a memory store.
+func emitStore(s *sop) (cop, error) {
+	off := s.off
+	aSlot, aImm := s.a, s.aImm
+	bSlot, bImm, ibv := s.b, s.bImm, s.immB
+	ea := func(inst *Instance, base int) uint64 {
+		if aImm {
+			return off
+		}
+		return uint64(uint32(inst.stack[base+aSlot])) + off
+	}
+	val := func(inst *Instance, base int) uint64 {
+		if bImm {
+			return ibv
+		}
+		return inst.stack[base+bSlot]
+	}
+	switch s.op {
+	case wasm.OpI32Store, wasm.OpF32Store:
+		if !aImm && !bImm {
+			return func(inst *Instance, base, pc int) int {
+				st := inst.stack
+				addr := uint64(uint32(st[base+aSlot])) + off
+				inst.base.Mem.StoreU32(addr, uint32(st[base+bSlot]))
+				return pc + 1
+			}, nil
+		}
+		return func(inst *Instance, base, pc int) int {
+			inst.base.Mem.StoreU32(ea(inst, base), uint32(val(inst, base)))
+			return pc + 1
+		}, nil
+	case wasm.OpI64Store, wasm.OpF64Store:
+		if !aImm && !bImm {
+			return func(inst *Instance, base, pc int) int {
+				st := inst.stack
+				addr := uint64(uint32(st[base+aSlot])) + off
+				inst.base.Mem.StoreU64(addr, st[base+bSlot])
+				return pc + 1
+			}, nil
+		}
+		return func(inst *Instance, base, pc int) int {
+			inst.base.Mem.StoreU64(ea(inst, base), val(inst, base))
+			return pc + 1
+		}, nil
+	case wasm.OpI32Store8, wasm.OpI64Store8:
+		return func(inst *Instance, base, pc int) int {
+			inst.base.Mem.StoreU8(ea(inst, base), byte(val(inst, base)))
+			return pc + 1
+		}, nil
+	case wasm.OpI32Store16, wasm.OpI64Store16:
+		return func(inst *Instance, base, pc int) int {
+			inst.base.Mem.StoreU16(ea(inst, base), uint16(val(inst, base)))
+			return pc + 1
+		}, nil
+	case wasm.OpI64Store32:
+		return func(inst *Instance, base, pc int) int {
+			inst.base.Mem.StoreU32(ea(inst, base), uint32(val(inst, base)))
+			return pc + 1
+		}, nil
+	default:
+		return nil, fmt.Errorf("bad store opcode")
+	}
+}

@@ -1,0 +1,277 @@
+package compiled
+
+import (
+	"fmt"
+
+	"leapsandbounds/internal/core"
+	"leapsandbounds/internal/flatten"
+	"leapsandbounds/internal/isa"
+	"leapsandbounds/internal/mem"
+	"leapsandbounds/internal/trap"
+	"leapsandbounds/internal/validate"
+	"leapsandbounds/internal/wasm"
+)
+
+// Engine is a closure-compiling AOT engine.
+type Engine struct {
+	name     string
+	desc     string
+	optimize bool
+}
+
+// NewWAVM returns the WAVM analog: ahead-of-time compilation with
+// the optimizer enabled (the closure-level stand-in for LLVM's
+// optimizing backend).
+func NewWAVM() *Engine {
+	return &Engine{
+		name:     "wavm",
+		desc:     "optimizing closure-compiling AOT engine (WAVM/LLVM analog)",
+		optimize: true,
+	}
+}
+
+// NewWasmtime returns the Wasmtime analog: single-pass compilation
+// with no optimization passes (the Cranelift-baseline stand-in).
+func NewWasmtime() *Engine {
+	return &Engine{
+		name:     "wasmtime",
+		desc:     "single-pass closure-compiling AOT engine (Wasmtime/Cranelift analog)",
+		optimize: false,
+	}
+}
+
+// Name implements core.Engine.
+func (e *Engine) Name() string { return e.name }
+
+// Description implements core.Engine.
+func (e *Engine) Description() string { return e.desc }
+
+// cfunc is one compiled function.
+type cfunc struct {
+	name      string
+	typ       wasm.FuncType
+	numParams int
+	numLocals int
+	frameSize int // locals + operand slots
+	code      []cop
+	classes   []isa.OpClass
+	memAcc    []bool
+}
+
+// Module is the compiled form; exported so the tiered engine can
+// instantiate its optimized tier directly.
+type Module struct {
+	engine *Engine
+	wasm   *wasm.Module
+	funcs  []*cfunc
+}
+
+// Compile implements core.Engine.
+func (e *Engine) Compile(m *wasm.Module) (core.CompiledModule, error) {
+	return e.CompileModule(m)
+}
+
+// CompileModule is Compile with a concrete result type.
+func (e *Engine) CompileModule(m *wasm.Module) (*Module, error) {
+	if err := validate.Module(m); err != nil {
+		return nil, err
+	}
+	cm := &Module{engine: e, wasm: m}
+	imported := uint32(m.NumImportedFuncs())
+	for i := range m.Code {
+		ff, err := flatten.Flatten(m, imported+uint32(i), &m.Code[i])
+		if err != nil {
+			return nil, fmt.Errorf("compiled: function %d: %w", i, err)
+		}
+		ir, err := buildIR(ff)
+		if err != nil {
+			return nil, fmt.Errorf("compiled: function %d: %w", i, err)
+		}
+		if e.optimize {
+			ir = optimize(ir, ff.NumLocals)
+		}
+		ir = compact(ir)
+		code, classes, memAcc, err := emit(ir)
+		if err != nil {
+			return nil, fmt.Errorf("compiled: function %d: %w", i, err)
+		}
+		cm.funcs = append(cm.funcs, &cfunc{
+			name:      ff.Name,
+			typ:       ff.Type,
+			numParams: ff.NumParams,
+			numLocals: ff.NumLocals,
+			frameSize: ff.NumLocals + ff.MaxStack,
+			code:      code,
+			classes:   classes,
+			memAcc:    memAcc,
+		})
+	}
+	return cm, nil
+}
+
+// Instantiate implements core.CompiledModule.
+func (cm *Module) Instantiate(cfg core.Config, imports core.Imports) (core.Instance, error) {
+	return cm.InstantiateCompiled(cfg, imports)
+}
+
+// InstantiateCompiled is Instantiate with a concrete result type.
+func (cm *Module) InstantiateCompiled(cfg core.Config, imports core.Imports) (*Instance, error) {
+	base, err := core.NewInstanceBase(cm.wasm, cfg, imports)
+	if err != nil {
+		return nil, err
+	}
+	inst := &Instance{
+		base:  base,
+		mod:   cm,
+		stack: make([]uint64, 4096),
+		count: cfg.CountCycles,
+	}
+	if cm.wasm.Start != nil {
+		if _, err := inst.invokeIndex(*cm.wasm.Start, nil); err != nil {
+			_ = base.Close()
+			return nil, fmt.Errorf("compiled: start function: %w", err)
+		}
+	}
+	return inst, nil
+}
+
+// Instance is one compiled-engine isolate.
+type Instance struct {
+	base  *core.InstanceBase
+	mod   *Module
+	stack []uint64
+	count bool
+	// Safepoint is polled at function entry when non-nil; the tiered
+	// engine (V8 analog) uses it to implement stop-the-world pauses.
+	Safepoint func()
+}
+
+// Memory implements core.Instance.
+func (inst *Instance) Memory() *mem.Memory { return inst.base.Mem }
+
+// Counts implements core.Instance.
+func (inst *Instance) Counts() *isa.Counts { return inst.base.Counts() }
+
+// Close implements core.Instance.
+func (inst *Instance) Close() error { return inst.base.Close() }
+
+// Invoke implements core.Instance.
+func (inst *Instance) Invoke(name string, args ...uint64) ([]uint64, error) {
+	idx, ok := inst.mod.wasm.ExportedFunc(name)
+	if !ok {
+		return nil, fmt.Errorf("compiled: no exported function %q", name)
+	}
+	return inst.invokeIndex(idx, args)
+}
+
+func (inst *Instance) invokeIndex(idx uint32, args []uint64) (res []uint64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = core.InvokeErr(r)
+		}
+	}()
+	imported := inst.mod.wasm.NumImportedFuncs()
+	if int(idx) < imported {
+		v, err := inst.base.CallHost(int(idx), args)
+		if err != nil {
+			return nil, err
+		}
+		if len(inst.base.HostFuncs[idx].Type.Results) > 0 {
+			return []uint64{v}, nil
+		}
+		return nil, nil
+	}
+	cf := inst.mod.funcs[idx-uint32(imported)]
+	if len(args) != cf.numParams {
+		return nil, fmt.Errorf("compiled: %d args for function with %d params", len(args), cf.numParams)
+	}
+	inst.ensureStack(0, cf)
+	copy(inst.stack, args)
+	for i := cf.numParams; i < cf.numLocals; i++ {
+		inst.stack[i] = 0
+	}
+	inst.run(cf, 0)
+	if len(cf.typ.Results) > 0 {
+		return []uint64{inst.stack[0]}, nil
+	}
+	return nil, nil
+}
+
+func (inst *Instance) ensureStack(base int, cf *cfunc) {
+	need := base + cf.frameSize
+	if need > len(inst.stack) {
+		ns := make([]uint64, max(need, 2*len(inst.stack)))
+		copy(ns, inst.stack)
+		inst.stack = ns
+	}
+}
+
+// run executes a compiled function with its frame at base.
+func (inst *Instance) run(cf *cfunc, base int) {
+	if inst.Safepoint != nil {
+		inst.Safepoint()
+	}
+	code := cf.code
+	if inst.count {
+		counts := &inst.base.CycleCounts
+		ck, ckOn := inst.base.CheckClass()
+		memAcc := cf.memAcc
+		classes := cf.classes
+		for pc := 0; pc >= 0; {
+			counts[classes[pc]]++
+			if ckOn && memAcc[pc] {
+				counts[ck]++
+			}
+			pc = code[pc](inst, base, pc)
+		}
+		return
+	}
+	for pc := 0; pc >= 0; {
+		pc = code[pc](inst, base, pc)
+	}
+}
+
+// callFunc dispatches a wasm-level call: arguments are already in
+// place at calleeBase (the callee's locals window); results land at
+// calleeBase.
+func (inst *Instance) callFunc(fi uint32, calleeBase int) {
+	imported := inst.mod.wasm.NumImportedFuncs()
+	if int(fi) < imported {
+		hf := inst.base.HostFuncs[fi]
+		n := len(hf.Type.Params)
+		v, err := inst.base.CallHost(int(fi), inst.stack[calleeBase:calleeBase+n])
+		if err != nil {
+			trap.ThrowHostErr(err)
+		}
+		if len(hf.Type.Results) > 0 {
+			inst.stack[calleeBase] = v
+		}
+		return
+	}
+	cf := inst.mod.funcs[fi-uint32(imported)]
+	inst.base.EnterCall()
+	inst.ensureStack(calleeBase, cf)
+	for i := calleeBase + cf.numParams; i < calleeBase+cf.numLocals; i++ {
+		inst.stack[i] = 0
+	}
+	inst.run(cf, calleeBase)
+	inst.base.LeaveCall()
+}
+
+func (inst *Instance) resolveIndirect(slot, typeIdx uint32) uint32 {
+	if int(slot) >= len(inst.base.Table) {
+		trap.Throw(trap.TableOutOfBounds)
+	}
+	if !inst.base.Filled[slot] {
+		trap.Throw(trap.IndirectCallNull)
+	}
+	fi := inst.base.Table[slot]
+	ft, err := inst.mod.wasm.FuncTypeAt(fi)
+	if err != nil {
+		trap.Throwf(trap.HostError, "%v", err)
+	}
+	if !ft.Equal(inst.mod.wasm.Types[typeIdx]) {
+		trap.Throw(trap.IndirectCallType)
+	}
+	return fi
+}

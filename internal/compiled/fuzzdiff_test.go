@@ -1,0 +1,297 @@
+package compiled_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"leapsandbounds/internal/compiled"
+	"leapsandbounds/internal/core"
+	"leapsandbounds/internal/interp"
+	"leapsandbounds/internal/isa"
+	"leapsandbounds/internal/mem"
+	"leapsandbounds/internal/wasm"
+	g "leapsandbounds/internal/wasmgen"
+)
+
+// progGen generates random valid-by-construction kernels through the
+// wasmgen DSL: arithmetic expression trees over typed locals,
+// bounded loops, conditionals, and in-bounds memory traffic. Every
+// generated program is deterministic, so engines must agree exactly.
+type progGen struct {
+	r      *rand.Rand
+	f      *g.Func
+	i32s   []*g.Local
+	i64s   []*g.Local
+	f64s   []*g.Local
+	arrI64 g.Arr
+	arrF64 g.Arr
+	depth  int
+}
+
+const fuzzArrLen = 512 // elements per array; indexes are masked into range
+
+func (p *progGen) expr32(depth int) g.Expr {
+	if depth <= 0 || p.r.Intn(4) == 0 {
+		switch p.r.Intn(3) {
+		case 0:
+			return g.I32(int32(p.r.Uint32()))
+		default:
+			return g.Get(p.i32s[p.r.Intn(len(p.i32s))])
+		}
+	}
+	a := p.expr32(depth - 1)
+	b := p.expr32(depth - 1)
+	switch p.r.Intn(12) {
+	case 0:
+		return g.Add(a, b)
+	case 1:
+		return g.Sub(a, b)
+	case 2:
+		return g.Mul(a, b)
+	case 3:
+		return g.And(a, b)
+	case 4:
+		return g.Or(a, b)
+	case 5:
+		return g.Xor(a, b)
+	case 6:
+		return g.Shl(a, g.And(b, g.I32(31)))
+	case 7:
+		return g.ShrU(a, g.And(b, g.I32(31)))
+	case 8:
+		return g.Sel(g.Lt(a, b), a, b)
+	case 9:
+		return g.Eqz(a)
+	case 10:
+		// Division guarded against zero and MinInt32/-1.
+		return g.DivU(a, g.Or(g.And(b, g.I32(0xffff)), g.I32(3)))
+	default:
+		return g.Rotl(a, g.And(b, g.I32(31)))
+	}
+}
+
+func (p *progGen) expr64(depth int) g.Expr {
+	if depth <= 0 || p.r.Intn(4) == 0 {
+		switch p.r.Intn(3) {
+		case 0:
+			return g.I64(int64(p.r.Uint64()))
+		case 1:
+			return g.I64FromI32U(p.expr32(0))
+		default:
+			return g.Get(p.i64s[p.r.Intn(len(p.i64s))])
+		}
+	}
+	a := p.expr64(depth - 1)
+	b := p.expr64(depth - 1)
+	switch p.r.Intn(8) {
+	case 0:
+		return g.Add(a, b)
+	case 1:
+		return g.Sub(a, b)
+	case 2:
+		return g.Mul(a, b)
+	case 3:
+		return g.Xor(a, b)
+	case 4:
+		return g.ShrU(a, g.And(b, g.I64(63)))
+	case 5:
+		return g.Rotl(a, g.And(b, g.I64(63)))
+	case 6:
+		return g.Sel(g.LtU(a, b), a, b)
+	default:
+		return g.And(a, b)
+	}
+}
+
+func (p *progGen) exprF64(depth int) g.Expr {
+	if depth <= 0 || p.r.Intn(4) == 0 {
+		switch p.r.Intn(3) {
+		case 0:
+			return g.F64(float64(p.r.Intn(1000)) / 8.0)
+		case 1:
+			return g.F64FromI32(g.And(p.expr32(0), g.I32(0xffff)))
+		default:
+			return g.Get(p.f64s[p.r.Intn(len(p.f64s))])
+		}
+	}
+	a := p.exprF64(depth - 1)
+	b := p.exprF64(depth - 1)
+	switch p.r.Intn(6) {
+	case 0:
+		return g.Add(a, b)
+	case 1:
+		return g.Sub(a, b)
+	case 2:
+		return g.Mul(a, b)
+	case 3:
+		return g.Min(a, b)
+	case 4:
+		return g.Max(a, b)
+	default:
+		// Division by a value bounded away from zero.
+		return g.Div(a, g.Add(g.Abs(b), g.F64(1.0)))
+	}
+}
+
+// index returns an in-bounds array index expression.
+func (p *progGen) index() g.Expr {
+	return g.And(p.expr32(1), g.I32(fuzzArrLen-1))
+}
+
+func (p *progGen) stmt(depth int) g.Stmt {
+	// Occasionally inject a data-dependent early return: engines
+	// must agree on whether it fires, and it exercises the
+	// function-end join from varied operand heights.
+	if p.r.Intn(24) == 0 {
+		return g.If(
+			g.Eq(g.And(p.expr32(1), g.I32(63)), g.I32(9)),
+			g.Return(g.Get(p.i64s[p.r.Intn(len(p.i64s))])),
+		)
+	}
+	switch p.r.Intn(10) {
+	case 0, 1:
+		return g.Set(p.i32s[p.r.Intn(len(p.i32s))], p.expr32(depth))
+	case 2:
+		return g.Set(p.i64s[p.r.Intn(len(p.i64s))], p.expr64(depth))
+	case 3:
+		return g.Set(p.f64s[p.r.Intn(len(p.f64s))], p.exprF64(depth))
+	case 4:
+		return p.arrI64.Store(p.index(), p.expr64(depth))
+	case 5:
+		return p.arrF64.Store(p.index(), p.exprF64(depth))
+	case 6:
+		return g.Set(p.i64s[p.r.Intn(len(p.i64s))], p.arrI64.Load(p.index()))
+	case 7:
+		return g.Set(p.f64s[p.r.Intn(len(p.f64s))], p.arrF64.Load(p.index()))
+	case 8:
+		if depth > 0 {
+			return g.IfElse(g.Lt(p.expr32(1), p.expr32(1)),
+				[]g.Stmt{p.stmt(depth - 1)},
+				[]g.Stmt{p.stmt(depth - 1)})
+		}
+		return g.Set(p.i32s[0], p.expr32(0))
+	default:
+		if depth > 0 {
+			// A bounded counted loop over a fresh counter.
+			ctr := p.f.LocalI32(fmt.Sprintf("c%d", p.depth))
+			p.depth++
+			body := []g.Stmt{p.stmt(depth - 1), p.stmt(depth - 1)}
+			return g.For(ctr, g.I32(0), g.I32(int32(p.r.Intn(20)+1)), body...)
+		}
+		return g.Set(p.i32s[0], p.expr32(0))
+	}
+}
+
+// buildRandomProgram returns a module whose run() executes a random
+// statement list and returns a digest of all state.
+func buildRandomProgram(seed int64) (*wasm.Module, error) {
+	r := rand.New(rand.NewSource(seed))
+	mb := g.NewModule()
+	mb.Memory(1, 4)
+	lay := g.NewLayout(0)
+
+	f := mb.Func("run", wasm.I64)
+	p := &progGen{r: r, f: f}
+	p.arrI64 = lay.I64(fuzzArrLen)
+	p.arrF64 = lay.F64(fuzzArrLen)
+	for i := 0; i < 4; i++ {
+		p.i32s = append(p.i32s, f.LocalI32(fmt.Sprintf("a%d", i)))
+		p.i64s = append(p.i64s, f.LocalI64(fmt.Sprintf("b%d", i)))
+		p.f64s = append(p.f64s, f.LocalF64(fmt.Sprintf("d%d", i)))
+	}
+	// Seed locals deterministically.
+	var stmts []g.Stmt
+	for i, l := range p.i32s {
+		stmts = append(stmts, g.Set(l, g.I32(int32(seed)+int32(i*7+1))))
+	}
+	for i, l := range p.i64s {
+		stmts = append(stmts, g.Set(l, g.I64(seed*31+int64(i))))
+	}
+	for i, l := range p.f64s {
+		stmts = append(stmts, g.Set(l, g.F64(float64(i)+0.5)))
+	}
+	for i := 0; i < 12; i++ {
+		stmts = append(stmts, p.stmt(3))
+	}
+	// Digest: all locals plus the memory arrays.
+	digest := f.LocalI64("digest")
+	idx := f.LocalI32("idx")
+	mix := func(v g.Expr) g.Stmt {
+		return g.Set(digest, g.Add(g.Mul(g.Get(digest), g.I64(1099511628211)), v))
+	}
+	for _, l := range p.i32s {
+		stmts = append(stmts, mix(g.I64FromI32U(g.Get(l))))
+	}
+	for _, l := range p.i64s {
+		stmts = append(stmts, mix(g.Get(l)))
+	}
+	for _, l := range p.f64s {
+		stmts = append(stmts, mix(g.I64ReinterpretF64(g.Get(l))))
+	}
+	stmts = append(stmts,
+		g.For(idx, g.I32(0), g.I32(fuzzArrLen),
+			mix(p.arrI64.Load(g.Get(idx))),
+			mix(g.I64ReinterpretF64(p.arrF64.Load(g.Get(idx)))),
+		),
+		g.Return(g.Get(digest)),
+	)
+	f.Body(stmts...)
+	mb.Export("run", f)
+	return mb.Module()
+}
+
+// TestDifferentialRandomPrograms runs randomly generated programs on
+// every engine and strategy and requires exact agreement — the
+// broadest correctness net over the two execution backends and the
+// optimizer.
+func TestDifferentialRandomPrograms(t *testing.T) {
+	seeds := 40
+	if testing.Short() {
+		seeds = 8
+	}
+	engines := map[string]core.Engine{
+		"wasm3":    interp.NewWasm3(),
+		"wasmtime": compiled.NewWasmtime(),
+		"wavm":     compiled.NewWAVM(),
+	}
+	for seed := int64(1); seed <= int64(seeds); seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			m, err := buildRandomProgram(seed)
+			if err != nil {
+				t.Fatalf("generator produced invalid module: %v", err)
+			}
+			var want uint64
+			first := true
+			for name, e := range engines {
+				cm, err := e.Compile(m)
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				strategies := []mem.Strategy{mem.None, mem.Mprotect}
+				if name == "wavm" {
+					strategies = mem.Strategies() // full matrix on one engine
+				}
+				for _, s := range strategies {
+					inst, err := cm.Instantiate(core.Config{Profile: isa.X86_64(), Strategy: s}, nil)
+					if err != nil {
+						t.Fatalf("%s/%v: %v", name, s, err)
+					}
+					res, err := inst.Invoke("run")
+					inst.Close()
+					if err != nil {
+						t.Fatalf("%s/%v: %v", name, s, err)
+					}
+					if first {
+						want = res[0]
+						first = false
+					} else if res[0] != want {
+						t.Errorf("%s/%v: digest %#x, want %#x", name, s, res[0], want)
+					}
+				}
+			}
+		})
+	}
+}

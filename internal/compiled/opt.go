@@ -1,0 +1,368 @@
+package compiled
+
+import (
+	"leapsandbounds/internal/flatten"
+	"leapsandbounds/internal/wasm"
+)
+
+// optimize runs the WAVM-analog optimization passes over the slot
+// IR: constant folding, copy propagation of locals/constants into
+// consumers, binop→local.set forwarding, and compare+branch fusion.
+// It relies on the stack discipline invariant that every operand
+// slot is written once and read once between two labels.
+//
+// Windows are delimited by labels (branch targets): inside a window
+// execution is strictly linear, so a def always dominates its use.
+func optimize(ir []sop, numLocals int) []sop {
+	labels := findLabels(ir)
+
+	// pending maps an operand slot to the index of the sop that
+	// defines it, when that sop is a candidate for substitution or
+	// retargeting.
+	pending := make(map[int]int)
+	// localVer invalidates local copies on reassignment.
+	localVer := make(map[int]int)
+	verAt := make(map[int]int) // def index -> version of its source local
+
+	clear := func() {
+		for k := range pending {
+			delete(pending, k)
+		}
+	}
+
+	// use resolves a read of slot s. If the pending def is a const,
+	// it returns (imm, true, defIdx). If it is a still-valid local
+	// copy, it returns the local slot via retarget. Otherwise the
+	// def is simply kept.
+	type resolved struct {
+		isImm bool
+		imm   uint64
+		slot  int
+		def   int // def index to delete when the substitution is used, -1 otherwise
+	}
+	use := func(s int) resolved {
+		di, ok := pending[s]
+		if !ok {
+			return resolved{slot: s, def: -1}
+		}
+		delete(pending, s)
+		d := &ir[di]
+		switch {
+		case d.shape == shConst:
+			return resolved{isImm: true, imm: d.immA, def: di}
+		case d.shape == shMove && d.a < numLocals && localVer[d.a] == verAt[di]:
+			return resolved{slot: d.a, def: di}
+		default:
+			return resolved{slot: s, def: -1}
+		}
+	}
+	// forceKeep drops pending status without substitution.
+	forceKeep := func(s int) { delete(pending, s) }
+
+	lastAlive := -1
+
+	for i := range ir {
+		if labels[i] {
+			clear()
+		}
+		s := &ir[i]
+		switch s.shape {
+		case shConst:
+			if s.dst >= numLocals {
+				pending[s.dst] = i
+			}
+		case shMove:
+			if s.op == wasm.OpLocalSet && s.dst < numLocals {
+				// Try binop→local forwarding: retarget an adjacent
+				// producer to write the local directly.
+				if di, ok := pending[s.a]; ok && di == lastAlive {
+					d := &ir[di]
+					if retargetable(d.shape) {
+						delete(pending, s.a)
+						d.dst = s.dst
+						s.dead = true
+						s.shape = shNop
+						localVer[s.dst]++
+						continue
+					}
+				}
+				r := use(s.a)
+				if r.isImm {
+					s.shape = shConst
+					s.immA = r.imm
+					markDead(ir, r.def)
+				} else {
+					s.a = r.slot
+					if r.def >= 0 {
+						markDead(ir, r.def)
+					}
+				}
+				localVer[s.dst]++
+			} else if s.op == wasm.OpLocalTee {
+				// Tee writes the local and leaves the operand live;
+				// the operand slot equals s.a, so nothing to track.
+				forceKeep(s.a)
+				localVer[s.dst]++
+			} else {
+				// local.get: candidate copy.
+				if s.dst >= numLocals && s.a < numLocals {
+					pending[s.dst] = i
+					verAt[i] = localVer[s.a]
+				}
+			}
+		case shUn, shTruncSat:
+			r := use(s.a)
+			if r.isImm && s.shape == shUn && unOps[s.op] != nil && safeUnFold(s.op) {
+				s.shape = shConst
+				s.immA = unOps[s.op](r.imm)
+				markDead(ir, r.def)
+				if s.dst >= numLocals {
+					pending[s.dst] = i
+				}
+				continue
+			}
+			if r.def >= 0 && !r.isImm {
+				markDead(ir, r.def)
+			}
+			if !r.isImm {
+				s.a = r.slot
+			}
+			// When r.isImm the const def stays alive (never marked
+			// dead): unops cannot take an immediate operand, so the
+			// consumer keeps reading the slot the const writes.
+		case shBin:
+			rb := use(s.b)
+			ra := use(s.a)
+			if ra.isImm && rb.isImm && foldableBin[s.op] {
+				s.shape = shConst
+				s.immA = binOps[s.op](ra.imm, rb.imm)
+				markDead(ir, ra.def)
+				markDead(ir, rb.def)
+				if s.dst >= numLocals {
+					pending[s.dst] = i
+				}
+				continue
+			}
+			if ra.isImm {
+				s.aImm = true
+				s.immA = ra.imm
+				markDead(ir, ra.def)
+			} else {
+				s.a = ra.slot
+				if ra.def >= 0 {
+					markDead(ir, ra.def)
+				}
+			}
+			if rb.isImm {
+				s.bImm = true
+				s.immB = rb.imm
+				markDead(ir, rb.def)
+			} else {
+				s.b = rb.slot
+				if rb.def >= 0 {
+					markDead(ir, rb.def)
+				}
+			}
+			if s.dst >= numLocals && cmpBranchOps[s.op] {
+				pending[s.dst] = i // eligible for compare+branch fusion
+			}
+		case shLoad:
+			r := use(s.a)
+			if r.isImm {
+				// Fold the constant address into the static offset.
+				s.off += uint64(uint32(r.imm))
+				s.aImm = true
+				markDead(ir, r.def)
+			} else {
+				s.a = r.slot
+				if r.def >= 0 {
+					markDead(ir, r.def)
+				}
+			}
+			if s.dst >= numLocals {
+				// Loads are retargetable producers (for local.set).
+				pending[s.dst] = i
+			}
+		case shStore:
+			rb := use(s.b)
+			ra := use(s.a)
+			if ra.isImm {
+				s.off += uint64(uint32(ra.imm))
+				s.aImm = true
+				markDead(ir, ra.def)
+			} else {
+				s.a = ra.slot
+				if ra.def >= 0 {
+					markDead(ir, ra.def)
+				}
+			}
+			if rb.isImm {
+				s.bImm = true
+				s.immB = rb.imm
+				markDead(ir, rb.def)
+			} else {
+				s.b = rb.slot
+				if rb.def >= 0 {
+					markDead(ir, rb.def)
+				}
+			}
+		case shIfFalse, shBranchIf:
+			if s.carrySrc >= 0 {
+				forceKeep(s.carrySrc)
+			}
+			if di, ok := pending[s.a]; ok && di == lastAlive {
+				d := &ir[di]
+				if d.shape == shBin && cmpBranchOps[d.op] && s.carrySrc < 0 {
+					delete(pending, s.a)
+					s.shape = shCmpBranch
+					s.cmpOp = d.op
+					s.brOnTrue = ir[i].op != flatten.OpIfFalse
+					s.a, s.aImm, s.immA = d.a, d.aImm, d.immA
+					s.b, s.bImm, s.immB = d.b, d.bImm, d.immB
+					markDead(ir, di)
+					lastAlive = i
+					continue
+				}
+			}
+			r := use(s.a)
+			if !r.isImm {
+				s.a = r.slot
+				if r.def >= 0 {
+					markDead(ir, r.def)
+				}
+			}
+			// Immediate conditions keep their const def alive (the
+			// branch reads the slot it writes).
+		case shJump:
+			if s.carrySrc >= 0 {
+				forceKeep(s.carrySrc)
+			}
+		case shReturn:
+			if s.carrySrc >= 0 {
+				forceKeep(s.carrySrc)
+			}
+		case shBrTable:
+			forceKeep(s.a)
+			forceKeep(s.carrySrc)
+		case shCall, shCallInd:
+			// Arguments are read in place by the callee: every
+			// pending def at or above argBase must materialize.
+			for slot := range pending {
+				if slot >= s.argBase {
+					forceKeep(slot)
+				}
+			}
+			if s.shape == shCallInd {
+				forceKeep(s.a)
+			}
+		case shSelect:
+			forceKeep(s.a)
+			forceKeep(s.b)
+			r := use(s.c)
+			if !r.isImm {
+				s.c = r.slot
+				if r.def >= 0 {
+					markDead(ir, r.def)
+				}
+			}
+			// Immediate conditions keep their const def alive.
+		case shGlobalSet, shMemGrow:
+			forceKeep(s.a)
+		case shMemCopy, shMemFill:
+			forceKeep(s.a)
+			forceKeep(s.b)
+			forceKeep(s.c)
+		case shGlobalGet:
+			if s.dst >= numLocals {
+				pending[s.dst] = i
+			}
+		}
+		if !s.dead {
+			lastAlive = i
+		}
+	}
+	return ir
+}
+
+// retargetable reports whether a producer's dst can be redirected to
+// a local slot (binop→local.set forwarding).
+func retargetable(sh shape) bool {
+	switch sh {
+	case shBin, shUn, shLoad, shSelect, shGlobalGet, shTruncSat, shMemSize:
+		return true
+	default:
+		return false
+	}
+}
+
+// safeUnFold lists unary ops safe to constant-fold (no traps).
+func safeUnFold(op wasm.Opcode) bool {
+	switch op {
+	case wasm.OpI32TruncF32S, wasm.OpI32TruncF32U, wasm.OpI32TruncF64S,
+		wasm.OpI32TruncF64U, wasm.OpI64TruncF32S, wasm.OpI64TruncF32U,
+		wasm.OpI64TruncF64S, wasm.OpI64TruncF64U:
+		return false
+	default:
+		return true
+	}
+}
+
+// markDead marks a def for deletion (no-op for def == -1).
+func markDead(ir []sop, def int) {
+	if def >= 0 {
+		ir[def].dead = true
+		ir[def].shape = shNop
+	}
+}
+
+// findLabels returns the set of pcs that are branch targets.
+func findLabels(ir []sop) []bool {
+	labels := make([]bool, len(ir)+1)
+	for i := range ir {
+		s := &ir[i]
+		switch s.shape {
+		case shJump, shIfFalse, shBranchIf, shCmpBranch:
+			labels[s.tgt] = true
+		case shBrTable:
+			for _, bt := range s.table {
+				labels[bt.Tgt] = true
+			}
+		}
+	}
+	return labels[:len(ir)]
+}
+
+// compact removes dead sops, remapping branch targets. Both engines
+// run it (the baseline engine only accumulates dead drops).
+func compact(ir []sop) []sop {
+	remap := make([]int32, len(ir)+1)
+	n := int32(0)
+	for i := range ir {
+		remap[i] = n
+		if !ir[i].dead {
+			n++
+		}
+	}
+	remap[len(ir)] = n
+
+	out := make([]sop, 0, n)
+	for i := range ir {
+		if ir[i].dead {
+			continue
+		}
+		s := ir[i]
+		switch s.shape {
+		case shJump, shIfFalse, shBranchIf, shCmpBranch:
+			s.tgt = remap[s.tgt]
+		case shBrTable:
+			tbl := make([]flatten.BranchTarget, len(s.table))
+			for k, bt := range s.table {
+				bt.Tgt = remap[bt.Tgt]
+				tbl[k] = bt
+			}
+			s.table = tbl
+		}
+		out = append(out, s)
+	}
+	return out
+}

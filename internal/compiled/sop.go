@@ -1,0 +1,243 @@
+// Package compiled implements the closure-compiling ahead-of-time
+// engines modelling WAVM (optimizing) and Wasmtime (single-pass
+// baseline) from the paper. Function bodies are lowered through the
+// flatten package to a register-slot IR — every operand of the wasm
+// stack machine has a statically known frame slot — and each IR
+// operation is compiled to a Go closure over fixed slot indices.
+// Execution dispatches directly over the closure array with no
+// opcode decoding, the closure-level analog of template JIT code.
+//
+// The WAVM engine additionally runs an optimizer over the IR:
+// constant folding, copy propagation of locals and constants into
+// consumers, store-to-local forwarding and compare-branch fusion,
+// which removes a significant fraction of executed operations —
+// the mechanical analog of LLVM's better code generation.
+package compiled
+
+import (
+	"fmt"
+
+	"leapsandbounds/internal/flatten"
+	"leapsandbounds/internal/isa"
+	"leapsandbounds/internal/wasm"
+)
+
+// shape classifies IR operations for emission.
+type shape uint8
+
+const (
+	shConst     shape = iota // dst = immA
+	shMove                   // dst = slot a
+	shUn                     // dst = unop(a)
+	shBin                    // dst = binop(a, b)
+	shSelect                 // dst = cond(c) ? a : b
+	shLoad                   // dst = mem[a + off]
+	shStore                  // mem[a + off] = b
+	shJump                   // unconditional branch (with optional carried value)
+	shIfFalse                // branch when a == 0
+	shBranchIf               // branch when a != 0 (with optional carried value)
+	shCmpBranch              // fused compare + branch
+	shBrTable                // indexed branch
+	shReturn                 // function return
+	shCall                   // direct call
+	shCallInd                // indirect call
+	shGlobalGet              // dst = globals[idx]
+	shGlobalSet              // globals[idx] = a
+	shMemSize                // dst = memory.size
+	shMemGrow                // dst = memory.grow(a)
+	shMemCopy                // memory.copy(a, b, c)
+	shMemFill                // memory.fill(a, b, c)
+	shTruncSat               // dst = truncsat(a)
+	shUnreachable
+	shNop // deleted/padding
+)
+
+// sop is one slot-IR operation. Slot indices are frame-relative:
+// locals occupy [0, numLocals), wasm operand height h maps to slot
+// numLocals + h.
+type sop struct {
+	op    wasm.Opcode
+	sub   wasm.SubOpcode
+	shape shape
+	dst   int
+	a, b  int // source slots
+	c     int // third source (select condition, memcopy/fill length)
+	aImm  bool
+	bImm  bool
+	immA  uint64
+	immB  uint64
+	off   uint64 // static memory offset
+	// branch metadata
+	tgt      int32
+	carrySrc int // slot carried across the branch (-1 when none)
+	carryDst int
+	table    []flatten.BranchTarget
+	// call metadata
+	fidx    uint32 // function index / type index
+	argBase int    // first argument slot
+	results int8
+	// compare-branch fusion: the fused compare opcode and whether
+	// the branch fires when the compare is true.
+	cmpOp    wasm.Opcode
+	brOnTrue bool
+
+	class  isa.OpClass
+	memAcc bool // charges the software bounds-check class
+	dead   bool
+}
+
+// buildIR lowers a flattened function to slot IR (one sop per
+// flatten.Instr, same pc numbering so branch targets carry over).
+func buildIR(ff *flatten.Func) ([]sop, error) {
+	nl := ff.NumLocals
+	slot := func(h int32) int { return nl + int(h) }
+	ir := make([]sop, 0, len(ff.Code))
+
+	for pc := range ff.Code {
+		in := &ff.Code[pc]
+		s := sop{op: in.Op, sub: in.Sub, class: in.Class, carrySrc: -1}
+		h := in.H
+		switch in.Op {
+		case flatten.OpJump:
+			s.shape = shJump
+			s.tgt = in.Tgt
+			if in.Arity > 0 {
+				s.carrySrc = slot(h - 1)
+				s.carryDst = slot(in.PopTo)
+			}
+		case flatten.OpIfFalse:
+			s.shape = shIfFalse
+			s.a = slot(h - 1)
+			s.tgt = in.Tgt
+		case flatten.OpBranchIf:
+			s.shape = shBranchIf
+			s.a = slot(h - 1)
+			s.tgt = in.Tgt
+			if in.Arity > 0 {
+				s.carrySrc = slot(h - 2)
+				s.carryDst = slot(in.PopTo)
+			}
+		case wasm.OpBrTable:
+			s.shape = shBrTable
+			s.a = slot(h - 1)
+			s.table = make([]flatten.BranchTarget, len(in.Table))
+			for i, bt := range in.Table {
+				s.table[i] = flatten.BranchTarget{
+					Tgt:   bt.Tgt,
+					PopTo: int32(slot(bt.PopTo)), // pre-translate to slots
+					Arity: bt.Arity,
+				}
+			}
+			s.carrySrc = slot(h - 2) // value below the index, if carried
+		case flatten.OpReturnEnd:
+			s.shape = shReturn
+			if in.Arity > 0 {
+				s.carrySrc = slot(h - 1)
+			}
+		case wasm.OpUnreachable:
+			s.shape = shUnreachable
+		case wasm.OpCall:
+			s.shape = shCall
+			s.fidx = uint32(in.A)
+			s.argBase = slot(in.PopTo)
+			s.results = in.Arity
+		case wasm.OpCallIndirect:
+			s.shape = shCallInd
+			s.fidx = uint32(in.A) // type index
+			s.a = slot(h - 1)     // table index operand
+			s.argBase = slot(in.PopTo)
+			s.results = in.Arity
+		case wasm.OpDrop:
+			s.shape = shNop
+			s.dead = true
+		case wasm.OpSelect:
+			s.shape = shSelect
+			s.c = slot(h - 1)
+			s.b = slot(h - 2)
+			s.a = slot(h - 3)
+			s.dst = slot(h - 3)
+		case wasm.OpLocalGet:
+			s.shape = shMove
+			s.a = int(in.A)
+			s.dst = slot(h)
+		case wasm.OpLocalSet:
+			s.shape = shMove
+			s.a = slot(h - 1)
+			s.dst = int(in.A)
+		case wasm.OpLocalTee:
+			s.shape = shMove
+			s.a = slot(h - 1)
+			s.dst = int(in.A)
+		case wasm.OpGlobalGet:
+			s.shape = shGlobalGet
+			s.fidx = uint32(in.A)
+			s.dst = slot(h)
+		case wasm.OpGlobalSet:
+			s.shape = shGlobalSet
+			s.fidx = uint32(in.A)
+			s.a = slot(h - 1)
+		case wasm.OpMemorySize:
+			s.shape = shMemSize
+			s.dst = slot(h)
+		case wasm.OpMemoryGrow:
+			s.shape = shMemGrow
+			s.a = slot(h - 1)
+			s.dst = slot(h - 1)
+		case wasm.OpI32Const, wasm.OpI64Const, wasm.OpF32Const, wasm.OpF64Const:
+			s.shape = shConst
+			s.immA = in.A
+			s.dst = slot(h)
+		case wasm.OpPrefix:
+			switch in.Sub {
+			case wasm.SubMemoryCopy:
+				s.shape = shMemCopy
+				s.a = slot(h - 3)
+				s.b = slot(h - 2)
+				s.c = slot(h - 1)
+			case wasm.SubMemoryFill:
+				s.shape = shMemFill
+				s.a = slot(h - 3)
+				s.b = slot(h - 2)
+				s.c = slot(h - 1)
+			default:
+				s.shape = shTruncSat
+				s.a = slot(h - 1)
+				s.dst = slot(h - 1)
+			}
+		default:
+			if in.Op.IsLoad() {
+				s.shape = shLoad
+				s.a = slot(h - 1)
+				s.dst = slot(h - 1)
+				s.off = in.B
+				s.memAcc = true
+			} else if in.Op.IsStore() {
+				s.shape = shStore
+				s.a = slot(h - 2) // address
+				s.b = slot(h - 1) // value
+				s.off = in.B
+				s.memAcc = true
+			} else {
+				_, delta, ok := flatten.Classify(in.Op)
+				if !ok {
+					return nil, fmt.Errorf("compiled: unsupported opcode %s", in.Op)
+				}
+				switch delta {
+				case 0: // unary
+					s.shape = shUn
+					s.a = slot(h - 1)
+					s.dst = slot(h - 1)
+				case -1: // binary
+					s.shape = shBin
+					s.a = slot(h - 2)
+					s.b = slot(h - 1)
+					s.dst = slot(h - 2)
+				default:
+					return nil, fmt.Errorf("compiled: unexpected stack delta for %s", in.Op)
+				}
+			}
+		}
+		ir = append(ir, s)
+	}
+	return ir, nil
+}

@@ -1,0 +1,283 @@
+package compiled_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"leapsandbounds/internal/compiled"
+	"leapsandbounds/internal/core"
+	"leapsandbounds/internal/interp"
+	"leapsandbounds/internal/isa"
+	"leapsandbounds/internal/wasm"
+	g "leapsandbounds/internal/wasmgen"
+)
+
+// specCase is one opcode-semantics vector: a single-expression
+// function over two parameters, evaluated against an expected raw
+// result on every engine. These pin the numeric edge cases the
+// WebAssembly spec test suite exercises.
+type specCase struct {
+	name   string
+	result wasm.ValueType
+	params []wasm.ValueType
+	build  func(a, b g.Expr) g.Expr
+	args   []uint64
+	want   uint64
+	// trapExpected marks cases that must trap on every engine.
+	trapExpected bool
+}
+
+func i32x(v int32) uint64   { return uint64(uint32(v)) }
+func f32x(v float32) uint64 { return uint64(math.Float32bits(v)) }
+func f64x(v float64) uint64 { return math.Float64bits(v) }
+
+var i32i32 = []wasm.ValueType{wasm.I32, wasm.I32}
+var i64i64 = []wasm.ValueType{wasm.I64, wasm.I64}
+var f64f64 = []wasm.ValueType{wasm.F64, wasm.F64}
+var f32f32 = []wasm.ValueType{wasm.F32, wasm.F32}
+
+var specCases = []specCase{
+	// Shift and rotate masking.
+	{name: "i32.shl masks count", result: wasm.I32, params: i32i32,
+		build: func(a, b g.Expr) g.Expr { return g.Shl(a, b) },
+		args:  []uint64{1, 33}, want: 2},
+	{name: "i32.shr_s sign", result: wasm.I32, params: i32i32,
+		build: func(a, b g.Expr) g.Expr { return g.ShrS(a, b) },
+		args:  []uint64{i32x(-8), 1}, want: i32x(-4)},
+	{name: "i32.shr_u zero-fill", result: wasm.I32, params: i32i32,
+		build: func(a, b g.Expr) g.Expr { return g.ShrU(a, b) },
+		args:  []uint64{i32x(-8), 1}, want: i32x(0x7ffffffc)},
+	{name: "i64.rotl", result: wasm.I64, params: i64i64,
+		build: func(a, b g.Expr) g.Expr { return g.Rotl(a, b) },
+		args:  []uint64{0x8000000000000001, 1}, want: 3},
+	{name: "i32.rotl wraps", result: wasm.I32, params: i32i32,
+		build: func(a, b g.Expr) g.Expr { return g.Rotl(a, b) },
+		args:  []uint64{i32x(-0x7fffffff) /* 0x80000001 */, 1}, want: 3},
+
+	// Division and remainder semantics.
+	{name: "i32.div_s truncates toward zero", result: wasm.I32, params: i32i32,
+		build: func(a, b g.Expr) g.Expr { return g.Div(a, b) },
+		args:  []uint64{i32x(-7), 2}, want: i32x(-3)},
+	{name: "i32.rem_s sign follows dividend", result: wasm.I32, params: i32i32,
+		build: func(a, b g.Expr) g.Expr { return g.Rem(a, b) },
+		args:  []uint64{i32x(-7), 2}, want: i32x(-1)},
+	{name: "i32.rem_s MinInt32 -1", result: wasm.I32, params: i32i32,
+		build: func(a, b g.Expr) g.Expr { return g.Rem(a, b) },
+		args:  []uint64{i32x(math.MinInt32), i32x(-1)}, want: 0},
+	{name: "i32.div_s MinInt32 -1 traps", result: wasm.I32, params: i32i32,
+		build: func(a, b g.Expr) g.Expr { return g.Div(a, b) },
+		args:  []uint64{i32x(math.MinInt32), i32x(-1)}, trapExpected: true},
+	{name: "i64.div_u large", result: wasm.I64, params: i64i64,
+		build: func(a, b g.Expr) g.Expr { return g.DivU(a, b) },
+		args:  []uint64{math.MaxUint64, 2}, want: math.MaxUint64 / 2},
+	{name: "i32.div_u by zero traps", result: wasm.I32, params: i32i32,
+		build: func(a, b g.Expr) g.Expr { return g.DivU(a, b) },
+		args:  []uint64{1, 0}, trapExpected: true},
+
+	// Bit counting.
+	{name: "i32.clz zero", result: wasm.I32, params: i32i32,
+		build: func(a, b g.Expr) g.Expr { return g.Clz(a) },
+		args:  []uint64{0, 0}, want: 32},
+	{name: "i64.ctz", result: wasm.I64, params: i64i64,
+		build: func(a, b g.Expr) g.Expr { return g.Ctz(a) },
+		args:  []uint64{1 << 40, 0}, want: 40},
+	{name: "i64.popcnt all ones", result: wasm.I64, params: i64i64,
+		build: func(a, b g.Expr) g.Expr { return g.Popcnt(a) },
+		args:  []uint64{math.MaxUint64, 0}, want: 64},
+
+	// Float semantics: signed zero, NaN, min/max.
+	{name: "f64.min -0 +0", result: wasm.F64, params: f64f64,
+		build: func(a, b g.Expr) g.Expr { return g.Min(a, b) },
+		args:  []uint64{f64x(math.Copysign(0, -1)), f64x(0)},
+		want:  f64x(math.Copysign(0, -1))},
+	{name: "f64.max -0 +0", result: wasm.F64, params: f64f64,
+		build: func(a, b g.Expr) g.Expr { return g.Max(a, b) },
+		args:  []uint64{f64x(math.Copysign(0, -1)), f64x(0)}, want: f64x(0)},
+	{name: "f64.div 1/-0 is -inf", result: wasm.F64, params: f64f64,
+		build: func(a, b g.Expr) g.Expr { return g.Div(a, b) },
+		args:  []uint64{f64x(1), f64x(math.Copysign(0, -1))},
+		want:  f64x(math.Inf(-1))},
+	{name: "f64.sqrt -1 is NaN", result: wasm.F64, params: f64f64,
+		build: func(a, b g.Expr) g.Expr { return g.Sqrt(a) },
+		args:  []uint64{f64x(-1), 0}, want: f64x(math.NaN())},
+	{name: "f32.copysign", result: wasm.F32, params: f32f32,
+		build: func(a, b g.Expr) g.Expr {
+			return g.F32FromF64(g.Div(g.F64FromF32(a), g.F64FromF32(b)))
+		},
+		args: []uint64{f32x(1), f32x(-2)}, want: f32x(-0.5)},
+	{name: "f64.add rounding", result: wasm.F64, params: f64f64,
+		build: func(a, b g.Expr) g.Expr { return g.Add(a, b) },
+		// float64(0.1)+float64(0.2) forces IEEE double addition (an
+		// untyped 0.1+0.2 would fold at infinite precision).
+		args: []uint64{f64x(0.1), f64x(0.2)}, want: f64x(float64(0.1) + float64(0.2))},
+
+	// Conversions.
+	{name: "i32.trunc_f64_s", result: wasm.I32, params: f64f64,
+		build: func(a, b g.Expr) g.Expr { return g.I32FromF64(a) },
+		args:  []uint64{f64x(-3.99), 0}, want: i32x(-3)},
+	{name: "i32.trunc_f64_s overflow traps", result: wasm.I32, params: f64f64,
+		build: func(a, b g.Expr) g.Expr { return g.I32FromF64(a) },
+		args:  []uint64{f64x(3e9), 0}, trapExpected: true},
+	{name: "i32.trunc_f64_s NaN traps", result: wasm.I32, params: f64f64,
+		build: func(a, b g.Expr) g.Expr { return g.I32FromF64(a) },
+		args:  []uint64{f64x(math.NaN()), 0}, trapExpected: true},
+	{name: "i64.extend_i32_s", result: wasm.I64, params: i32i32,
+		build: func(a, b g.Expr) g.Expr { return g.I64FromI32(a) },
+		args:  []uint64{i32x(-1), 0}, want: math.MaxUint64},
+	{name: "i64.extend_i32_u", result: wasm.I64, params: i32i32,
+		build: func(a, b g.Expr) g.Expr { return g.I64FromI32U(a) },
+		args:  []uint64{i32x(-1), 0}, want: 0xffffffff},
+	{name: "i32.wrap_i64", result: wasm.I32, params: i64i64,
+		build: func(a, b g.Expr) g.Expr { return g.I32FromI64(a) },
+		args:  []uint64{0x1_0000_0002, 0}, want: 2},
+	{name: "f64.convert_i64_u large", result: wasm.F64, params: i64i64,
+		build: func(a, b g.Expr) g.Expr {
+			return g.F64FromI64(g.ShrU(a, b)) // via shift to stay positive
+		},
+		args: []uint64{math.MaxUint64, 1}, want: f64x(float64(math.MaxUint64 >> 1))},
+	{name: "f32 demote rounds", result: wasm.F32, params: f64f64,
+		build: func(a, b g.Expr) g.Expr { return g.F32FromF64(a) },
+		args:  []uint64{f64x(1.0000000001), 0}, want: f32x(float32(1.0000000001))},
+
+	// Comparisons produce 0/1 i32.
+	{name: "i64.lt_u", result: wasm.I32, params: i64i64,
+		build: func(a, b g.Expr) g.Expr { return g.LtU(a, b) },
+		args:  []uint64{math.MaxUint64, 1}, want: 0},
+	{name: "i64.lt_s", result: wasm.I32, params: i64i64,
+		build: func(a, b g.Expr) g.Expr { return g.Lt(a, b) },
+		args:  []uint64{math.MaxUint64 /* -1 */, 1}, want: 1},
+	{name: "f64.ne NaN", result: wasm.I32, params: f64f64,
+		build: func(a, b g.Expr) g.Expr { return g.Ne(a, b) },
+		args:  []uint64{f64x(math.NaN()), f64x(math.NaN())}, want: 1},
+	{name: "f64.eq NaN", result: wasm.I32, params: f64f64,
+		build: func(a, b g.Expr) g.Expr { return g.Eq(a, b) },
+		args:  []uint64{f64x(math.NaN()), f64x(math.NaN())}, want: 0},
+
+	// Select evaluates both sides but picks by condition.
+	{name: "select picks first on true", result: wasm.I32, params: i32i32,
+		build: func(a, b g.Expr) g.Expr { return g.Sel(g.I32(1), a, b) },
+		args:  []uint64{11, 22}, want: 11},
+	{name: "select picks second on false", result: wasm.I32, params: i32i32,
+		build: func(a, b g.Expr) g.Expr { return g.Sel(g.Eqz(a), a, b) },
+		args:  []uint64{5, 22}, want: 22},
+}
+
+// TestSpecVectors runs every vector on every engine.
+func TestSpecVectors(t *testing.T) {
+	engines := map[string]core.Engine{
+		"wasm3":    interp.NewWasm3(),
+		"wasmtime": compiled.NewWasmtime(),
+		"wavm":     compiled.NewWAVM(),
+	}
+	for _, tc := range specCases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			mb := g.NewModule()
+			f := mb.Func("f", tc.result)
+			a := f.Param("a", tc.params[0])
+			b := f.Param("b", tc.params[1])
+			f.Body(g.Return(tc.build(g.Get(a), g.Get(b))))
+			mb.Export("f", f)
+			m, err := mb.Module()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for name, e := range engines {
+				cm, err := e.Compile(m)
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				inst, err := cm.Instantiate(core.Config{Profile: isa.X86_64()}, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := inst.Invoke("f", tc.args...)
+				inst.Close()
+				if tc.trapExpected {
+					if err == nil {
+						t.Errorf("%s: expected trap, got %#x", name, res[0])
+					}
+					continue
+				}
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				if got := res[0]; !bitsEqual(tc.result, got, tc.want) {
+					t.Errorf("%s: got %#x, want %#x", name, got, tc.want)
+				}
+			}
+		})
+	}
+}
+
+// bitsEqual compares raw results, treating any NaN payload as equal
+// for float results (wasm permits canonical NaN substitution).
+func bitsEqual(vt wasm.ValueType, got, want uint64) bool {
+	if got == want {
+		return true
+	}
+	switch vt {
+	case wasm.F64:
+		g, w := math.Float64frombits(got), math.Float64frombits(want)
+		return math.IsNaN(g) && math.IsNaN(w)
+	case wasm.F32:
+		g := math.Float32frombits(uint32(got))
+		w := math.Float32frombits(uint32(want))
+		return g != g && w != w // both NaN
+	default:
+		return false
+	}
+}
+
+// TestSpecVectorsAsConstants re-runs every non-trapping vector with
+// the arguments baked in as constants, which routes them through the
+// optimizer's constant-folding paths on the wavm engine.
+func TestSpecVectorsAsConstants(t *testing.T) {
+	for vi, tc := range specCases {
+		if tc.trapExpected {
+			continue
+		}
+		tc := tc
+		t.Run(fmt.Sprintf("%02d_%s", vi, tc.name), func(t *testing.T) {
+			t.Parallel()
+			mb := g.NewModule()
+			f := mb.Func("f", tc.result)
+			lit := func(vt wasm.ValueType, raw uint64) g.Expr {
+				switch vt {
+				case wasm.I32:
+					return g.I32(int32(uint32(raw)))
+				case wasm.I64:
+					return g.I64(int64(raw))
+				case wasm.F32:
+					return g.F32(math.Float32frombits(uint32(raw)))
+				default:
+					return g.F64(math.Float64frombits(raw))
+				}
+			}
+			f.Body(g.Return(tc.build(lit(tc.params[0], tc.args[0]), lit(tc.params[1], tc.args[1]))))
+			mb.Export("f", f)
+			m, err := mb.Module()
+			if err != nil {
+				t.Fatal(err)
+			}
+			cm, err := compiled.NewWAVM().Compile(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			inst, err := cm.Instantiate(core.Config{Profile: isa.X86_64()}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer inst.Close()
+			res, err := inst.Invoke("f")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bitsEqual(tc.result, res[0], tc.want) {
+				t.Errorf("constant-folded: got %#x, want %#x", res[0], tc.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,375 @@
+// Package core defines the engine-independent runtime plumbing: the
+// Engine/CompiledModule/Instance interfaces every runtime analog
+// implements, execution configuration (bounds-checking strategy,
+// hardware profile, cycle accounting), host-function imports, and
+// shared instantiation logic (import resolution, global/table/data
+// initialization).
+//
+// This is the layer where the paper's contribution plugs in: a
+// Config selects one of the five bounds-checking strategies and one
+// of the three ISA profiles, and every engine honours both.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"leapsandbounds/internal/isa"
+	"leapsandbounds/internal/mem"
+	"leapsandbounds/internal/trap"
+	"leapsandbounds/internal/vmm"
+	"leapsandbounds/internal/wasm"
+)
+
+// Config selects the execution environment for compiled modules.
+type Config struct {
+	// Strategy is the bounds-checking mechanism (paper §3.1).
+	Strategy mem.Strategy
+	// Profile is the simulated hardware profile; required.
+	Profile *isa.Profile
+	// AS is the simulated process address space. All instances
+	// sharing a process must share one AS; if nil a private AS is
+	// created from the profile's VM config at instantiation.
+	AS *vmm.AddressSpace
+	// Pool recycles uffd arenas; required when Strategy == mem.Uffd.
+	Pool *mem.ArenaPool
+	// UffdNoPool disables arena recycling for the Uffd strategy
+	// (ablation: userfaultfd faults without userspace arena
+	// management).
+	UffdNoPool bool
+	// UffdPoll selects userfaultfd's poll-based delivery (handler
+	// thread) instead of SIGBUS delivery (ablation, paper §2.3.1
+	// footnote 2).
+	UffdPoll bool
+	// EagerCommit makes the Mprotect strategy commit at grow time
+	// with one mprotect call instead of lazily per fault (ablation,
+	// see mem.Config.EagerCommit).
+	EagerCommit bool
+	// CountCycles enables the per-ISA cycle accounting model.
+	CountCycles bool
+	// MaxPages caps memory for modules that declare no maximum.
+	MaxPages uint32
+	// CallDepth bounds recursion; 0 means the default (1000).
+	CallDepth int
+}
+
+// DefaultMaxPages caps memories that declare no maximum: 2048 wasm
+// pages = 128 MiB, ample for every workload in this repository.
+const DefaultMaxPages = 2048
+
+// DefaultCallDepth is the default call-stack bound.
+const DefaultCallDepth = 1000
+
+// withDefaults normalizes a config.
+func (c Config) withDefaults() (Config, error) {
+	if c.Profile == nil {
+		return c, errors.New("core: Config.Profile is required")
+	}
+	if c.MaxPages == 0 {
+		c.MaxPages = DefaultMaxPages
+	}
+	if c.CallDepth == 0 {
+		c.CallDepth = DefaultCallDepth
+	}
+	if c.AS == nil {
+		c.AS = vmm.New(c.Profile.VM)
+	}
+	if c.Strategy == mem.Uffd && c.Pool == nil && !c.UffdNoPool {
+		c.Pool = mem.NewArenaPool()
+	}
+	return c, nil
+}
+
+// Engine compiles modules for one runtime design point.
+type Engine interface {
+	// Name is the short identifier used in figures (e.g. "wavm").
+	Name() string
+	// Description explains which real runtime the engine models.
+	Description() string
+	// Compile prepares a validated module for instantiation. The
+	// returned module is immutable and safe for concurrent
+	// instantiation from many goroutines.
+	Compile(m *wasm.Module) (CompiledModule, error)
+}
+
+// CompiledModule is a compiled, instantiable module.
+type CompiledModule interface {
+	// Instantiate creates one isolate: its own memory, globals and
+	// table. Instances are not safe for concurrent use.
+	Instantiate(cfg Config, imports Imports) (Instance, error)
+}
+
+// Instance is one running isolate.
+type Instance interface {
+	// Invoke calls an exported function. Values are raw 64-bit bits.
+	Invoke(name string, args ...uint64) ([]uint64, error)
+	// Memory returns the instance memory, or nil if none.
+	Memory() *mem.Memory
+	// Counts returns accumulated cycle-model counts (nil when
+	// accounting is disabled).
+	Counts() *isa.Counts
+	// Close releases instance resources (unmaps or recycles memory).
+	Close() error
+}
+
+// HostContext is passed to host functions.
+type HostContext struct {
+	Mem *mem.Memory
+	// Env carries host-module state (e.g. the WASI environment).
+	Env any
+}
+
+// HostFunc is a function provided by the embedder.
+type HostFunc struct {
+	Type wasm.FuncType
+	// Fn receives raw argument bits and returns the raw result (used
+	// only when Type.Results is non-empty).
+	Fn func(hc *HostContext, args []uint64) (uint64, error)
+}
+
+// Imports maps module name → field name → host function.
+type Imports map[string]map[string]HostFunc
+
+// Resolve returns the host function for an import, or an error.
+func (im Imports) Resolve(module, name string, want wasm.FuncType) (HostFunc, error) {
+	fields, ok := im[module]
+	if !ok {
+		return HostFunc{}, fmt.Errorf("core: unknown import module %q", module)
+	}
+	hf, ok := fields[name]
+	if !ok {
+		return HostFunc{}, fmt.Errorf("core: unknown import %q.%q", module, name)
+	}
+	if !hf.Type.Equal(want) {
+		return HostFunc{}, fmt.Errorf("core: import %q.%q has type %s, module wants %s",
+			module, name, hf.Type, want)
+	}
+	return hf, nil
+}
+
+// InstanceBase holds the engine-independent runtime state of one
+// instance and implements the shared parts of instantiation.
+type InstanceBase struct {
+	Module  *wasm.Module
+	Cfg     Config
+	Mem     *mem.Memory
+	Globals []uint64
+	// Table maps table slots to function-space indices; Filled marks
+	// initialized slots.
+	Table  []uint32
+	Filled []bool
+	// HostFuncs are the resolved imported functions, in import order.
+	HostFuncs []HostFunc
+	// HostCtx is passed to host calls.
+	HostCtx HostContext
+	// CycleCounts accumulates per-class operation counts when
+	// Cfg.CountCycles is set.
+	CycleCounts isa.Counts
+	// Depth is the current call depth (engines maintain it).
+	Depth int
+}
+
+// NewInstanceBase performs the engine-independent instantiation
+// steps in specification order: import resolution, memory and table
+// allocation, global initialization, then element and data segments.
+func NewInstanceBase(m *wasm.Module, cfg Config, imports Imports) (*InstanceBase, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	b := &InstanceBase{Module: m, Cfg: cfg}
+
+	for _, im := range m.Imports {
+		switch im.Kind {
+		case wasm.ExternFunc:
+			ft := m.Types[im.Func]
+			hf, err := imports.Resolve(im.Module, im.Name, ft)
+			if err != nil {
+				return nil, err
+			}
+			b.HostFuncs = append(b.HostFuncs, hf)
+		case wasm.ExternMemory, wasm.ExternTable, wasm.ExternGlobal:
+			return nil, fmt.Errorf("core: %v imports are not supported (import %q.%q)",
+				im.Kind, im.Module, im.Name)
+		}
+	}
+
+	if lim, ok := m.MemoryLimits(); ok {
+		maxPages := cfg.MaxPages
+		if lim.HasMax && lim.Max < maxPages {
+			maxPages = lim.Max
+		}
+		if maxPages < lim.Min {
+			maxPages = lim.Min
+		}
+		if maxPages == 0 {
+			maxPages = 1
+		}
+		mm, err := mem.New(mem.Config{
+			Strategy:    cfg.Strategy,
+			AS:          cfg.AS,
+			MinPages:    lim.Min,
+			MaxPages:    maxPages,
+			Pool:        cfg.Pool,
+			DisablePool: cfg.UffdNoPool,
+			UffdPoll:    cfg.UffdPoll,
+			EagerCommit: cfg.EagerCommit,
+		})
+		if err != nil {
+			return nil, err
+		}
+		b.Mem = mm
+	}
+	b.HostCtx = HostContext{Mem: b.Mem}
+
+	// Globals.
+	numImported := m.NumImportedGlobals()
+	if numImported > 0 {
+		b.close()
+		return nil, errors.New("core: imported globals are not supported")
+	}
+	b.Globals = make([]uint64, len(m.Globals))
+	for i, g := range m.Globals {
+		v, err := b.evalConst(g.Init)
+		if err != nil {
+			b.close()
+			return nil, fmt.Errorf("core: global %d: %w", i, err)
+		}
+		b.Globals[i] = v
+	}
+
+	// Table.
+	if len(m.Tables) > 0 {
+		b.Table = make([]uint32, m.Tables[0].Limits.Min)
+		b.Filled = make([]bool, len(b.Table))
+	}
+	for i, e := range m.Elems {
+		off, err := b.evalConst(e.Offset)
+		if err != nil {
+			b.close()
+			return nil, fmt.Errorf("core: element segment %d: %w", i, err)
+		}
+		start := uint32(off)
+		if uint64(start)+uint64(len(e.Funcs)) > uint64(len(b.Table)) {
+			b.close()
+			return nil, fmt.Errorf("core: element segment %d out of table bounds", i)
+		}
+		for j, fi := range e.Funcs {
+			b.Table[start+uint32(j)] = fi
+			b.Filled[start+uint32(j)] = true
+		}
+	}
+
+	// Data segments.
+	for i, ds := range m.Data {
+		off, err := b.evalConst(ds.Offset)
+		if err != nil {
+			b.close()
+			return nil, fmt.Errorf("core: data segment %d: %w", i, err)
+		}
+		if b.Mem == nil {
+			b.close()
+			return nil, fmt.Errorf("core: data segment %d with no memory", i)
+		}
+		start := uint64(uint32(off))
+		if start+uint64(len(ds.Data)) > b.Mem.SizeBytes() {
+			b.close()
+			return nil, fmt.Errorf("core: data segment %d out of memory bounds", i)
+		}
+		if err := b.writeSegment(start, ds.Data); err != nil {
+			b.close()
+			return nil, fmt.Errorf("core: data segment %d: %w", i, err)
+		}
+	}
+	return b, nil
+}
+
+// writeSegment copies segment bytes, converting traps to errors.
+func (b *InstanceBase) writeSegment(start uint64, data []byte) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = trap.Recover(r)
+		}
+	}()
+	b.Mem.WriteAt(start, data)
+	return nil
+}
+
+func (b *InstanceBase) evalConst(e wasm.ConstExpr) (uint64, error) {
+	switch e.Op {
+	case wasm.OpI32Const, wasm.OpI64Const, wasm.OpF32Const, wasm.OpF64Const:
+		return e.Value, nil
+	default:
+		return 0, fmt.Errorf("unsupported constant initializer %s", e.Op)
+	}
+}
+
+func (b *InstanceBase) close() {
+	if b.Mem != nil {
+		_ = b.Mem.Close()
+	}
+}
+
+// Close releases the base's resources.
+func (b *InstanceBase) Close() error {
+	if b.Mem != nil {
+		return b.Mem.Close()
+	}
+	return nil
+}
+
+// Memory returns the instance memory (nil if the module has none).
+func (b *InstanceBase) Memory() *mem.Memory { return b.Mem }
+
+// Counts returns the accumulated counts, or nil when disabled.
+func (b *InstanceBase) Counts() *isa.Counts {
+	if !b.Cfg.CountCycles {
+		return nil
+	}
+	return &b.CycleCounts
+}
+
+// EnterCall bounds recursion depth; engines call it on every wasm-
+// level call and pair it with LeaveCall.
+func (b *InstanceBase) EnterCall() {
+	b.Depth++
+	if b.Depth > b.Cfg.CallDepth {
+		trap.Throw(trap.StackOverflow)
+	}
+}
+
+// LeaveCall unwinds one call level.
+func (b *InstanceBase) LeaveCall() { b.Depth-- }
+
+// CheckClass returns the cycle-model class charged per memory access
+// for the instance's strategy (software checks only; the virtual-
+// memory strategies are free at access time on real hardware).
+func (b *InstanceBase) CheckClass() (isa.OpClass, bool) {
+	switch b.Cfg.Strategy {
+	case mem.Clamp:
+		return isa.ClassCheckClamp, true
+	case mem.Trap:
+		return isa.ClassCheckTrap, true
+	default:
+		return 0, false
+	}
+}
+
+// CallHost invokes host function i with the given raw arguments.
+func (b *InstanceBase) CallHost(i int, args []uint64) (uint64, error) {
+	hf := b.HostFuncs[i]
+	return hf.Fn(&b.HostCtx, args)
+}
+
+// InvokeErr converts a recovered engine panic into an Invoke error.
+func InvokeErr(r any) error { return trap.Recover(r) }
+
+// WriteTo is a small helper for engines that expose stdout-style
+// diagnostics; unused writers default to io.Discard.
+func WriteTo(w io.Writer) io.Writer {
+	if w == nil {
+		return io.Discard
+	}
+	return w
+}

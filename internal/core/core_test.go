@@ -1,0 +1,174 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"leapsandbounds/internal/core"
+	"leapsandbounds/internal/isa"
+	"leapsandbounds/internal/mem"
+	"leapsandbounds/internal/wasm"
+)
+
+func module() *wasm.Module {
+	return &wasm.Module{
+		Types: []wasm.FuncType{{}},
+		Mems:  []wasm.MemoryType{{Limits: wasm.Limits{Min: 1, Max: 4, HasMax: true}}},
+		Globals: []wasm.Global{
+			{Type: wasm.GlobalType{Type: wasm.I32, Mutable: true},
+				Init: wasm.ConstExpr{Op: wasm.OpI32Const, Value: 7}},
+			{Type: wasm.GlobalType{Type: wasm.F64, Mutable: true},
+				Init: wasm.ConstExpr{Op: wasm.OpF64Const, Value: 0x4000000000000000}},
+		},
+		Data: []wasm.DataSegment{
+			{Offset: wasm.ConstExpr{Op: wasm.OpI32Const, Value: 16}, Data: []byte("abc")},
+		},
+	}
+}
+
+func cfg() core.Config { return core.Config{Profile: isa.X86_64()} }
+
+func TestInstanceBaseInit(t *testing.T) {
+	b, err := core.NewInstanceBase(module(), cfg(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if b.Mem == nil || b.Mem.SizePages() != 1 {
+		t.Fatal("memory not initialized")
+	}
+	if b.Globals[0] != 7 || b.Globals[1] != 0x4000000000000000 {
+		t.Errorf("globals %v", b.Globals)
+	}
+	if got := b.Mem.LoadU8(16); got != 'a' {
+		t.Errorf("data segment byte %q", got)
+	}
+}
+
+func TestDataSegmentOutOfBounds(t *testing.T) {
+	m := module()
+	m.Data[0].Offset.Value = 65534 // "abc" crosses the 64 KiB end
+	if _, err := core.NewInstanceBase(m, cfg(), nil); err == nil {
+		t.Error("out-of-bounds data segment accepted")
+	}
+}
+
+func TestImportResolution(t *testing.T) {
+	m := module()
+	m.Types = append(m.Types, wasm.FuncType{
+		Params:  []wasm.ValueType{wasm.I32},
+		Results: []wasm.ValueType{wasm.I32},
+	})
+	m.Imports = []wasm.Import{{Module: "env", Name: "f", Kind: wasm.ExternFunc, Func: 1}}
+
+	// Missing import.
+	if _, err := core.NewInstanceBase(m, cfg(), nil); err == nil ||
+		!strings.Contains(err.Error(), "unknown import") {
+		t.Errorf("missing import: %v", err)
+	}
+
+	// Signature mismatch.
+	bad := core.Imports{"env": {"f": core.HostFunc{
+		Type: wasm.FuncType{Params: []wasm.ValueType{wasm.F64}, Results: []wasm.ValueType{wasm.I32}},
+	}}}
+	if _, err := core.NewInstanceBase(m, cfg(), bad); err == nil ||
+		!strings.Contains(err.Error(), "type") {
+		t.Errorf("mismatched import: %v", err)
+	}
+
+	// Correct import.
+	good := core.Imports{"env": {"f": core.HostFunc{
+		Type: wasm.FuncType{Params: []wasm.ValueType{wasm.I32}, Results: []wasm.ValueType{wasm.I32}},
+		Fn: func(hc *core.HostContext, args []uint64) (uint64, error) {
+			return args[0] + 1, nil
+		},
+	}}}
+	b, err := core.NewInstanceBase(m, cfg(), good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	v, err := b.CallHost(0, []uint64{41})
+	if err != nil || v != 42 {
+		t.Errorf("host call: %v %v", v, err)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	// Uffd without a pool must still instantiate (pool defaulted).
+	c := core.Config{Profile: isa.X86_64(), Strategy: mem.Uffd}
+	b, err := core.NewInstanceBase(module(), c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Close()
+
+	// Missing profile is an error.
+	if _, err := core.NewInstanceBase(module(), core.Config{}, nil); err == nil {
+		t.Error("nil profile accepted")
+	}
+}
+
+func TestMemoryCapRespectsModuleMax(t *testing.T) {
+	b, err := core.NewInstanceBase(module(), cfg(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if got := b.Mem.Grow(10); got != -1 {
+		t.Errorf("grow past module max returned %d", got)
+	}
+	if got := b.Mem.Grow(3); got != 1 {
+		t.Errorf("grow to module max returned %d", got)
+	}
+}
+
+func TestCheckClass(t *testing.T) {
+	for _, tc := range []struct {
+		s  mem.Strategy
+		on bool
+	}{
+		{mem.None, false}, {mem.Clamp, true}, {mem.Trap, true},
+		{mem.Mprotect, false}, {mem.Uffd, false},
+	} {
+		c := cfg()
+		c.Strategy = tc.s
+		b, err := core.NewInstanceBase(module(), c, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, on := b.CheckClass(); on != tc.on {
+			t.Errorf("%v: software-check class on=%v, want %v", tc.s, on, tc.on)
+		}
+		b.Close()
+	}
+}
+
+func TestTableInit(t *testing.T) {
+	m := module()
+	m.Types = append(m.Types, wasm.FuncType{})
+	m.Funcs = []uint32{0}
+	m.Code = []wasm.Code{{Body: []wasm.Instr{{Op: wasm.OpEnd}}}}
+	m.Tables = []wasm.TableType{{Elem: wasm.Funcref, Limits: wasm.Limits{Min: 3}}}
+	m.Elems = []wasm.ElemSegment{{
+		Offset: wasm.ConstExpr{Op: wasm.OpI32Const, Value: 1},
+		Funcs:  []uint32{0},
+	}}
+	b, err := core.NewInstanceBase(m, cfg(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if b.Filled[0] || !b.Filled[1] || b.Filled[2] {
+		t.Errorf("table fill pattern %v", b.Filled)
+	}
+	if b.Table[1] != 0 {
+		t.Errorf("table[1] = %d", b.Table[1])
+	}
+
+	// Out-of-bounds element segment.
+	m.Elems[0].Offset.Value = 3
+	if _, err := core.NewInstanceBase(m, cfg(), nil); err == nil {
+		t.Error("out-of-bounds elem segment accepted")
+	}
+}

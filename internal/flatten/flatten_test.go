@@ -1,0 +1,201 @@
+package flatten_test
+
+import (
+	"testing"
+
+	"leapsandbounds/internal/flatten"
+	"leapsandbounds/internal/wasm"
+)
+
+func flat(t *testing.T, params, results []wasm.ValueType, body ...wasm.Instr) *flatten.Func {
+	t.Helper()
+	body = append(body, wasm.Instr{Op: wasm.OpEnd})
+	m := &wasm.Module{
+		Types: []wasm.FuncType{{Params: params, Results: results}},
+		Funcs: []uint32{0},
+		Code:  []wasm.Code{{Body: body}},
+	}
+	ff, err := flatten.Flatten(m, 0, &m.Code[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ff
+}
+
+func i(op wasm.Opcode, a ...uint64) wasm.Instr {
+	in := wasm.Instr{Op: op}
+	if len(a) > 0 {
+		in.A = a[0]
+	}
+	return in
+}
+
+func TestEndsWithReturn(t *testing.T) {
+	ff := flat(t, nil, nil, i(wasm.OpNop))
+	last := ff.Code[len(ff.Code)-1]
+	if last.Op != flatten.OpReturnEnd {
+		t.Fatalf("last op %v", last.Op)
+	}
+}
+
+func TestBlockBranchTargetsEnd(t *testing.T) {
+	// block; br 0; end — the jump must land just after the block,
+	// i.e. on the function's return.
+	ff := flat(t, nil, nil,
+		i(wasm.OpBlock, wasm.BlockEmpty), i(wasm.OpBr, 0), i(wasm.OpEnd))
+	var jump *flatten.Instr
+	for k := range ff.Code {
+		if ff.Code[k].Op == flatten.OpJump {
+			jump = &ff.Code[k]
+		}
+	}
+	if jump == nil {
+		t.Fatal("no jump emitted")
+	}
+	if ff.Code[jump.Tgt].Op != flatten.OpReturnEnd {
+		t.Errorf("jump target %v", ff.Code[jump.Tgt].Op)
+	}
+}
+
+func TestLoopBranchTargetsHeader(t *testing.T) {
+	// loop; br_if 0; end with a condition; the conditional branch
+	// must target the loop's first instruction.
+	ff := flat(t, []wasm.ValueType{wasm.I32}, nil,
+		i(wasm.OpLoop, wasm.BlockEmpty),
+		i(wasm.OpLocalGet, 0),
+		i(wasm.OpBrIf, 0),
+		i(wasm.OpEnd))
+	var br *flatten.Instr
+	for k := range ff.Code {
+		if ff.Code[k].Op == flatten.OpBranchIf {
+			br = &ff.Code[k]
+		}
+	}
+	if br == nil {
+		t.Fatal("no branch emitted")
+	}
+	if br.Tgt != 0 {
+		t.Errorf("loop back-edge targets pc %d, want 0", br.Tgt)
+	}
+}
+
+func TestDeadCodeElided(t *testing.T) {
+	// Everything after return is dead and must not be emitted.
+	ff := flat(t, nil, []wasm.ValueType{wasm.I32},
+		i(wasm.OpI32Const, 1),
+		i(wasm.OpReturn),
+		i(wasm.OpI32Const, 2),
+		i(wasm.OpI32Const, 3),
+		i(wasm.OpI32Add),
+		i(wasm.OpDrop),
+		i(wasm.OpI32Const, 9))
+	count := 0
+	for k := range ff.Code {
+		if ff.Code[k].Op == wasm.OpI32Const {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("%d consts emitted, want 1 (dead code)", count)
+	}
+}
+
+func TestIfElseTargets(t *testing.T) {
+	// if (c) {A} else {B}: the if-false edge targets B's first
+	// instruction; A's tail jump targets the join.
+	ff := flat(t, []wasm.ValueType{wasm.I32}, []wasm.ValueType{wasm.I32},
+		i(wasm.OpLocalGet, 0),
+		i(wasm.OpIf, uint64(wasm.I32)),
+		i(wasm.OpI32Const, 10),
+		i(wasm.OpElse),
+		i(wasm.OpI32Const, 20),
+		i(wasm.OpEnd))
+	var ifFalse, jump *flatten.Instr
+	for k := range ff.Code {
+		switch ff.Code[k].Op {
+		case flatten.OpIfFalse:
+			ifFalse = &ff.Code[k]
+		case flatten.OpJump:
+			jump = &ff.Code[k]
+		}
+	}
+	if ifFalse == nil || jump == nil {
+		t.Fatal("missing control instructions")
+	}
+	if ff.Code[ifFalse.Tgt].Op != wasm.OpI32Const || ff.Code[ifFalse.Tgt].A != 20 {
+		t.Errorf("ifFalse target wrong: %v", ff.Code[ifFalse.Tgt])
+	}
+	if int(jump.Tgt) != len(ff.Code)-1 {
+		t.Errorf("then-jump target %d, want join at %d", jump.Tgt, len(ff.Code)-1)
+	}
+}
+
+func TestBrTableDefaultLast(t *testing.T) {
+	ff := flat(t, []wasm.ValueType{wasm.I32}, nil,
+		i(wasm.OpBlock, wasm.BlockEmpty),
+		i(wasm.OpBlock, wasm.BlockEmpty),
+		i(wasm.OpLocalGet, 0),
+		wasm.Instr{Op: wasm.OpBrTable, Targets: []uint32{0, 1}, A: 1},
+		i(wasm.OpEnd),
+		// Live code between the two ends so the depths resolve to
+		// distinct pcs.
+		i(wasm.OpI32Const, 5),
+		i(wasm.OpDrop),
+		i(wasm.OpEnd))
+	var bt *flatten.Instr
+	for k := range ff.Code {
+		if ff.Code[k].Op == wasm.OpBrTable {
+			bt = &ff.Code[k]
+		}
+	}
+	if bt == nil {
+		t.Fatal("no br_table emitted")
+	}
+	if len(bt.Table) != 3 { // 2 targets + default
+		t.Fatalf("%d table entries", len(bt.Table))
+	}
+	// Targets 0 and default (depth 1) resolve to ends at different
+	// depths; all must be within code bounds.
+	for k, e := range bt.Table {
+		if int(e.Tgt) < 0 || int(e.Tgt) >= len(ff.Code) {
+			t.Errorf("entry %d target %d out of bounds", k, e.Tgt)
+		}
+	}
+	if bt.Table[0].Tgt == bt.Table[1].Tgt {
+		t.Error("distinct depths resolved to the same target")
+	}
+}
+
+func TestMaxStackCoversNesting(t *testing.T) {
+	ff := flat(t, nil, []wasm.ValueType{wasm.I32},
+		i(wasm.OpI32Const, 1),
+		i(wasm.OpI32Const, 2),
+		i(wasm.OpI32Const, 3),
+		i(wasm.OpI32Const, 4),
+		i(wasm.OpI32Add),
+		i(wasm.OpI32Add),
+		i(wasm.OpI32Add))
+	if ff.MaxStack < 4 {
+		t.Errorf("MaxStack %d, want >= 4", ff.MaxStack)
+	}
+}
+
+func TestClassifyCoverage(t *testing.T) {
+	// Every load/store and a sample of numeric ops classify.
+	for op := wasm.OpI32Load; op <= wasm.OpI64Store32; op++ {
+		if _, _, ok := flatten.Classify(op); !ok {
+			t.Errorf("opcode %v unclassified", op)
+		}
+	}
+	for _, op := range []wasm.Opcode{
+		wasm.OpI32Add, wasm.OpI64DivU, wasm.OpF32Sqrt, wasm.OpF64Max,
+		wasm.OpI32TruncF64S, wasm.OpI64Extend32S, wasm.OpF64ReinterpretI64,
+	} {
+		if _, _, ok := flatten.Classify(op); !ok {
+			t.Errorf("opcode %v unclassified", op)
+		}
+	}
+	if _, _, ok := flatten.Classify(wasm.OpCall); ok {
+		t.Error("call should not classify as numeric")
+	}
+}

@@ -1,0 +1,500 @@
+// Package harness reproduces the paper's benchmarking methodology
+// (§3.5): the module is compiled once, then worker threads — one per
+// configured thread, OS-thread-locked to model the paper's CPU
+// pinning — each run a warm-up phase, a timed loop executing a fresh
+// isolate per iteration, and a cool-down phase that keeps every
+// thread busy until all threads finish their measured runs. Only
+// module execution is timed; instance setup and tear-down run
+// between timed regions (but their mmap/mprotect/munmap traffic
+// still contends with other threads' timed regions, which is the
+// effect under study).
+//
+// The native baseline runs the workload's Go twin, modelling the
+// paper's native-Clang runner (which spawns a process per iteration;
+// the paper measured that overhead to be negligible and so does not
+// include it, nor do we).
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"leapsandbounds/internal/compiled"
+	"leapsandbounds/internal/core"
+	"leapsandbounds/internal/interp"
+	"leapsandbounds/internal/isa"
+	"leapsandbounds/internal/mem"
+	"leapsandbounds/internal/stats"
+	"leapsandbounds/internal/sysmon"
+	"leapsandbounds/internal/tiered"
+	"leapsandbounds/internal/vmm"
+	"leapsandbounds/internal/workloads"
+)
+
+// Engine names accepted by Options.Engine, in the paper's order.
+const (
+	EngineNative   = "native"
+	EngineWAVM     = "wavm"
+	EngineWasmtime = "wasmtime"
+	EngineV8       = "v8"
+	EngineWasm3    = "wasm3"
+)
+
+// EngineNames lists all runnable engines.
+func EngineNames() []string {
+	return []string{EngineNative, EngineWAVM, EngineWasmtime, EngineV8, EngineWasm3}
+}
+
+// WasmEngineNames lists the WebAssembly engines (everything but the
+// native baseline).
+func WasmEngineNames() []string {
+	return []string{EngineWAVM, EngineWasmtime, EngineV8, EngineWasm3}
+}
+
+// Options configures one benchmark run.
+type Options struct {
+	Engine   string
+	Workload workloads.Spec
+	Class    workloads.Class
+	Strategy mem.Strategy
+	Profile  *isa.Profile
+	// Threads is the number of parallel isolates (the paper uses 1,
+	// 4 and 16). Defaults to 1.
+	Threads int
+	// Warmup and Measure are per-thread iteration counts; defaults 2
+	// and 8.
+	Warmup, Measure int
+	// CountCycles enables the per-ISA cycle model (wasm engines
+	// only).
+	CountCycles bool
+	// UffdNoPool runs the Uffd strategy without arena recycling
+	// (ablation, see core.Config.UffdNoPool).
+	UffdNoPool bool
+	// UffdPoll selects poll-based uffd fault delivery (ablation,
+	// see core.Config.UffdPoll).
+	UffdPoll bool
+	// EagerCommit selects grow-time commit for the Mprotect
+	// strategy (ablation, see core.Config.EagerCommit).
+	EagerCommit bool
+	// Processes splits the workers across this many simulated
+	// processes (separate address spaces, separate mmap locks) —
+	// the paper's §4.2.1 alternative mitigation: "limit the number
+	// of executor threads per process, and instead build a
+	// multiprocess runtime". Defaults to 1 (the paper's isolate-
+	// per-thread single process).
+	Processes int
+}
+
+// Result is one benchmark measurement.
+type Result struct {
+	Engine   string
+	Workload string
+	Suite    string
+	Strategy mem.Strategy
+	Profile  string
+	Threads  int
+
+	// Times are the per-iteration wall times of module execution,
+	// across all threads.
+	Times      []time.Duration
+	MedianWall time.Duration
+	MeanWall   time.Duration
+	// Throughput is measured iterations per second aggregated over
+	// all threads during the measurement window.
+	Throughput float64
+	// Wall is the duration of the measurement window.
+	Wall time.Duration
+
+	// Host statistics over the measurement window. When procfs is
+	// unavailable (SysmonOK false) both are derived from the
+	// simulated machine instead: CPU utilization as worker time not
+	// spent blocked on the simulated mmap lock, and the context-
+	// switch rate as twice the contended lock acquisitions plus GC
+	// pauses (each block/wake pair is two switches).
+	CPUPercent float64
+	CtxtPerSec float64
+	SysmonOK   bool
+
+	// Simulated-machine statistics.
+	VM            vmm.StatsSnapshot // counter deltas
+	ResidentPeak  int64
+	ResidentMean  int64
+	MedianSimTime time.Duration // cycle model; 0 when not counted
+
+	// Checksum of the workload result (identical across iterations).
+	Checksum uint64
+}
+
+// NewEngine constructs a wasm engine by name. The caller must invoke
+// the returned cleanup (the V8 analog owns background goroutines).
+func NewEngine(name string) (core.Engine, func(), error) {
+	switch name {
+	case EngineWAVM:
+		return compiled.NewWAVM(), func() {}, nil
+	case EngineWasmtime:
+		return compiled.NewWasmtime(), func() {}, nil
+	case EngineWasm3:
+		return interp.NewWasm3(), func() {}, nil
+	case EngineV8:
+		e := tiered.New()
+		return e, e.Close, nil
+	default:
+		return nil, nil, fmt.Errorf("harness: unknown engine %q", name)
+	}
+}
+
+// Run executes one configuration and returns its measurements.
+func Run(opts Options) (*Result, error) {
+	if opts.Profile == nil {
+		return nil, errors.New("harness: Options.Profile is required")
+	}
+	if opts.Threads <= 0 {
+		opts.Threads = 1
+	}
+	if opts.Warmup <= 0 {
+		opts.Warmup = 2
+	}
+	if opts.Measure <= 0 {
+		opts.Measure = 8
+	}
+
+	module, native := opts.Workload.Build(opts.Class)
+	res := &Result{
+		Engine:   opts.Engine,
+		Workload: opts.Workload.Name,
+		Suite:    opts.Workload.Suite,
+		Strategy: opts.Strategy,
+		Profile:  opts.Profile.Name,
+		Threads:  opts.Threads,
+	}
+
+	// The workers are split across one or more simulated processes,
+	// each with its own address space (and mmap lock) and arena pool.
+	numProcs := opts.Processes
+	if numProcs <= 0 {
+		numProcs = 1
+	}
+	if numProcs > opts.Threads {
+		numProcs = opts.Threads
+	}
+	procs := make([]*vmm.AddressSpace, numProcs)
+	pools := make([]*mem.ArenaPool, numProcs)
+	for p := range procs {
+		procs[p] = vmm.New(opts.Profile.VM)
+		if opts.Strategy == mem.Uffd && !opts.UffdNoPool {
+			pools[p] = mem.NewArenaPool()
+		}
+	}
+
+	// iterators[p] runs one isolate lifecycle in process p and
+	// returns the timed execution duration, the checksum, and the
+	// per-iteration simulated time (0 when not counted).
+	iterators := make([]func() (time.Duration, uint64, time.Duration, error), numProcs)
+
+	if opts.Engine == EngineNative {
+		for p := range iterators {
+			iterators[p] = func() (time.Duration, uint64, time.Duration, error) {
+				t0 := time.Now()
+				sum := native()
+				return time.Since(t0), sum, 0, nil
+			}
+		}
+	} else {
+		eng, cleanup, err := NewEngine(opts.Engine)
+		if err != nil {
+			return nil, err
+		}
+		defer cleanup()
+		cm, err := eng.Compile(module)
+		if err != nil {
+			return nil, fmt.Errorf("harness: compile %s on %s: %w", opts.Workload.Name, opts.Engine, err)
+		}
+		for p := range iterators {
+			cfg := core.Config{
+				Strategy:    opts.Strategy,
+				Profile:     opts.Profile,
+				AS:          procs[p],
+				Pool:        pools[p],
+				CountCycles: opts.CountCycles,
+				UffdNoPool:  opts.UffdNoPool,
+				UffdPoll:    opts.UffdPoll,
+				EagerCommit: opts.EagerCommit,
+			}
+			iterators[p] = func() (time.Duration, uint64, time.Duration, error) {
+				inst, err := cm.Instantiate(cfg, nil)
+				if err != nil {
+					return 0, 0, 0, err
+				}
+				t0 := time.Now()
+				out, err := inst.Invoke(workloads.Entry)
+				dt := time.Since(t0)
+				var sim time.Duration
+				if c := inst.Counts(); c != nil {
+					sim = opts.Profile.Time(c)
+				}
+				closeErr := inst.Close()
+				if err != nil {
+					return 0, 0, 0, err
+				}
+				if closeErr != nil {
+					return 0, 0, 0, closeErr
+				}
+				if len(out) == 0 {
+					return 0, 0, 0, errors.New("harness: workload returned no checksum")
+				}
+				return dt, out[0], sim, nil
+			}
+		}
+		// Give the tiered engine time to reach its optimizing tier so
+		// measured runs execute optimized code, as warmed-up V8 does.
+		tiered.WaitReady(cm, 10*time.Second)
+	}
+
+	type workerOut struct {
+		times []time.Duration
+		sims  []time.Duration
+		sum   uint64
+		err   error
+	}
+	outs := make([]workerOut, opts.Threads)
+
+	var (
+		warmed    sync.WaitGroup
+		start     = make(chan struct{})
+		measured  atomic.Int64
+		finished  sync.WaitGroup
+		threads   = opts.Threads
+		stopWatch = make(chan struct{})
+	)
+
+	// Resident-memory watcher.
+	var residentPeak, residentSum, residentSamples atomic.Int64
+	go func() {
+		ticker := time.NewTicker(500 * time.Microsecond)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stopWatch:
+				return
+			case <-ticker.C:
+				var r int64
+				for _, as := range procs {
+					r += as.ResidentBytes()
+				}
+				residentSum.Add(r)
+				residentSamples.Add(1)
+				for {
+					old := residentPeak.Load()
+					if r <= old || residentPeak.CompareAndSwap(old, r) {
+						break
+					}
+				}
+			}
+		}
+	}()
+
+	warmed.Add(threads)
+	finished.Add(threads)
+	for w := 0; w < threads; w++ {
+		go func(w int) {
+			defer finished.Done()
+			// Model the paper's CPU pinning: bind the goroutine to an
+			// OS thread so the scheduler treats workers as the
+			// paper's pinned worker threads.
+			runtime.LockOSThread()
+			defer runtime.UnlockOSThread()
+			as := procs[w%numProcs]
+			iterate := iterators[w%numProcs]
+			as.AddThread()
+			defer as.RemoveThread()
+
+			o := &outs[w]
+			for i := 0; i < opts.Warmup; i++ {
+				if _, _, _, err := iterate(); err != nil {
+					o.err = err
+					warmed.Done()
+					return
+				}
+			}
+			warmed.Done()
+			<-start
+
+			for i := 0; i < opts.Measure; i++ {
+				dt, sum, sim, err := iterate()
+				if err != nil {
+					o.err = err
+					measured.Add(1)
+					return
+				}
+				if i == 0 {
+					o.sum = sum
+				} else if sum != o.sum {
+					o.err = fmt.Errorf("harness: nondeterministic checksum: %#x vs %#x", sum, o.sum)
+					measured.Add(1)
+					return
+				}
+				o.times = append(o.times, dt)
+				if sim > 0 {
+					o.sims = append(o.sims, sim)
+				}
+			}
+			measured.Add(1)
+
+			// Cool-down: keep the CPU busy until every thread has
+			// finished its measured runs (paper §3.5).
+			for measured.Load() < int64(threads) {
+				if _, _, _, err := iterate(); err != nil {
+					o.err = err
+					return
+				}
+			}
+		}(w)
+	}
+
+	warmed.Wait()
+	before := sysmon.Read()
+	vmBefore := sumSnapshots(procs)
+	t0 := time.Now()
+	close(start)
+	finished.Wait()
+	wall := time.Since(t0)
+	after := sysmon.Read()
+	vmAfter := sumSnapshots(procs)
+	close(stopWatch)
+
+	var allTimes, allSims []time.Duration
+	var checksum uint64
+	for w := range outs {
+		if outs[w].err != nil {
+			return nil, fmt.Errorf("harness: worker %d: %w", w, outs[w].err)
+		}
+		allTimes = append(allTimes, outs[w].times...)
+		allSims = append(allSims, outs[w].sims...)
+		checksum = outs[w].sum
+	}
+	res.Times = allTimes
+	res.MedianWall = stats.MedianDurations(allTimes)
+	meanNs := 0.0
+	for _, d := range allTimes {
+		meanNs += float64(d)
+	}
+	if len(allTimes) > 0 {
+		res.MeanWall = time.Duration(meanNs / float64(len(allTimes)))
+	}
+	res.Wall = wall
+	if wall > 0 {
+		res.Throughput = float64(len(allTimes)) / wall.Seconds()
+	}
+	if len(allSims) > 0 {
+		res.MedianSimTime = stats.MedianDurations(allSims)
+	}
+	res.Checksum = checksum
+
+	usage := sysmon.Delta(before, after)
+	res.SysmonOK = usage.OK
+	res.VM = deltaSnapshot(vmBefore, vmAfter)
+	if usage.OK {
+		res.CPUPercent = usage.CPUPercent
+		res.CtxtPerSec = usage.CtxtPerSec
+	} else if wall > 0 {
+		// Simulated fallback: workers are runnable except while
+		// blocked on the mmap lock.
+		busy := float64(threads)*wall.Seconds() - float64(res.VM.LockWaitNs)/1e9
+		if busy < 0 {
+			busy = 0
+		}
+		res.CPUPercent = busy / wall.Seconds() * 100
+		res.CtxtPerSec = 2 * float64(res.VM.LockContended) / wall.Seconds()
+	}
+
+	res.ResidentPeak = residentPeak.Load()
+	if n := residentSamples.Load(); n > 0 {
+		res.ResidentMean = residentSum.Load() / n
+	}
+
+	for _, pool := range pools {
+		if pool != nil {
+			pool.Drain()
+		}
+	}
+	return res, nil
+}
+
+// OpHistogram executes one iteration of a workload with cycle
+// accounting and returns the executed-operation counts by class —
+// the measurement behind the paper's motivation that loads and
+// stores make up ~40% of programs (§2.3) and hence per-access
+// checks are expensive.
+func OpHistogram(engine string, wl workloads.Spec, cls workloads.Class,
+	strategy mem.Strategy, profile *isa.Profile) (*isa.Counts, error) {
+	module, _ := wl.Build(cls)
+	eng, cleanup, err := NewEngine(engine)
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
+	cm, err := eng.Compile(module)
+	if err != nil {
+		return nil, err
+	}
+	inst, err := cm.Instantiate(core.Config{
+		Strategy:    strategy,
+		Profile:     profile,
+		CountCycles: true,
+	}, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer inst.Close()
+	if _, err := inst.Invoke(workloads.Entry); err != nil {
+		return nil, err
+	}
+	counts := *inst.Counts()
+	return &counts, nil
+}
+
+// sumSnapshots aggregates counters across simulated processes.
+func sumSnapshots(procs []*vmm.AddressSpace) vmm.StatsSnapshot {
+	var sum vmm.StatsSnapshot
+	for _, as := range procs {
+		s := as.Snapshot()
+		sum.MmapCalls += s.MmapCalls
+		sum.MunmapCalls += s.MunmapCalls
+		sum.MprotectCalls += s.MprotectCalls
+		sum.MinorFaults += s.MinorFaults
+		sum.UffdFaults += s.UffdFaults
+		sum.SegvFaults += s.SegvFaults
+		sum.Shootdowns += s.Shootdowns
+		sum.VMAsTouched += s.VMAsTouched
+		sum.THPPromotions += s.THPPromotions
+		sum.LockWaitNs += s.LockWaitNs
+		sum.LockHoldNs += s.LockHoldNs
+		sum.LockContended += s.LockContended
+		sum.ResidentBytes += s.ResidentBytes
+		sum.VMACount += s.VMACount
+	}
+	return sum
+}
+
+func deltaSnapshot(a, b vmm.StatsSnapshot) vmm.StatsSnapshot {
+	return vmm.StatsSnapshot{
+		MmapCalls:     b.MmapCalls - a.MmapCalls,
+		MunmapCalls:   b.MunmapCalls - a.MunmapCalls,
+		MprotectCalls: b.MprotectCalls - a.MprotectCalls,
+		MinorFaults:   b.MinorFaults - a.MinorFaults,
+		UffdFaults:    b.UffdFaults - a.UffdFaults,
+		SegvFaults:    b.SegvFaults - a.SegvFaults,
+		Shootdowns:    b.Shootdowns - a.Shootdowns,
+		VMAsTouched:   b.VMAsTouched - a.VMAsTouched,
+		THPPromotions: b.THPPromotions - a.THPPromotions,
+		LockWaitNs:    b.LockWaitNs - a.LockWaitNs,
+		LockHoldNs:    b.LockHoldNs - a.LockHoldNs,
+		LockContended: b.LockContended - a.LockContended,
+		ResidentBytes: b.ResidentBytes,
+		VMACount:      b.VMACount,
+	}
+}

@@ -1,0 +1,524 @@
+// Package mem implements WebAssembly linear memory with the five
+// bounds-checking strategies evaluated by the paper (§3.1):
+//
+//	none      entire addressable window mapped read-write, no checks
+//	clamp     out-of-bounds addresses clamped to the memory end
+//	trap      explicit compare-and-trap on every access
+//	mprotect  PROT_NONE reservation; faults resolved by mprotect(2)
+//	          under the process-wide mmap lock
+//	uffd      userfaultfd-registered reservation; faults resolved by
+//	          lock-free per-page population, with arenas recycled
+//	          through a hazard-pointer pool
+//
+// Engines funnel every load and store through a Memory. The fast
+// path for the virtual-memory strategies is a single watermark
+// compare (the simulator's stand-in for the hardware MMU, which
+// performs this check for free on real silicon); the software
+// strategies add their explicit check sequence on top, and the
+// engines charge the corresponding cycle-model cost.
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"leapsandbounds/internal/trap"
+	"leapsandbounds/internal/vmm"
+	"leapsandbounds/internal/wasm"
+)
+
+// Strategy selects a bounds-checking mechanism.
+type Strategy uint8
+
+// The five strategies, in the paper's order.
+const (
+	None Strategy = iota
+	Clamp
+	Trap
+	Mprotect
+	Uffd
+)
+
+var strategyNames = [...]string{"none", "clamp", "trap", "mprotect", "uffd"}
+
+func (s Strategy) String() string {
+	if int(s) < len(strategyNames) {
+		return strategyNames[s]
+	}
+	return fmt.Sprintf("strategy(%d)", uint8(s))
+}
+
+// MarshalText encodes the strategy by name (for JSON results).
+func (s Strategy) MarshalText() ([]byte, error) {
+	return []byte(s.String()), nil
+}
+
+// UnmarshalText decodes a strategy name.
+func (s *Strategy) UnmarshalText(text []byte) error {
+	v, err := ParseStrategy(string(text))
+	if err != nil {
+		return err
+	}
+	*s = v
+	return nil
+}
+
+// ParseStrategy resolves a strategy name.
+func ParseStrategy(name string) (Strategy, error) {
+	for i, n := range strategyNames {
+		if n == name {
+			return Strategy(i), nil
+		}
+	}
+	return 0, fmt.Errorf("mem: unknown bounds-checking strategy %q", name)
+}
+
+// Strategies lists all strategies in paper order.
+func Strategies() []Strategy { return []Strategy{None, Clamp, Trap, Mprotect, Uffd} }
+
+// IsSoftware reports whether the strategy inserts explicit check
+// code at every access (clamp, trap).
+func (s Strategy) IsSoftware() bool { return s == Clamp || s == Trap }
+
+// Reserve is the virtual reservation per memory: the full 8 GiB
+// window addressable by base+offset arithmetic on 32-bit operands
+// (paper §2.3).
+const Reserve = 8 << 30
+
+// Config describes one memory instantiation.
+type Config struct {
+	Strategy Strategy
+	// AS is the simulated process address space shared by all
+	// instances in the same process.
+	AS *vmm.AddressSpace
+	// MinPages and MaxPages are the wasm limits (64 KiB pages).
+	// MaxPages bounds the backing allocation; it must be set.
+	MinPages, MaxPages uint32
+	// Pool recycles uffd arenas; required for the Uffd strategy
+	// unless DisablePool is set.
+	Pool *ArenaPool
+	// DisablePool runs the Uffd strategy without arena recycling:
+	// every instance mmaps and registers its own reservation and
+	// unmaps it on Close. This is the ablation showing that the
+	// paper's mitigation is the combination of userfaultfd (lock-free
+	// faults) and userspace arena management (no mmap/munmap churn):
+	// uffd alone still pays the mmap-lock cost at instance setup.
+	DisablePool bool
+	// EagerCommit makes the Mprotect strategy commit memory with a
+	// single mprotect(2) call at instantiation and at every grow,
+	// instead of lazily committing page-by-page from the SIGSEGV
+	// handler. Real runtimes take this variant (one syscall per
+	// resize, a larger critical section each time); the paper's
+	// description of the strategy is the lazy variant. Both share
+	// the mmap-lock serialization the paper analyzes.
+	EagerCommit bool
+	// UffdPoll delivers uffd faults through a dedicated handler
+	// thread (the userfaultfd poll mode) instead of resolving them
+	// on the faulting thread (SIGBUS mode, the paper's choice).
+	// Every fault then costs a cross-thread round trip — the
+	// latency the paper's footnote 2 cites as the reason to prefer
+	// SIGBUS delivery.
+	UffdPoll bool
+}
+
+// Memory is one instance's linear memory. Not safe for concurrent
+// use: each wasm instance owns one, as the paper's isolates do.
+type Memory struct {
+	strategy Strategy
+	data     []byte
+	// sizeBytes is the wasm-visible memory size.
+	sizeBytes uint64
+	// fastLimit is the fast-path watermark: accesses at or below it
+	// proceed with no further checks. Its meaning is per-strategy:
+	// backing length for none, sizeBytes for clamp/trap, committed
+	// contiguous prefix for mprotect/uffd.
+	fastLimit uint64
+	// committedEnd tracks the highest byte this instance has caused
+	// to be committed (fault path), which may exceed fastLimit when
+	// commits are scattered; arena recycling clears up to it.
+	committedEnd uint64
+	maxBytes     uint64
+	minBytes     uint64
+	mapping      *vmm.Mapping
+	pool         *ArenaPool
+	arena        *arena // non-nil when pooled (uffd)
+	poll         *uffdServer
+	eager        bool // mprotect strategy: commit at grow time
+	closed       bool
+}
+
+// New instantiates a linear memory per the configuration.
+func New(cfg Config) (*Memory, error) {
+	if cfg.AS == nil {
+		return nil, fmt.Errorf("mem: Config.AS is required")
+	}
+	if cfg.MaxPages == 0 || cfg.MaxPages > wasm.MaxPages || cfg.MinPages > cfg.MaxPages {
+		return nil, fmt.Errorf("mem: bad page limits min=%d max=%d", cfg.MinPages, cfg.MaxPages)
+	}
+	m := &Memory{
+		strategy:  cfg.Strategy,
+		sizeBytes: uint64(cfg.MinPages) * wasm.PageSize,
+		minBytes:  uint64(cfg.MinPages) * wasm.PageSize,
+		maxBytes:  uint64(cfg.MaxPages) * wasm.PageSize,
+	}
+	switch cfg.Strategy {
+	case None, Clamp, Trap:
+		mp, err := cfg.AS.Mmap(Reserve, m.maxBytes, vmm.ProtRW)
+		if err != nil {
+			return nil, err
+		}
+		if m.sizeBytes > 0 {
+			if err := mp.Touch(0, m.sizeBytes); err != nil {
+				cleanup(cfg.AS, mp)
+				return nil, err
+			}
+		}
+		m.mapping = mp
+		m.data = mp.Data()
+		if cfg.Strategy == None {
+			m.fastLimit = mp.Backing()
+		} else {
+			m.fastLimit = m.sizeBytes
+		}
+	case Mprotect:
+		mp, err := cfg.AS.Mmap(Reserve, m.maxBytes, vmm.ProtNone)
+		if err != nil {
+			return nil, err
+		}
+		m.mapping = mp
+		m.data = mp.Data()
+		m.fastLimit = 0
+		m.eager = cfg.EagerCommit
+		if m.eager && m.sizeBytes > 0 {
+			if err := mp.Mprotect(0, m.sizeBytes, vmm.ProtRW); err != nil {
+				cleanup(cfg.AS, mp)
+				return nil, err
+			}
+			m.fastLimit = m.sizeBytes
+		}
+	case Uffd:
+		if cfg.DisablePool {
+			mp, err := cfg.AS.Mmap(Reserve, m.maxBytes, vmm.ProtNone)
+			if err != nil {
+				return nil, err
+			}
+			if err := mp.RegisterUffd(); err != nil {
+				cleanup(cfg.AS, mp)
+				return nil, err
+			}
+			m.mapping = mp
+			m.data = mp.Data()
+			m.fastLimit = 0
+			if cfg.UffdPoll {
+				m.poll = newUffdServer()
+			}
+			break
+		}
+		if cfg.Pool == nil {
+			return nil, fmt.Errorf("mem: the uffd strategy requires an arena pool")
+		}
+		a, err := cfg.Pool.get(cfg.AS, m.maxBytes)
+		if err != nil {
+			return nil, err
+		}
+		m.arena = a
+		m.pool = cfg.Pool
+		m.mapping = a.mapping
+		m.data = a.mapping.Data()
+		m.fastLimit = 0
+		if cfg.UffdPoll {
+			m.poll = cfg.Pool.pollServer
+		}
+	default:
+		return nil, fmt.Errorf("mem: unknown strategy %v", cfg.Strategy)
+	}
+	return m, nil
+}
+
+func cleanup(as *vmm.AddressSpace, mp *vmm.Mapping) {
+	_ = as.Munmap(mp)
+}
+
+// Close releases the memory: pooled arenas are recycled, everything
+// else is unmapped.
+func (m *Memory) Close() error {
+	if m.closed {
+		return nil
+	}
+	m.closed = true
+	if m.arena != nil {
+		return m.pool.put(m.arena, max(m.fastLimit, m.committedEnd))
+	}
+	if m.poll != nil {
+		// Instance-owned handler thread (pool-less poll mode).
+		m.poll.close()
+	}
+	return m.mapping.Munmap()
+}
+
+// Strategy returns the memory's bounds-checking strategy.
+func (m *Memory) Strategy() Strategy { return m.strategy }
+
+// SizeBytes returns the current wasm-visible size in bytes.
+func (m *Memory) SizeBytes() uint64 { return m.sizeBytes }
+
+// SizePages returns the current size in wasm pages.
+func (m *Memory) SizePages() uint32 { return uint32(m.sizeBytes / wasm.PageSize) }
+
+// Grow grows the memory by delta pages, returning the previous size
+// in pages, or -1 if the limit would be exceeded. The management
+// cost is strategy-specific: the flat strategies commit eagerly,
+// mprotect defers to faults (the paper's default runtimes resize
+// with mprotect, which the fault path performs under the process
+// lock), and uffd only moves the atomic size watermark.
+func (m *Memory) Grow(delta uint32) int32 {
+	old := m.SizePages()
+	newBytes := m.sizeBytes + uint64(delta)*wasm.PageSize
+	if newBytes > m.maxBytes {
+		return -1
+	}
+	prev := m.sizeBytes
+	m.sizeBytes = newBytes
+	switch m.strategy {
+	case None:
+		if err := m.mapping.Touch(prev, newBytes-prev); err != nil {
+			trap.Throwf(trap.MemoryLimit, "grow: %v", err)
+		}
+	case Clamp, Trap:
+		if err := m.mapping.Touch(prev, newBytes-prev); err != nil {
+			trap.Throwf(trap.MemoryLimit, "grow: %v", err)
+		}
+		m.fastLimit = newBytes
+	case Mprotect:
+		if m.eager {
+			if err := m.mapping.Mprotect(prev, newBytes-prev, vmm.ProtRW); err != nil {
+				trap.Throwf(trap.MemoryLimit, "grow: %v", err)
+			}
+			m.fastLimit = newBytes
+			if newBytes > m.committedEnd {
+				m.committedEnd = newBytes
+			}
+			break
+		}
+		// Lazy: pages commit on first fault.
+	case Uffd:
+		// Lazy: pages commit on first fault.
+	}
+	return int32(old)
+}
+
+// load fast paths. Addresses passed in are the full effective
+// address (base + static offset) computed in 64-bit arithmetic, so
+// they cannot wrap.
+
+// LoadU8 reads one byte.
+func (m *Memory) LoadU8(addr uint64) byte {
+	if addr+1 > m.fastLimit {
+		addr = m.slow(addr, 1, false)
+	}
+	return m.data[addr]
+}
+
+// LoadU16 reads a little-endian uint16.
+func (m *Memory) LoadU16(addr uint64) uint16 {
+	if addr+2 > m.fastLimit {
+		addr = m.slow(addr, 2, false)
+	}
+	return binary.LittleEndian.Uint16(m.data[addr:])
+}
+
+// LoadU32 reads a little-endian uint32.
+func (m *Memory) LoadU32(addr uint64) uint32 {
+	if addr+4 > m.fastLimit {
+		addr = m.slow(addr, 4, false)
+	}
+	return binary.LittleEndian.Uint32(m.data[addr:])
+}
+
+// LoadU64 reads a little-endian uint64.
+func (m *Memory) LoadU64(addr uint64) uint64 {
+	if addr+8 > m.fastLimit {
+		addr = m.slow(addr, 8, false)
+	}
+	return binary.LittleEndian.Uint64(m.data[addr:])
+}
+
+// StoreU8 writes one byte.
+func (m *Memory) StoreU8(addr uint64, v byte) {
+	if addr+1 > m.fastLimit {
+		addr = m.slow(addr, 1, true)
+	}
+	m.data[addr] = v
+}
+
+// StoreU16 writes a little-endian uint16.
+func (m *Memory) StoreU16(addr uint64, v uint16) {
+	if addr+2 > m.fastLimit {
+		addr = m.slow(addr, 2, true)
+	}
+	binary.LittleEndian.PutUint16(m.data[addr:], v)
+}
+
+// StoreU32 writes a little-endian uint32.
+func (m *Memory) StoreU32(addr uint64, v uint32) {
+	if addr+4 > m.fastLimit {
+		addr = m.slow(addr, 4, true)
+	}
+	binary.LittleEndian.PutUint32(m.data[addr:], v)
+}
+
+// StoreU64 writes a little-endian uint64.
+func (m *Memory) StoreU64(addr uint64, v uint64) {
+	if addr+8 > m.fastLimit {
+		addr = m.slow(addr, 8, true)
+	}
+	binary.LittleEndian.PutUint64(m.data[addr:], v)
+}
+
+// slow resolves an access that missed the fast-path watermark. It
+// returns the effective address to use (adjusted only by clamp).
+// It traps for genuinely out-of-bounds accesses.
+func (m *Memory) slow(addr, n uint64, write bool) uint64 {
+	switch m.strategy {
+	case None:
+		// The "MMU" window is the whole backing; only accesses past
+		// the reservation-analog land here. Real hardware would read
+		// garbage inside the 8 GiB window; the simulator refuses.
+		trap.Throwf(trap.OutOfBounds, "none-strategy access at %#x beyond backing", addr)
+	case Clamp:
+		// Out-of-bounds accesses are redirected to the end of memory.
+		if m.sizeBytes < n {
+			trap.Throwf(trap.OutOfBounds, "clamp with empty memory")
+		}
+		return m.sizeBytes - n
+	case Trap:
+		trap.Throwf(trap.OutOfBounds, "trap check failed at %#x+%d (size %d)", addr, n, m.sizeBytes)
+	case Mprotect, Uffd:
+		return m.fault(addr, n, write)
+	}
+	return addr
+}
+
+// fault is the simulated signal-handler path for the virtual-memory
+// strategies: SIGSEGV + mprotect for Mprotect, SIGBUS + lock-free
+// population for Uffd.
+func (m *Memory) fault(addr, n uint64, write bool) uint64 {
+	// The runtime's handler knows the instance's true size; accesses
+	// beyond it are genuine bounds violations.
+	if addr+n > m.sizeBytes || addr+n < addr {
+		trap.Throwf(trap.OutOfBounds, "access at %#x+%d beyond size %d", addr, n, m.sizeBytes)
+	}
+	ps := m.mapping.PageSize()
+	start := addr / ps * ps
+	end := (addr + n + ps - 1) / ps * ps
+	switch kind := m.mapping.Fault(addr, write); kind {
+	case vmm.FaultSegv:
+		// SIGSEGV handler: commit the page range with mprotect(2),
+		// serialized on the process mmap lock.
+		if err := m.mapping.Mprotect(start, end-start, vmm.ProtRW); err != nil {
+			trap.Throwf(trap.OutOfBounds, "mprotect handler: %v", err)
+		}
+	case vmm.FaultUffd:
+		// SIGBUS mode resolves on the faulting thread, lock-free;
+		// poll mode round-trips to the handler thread (the latency
+		// the paper's footnote 2 cites for preferring SIGBUS).
+		var err error
+		if m.poll != nil {
+			err = m.poll.resolve(m.mapping, start, end-start)
+		} else {
+			err = m.mapping.UffdZeroPages(start, end-start)
+		}
+		if err != nil {
+			trap.Throwf(trap.OutOfBounds, "uffd handler: %v", err)
+		}
+	case vmm.FaultResolved:
+		// Another thread (or a previous arena user) already
+		// populated the page; proceed.
+	default:
+		trap.Throwf(trap.OutOfBounds, "unexpected fault kind %v", kind)
+	}
+	if end > m.committedEnd {
+		m.committedEnd = end
+	}
+	m.advanceWatermark()
+	return addr
+}
+
+// advanceWatermark extends the fast-path limit over the contiguous
+// committed prefix so subsequent accesses skip the fault path.
+func (m *Memory) advanceWatermark() {
+	w := m.mapping.CommittedPrefix(m.fastLimit)
+	if w > m.sizeBytes {
+		w = m.sizeBytes
+	}
+	if w > m.fastLimit {
+		m.fastLimit = w
+	}
+}
+
+// Bytes returns a slice over [addr, addr+n) after ensuring the range
+// is accessible, for bulk operations (memory.copy/fill, segment
+// initialization, WASI I/O). Traps on out-of-bounds.
+func (m *Memory) Bytes(addr, n uint64, write bool) []byte {
+	if n == 0 {
+		if addr > m.sizeBytes {
+			trap.Throwf(trap.OutOfBounds, "zero-length access at %#x beyond size", addr)
+		}
+		return nil
+	}
+	if addr+n > m.sizeBytes || addr+n < addr {
+		trap.Throwf(trap.OutOfBounds, "bulk access [%#x,%#x) beyond size %d", addr, addr+n, m.sizeBytes)
+	}
+	if addr+n > m.fastLimit {
+		switch m.strategy {
+		case Mprotect, Uffd:
+			// Commit the whole range through the fault path, page by
+			// page as the copy loop would.
+			ps := m.mapping.PageSize()
+			for p := addr / ps * ps; p < addr+n; p += ps {
+				m.fault(p, 1, write)
+			}
+		default:
+			// Flat strategies: the range is within size, hence valid.
+		}
+	}
+	return m.data[addr : addr+n]
+}
+
+// WriteAt copies b into memory at addr through the commit machinery.
+func (m *Memory) WriteAt(addr uint64, b []byte) {
+	if len(b) == 0 {
+		return
+	}
+	copy(m.Bytes(addr, uint64(len(b)), true), b)
+}
+
+// Fill implements memory.fill.
+func (m *Memory) Fill(dst, val, n uint64) {
+	if n == 0 {
+		if dst > m.sizeBytes {
+			trap.Throw(trap.OutOfBounds)
+		}
+		return
+	}
+	b := m.Bytes(dst, n, true)
+	for i := range b {
+		b[i] = byte(val)
+	}
+}
+
+// Copy implements memory.copy (memmove semantics).
+func (m *Memory) Copy(dst, src, n uint64) {
+	if n == 0 {
+		if dst > m.sizeBytes || src > m.sizeBytes {
+			trap.Throw(trap.OutOfBounds)
+		}
+		return
+	}
+	d := m.Bytes(dst, n, true)
+	s := m.Bytes(src, n, false)
+	copy(d, s)
+}
+
+// Mapping exposes the underlying mapping for statistics.
+func (m *Memory) Mapping() *vmm.Mapping { return m.mapping }

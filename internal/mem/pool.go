@@ -1,0 +1,145 @@
+package mem
+
+import (
+	"sync/atomic"
+
+	"leapsandbounds/internal/hazard"
+	"leapsandbounds/internal/vmm"
+)
+
+// ArenaPool recycles userfaultfd-registered memory arenas across
+// instance lifetimes. This is the paper's uffd mitigation (§4.2.1):
+// instead of mmap/mprotect/munmap per instance — each serializing on
+// the kernel's per-process mmap lock — arenas are parked on a
+// lock-free Treiber stack, each arena's size is a plain watermark,
+// and arena retirement is protected by hazard pointers so that a
+// concurrent pop never touches a freed arena.
+//
+// A pool is shared by every instance in a simulated process; all
+// operations are safe for concurrent use.
+type ArenaPool struct {
+	head   atomic.Pointer[arena]
+	domain hazard.Domain
+	// pollServer serves poll-mode fault delivery when a Memory is
+	// configured with UffdPoll (one handler thread per process, as
+	// a real poll-mode userfaultfd deployment would run).
+	pollServer *uffdServer
+
+	// Statistics.
+	created  atomic.Int64
+	reused   atomic.Int64
+	returned atomic.Int64
+}
+
+// arena is one pooled memory reservation plus its intrusive stack
+// link.
+type arena struct {
+	mapping *vmm.Mapping
+	next    atomic.Pointer[arena]
+	// highWater is the largest wasm-visible size the arena has
+	// served, so recycling only clears what was used.
+	highWater uint64
+}
+
+// NewArenaPool returns an empty pool.
+func NewArenaPool() *ArenaPool {
+	return &ArenaPool{pollServer: newUffdServer()}
+}
+
+// get pops a pooled arena of at least maxBytes backing, or creates
+// a fresh uffd-registered reservation.
+func (p *ArenaPool) get(as *vmm.AddressSpace, maxBytes uint64) (*arena, error) {
+	if a := p.pop(maxBytes); a != nil {
+		p.reused.Add(1)
+		return a, nil
+	}
+	mp, err := as.Mmap(Reserve, maxBytes, vmm.ProtNone)
+	if err != nil {
+		return nil, err
+	}
+	if err := mp.RegisterUffd(); err != nil {
+		_ = mp.Munmap()
+		return nil, err
+	}
+	p.created.Add(1)
+	return &arena{mapping: mp}, nil
+}
+
+// pop removes an arena with sufficient backing from the stack. Only
+// the head is inspected: arenas in one pool are uniformly sized in
+// practice (one pool per workload), so a deeper search is not
+// needed; an unsuitable head is left in place and nil returned.
+func (p *ArenaPool) pop(maxBytes uint64) *arena {
+	slot := p.domain.Acquire()
+	defer slot.Release()
+	for {
+		a := hazard.Protect(slot, &p.head)
+		if a == nil {
+			return nil
+		}
+		if a.mapping.Backing() < maxBytes {
+			return nil
+		}
+		next := a.next.Load()
+		if p.head.CompareAndSwap(a, next) {
+			slot.Clear()
+			return a
+		}
+	}
+}
+
+// put recycles an arena after an instance closes. The used range is
+// zeroed and decommitted lock-free so the next instance observes
+// fresh zero-filled pages (kernel semantics), then the arena is
+// pushed back.
+func (p *ArenaPool) put(a *arena, usedBytes uint64) error {
+	if usedBytes > a.highWater {
+		a.highWater = usedBytes
+	}
+	if a.highWater > 0 {
+		clear(a.mapping.Data()[:a.highWater])
+		if err := a.mapping.UffdDecommitPages(0, a.highWater); err != nil {
+			return err
+		}
+		a.highWater = 0
+	}
+	p.returned.Add(1)
+	for {
+		old := p.head.Load()
+		a.next.Store(old)
+		if p.head.CompareAndSwap(old, a) {
+			return nil
+		}
+	}
+}
+
+// Drain unmaps every pooled arena, retiring each through the hazard
+// domain so in-flight pops complete safely.
+func (p *ArenaPool) Drain() {
+	for {
+		a := p.pop(0)
+		if a == nil {
+			break
+		}
+		m := a.mapping
+		hazard.Retire(&p.domain, a, func() { _ = m.Munmap() })
+	}
+	p.domain.Flush()
+	if p.pollServer != nil {
+		p.pollServer.close()
+	}
+}
+
+// PoolStats reports pool activity.
+type PoolStats struct {
+	Created, Reused, Returned int64
+}
+
+// Stats returns a snapshot of pool counters.
+func (p *ArenaPool) Stats() PoolStats {
+	return PoolStats{
+		Created:  p.created.Load(),
+		Reused:   p.reused.Load(),
+		Returned: p.returned.Load(),
+	}
+}

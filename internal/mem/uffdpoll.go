@@ -1,0 +1,76 @@
+package mem
+
+import (
+	"sync"
+
+	"leapsandbounds/internal/vmm"
+)
+
+// uffdServer models userfaultfd's poll-based delivery mode: a
+// dedicated handler thread reads fault events from the userfault
+// file descriptor and resolves them, so every fault costs a
+// round-trip to another thread. The paper uses the SIGBUS mode
+// precisely because it avoids these context switches (§2.3.1,
+// footnote 2); this server exists to make that choice measurable
+// (see the uffd-delivery ablation).
+type uffdServer struct {
+	reqs    chan uffdReq
+	stop    chan struct{}
+	started sync.Once
+	stopped sync.Once
+	pool    sync.Pool // of chan error
+}
+
+type uffdReq struct {
+	mapping *vmm.Mapping
+	off     uint64
+	length  uint64
+	done    chan error
+}
+
+func newUffdServer() *uffdServer {
+	s := &uffdServer{
+		reqs: make(chan uffdReq),
+		stop: make(chan struct{}),
+	}
+	s.pool.New = func() any { return make(chan error, 1) }
+	return s
+}
+
+// start launches the handler thread on first use.
+func (s *uffdServer) start() {
+	s.started.Do(func() {
+		go func() {
+			for {
+				select {
+				case <-s.stop:
+					return
+				case req := <-s.reqs:
+					req.done <- req.mapping.UffdZeroPages(req.off, req.length)
+				}
+			}
+		}()
+	})
+}
+
+// resolve requests population of [off, off+length) and blocks until
+// the handler thread has served it — the poll-mode round trip.
+func (s *uffdServer) resolve(m *vmm.Mapping, off, length uint64) error {
+	s.start()
+	done := s.pool.Get().(chan error)
+	select {
+	case s.reqs <- uffdReq{mapping: m, off: off, length: length, done: done}:
+	case <-s.stop:
+		// Server shut down underneath us: resolve inline.
+		s.pool.Put(done)
+		return m.UffdZeroPages(off, length)
+	}
+	err := <-done
+	s.pool.Put(done)
+	return err
+}
+
+// close stops the handler thread.
+func (s *uffdServer) close() {
+	s.stopped.Do(func() { close(s.stop) })
+}

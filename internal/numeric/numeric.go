@@ -1,0 +1,252 @@
+// Package numeric implements the WebAssembly numeric operations with
+// non-trivial semantics — trapping divisions, trapping and
+// saturating float-to-int truncations, IEEE min/max/nearest — shared
+// by every engine so their results are bit-identical.
+package numeric
+
+import (
+	"math"
+
+	"leapsandbounds/internal/trap"
+)
+
+// DivS32 is i32.div_s with wasm trapping semantics.
+func DivS32(a, b int32) int32 {
+	if b == 0 {
+		trap.Throw(trap.DivByZero)
+	}
+	if a == math.MinInt32 && b == -1 {
+		trap.Throw(trap.IntOverflow)
+	}
+	return a / b
+}
+
+// DivU32 is i32.div_u.
+func DivU32(a, b uint32) uint32 {
+	if b == 0 {
+		trap.Throw(trap.DivByZero)
+	}
+	return a / b
+}
+
+// RemS32 is i32.rem_s (MinInt32 rem -1 == 0, no trap).
+func RemS32(a, b int32) int32 {
+	if b == 0 {
+		trap.Throw(trap.DivByZero)
+	}
+	if a == math.MinInt32 && b == -1 {
+		return 0
+	}
+	return a % b
+}
+
+// RemU32 is i32.rem_u.
+func RemU32(a, b uint32) uint32 {
+	if b == 0 {
+		trap.Throw(trap.DivByZero)
+	}
+	return a % b
+}
+
+// DivS64 is i64.div_s.
+func DivS64(a, b int64) int64 {
+	if b == 0 {
+		trap.Throw(trap.DivByZero)
+	}
+	if a == math.MinInt64 && b == -1 {
+		trap.Throw(trap.IntOverflow)
+	}
+	return a / b
+}
+
+// DivU64 is i64.div_u.
+func DivU64(a, b uint64) uint64 {
+	if b == 0 {
+		trap.Throw(trap.DivByZero)
+	}
+	return a / b
+}
+
+// RemS64 is i64.rem_s.
+func RemS64(a, b int64) int64 {
+	if b == 0 {
+		trap.Throw(trap.DivByZero)
+	}
+	if a == math.MinInt64 && b == -1 {
+		return 0
+	}
+	return a % b
+}
+
+// RemU64 is i64.rem_u.
+func RemU64(a, b uint64) uint64 {
+	if b == 0 {
+		trap.Throw(trap.DivByZero)
+	}
+	return a % b
+}
+
+// TruncF32ToI32 is i32.trunc_f32_s.
+func TruncF32ToI32(f float32) int32 { return int32(truncTo(float64(f), math.MinInt32, 1<<31)) }
+
+// TruncF32ToU32 is i32.trunc_f32_u.
+func TruncF32ToU32(f float32) uint32 { return uint32(truncTo(float64(f), 0, 1<<32)) }
+
+// TruncF64ToI32 is i32.trunc_f64_s.
+func TruncF64ToI32(f float64) int32 { return int32(truncTo(f, math.MinInt32, 1<<31)) }
+
+// TruncF64ToU32 is i32.trunc_f64_u.
+func TruncF64ToU32(f float64) uint32 { return uint32(truncTo(f, 0, 1<<32)) }
+
+// TruncF32ToI64 is i64.trunc_f32_s.
+func TruncF32ToI64(f float32) int64 { return truncToI64(float64(f)) }
+
+// TruncF64ToI64 is i64.trunc_f64_s.
+func TruncF64ToI64(f float64) int64 { return truncToI64(f) }
+
+// TruncF32ToU64 is i64.trunc_f32_u.
+func TruncF32ToU64(f float32) uint64 { return truncToU64(float64(f)) }
+
+// TruncF64ToU64 is i64.trunc_f64_u.
+func TruncF64ToU64(f float64) uint64 { return truncToU64(f) }
+
+// truncTo truncates f toward zero and traps unless lo <= result < hi.
+func truncTo(f, lo, hi float64) int64 {
+	if math.IsNaN(f) {
+		trap.Throw(trap.InvalidConversion)
+	}
+	t := math.Trunc(f)
+	if t < lo || t >= hi {
+		trap.Throw(trap.IntOverflow)
+	}
+	return int64(t)
+}
+
+func truncToI64(f float64) int64 {
+	if math.IsNaN(f) {
+		trap.Throw(trap.InvalidConversion)
+	}
+	t := math.Trunc(f)
+	// Both bounds are exactly representable: -2^63, and the >=
+	// comparison against MaxInt64 rounds up to 2^63 in float64.
+	if t < math.MinInt64 || t >= math.MaxInt64 {
+		trap.Throw(trap.IntOverflow)
+	}
+	return int64(t)
+}
+
+func truncToU64(f float64) uint64 {
+	if math.IsNaN(f) {
+		trap.Throw(trap.InvalidConversion)
+	}
+	t := math.Trunc(f)
+	if t < 0 || t >= math.MaxUint64 {
+		trap.Throw(trap.IntOverflow)
+	}
+	return uint64(t)
+}
+
+// TruncSatF32ToI32 is i32.trunc_sat_f32_s.
+func TruncSatF32ToI32(f float32) int32 { return int32(satTo(float64(f), math.MinInt32, math.MaxInt32)) }
+
+// TruncSatF32ToU32 is i32.trunc_sat_f32_u.
+func TruncSatF32ToU32(f float32) uint32 { return uint32(satTo(float64(f), 0, math.MaxUint32)) }
+
+// TruncSatF64ToI32 is i32.trunc_sat_f64_s.
+func TruncSatF64ToI32(f float64) int32 { return int32(satTo(f, math.MinInt32, math.MaxInt32)) }
+
+// TruncSatF64ToU32 is i32.trunc_sat_f64_u.
+func TruncSatF64ToU32(f float64) uint32 { return uint32(satTo(f, 0, math.MaxUint32)) }
+
+// TruncSatF32ToI64 is i64.trunc_sat_f32_s.
+func TruncSatF32ToI64(f float32) int64 { return satToI64(float64(f)) }
+
+// TruncSatF64ToI64 is i64.trunc_sat_f64_s.
+func TruncSatF64ToI64(f float64) int64 { return satToI64(f) }
+
+// TruncSatF32ToU64 is i64.trunc_sat_f32_u.
+func TruncSatF32ToU64(f float32) uint64 { return satToU64(float64(f)) }
+
+// TruncSatF64ToU64 is i64.trunc_sat_f64_u.
+func TruncSatF64ToU64(f float64) uint64 { return satToU64(f) }
+
+func satTo(f, lo, hi float64) int64 {
+	switch {
+	case math.IsNaN(f):
+		return 0
+	case f < lo:
+		return int64(lo)
+	case f > hi:
+		return int64(hi)
+	default:
+		return int64(math.Trunc(f))
+	}
+}
+
+func satToI64(f float64) int64 {
+	switch {
+	case math.IsNaN(f):
+		return 0
+	case f <= math.MinInt64:
+		return math.MinInt64
+	case f >= math.MaxInt64:
+		return math.MaxInt64
+	default:
+		return int64(math.Trunc(f))
+	}
+}
+
+func satToU64(f float64) uint64 {
+	switch {
+	case math.IsNaN(f):
+		return 0
+	case f <= 0:
+		return 0
+	case f >= math.MaxUint64:
+		return math.MaxUint64
+	default:
+		return uint64(math.Trunc(f))
+	}
+}
+
+// Fmin implements wasm f64.min: NaN-propagating, -0 < +0.
+func Fmin(a, b float64) float64 {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return math.NaN()
+	}
+	if a == 0 && b == 0 {
+		if math.Signbit(a) {
+			return a
+		}
+		return b
+	}
+	return math.Min(a, b)
+}
+
+// Fmax implements wasm f64.max.
+func Fmax(a, b float64) float64 {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return math.NaN()
+	}
+	if a == 0 && b == 0 {
+		if math.Signbit(a) {
+			return b
+		}
+		return a
+	}
+	return math.Max(a, b)
+}
+
+// Fmin32 is wasm f32.min.
+func Fmin32(a, b float32) float32 { return float32(Fmin(float64(a), float64(b))) }
+
+// Fmax32 is wasm f32.max.
+func Fmax32(a, b float32) float32 { return float32(Fmax(float64(a), float64(b))) }
+
+// Nearest implements f64.nearest (round half to even).
+func Nearest(f float64) float64 { return math.RoundToEven(f) }
+
+// Nearest32 implements f32.nearest.
+func Nearest32(f float32) float32 {
+	return float32(math.RoundToEven(float64(f)))
+}

@@ -1,0 +1,159 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"leapsandbounds/internal/trap"
+)
+
+func catches(t *testing.T, kind trap.Kind, f func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected trap")
+		}
+		tr, ok := r.(*trap.Trap)
+		if !ok {
+			t.Fatalf("panic value %v is not a trap", r)
+		}
+		if tr.Kind != kind {
+			t.Fatalf("trap kind %v, want %v", tr.Kind, kind)
+		}
+	}()
+	f()
+}
+
+func TestDivTrapping(t *testing.T) {
+	catches(t, trap.DivByZero, func() { DivS32(1, 0) })
+	catches(t, trap.DivByZero, func() { DivU32(1, 0) })
+	catches(t, trap.DivByZero, func() { RemS32(1, 0) })
+	catches(t, trap.DivByZero, func() { DivS64(1, 0) })
+	catches(t, trap.DivByZero, func() { RemU64(1, 0) })
+	catches(t, trap.IntOverflow, func() { DivS32(math.MinInt32, -1) })
+	catches(t, trap.IntOverflow, func() { DivS64(math.MinInt64, -1) })
+	if got := RemS32(math.MinInt32, -1); got != 0 {
+		t.Errorf("MinInt32 rem -1 = %d, want 0", got)
+	}
+	if got := RemS64(math.MinInt64, -1); got != 0 {
+		t.Errorf("MinInt64 rem -1 = %d, want 0", got)
+	}
+	if got := DivS32(-7, 2); got != -3 {
+		t.Errorf("-7/2 = %d (wasm truncates toward zero)", got)
+	}
+	if got := RemS32(-7, 2); got != -1 {
+		t.Errorf("-7%%2 = %d", got)
+	}
+}
+
+func TestTruncTrapping(t *testing.T) {
+	catches(t, trap.InvalidConversion, func() { TruncF64ToI32(math.NaN()) })
+	catches(t, trap.IntOverflow, func() { TruncF64ToI32(1e10) })
+	catches(t, trap.IntOverflow, func() { TruncF64ToI32(-1e10) })
+	catches(t, trap.IntOverflow, func() { TruncF64ToU32(-1) })
+	catches(t, trap.IntOverflow, func() { TruncF32ToI32(float32(math.Inf(1))) })
+	catches(t, trap.IntOverflow, func() { TruncF64ToI64(1e19) })
+	catches(t, trap.IntOverflow, func() { TruncF64ToU64(-0.5 - 1) })
+
+	if got := TruncF64ToI32(-2.9); got != -2 {
+		t.Errorf("trunc(-2.9) = %d", got)
+	}
+	if got := TruncF64ToU32(4294967295.0); got != math.MaxUint32 {
+		t.Errorf("trunc(max u32) = %d", got)
+	}
+	// -0.9 truncates to 0, which is in range for unsigned.
+	if got := TruncF64ToU32(-0.9); got != 0 {
+		t.Errorf("trunc(-0.9) = %d", got)
+	}
+	// Exactly -2^63 is representable and valid.
+	if got := TruncF64ToI64(-9223372036854775808.0); got != math.MinInt64 {
+		t.Errorf("trunc(-2^63) = %d", got)
+	}
+}
+
+func TestTruncSat(t *testing.T) {
+	if got := TruncSatF64ToI32(math.NaN()); got != 0 {
+		t.Errorf("sat(NaN) = %d", got)
+	}
+	if got := TruncSatF64ToI32(1e10); got != math.MaxInt32 {
+		t.Errorf("sat(1e10) = %d", got)
+	}
+	if got := TruncSatF64ToI32(-1e10); got != math.MinInt32 {
+		t.Errorf("sat(-1e10) = %d", got)
+	}
+	if got := TruncSatF64ToU32(-5); got != 0 {
+		t.Errorf("sat_u(-5) = %d", got)
+	}
+	if got := TruncSatF64ToU64(math.Inf(1)); got != math.MaxUint64 {
+		t.Errorf("sat_u64(+inf) = %d", got)
+	}
+	if got := TruncSatF64ToI64(math.Inf(-1)); got != math.MinInt64 {
+		t.Errorf("sat_i64(-inf) = %d", got)
+	}
+	if got := TruncSatF32ToI32(3.7); got != 3 {
+		t.Errorf("sat(3.7) = %d", got)
+	}
+}
+
+func TestFminFmax(t *testing.T) {
+	if !math.IsNaN(Fmin(math.NaN(), 1)) || !math.IsNaN(Fmax(1, math.NaN())) {
+		t.Error("NaN must propagate")
+	}
+	negZero := math.Copysign(0, -1)
+	if !math.Signbit(Fmin(negZero, 0)) {
+		t.Error("min(-0, +0) must be -0")
+	}
+	if math.Signbit(Fmax(negZero, 0)) {
+		t.Error("max(-0, +0) must be +0")
+	}
+	if Fmin(3, 5) != 3 || Fmax(3, 5) != 5 {
+		t.Error("basic min/max wrong")
+	}
+}
+
+func TestNearest(t *testing.T) {
+	cases := map[float64]float64{
+		0.5: 0, 1.5: 2, 2.5: 2, -0.5: 0, -1.5: -2, 3.2: 3, -3.7: -4,
+	}
+	for in, want := range cases {
+		if got := Nearest(in); got != want {
+			t.Errorf("nearest(%v) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+// TestDivIdentity checks a/b*b + a%b == a for random operands.
+func TestDivIdentity(t *testing.T) {
+	f := func(a, b int32) bool {
+		if b == 0 || (a == math.MinInt32 && b == -1) {
+			return true
+		}
+		return DivS32(a, b)*b+RemS32(a, b) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	g := func(a, b uint64) bool {
+		if b == 0 {
+			return true
+		}
+		return DivU64(a, b)*b+RemU64(a, b) == a
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSatMatchesTrapWhenInRange: for in-range values the saturating
+// and trapping conversions agree.
+func TestSatMatchesTrapWhenInRange(t *testing.T) {
+	f := func(x int32) bool {
+		v := float64(x)
+		return TruncSatF64ToI32(v) == TruncF64ToI32(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

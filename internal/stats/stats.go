@@ -1,0 +1,119 @@
+// Package stats provides the summary statistics the paper's
+// methodology prescribes: per-benchmark medians and the geometric
+// mean of ratios for cross-benchmark aggregation (Fleming & Wallace,
+// "How Not To Lie With Statistics", which the paper cites for its
+// Figure 2 aggregation).
+package stats
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// Median returns the median of xs (the mean of the middle pair for
+// even lengths). It returns 0 for empty input.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	mid := len(s) / 2
+	if len(s)%2 == 1 {
+		return s[mid]
+	}
+	return (s[mid-1] + s[mid]) / 2
+}
+
+// MedianDurations is Median over time.Durations.
+func MedianDurations(ds []time.Duration) time.Duration {
+	xs := make([]float64, len(ds))
+	for i, d := range ds {
+		xs[i] = float64(d)
+	}
+	return time.Duration(Median(xs))
+}
+
+// Mean returns the arithmetic mean, 0 for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Stddev returns the sample standard deviation (n-1 denominator).
+func Stddev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)-1))
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) using
+// linear interpolation between order statistics.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(rank)
+	frac := rank - float64(lo)
+	if lo+1 >= len(s) {
+		return s[lo]
+	}
+	return s[lo] + frac*(s[lo+1]-s[lo])
+}
+
+// Geomean returns the geometric mean of positive values; zero or
+// negative entries are skipped (they would poison the product).
+func Geomean(xs []float64) float64 {
+	sum := 0.0
+	n := 0
+	for _, x := range xs {
+		if x > 0 {
+			sum += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// GeomeanRatios aggregates per-benchmark (value, baseline) pairs as
+// the geometric mean of value/baseline ratios — the paper's Figure 2
+// statistic ("geometric mean of per-benchmark execution time medians
+// divided by the native Clang time medians").
+func GeomeanRatios(values, baselines []float64) float64 {
+	n := min(len(values), len(baselines))
+	ratios := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		if baselines[i] > 0 && values[i] > 0 {
+			ratios = append(ratios, values[i]/baselines[i])
+		}
+	}
+	return Geomean(ratios)
+}

@@ -1,0 +1,122 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMedian(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{5}, 5},
+		{[]float64{3, 1, 2}, 2},
+		{[]float64{4, 1, 3, 2}, 2.5},
+		{[]float64{1, 1, 1, 9}, 1},
+	}
+	for _, c := range cases {
+		if got := Median(c.in); got != c.want {
+			t.Errorf("Median(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	in := []float64{3, 1, 2}
+	Median(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Error("Median mutated its input")
+	}
+}
+
+func TestMeanStddev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := Stddev(xs); math.Abs(got-2.138089935299395) > 1e-12 {
+		t.Errorf("Stddev = %v", got)
+	}
+	if Stddev([]float64{1}) != 0 {
+		t.Error("Stddev of singleton should be 0")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40}
+	if got := Percentile(xs, 0); got != 10 {
+		t.Errorf("p0 = %v", got)
+	}
+	if got := Percentile(xs, 100); got != 40 {
+		t.Errorf("p100 = %v", got)
+	}
+	if got := Percentile(xs, 50); got != 25 {
+		t.Errorf("p50 = %v", got)
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if got := Geomean([]float64{1, 4}); got != 2 {
+		t.Errorf("Geomean = %v", got)
+	}
+	if got := Geomean([]float64{2, 0, 8}); got != 4 {
+		t.Errorf("Geomean skipping zeros = %v", got)
+	}
+	if got := Geomean(nil); got != 0 {
+		t.Errorf("empty Geomean = %v", got)
+	}
+}
+
+func TestGeomeanRatios(t *testing.T) {
+	// Equal values: ratio 1 everywhere.
+	if got := GeomeanRatios([]float64{3, 5}, []float64{3, 5}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("identity ratios = %v", got)
+	}
+	// 2x and 8x → geomean 4x.
+	if got := GeomeanRatios([]float64{2, 8}, []float64{1, 1}); math.Abs(got-4) > 1e-12 {
+		t.Errorf("ratios = %v", got)
+	}
+}
+
+// TestGeomeanScaleInvariance is the Fleming & Wallace property: the
+// geomean of ratios is invariant under per-benchmark rescaling.
+func TestGeomeanScaleInvariance(t *testing.T) {
+	f := func(a, b, scale uint8) bool {
+		v := []float64{float64(a)/7 + 1, float64(b)/7 + 1}
+		base := []float64{2, 3}
+		k := float64(scale)/51 + 1
+		before := GeomeanRatios(v, base)
+		scaledV := []float64{v[0] * k, v[1] * k * 0} // second pair rescaled both sides below
+		_ = scaledV
+		// Scale benchmark 0 on both sides: ratio unchanged.
+		after := GeomeanRatios([]float64{v[0] * k, v[1]}, []float64{base[0] * k, base[1]})
+		return math.Abs(before-after) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPercentileMonotonic(t *testing.T) {
+	f := func(raw []uint16, a, b uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+		}
+		pa := float64(a % 101)
+		pb := float64(b % 101)
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		return Percentile(xs, pa) <= Percentile(xs, pb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

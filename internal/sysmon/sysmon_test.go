@@ -1,0 +1,70 @@
+package sysmon
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+func TestDeltaFullBusy(t *testing.T) {
+	a := Sample{User: 1000, Idle: 1000, CtxtSwitches: 100, Time: time.Unix(0, 0), OK: true}
+	b := Sample{User: 2000, Idle: 1000, CtxtSwitches: 300, Time: time.Unix(2, 0), OK: true}
+	u := Delta(a, b)
+	if !u.OK {
+		t.Fatal("delta not OK")
+	}
+	// 100% of CPU time busy → NumCPU cores' worth.
+	want := float64(runtime.NumCPU()) * 100
+	if u.CPUPercent != want {
+		t.Errorf("CPUPercent %v, want %v", u.CPUPercent, want)
+	}
+	if u.CtxtPerSec != 100 {
+		t.Errorf("CtxtPerSec %v, want 100", u.CtxtPerSec)
+	}
+}
+
+func TestDeltaHalfBusy(t *testing.T) {
+	a := Sample{User: 0, Idle: 0, Time: time.Unix(0, 0), OK: true}
+	b := Sample{User: 500, System: 500, Idle: 1000, Time: time.Unix(1, 0), OK: true}
+	u := Delta(a, b)
+	want := float64(runtime.NumCPU()) * 50
+	if u.CPUPercent != want {
+		t.Errorf("CPUPercent %v, want %v", u.CPUPercent, want)
+	}
+}
+
+func TestDeltaCountsIRQAsBusy(t *testing.T) {
+	// The paper's formula: us + sys + hi + si over the total.
+	a := Sample{Time: time.Unix(0, 0), OK: true}
+	b := Sample{IRQ: 250, SoftIRQ: 250, Nice: 500, Idle: 1000, Time: time.Unix(1, 0), OK: true}
+	u := Delta(a, b)
+	want := float64(runtime.NumCPU()) * 50
+	if u.CPUPercent != want {
+		t.Errorf("CPUPercent %v, want %v", u.CPUPercent, want)
+	}
+}
+
+func TestDeltaUnsupported(t *testing.T) {
+	a := Sample{OK: false, Time: time.Unix(0, 0)}
+	b := Sample{OK: true, Time: time.Unix(1, 0)}
+	if u := Delta(a, b); u.OK {
+		t.Error("delta of unsupported sample reported OK")
+	}
+}
+
+func TestDeltaCounterWrapSafe(t *testing.T) {
+	a := Sample{CtxtSwitches: 1000, User: 10, Idle: 10, Time: time.Unix(0, 0), OK: true}
+	b := Sample{CtxtSwitches: 500, User: 20, Idle: 20, Time: time.Unix(1, 0), OK: true}
+	if u := Delta(a, b); u.CtxtPerSec != 0 {
+		t.Errorf("wrapped counter produced rate %v", u.CtxtPerSec)
+	}
+}
+
+func TestReadDoesNotPanic(t *testing.T) {
+	s := Read()
+	// In sandboxes /proc/stat may be zeroed; either way Read must
+	// return a coherent sample.
+	if s.OK && s.busy()+s.Idle == 0 {
+		t.Error("OK sample with zero jiffies")
+	}
+}

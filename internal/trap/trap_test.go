@@ -1,0 +1,78 @@
+package trap
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestThrowRecover(t *testing.T) {
+	err := func() (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = Recover(r)
+			}
+		}()
+		Throw(DivByZero)
+		return nil
+	}()
+	var tr *Trap
+	if !errors.As(err, &tr) || tr.Kind != DivByZero {
+		t.Fatalf("got %v", err)
+	}
+	if !strings.Contains(err.Error(), "divide by zero") {
+		t.Errorf("message %q", err)
+	}
+}
+
+func TestThrowfDetail(t *testing.T) {
+	err := capture(func() { Throwf(OutOfBounds, "at %#x", 0x1234) })
+	if !strings.Contains(err.Error(), "0x1234") {
+		t.Errorf("detail lost: %q", err)
+	}
+}
+
+func TestThrowHostErrUnwraps(t *testing.T) {
+	inner := fmt.Errorf("disk on fire")
+	err := capture(func() { ThrowHostErr(inner) })
+	if !errors.Is(err, inner) {
+		t.Errorf("wrapped error lost: %v", err)
+	}
+}
+
+func TestRecoverRepanicsForeignValues(t *testing.T) {
+	defer func() {
+		if r := recover(); r != "not a trap" {
+			t.Errorf("foreign panic swallowed: %v", r)
+		}
+	}()
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				_ = Recover(r) // must re-panic
+			}
+		}()
+		panic("not a trap")
+	}()
+	t.Error("unreachable")
+}
+
+func TestAllKindsHaveMessages(t *testing.T) {
+	for k := OutOfBounds; k <= HostError; k++ {
+		msg := (&Trap{Kind: k}).Error()
+		if strings.Contains(msg, "%!") || msg == "wasm trap: " {
+			t.Errorf("kind %d message %q", k, msg)
+		}
+	}
+}
+
+func capture(f func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = Recover(r)
+		}
+	}()
+	f()
+	return nil
+}

@@ -1,0 +1,707 @@
+package vmm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Prot is a page protection bit set.
+type Prot uint8
+
+// Protection bits.
+const (
+	ProtNone  Prot = 0
+	ProtRead  Prot = 1 << 0
+	ProtWrite Prot = 1 << 1
+	ProtRW    Prot = ProtRead | ProtWrite
+)
+
+func (p Prot) String() string {
+	switch p {
+	case ProtNone:
+		return "---"
+	case ProtRead:
+		return "r--"
+	case ProtWrite:
+		return "-w-"
+	case ProtRW:
+		return "rw-"
+	default:
+		return fmt.Sprintf("prot(%#x)", uint8(p))
+	}
+}
+
+// Page state bits stored per page (atomically).
+const (
+	pageCommitted uint32 = 1 << 2
+	pageProtMask  uint32 = 0x3
+)
+
+// Config models the kernel/hardware parameters of one simulated
+// machine. Costs are charged by busy-waiting while holding the same
+// locks the kernel would hold, so contention effects are real.
+type Config struct {
+	// PageSize is the base page size in bytes (default 4096).
+	PageSize uint64
+	// THPSize is the maximum transparent-huge-page size in bytes;
+	// 0 disables THP accounting. The paper observes 1 GiB on x86-64
+	// and 2 MiB on Armv8 (§4.3).
+	THPSize uint64
+	// ShootdownBase is the fixed cost of a TLB shootdown IPI
+	// broadcast, charged while holding the mmap lock.
+	ShootdownBase time.Duration
+	// ShootdownPerThread is the additional cost per active thread
+	// (each running CPU must acknowledge the IPI).
+	ShootdownPerThread time.Duration
+	// MprotectPerPage is the PTE-walk cost per page whose protection
+	// changes, charged while holding the mmap lock.
+	MprotectPerPage time.Duration
+	// MmapBase is the fixed cost of an mmap or munmap call under the
+	// mmap lock (VMA allocation, rbtree/maple-tree update).
+	MmapBase time.Duration
+}
+
+// DefaultConfig returns a configuration with Linux-like magnitudes
+// on a modern server: ~1 µs TLB shootdowns, ~4 ns/page PTE updates.
+func DefaultConfig() Config {
+	return Config{
+		PageSize:           4096,
+		THPSize:            0,
+		ShootdownBase:      1 * time.Microsecond,
+		ShootdownPerThread: 250 * time.Nanosecond,
+		MprotectPerPage:    4 * time.Nanosecond,
+		MmapBase:           600 * time.Nanosecond,
+	}
+}
+
+// Errors returned by address-space operations.
+var (
+	ErrNoMemory = errors.New("vmm: out of simulated address space")
+	ErrBadRange = errors.New("vmm: address range outside mapping")
+	ErrUnmapped = errors.New("vmm: mapping already unmapped")
+	ErrNotUffd  = errors.New("vmm: mapping not registered with userfaultfd")
+)
+
+// mmapBase is where simulated mappings start, mimicking the mmap
+// region of a Linux x86-64 process.
+const mmapBase = 0x7f00_0000_0000
+
+// AddressSpace simulates one process's virtual memory: a VMA tree
+// guarded by a single lock (the kernel's mmap_lock) plus global
+// accounting. All threads (worker goroutines) of a simulated process
+// share one AddressSpace; that sharing is the source of the
+// mprotect-strategy scaling pathology the paper analyzes.
+type AddressSpace struct {
+	cfg Config
+
+	mu       sync.Mutex // the mmap_lock
+	tree     vmaTree
+	nextAddr uint64
+	// freelist recycles backing slices by capacity to keep Go GC
+	// churn from dominating the simulated kernel costs. Guarded by mu
+	// (backing allocation is kernel work done under the lock).
+	freelist map[uint64][][]byte
+
+	threads  atomic.Int64 // active threads, for shootdown cost
+	resident atomic.Int64 // bytes the "kernel" counts as used
+	stats    Stats
+}
+
+// Stats aggregates syscall and fault counters. All fields are
+// updated atomically; read a consistent copy via Snapshot.
+type Stats struct {
+	MmapCalls     atomic.Int64
+	MunmapCalls   atomic.Int64
+	MprotectCalls atomic.Int64
+	MinorFaults   atomic.Int64 // first-touch anonymous faults
+	UffdFaults    atomic.Int64 // faults resolved through userfaultfd
+	SegvFaults    atomic.Int64 // faults delivered as SIGSEGV
+	Shootdowns    atomic.Int64
+	VMAsTouched   atomic.Int64
+	THPPromotions atomic.Int64
+	LockWaitNs    atomic.Int64 // time spent waiting for the mmap lock
+	LockHoldNs    atomic.Int64 // time spent holding the mmap lock
+	LockContended atomic.Int64 // acquisitions that had to wait
+}
+
+// StatsSnapshot is a plain-value copy of Stats.
+type StatsSnapshot struct {
+	MmapCalls, MunmapCalls, MprotectCalls int64
+	MinorFaults, UffdFaults, SegvFaults   int64
+	Shootdowns, VMAsTouched               int64
+	THPPromotions                         int64
+	LockWaitNs, LockHoldNs, LockContended int64
+	ResidentBytes                         int64
+	VMACount                              int
+}
+
+// New creates an address space with the given configuration,
+// applying defaults for zero fields.
+func New(cfg Config) *AddressSpace {
+	if cfg.PageSize == 0 {
+		cfg.PageSize = 4096
+	}
+	return &AddressSpace{
+		cfg:      cfg,
+		nextAddr: mmapBase,
+		freelist: make(map[uint64][][]byte),
+	}
+}
+
+// Config returns the address space's configuration.
+func (as *AddressSpace) Config() Config { return as.cfg }
+
+// AddThread records a thread entering the simulated process; TLB
+// shootdown costs scale with the number of active threads.
+func (as *AddressSpace) AddThread() { as.threads.Add(1) }
+
+// RemoveThread records a thread leaving the simulated process.
+func (as *AddressSpace) RemoveThread() { as.threads.Add(-1) }
+
+// Threads returns the current number of registered threads.
+func (as *AddressSpace) Threads() int64 { return as.threads.Load() }
+
+// lock acquires the mmap lock, recording wait time; the returned
+// release function records hold time.
+func (as *AddressSpace) lock() (release func()) {
+	t0 := time.Now()
+	as.mu.Lock()
+	t1 := time.Now()
+	wait := t1.Sub(t0)
+	as.stats.LockWaitNs.Add(wait.Nanoseconds())
+	// A waiting acquisition implies the thread blocked and was
+	// rescheduled: the context-switch proxy used when host counters
+	// are unavailable.
+	if wait > 500*time.Nanosecond {
+		as.stats.LockContended.Add(1)
+	}
+	return func() {
+		as.stats.LockHoldNs.Add(time.Since(t1).Nanoseconds())
+		as.mu.Unlock()
+	}
+}
+
+// spin busy-waits for d, simulating kernel work that cannot be
+// descheduled (it may be executed while holding the mmap lock).
+func spin(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	t0 := time.Now()
+	for time.Since(t0) < d {
+	}
+}
+
+// shootdownLocked charges a TLB shootdown while the caller holds the
+// mmap lock.
+func (as *AddressSpace) shootdownLocked() {
+	as.stats.Shootdowns.Add(1)
+	spin(as.cfg.ShootdownBase + time.Duration(as.threads.Load())*as.cfg.ShootdownPerThread)
+}
+
+// Mapping is one simulated mmap'd region. The virtual reservation
+// (Reserve bytes of address space) may exceed the backing prefix
+// (Backing bytes with page state and data) — WebAssembly runtimes
+// reserve the full 8 GiB addressable window but only the declared
+// memory maximum can ever be accessed.
+type Mapping struct {
+	as      *AddressSpace
+	addr    uint64
+	reserve uint64
+	backing uint64
+	data    []byte
+	pages   []atomic.Uint32 // per page of the backing prefix
+	thp     []atomic.Uint32 // per THP block of the reservation
+	uffd    atomic.Bool
+	dead    atomic.Bool
+}
+
+// Mmap reserves reserve bytes of address space with backing bytes of
+// accessible prefix at the given initial protection. prot applies to
+// the backing prefix; the remainder of the reservation is PROT_NONE
+// guard space.
+func (as *AddressSpace) Mmap(reserve, backing uint64, prot Prot) (*Mapping, error) {
+	if backing > reserve || backing == 0 {
+		return nil, fmt.Errorf("vmm: bad mmap sizes: reserve=%d backing=%d", reserve, backing)
+	}
+	ps := as.cfg.PageSize
+	reserve = roundUp(reserve, ps)
+	backing = roundUp(backing, ps)
+
+	release := as.lock()
+	defer release()
+
+	spin(as.cfg.MmapBase)
+	as.stats.MmapCalls.Add(1)
+
+	addr := as.tree.findGap(as.nextAddr, reserve)
+	m := &Mapping{
+		as:      as,
+		addr:    addr,
+		reserve: reserve,
+		backing: backing,
+		data:    as.takeBackingLocked(backing),
+		pages:   make([]atomic.Uint32, backing/ps),
+	}
+	if as.cfg.THPSize > 0 {
+		m.thp = make([]atomic.Uint32, (reserve+as.cfg.THPSize-1)/as.cfg.THPSize)
+	}
+	if err := as.tree.insert(&vma{start: addr, end: addr + backing, prot: prot, mapping: m}); err != nil {
+		return nil, err
+	}
+	if reserve > backing {
+		if err := as.tree.insert(&vma{start: addr + backing, end: addr + reserve, prot: ProtNone, mapping: m}); err != nil {
+			return nil, err
+		}
+	}
+	as.stats.VMAsTouched.Add(2)
+	for i := range m.pages {
+		m.pages[i].Store(uint32(prot))
+	}
+	return m, nil
+}
+
+// takeBackingLocked recycles or allocates a zeroed backing slice.
+func (as *AddressSpace) takeBackingLocked(n uint64) []byte {
+	if list := as.freelist[n]; len(list) > 0 {
+		b := list[len(list)-1]
+		as.freelist[n] = list[:len(list)-1]
+		return b
+	}
+	return make([]byte, n)
+}
+
+// Munmap removes the mapping, flushing TLBs and recycling backing.
+func (as *AddressSpace) Munmap(m *Mapping) error {
+	if m.dead.Swap(true) {
+		return ErrUnmapped
+	}
+	release := as.lock()
+	defer release()
+
+	spin(as.cfg.MmapBase)
+	as.stats.MunmapCalls.Add(1)
+
+	// Remove every node belonging to this mapping; mprotect may have
+	// split the original two into many.
+	var starts []uint64
+	as.tree.walk(func(v *vma) bool {
+		if v.mapping == m {
+			starts = append(starts, v.start)
+		}
+		return true
+	})
+	for _, s := range starts {
+		as.tree.remove(s)
+	}
+	as.stats.VMAsTouched.Add(int64(len(starts)))
+
+	// Return committed memory to the pool.
+	freed := int64(0)
+	ps := as.cfg.PageSize
+	for i := range m.pages {
+		if m.pages[i].Load()&pageCommitted != 0 {
+			freed += int64(ps)
+		}
+	}
+	if as.cfg.THPSize > 0 {
+		for i := range m.thp {
+			if m.thp[i].Load() != 0 {
+				freed += int64(as.cfg.THPSize) - int64(as.thpCommittedPages(m, i))*int64(ps)
+			}
+		}
+	}
+	as.resident.Add(-freed)
+
+	// Zero the slice before recycling: a new mmap must observe
+	// zero-filled pages, exactly as the kernel guarantees.
+	clear(m.data)
+	as.freelist[m.backing] = append(as.freelist[m.backing], m.data)
+	m.data = nil
+
+	as.shootdownLocked()
+	return nil
+}
+
+// thpCommittedPages counts committed base pages inside THP block i
+// (they were already accounted before the block promoted).
+func (as *AddressSpace) thpCommittedPages(m *Mapping, block int) int64 {
+	ps := as.cfg.PageSize
+	perBlock := as.cfg.THPSize / ps
+	start := uint64(block) * perBlock
+	end := min(start+perBlock, uint64(len(m.pages)))
+	var n int64
+	for p := start; p < end; p++ {
+		if m.pages[p].Load()&pageCommitted != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Mprotect changes the protection of [off, off+length) within the
+// mapping's backing prefix. Like the kernel implementation it takes
+// the process-wide mmap lock, splits and merges VMA nodes, walks the
+// affected PTEs and performs a TLB shootdown — all while holding the
+// lock. Setting ProtRW commits the pages (the runtime's grow path
+// relies on this, as mprotect-managed wasm memories do).
+func (m *Mapping) Mprotect(off, length uint64, prot Prot) error {
+	if m.dead.Load() {
+		return ErrUnmapped
+	}
+	as := m.as
+	ps := as.cfg.PageSize
+	off = roundDown(off, ps)
+	length = roundUp(length, ps)
+	if off+length > m.backing {
+		return fmt.Errorf("%w: mprotect [%d,%d) backing %d", ErrBadRange, off, off+length, m.backing)
+	}
+
+	release := as.lock()
+	defer release()
+
+	as.stats.MprotectCalls.Add(1)
+	touched, err := as.tree.protRange(m.addr+off, m.addr+off+length, prot)
+	if err != nil {
+		return err
+	}
+	as.stats.VMAsTouched.Add(int64(touched))
+
+	pages := length / ps
+	spin(time.Duration(pages) * as.cfg.MprotectPerPage)
+	first := off / ps
+	for p := first; p < first+pages; p++ {
+		old := m.pages[p].Load()
+		state := uint32(prot)
+		if prot&ProtWrite != 0 || old&pageCommitted != 0 {
+			state |= pageCommitted
+		}
+		m.pages[p].Store(state)
+		if old&pageCommitted == 0 && state&pageCommitted != 0 {
+			m.accountCommit(p)
+		}
+	}
+	as.shootdownLocked()
+	return nil
+}
+
+// accountCommit updates resident-set accounting for a newly
+// committed page, modelling transparent-huge-page promotion: the
+// first commit inside an eligible THP-aligned block causes the
+// kernel to back the whole block with a huge page, removing THPSize
+// bytes from the available pool (paper §4.3).
+func (m *Mapping) accountCommit(page uint64) {
+	as := m.as
+	ps := as.cfg.PageSize
+	if as.cfg.THPSize == 0 {
+		as.resident.Add(int64(ps))
+		return
+	}
+	block := page * ps / as.cfg.THPSize
+	blockEnd := (block + 1) * as.cfg.THPSize
+	if blockEnd <= m.reserve {
+		if m.thp[block].CompareAndSwap(0, 1) {
+			as.stats.THPPromotions.Add(1)
+			as.resident.Add(int64(as.cfg.THPSize))
+			return
+		}
+		if m.thp[block].Load() != 0 {
+			return // block already resident
+		}
+	}
+	as.resident.Add(int64(ps))
+}
+
+// FaultKind classifies a simulated page fault.
+type FaultKind int
+
+// Fault outcomes.
+const (
+	// FaultResolved: the page is present with sufficient permission;
+	// another thread fixed it first (spurious fault).
+	FaultResolved FaultKind = iota
+	// FaultSegv: access to a non-present or insufficiently protected
+	// page in a non-uffd region — delivered as SIGSEGV.
+	FaultSegv
+	// FaultUffd: missing page in a userfaultfd-registered region —
+	// delivered to the registered handler (SIGBUS mode).
+	FaultUffd
+)
+
+// Fault simulates the MMU/kernel fault path for an access at byte
+// offset off. It is lock-free: it reads the page state and the
+// mapping's uffd registration only.
+func (m *Mapping) Fault(off uint64, write bool) FaultKind {
+	if m.dead.Load() || off >= m.backing {
+		m.as.stats.SegvFaults.Add(1)
+		return FaultSegv
+	}
+	ps := m.as.cfg.PageSize
+	state := m.pages[off/ps].Load()
+	need := uint32(ProtRead)
+	if write {
+		need = uint32(ProtWrite)
+	}
+	if state&pageCommitted != 0 && state&need != 0 {
+		return FaultResolved
+	}
+	if m.uffd.Load() {
+		m.as.stats.UffdFaults.Add(1)
+		return FaultUffd
+	}
+	m.as.stats.SegvFaults.Add(1)
+	return FaultSegv
+}
+
+// RegisterUffd registers the mapping with the simulated userfaultfd.
+// Registration itself is a syscall taking the mmap lock briefly (as
+// UFFDIO_REGISTER does), but subsequent fault handling is lock-free.
+func (m *Mapping) RegisterUffd() error {
+	if m.dead.Load() {
+		return ErrUnmapped
+	}
+	release := m.as.lock()
+	spin(m.as.cfg.MmapBase)
+	release()
+	m.uffd.Store(true)
+	return nil
+}
+
+// UffdZeroPages resolves missing-page faults for [off, off+length)
+// by installing zero pages, as UFFDIO_ZEROPAGE does. Only per-page
+// atomic state is touched: the mmap lock is never taken, so
+// concurrent handlers on distinct pages proceed in parallel.
+func (m *Mapping) UffdZeroPages(off, length uint64) error {
+	if !m.uffd.Load() {
+		return ErrNotUffd
+	}
+	if m.dead.Load() {
+		return ErrUnmapped
+	}
+	ps := m.as.cfg.PageSize
+	off = roundDown(off, ps)
+	length = roundUp(length, ps)
+	if off+length > m.backing {
+		return fmt.Errorf("%w: uffd zero [%d,%d) backing %d", ErrBadRange, off, off+length, m.backing)
+	}
+	first := off / ps
+	for p := first; p < first+length/ps; p++ {
+		for {
+			old := m.pages[p].Load()
+			if old&pageCommitted != 0 {
+				break // another handler populated it
+			}
+			if m.pages[p].CompareAndSwap(old, uint32(ProtRW)|pageCommitted) {
+				m.accountCommit(p)
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// UffdDecommitPages releases committed pages in [off, off+length)
+// back to missing state, as MADV_DONTNEED/UFFDIO_UNREGISTER-based
+// arena recycling does. Lock-free: per-page CAS only. Pages inside a
+// promoted THP block stay accounted resident (the kernel does not
+// split huge pages eagerly); other pages return to the pool.
+func (m *Mapping) UffdDecommitPages(off, length uint64) error {
+	if !m.uffd.Load() {
+		return ErrNotUffd
+	}
+	if m.dead.Load() {
+		return ErrUnmapped
+	}
+	ps := m.as.cfg.PageSize
+	off = roundDown(off, ps)
+	length = roundUp(length, ps)
+	if off+length > m.backing {
+		return fmt.Errorf("%w: uffd decommit [%d,%d) backing %d", ErrBadRange, off, off+length, m.backing)
+	}
+	thp := m.as.cfg.THPSize
+	first := off / ps
+	for p := first; p < first+length/ps; p++ {
+		for {
+			old := m.pages[p].Load()
+			if old&pageCommitted == 0 {
+				break
+			}
+			if m.pages[p].CompareAndSwap(old, 0) {
+				inPromoted := false
+				if thp > 0 {
+					block := p * ps / thp
+					if int(block) < len(m.thp) && m.thp[block].Load() != 0 {
+						inPromoted = true
+					}
+				}
+				if !inPromoted {
+					m.as.resident.Add(-int64(ps))
+				}
+				break
+			}
+		}
+	}
+	// Demote huge pages whose base pages are now entirely absent:
+	// the kernel splits and frees THP-backed ranges on
+	// MADV_DONTNEED, so a fully-decommitted block returns to the
+	// pool.
+	if thp > 0 {
+		firstBlock := off / thp
+		lastBlock := (off + length - 1) / thp
+		for b := firstBlock; b <= lastBlock && int(b) < len(m.thp); b++ {
+			if m.thp[b].Load() == 0 {
+				continue
+			}
+			if m.as.thpCommittedPages(m, int(b)) == 0 &&
+				m.thp[b].CompareAndSwap(1, 0) {
+				m.as.resident.Add(-int64(thp))
+			}
+		}
+	}
+	return nil
+}
+
+// Touch simulates first-touch anonymous-memory faults for an
+// eagerly RW-mapped region: pages become committed without the mmap
+// lock (the kernel fault path takes it in shared mode only).
+func (m *Mapping) Touch(off, length uint64) error {
+	if m.dead.Load() {
+		return ErrUnmapped
+	}
+	ps := m.as.cfg.PageSize
+	off = roundDown(off, ps)
+	length = roundUp(length, ps)
+	if off+length > m.backing {
+		return fmt.Errorf("%w: touch [%d,%d) backing %d", ErrBadRange, off, off+length, m.backing)
+	}
+	first := off / ps
+	for p := first; p < first+length/ps; p++ {
+		for {
+			old := m.pages[p].Load()
+			if old&pageCommitted != 0 {
+				break
+			}
+			if old&uint32(ProtWrite) == 0 {
+				return fmt.Errorf("%w: touch of non-writable page %d", ErrBadRange, p)
+			}
+			if m.pages[p].CompareAndSwap(old, old|pageCommitted) {
+				m.as.stats.MinorFaults.Add(1)
+				m.accountCommit(p)
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// CheckAccess verifies that [off, off+n) is accessible with the
+// given mode according to page state. Used by the engines'
+// verification mode and by tests; the fast path of execution does
+// not call it.
+func (m *Mapping) CheckAccess(off, n uint64, write bool) error {
+	if m.dead.Load() {
+		return ErrUnmapped
+	}
+	if off+n > m.backing || off+n < off {
+		return fmt.Errorf("%w: access [%d,%d)", ErrBadRange, off, off+n)
+	}
+	ps := m.as.cfg.PageSize
+	need := uint32(ProtRead) | pageCommitted
+	if write {
+		need = uint32(ProtWrite) | pageCommitted
+	}
+	for p := off / ps; p <= (off+n-1)/ps; p++ {
+		if state := m.pages[p].Load(); state&need != need {
+			return fmt.Errorf("vmm: page %d not accessible (state %#x, need %#x)", p, state, need)
+		}
+	}
+	return nil
+}
+
+// Munmap removes this mapping from its address space.
+func (m *Mapping) Munmap() error { return m.as.Munmap(m) }
+
+// PageSize returns the base page size of the owning address space.
+func (m *Mapping) PageSize() uint64 { return m.as.cfg.PageSize }
+
+// CommittedPrefix returns the length in bytes of the contiguous
+// committed run starting at byte offset from (which must be
+// page-aligned or is rounded down), measured from offset zero: the
+// returned value is the smallest offset >= from whose page is not
+// committed, capped at the backing length.
+func (m *Mapping) CommittedPrefix(from uint64) uint64 {
+	ps := m.as.cfg.PageSize
+	p := from / ps
+	for p < uint64(len(m.pages)) && m.pages[p].Load()&pageCommitted != 0 {
+		p++
+	}
+	return min(p*ps, m.backing)
+}
+
+// Data returns the backing bytes of the accessible prefix. Callers
+// (the linear-memory layer) enforce their own bounds discipline; the
+// simulated MMU state is advisory for them exactly as real page
+// tables are invisible to generated code.
+func (m *Mapping) Data() []byte { return m.data }
+
+// Addr returns the simulated base address.
+func (m *Mapping) Addr() uint64 { return m.addr }
+
+// Reserve returns the reserved (virtual) length in bytes.
+func (m *Mapping) Reserve() uint64 { return m.reserve }
+
+// Backing returns the accessible prefix length in bytes.
+func (m *Mapping) Backing() uint64 { return m.backing }
+
+// Dead reports whether the mapping has been unmapped.
+func (m *Mapping) Dead() bool { return m.dead.Load() }
+
+// CommittedBytes counts committed base pages (ignoring THP blocks).
+func (m *Mapping) CommittedBytes() uint64 {
+	var n uint64
+	for i := range m.pages {
+		if m.pages[i].Load()&pageCommitted != 0 {
+			n += m.as.cfg.PageSize
+		}
+	}
+	return n
+}
+
+// ResidentBytes returns the simulated process resident-set size.
+func (as *AddressSpace) ResidentBytes() int64 { return as.resident.Load() }
+
+// Snapshot returns a copy of all counters.
+func (as *AddressSpace) Snapshot() StatsSnapshot {
+	as.mu.Lock()
+	vmaCount := as.tree.count
+	as.mu.Unlock()
+	return StatsSnapshot{
+		MmapCalls:     as.stats.MmapCalls.Load(),
+		MunmapCalls:   as.stats.MunmapCalls.Load(),
+		MprotectCalls: as.stats.MprotectCalls.Load(),
+		MinorFaults:   as.stats.MinorFaults.Load(),
+		UffdFaults:    as.stats.UffdFaults.Load(),
+		SegvFaults:    as.stats.SegvFaults.Load(),
+		Shootdowns:    as.stats.Shootdowns.Load(),
+		VMAsTouched:   as.stats.VMAsTouched.Load(),
+		THPPromotions: as.stats.THPPromotions.Load(),
+		LockWaitNs:    as.stats.LockWaitNs.Load(),
+		LockHoldNs:    as.stats.LockHoldNs.Load(),
+		LockContended: as.stats.LockContended.Load(),
+		ResidentBytes: as.resident.Load(),
+		VMACount:      vmaCount,
+	}
+}
+
+// CheckInvariants validates the VMA tree; used by tests.
+func (as *AddressSpace) CheckInvariants() error {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	return as.tree.checkInvariants()
+}
+
+func roundUp(v, to uint64) uint64   { return (v + to - 1) / to * to }
+func roundDown(v, to uint64) uint64 { return v / to * to }

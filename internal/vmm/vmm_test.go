@@ -1,0 +1,458 @@
+package vmm
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func testAS() *AddressSpace {
+	cfg := DefaultConfig()
+	// Zero simulated costs so unit tests run fast.
+	cfg.ShootdownBase = 0
+	cfg.ShootdownPerThread = 0
+	cfg.MprotectPerPage = 0
+	cfg.MmapBase = 0
+	return New(cfg)
+}
+
+func TestMmapBasic(t *testing.T) {
+	as := testAS()
+	m, err := as.Mmap(1<<20, 1<<16, ProtRW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Reserve() != 1<<20 || m.Backing() != 1<<16 {
+		t.Errorf("sizes: reserve=%d backing=%d", m.Reserve(), m.Backing())
+	}
+	if len(m.Data()) != 1<<16 {
+		t.Errorf("data length %d", len(m.Data()))
+	}
+	if err := as.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+	if got := as.Snapshot().VMACount; got != 2 {
+		t.Errorf("VMA count %d, want 2 (backing + guard)", got)
+	}
+	if err := as.Munmap(m); err != nil {
+		t.Fatal(err)
+	}
+	if got := as.Snapshot().VMACount; got != 0 {
+		t.Errorf("VMA count after munmap %d, want 0", got)
+	}
+}
+
+func TestMmapNonOverlapping(t *testing.T) {
+	as := testAS()
+	var maps []*Mapping
+	for i := 0; i < 10; i++ {
+		m, err := as.Mmap(1<<20, 1<<16, ProtNone)
+		if err != nil {
+			t.Fatal(err)
+		}
+		maps = append(maps, m)
+	}
+	seen := map[uint64]bool{}
+	for _, m := range maps {
+		if seen[m.Addr()] {
+			t.Fatalf("duplicate address %#x", m.Addr())
+		}
+		seen[m.Addr()] = true
+	}
+	if err := as.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+	// Unmap every other mapping, then map again into the holes.
+	for i := 0; i < 10; i += 2 {
+		if err := as.Munmap(maps[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := as.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+	if _, err := as.Mmap(1<<20, 1<<16, ProtNone); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMunmapTwice(t *testing.T) {
+	as := testAS()
+	m, err := as.Mmap(1<<16, 1<<16, ProtRW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := as.Munmap(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.Munmap(m); err != ErrUnmapped {
+		t.Errorf("second munmap: got %v, want ErrUnmapped", err)
+	}
+}
+
+func TestMprotectCommitsPages(t *testing.T) {
+	as := testAS()
+	m, err := as.Mmap(1<<20, 1<<20, ProtNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CheckAccess(0, 8, false); err == nil {
+		t.Error("expected PROT_NONE page to be inaccessible")
+	}
+	if err := m.Mprotect(0, 8192, ProtRW); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CheckAccess(0, 8192, true); err != nil {
+		t.Errorf("after mprotect: %v", err)
+	}
+	if err := m.CheckAccess(8192, 8, false); err == nil {
+		t.Error("page beyond mprotected range should be inaccessible")
+	}
+	if got := m.CommittedBytes(); got != 8192 {
+		t.Errorf("committed %d, want 8192", got)
+	}
+	if err := as.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMprotectSplitsAndMergesVMAs(t *testing.T) {
+	as := testAS()
+	m, err := as.Mmap(1<<20, 1<<20, ProtNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Protect a hole in the middle: expect splits.
+	if err := m.Mprotect(16384, 4096, ProtRW); err != nil {
+		t.Fatal(err)
+	}
+	before := as.Snapshot().VMACount
+	if before < 3 {
+		t.Errorf("VMA count %d after split, want >= 3", before)
+	}
+	// Restore: adjacent same-prot VMAs must merge back into the
+	// single original PROT_NONE area (reserve == backing here).
+	if err := m.Mprotect(16384, 4096, ProtNone); err != nil {
+		t.Fatal(err)
+	}
+	after := as.Snapshot().VMACount
+	if after != 1 {
+		t.Errorf("VMA count %d after merge, want 1", after)
+	}
+	if err := as.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMprotectOutOfRange(t *testing.T) {
+	as := testAS()
+	m, err := as.Mmap(1<<20, 1<<16, ProtNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Mprotect(0, 1<<17, ProtRW); err == nil {
+		t.Error("mprotect beyond backing should fail")
+	}
+}
+
+func TestFaultKinds(t *testing.T) {
+	as := testAS()
+	m, err := as.Mmap(1<<20, 1<<20, ProtNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind := m.Fault(0, true); kind != FaultSegv {
+		t.Errorf("fault on PROT_NONE: got %v, want FaultSegv", kind)
+	}
+	if err := m.RegisterUffd(); err != nil {
+		t.Fatal(err)
+	}
+	if kind := m.Fault(0, true); kind != FaultUffd {
+		t.Errorf("fault on uffd region: got %v, want FaultUffd", kind)
+	}
+	if err := m.UffdZeroPages(0, 4096); err != nil {
+		t.Fatal(err)
+	}
+	if kind := m.Fault(0, true); kind != FaultResolved {
+		t.Errorf("fault on populated page: got %v, want FaultResolved", kind)
+	}
+	// Beyond backing is always SIGSEGV.
+	if kind := m.Fault(1<<21, false); kind != FaultSegv {
+		t.Errorf("fault beyond backing: got %v, want FaultSegv", kind)
+	}
+	snap := as.Snapshot()
+	if snap.UffdFaults != 1 || snap.SegvFaults != 2 {
+		t.Errorf("fault counters: uffd=%d segv=%d", snap.UffdFaults, snap.SegvFaults)
+	}
+}
+
+func TestUffdZeroWithoutRegistration(t *testing.T) {
+	as := testAS()
+	m, err := as.Mmap(1<<16, 1<<16, ProtNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.UffdZeroPages(0, 4096); err != ErrNotUffd {
+		t.Errorf("got %v, want ErrNotUffd", err)
+	}
+}
+
+func TestTouchRequiresWritable(t *testing.T) {
+	as := testAS()
+	m, err := as.Mmap(1<<16, 1<<16, ProtNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Touch(0, 4096); err == nil {
+		t.Error("touch of PROT_NONE should fail")
+	}
+	m2, err := as.Mmap(1<<16, 1<<16, ProtRW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Touch(0, 8192); err != nil {
+		t.Fatal(err)
+	}
+	if got := m2.CommittedBytes(); got != 8192 {
+		t.Errorf("committed %d, want 8192", got)
+	}
+	if as.Snapshot().MinorFaults != 2 {
+		t.Errorf("minor faults %d, want 2", as.Snapshot().MinorFaults)
+	}
+}
+
+func TestResidentAccountingNoTHP(t *testing.T) {
+	as := testAS()
+	m, err := as.Mmap(1<<20, 1<<20, ProtRW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Touch(0, 3*4096); err != nil {
+		t.Fatal(err)
+	}
+	if got := as.ResidentBytes(); got != 3*4096 {
+		t.Errorf("resident %d, want %d", got, 3*4096)
+	}
+	if err := as.Munmap(m); err != nil {
+		t.Fatal(err)
+	}
+	if got := as.ResidentBytes(); got != 0 {
+		t.Errorf("resident after munmap %d, want 0", got)
+	}
+}
+
+func TestTHPPromotion(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ShootdownBase, cfg.ShootdownPerThread, cfg.MprotectPerPage, cfg.MmapBase = 0, 0, 0, 0
+	cfg.THPSize = 2 << 20 // 2 MiB blocks, as on Armv8
+	as := New(cfg)
+	// Reserve 8 MiB (4 blocks), back 4 MiB.
+	m, err := as.Mmap(8<<20, 4<<20, ProtRW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One touched page promotes one whole 2 MiB block.
+	if err := m.Touch(0, 4096); err != nil {
+		t.Fatal(err)
+	}
+	if got := as.ResidentBytes(); got != 2<<20 {
+		t.Errorf("resident %d, want %d (one THP block)", got, 2<<20)
+	}
+	// More pages in the same block add nothing.
+	if err := m.Touch(4096, 64*4096); err != nil {
+		t.Fatal(err)
+	}
+	if got := as.ResidentBytes(); got != 2<<20 {
+		t.Errorf("resident %d, want unchanged %d", got, 2<<20)
+	}
+	// A page in the next block promotes another block.
+	if err := m.Touch(2<<20, 4096); err != nil {
+		t.Fatal(err)
+	}
+	if got := as.ResidentBytes(); got != 4<<20 {
+		t.Errorf("resident %d, want %d", got, 4<<20)
+	}
+	if as.Snapshot().THPPromotions != 2 {
+		t.Errorf("promotions %d, want 2", as.Snapshot().THPPromotions)
+	}
+	if err := as.Munmap(m); err != nil {
+		t.Fatal(err)
+	}
+	if got := as.ResidentBytes(); got != 0 {
+		t.Errorf("resident after munmap %d, want 0", got)
+	}
+}
+
+func TestTHPLargeBlocksIncreaseResident(t *testing.T) {
+	// The Fig. 6 effect: with x86-style 1 GiB THP blocks a small
+	// working set reports far more resident memory than with 2 MiB
+	// blocks, for the same accesses.
+	resident := func(thp uint64) int64 {
+		cfg := DefaultConfig()
+		cfg.ShootdownBase, cfg.ShootdownPerThread, cfg.MprotectPerPage, cfg.MmapBase = 0, 0, 0, 0
+		cfg.THPSize = thp
+		as := New(cfg)
+		m, err := as.Mmap(8<<30, 16<<20, ProtRW) // 8 GiB reservation
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Touch(0, 4<<20); err != nil { // 4 MiB working set
+			t.Fatal(err)
+		}
+		return as.ResidentBytes()
+	}
+	x86 := resident(1 << 30)
+	arm := resident(2 << 20)
+	if x86 <= arm {
+		t.Errorf("x86 resident %d should exceed arm resident %d", x86, arm)
+	}
+	if x86 != 1<<30 {
+		t.Errorf("x86 resident %d, want one 1 GiB block", x86)
+	}
+	if arm != 4<<20 {
+		t.Errorf("arm resident %d, want 4 MiB of 2 MiB blocks", arm)
+	}
+}
+
+func TestUffdConcurrentPopulation(t *testing.T) {
+	as := testAS()
+	m, err := as.Mmap(16<<20, 16<<20, ProtNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RegisterUffd(); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for i := 0; i < 2000; i++ {
+				off := uint64(r.Intn(4096)) * 4096
+				if err := m.UffdZeroPages(off, 4096); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	// Every page committed exactly once: resident equals committed.
+	if got, want := as.ResidentBytes(), int64(m.CommittedBytes()); got != want {
+		t.Errorf("resident %d != committed %d", got, want)
+	}
+}
+
+func TestConcurrentMmapMunmap(t *testing.T) {
+	as := testAS()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				m, err := as.Mmap(1<<20, 1<<16, ProtNone)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if err := m.Mprotect(0, 1<<16, ProtRW); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := as.Munmap(m); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := as.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+	if got := as.Snapshot().VMACount; got != 0 {
+		t.Errorf("VMA count %d after all munmaps, want 0", got)
+	}
+	if got := as.ResidentBytes(); got != 0 {
+		t.Errorf("resident %d, want 0", got)
+	}
+}
+
+func TestZeroOnReuse(t *testing.T) {
+	as := testAS()
+	m, err := as.Mmap(1<<16, 1<<16, ProtRW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Data()[123] = 42
+	if err := as.Munmap(m); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := as.Mmap(1<<16, 1<<16, ProtRW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Data()[123] != 0 {
+		t.Error("recycled mapping must be zero-filled")
+	}
+}
+
+// TestVMATreeRandomOps drives the tree through random mprotect
+// patterns and checks invariants via testing/quick.
+func TestVMATreeRandomOps(t *testing.T) {
+	f := func(ops []uint16) bool {
+		as := testAS()
+		m, err := as.Mmap(1<<22, 1<<22, ProtNone)
+		if err != nil {
+			return false
+		}
+		prots := []Prot{ProtNone, ProtRead, ProtRW}
+		for i, op := range ops {
+			page := uint64(op % 1024)
+			length := uint64(op%7+1) * 4096
+			if page*4096+length > 1<<22 {
+				continue
+			}
+			if err := m.Mprotect(page*4096, length, prots[i%3]); err != nil {
+				t.Logf("mprotect: %v", err)
+				return false
+			}
+			if err := as.CheckInvariants(); err != nil {
+				t.Logf("invariants: %v", err)
+				return false
+			}
+		}
+		return as.Munmap(m) == nil && as.CheckInvariants() == nil
+	}
+	cfg := &quick.Config{MaxCount: 30}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFindGapReusesHoles(t *testing.T) {
+	as := testAS()
+	a, _ := as.Mmap(1<<16, 1<<16, ProtNone)
+	b, _ := as.Mmap(1<<16, 1<<16, ProtNone)
+	c, _ := as.Mmap(1<<16, 1<<16, ProtNone)
+	_ = a
+	_ = c
+	addr := b.Addr()
+	if err := as.Munmap(b); err != nil {
+		t.Fatal(err)
+	}
+	d, err := as.Mmap(1<<16, 1<<16, ProtNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Addr() != addr {
+		t.Errorf("new mapping at %#x, want reuse of hole at %#x", d.Addr(), addr)
+	}
+}

@@ -1,0 +1,250 @@
+// Package wasi implements the subset of the WebAssembly System
+// Interface (WASI preview 1) that the paper's workloads and the
+// example programs need: console output, clocks, randomness,
+// program arguments, environment, and process exit. The paper's
+// runtimes all target WASI rather than browser APIs (§3.2).
+package wasi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"leapsandbounds/internal/core"
+	"leapsandbounds/internal/wasm"
+)
+
+// WASI errno values (subset).
+const (
+	errnoSuccess uint32 = 0
+	errnoBadf    uint32 = 8
+	errnoInval   uint32 = 28
+	errnoNosys   uint32 = 52
+)
+
+// ExitError is returned from Invoke when the guest calls proc_exit.
+type ExitError struct {
+	Code uint32
+}
+
+func (e *ExitError) Error() string {
+	return fmt.Sprintf("wasi: proc_exit(%d)", e.Code)
+}
+
+// Env is the host-side WASI state for one instance.
+type Env struct {
+	Args    []string
+	Environ []string
+	Stdout  io.Writer
+	Stderr  io.Writer
+	// Now returns the wall-clock time; defaults to time.Now. Tests
+	// substitute a deterministic clock.
+	Now func() time.Time
+	// Rand is the random_get source; defaults to a fixed-seed PRNG
+	// so runs are reproducible.
+	Rand *rand.Rand
+
+	start time.Time
+}
+
+// NewEnv returns an Env with deterministic defaults writing to the
+// given stdout/stderr.
+func NewEnv(stdout, stderr io.Writer) *Env {
+	if stdout == nil {
+		stdout = io.Discard
+	}
+	if stderr == nil {
+		stderr = io.Discard
+	}
+	return &Env{
+		Stdout: stdout,
+		Stderr: stderr,
+		Now:    time.Now,
+		Rand:   rand.New(rand.NewSource(0x1eaf5)),
+		start:  time.Now(),
+	}
+}
+
+// Imports returns the wasi_snapshot_preview1 import table bound to
+// this environment.
+func (e *Env) Imports() core.Imports {
+	i32 := wasm.I32
+	i64 := wasm.I64
+	ft := func(params []wasm.ValueType, results ...wasm.ValueType) wasm.FuncType {
+		return wasm.FuncType{Params: params, Results: results}
+	}
+	mod := map[string]core.HostFunc{
+		"fd_write": {
+			Type: ft([]wasm.ValueType{i32, i32, i32, i32}, i32),
+			Fn:   e.fdWrite,
+		},
+		"fd_read": {
+			Type: ft([]wasm.ValueType{i32, i32, i32, i32}, i32),
+			Fn: func(hc *core.HostContext, args []uint64) (uint64, error) {
+				// No stdin: report zero bytes read.
+				hc.Mem.StoreU32(uint64(uint32(args[3])), 0)
+				return uint64(errnoSuccess), nil
+			},
+		},
+		"fd_close": {
+			Type: ft([]wasm.ValueType{i32}, i32),
+			Fn: func(hc *core.HostContext, args []uint64) (uint64, error) {
+				return uint64(errnoSuccess), nil
+			},
+		},
+		"fd_seek": {
+			Type: ft([]wasm.ValueType{i32, i64, i32, i32}, i32),
+			Fn: func(hc *core.HostContext, args []uint64) (uint64, error) {
+				return uint64(errnoNosys), nil
+			},
+		},
+		"fd_fdstat_get": {
+			Type: ft([]wasm.ValueType{i32, i32}, i32),
+			Fn: func(hc *core.HostContext, args []uint64) (uint64, error) {
+				fd := uint32(args[0])
+				if fd > 2 {
+					return uint64(errnoBadf), nil
+				}
+				buf := uint64(uint32(args[1]))
+				// filetype = character_device, zero flags/rights.
+				hc.Mem.Fill(buf, 0, 24)
+				hc.Mem.StoreU8(buf, 2)
+				return uint64(errnoSuccess), nil
+			},
+		},
+		"proc_exit": {
+			Type: ft([]wasm.ValueType{i32}),
+			Fn: func(hc *core.HostContext, args []uint64) (uint64, error) {
+				return 0, &ExitError{Code: uint32(args[0])}
+			},
+		},
+		"clock_time_get": {
+			Type: ft([]wasm.ValueType{i32, i64, i32}, i32),
+			Fn:   e.clockTimeGet,
+		},
+		"random_get": {
+			Type: ft([]wasm.ValueType{i32, i32}, i32),
+			Fn:   e.randomGet,
+		},
+		"args_sizes_get": {
+			Type: ft([]wasm.ValueType{i32, i32}, i32),
+			Fn: func(hc *core.HostContext, args []uint64) (uint64, error) {
+				return e.sizes(hc, e.Args, args)
+			},
+		},
+		"args_get": {
+			Type: ft([]wasm.ValueType{i32, i32}, i32),
+			Fn: func(hc *core.HostContext, args []uint64) (uint64, error) {
+				return e.vector(hc, e.Args, args)
+			},
+		},
+		"environ_sizes_get": {
+			Type: ft([]wasm.ValueType{i32, i32}, i32),
+			Fn: func(hc *core.HostContext, args []uint64) (uint64, error) {
+				return e.sizes(hc, e.Environ, args)
+			},
+		},
+		"environ_get": {
+			Type: ft([]wasm.ValueType{i32, i32}, i32),
+			Fn: func(hc *core.HostContext, args []uint64) (uint64, error) {
+				return e.vector(hc, e.Environ, args)
+			},
+		},
+		"sched_yield": {
+			Type: ft(nil, i32),
+			Fn: func(hc *core.HostContext, args []uint64) (uint64, error) {
+				return uint64(errnoSuccess), nil
+			},
+		},
+	}
+	return core.Imports{"wasi_snapshot_preview1": mod}
+}
+
+// fdWrite implements fd_write(fd, iovs, iovsLen, nwrittenPtr).
+func (e *Env) fdWrite(hc *core.HostContext, args []uint64) (uint64, error) {
+	fd := uint32(args[0])
+	var w io.Writer
+	switch fd {
+	case 1:
+		w = e.Stdout
+	case 2:
+		w = e.Stderr
+	default:
+		return uint64(errnoBadf), nil
+	}
+	iovs := uint64(uint32(args[1]))
+	n := uint32(args[2])
+	total := uint32(0)
+	for i := uint32(0); i < n; i++ {
+		ptr := hc.Mem.LoadU32(iovs + uint64(i)*8)
+		length := hc.Mem.LoadU32(iovs + uint64(i)*8 + 4)
+		if length == 0 {
+			continue
+		}
+		buf := hc.Mem.Bytes(uint64(ptr), uint64(length), false)
+		written, err := w.Write(buf)
+		total += uint32(written)
+		if err != nil {
+			break
+		}
+	}
+	hc.Mem.StoreU32(uint64(uint32(args[3])), total)
+	return uint64(errnoSuccess), nil
+}
+
+// clockTimeGet implements clock_time_get(id, precision, resultPtr).
+func (e *Env) clockTimeGet(hc *core.HostContext, args []uint64) (uint64, error) {
+	var ns uint64
+	switch uint32(args[0]) {
+	case 0: // realtime
+		ns = uint64(e.Now().UnixNano())
+	case 1: // monotonic
+		ns = uint64(e.Now().Sub(e.start))
+	default:
+		return uint64(errnoInval), nil
+	}
+	hc.Mem.StoreU64(uint64(uint32(args[2])), ns)
+	return uint64(errnoSuccess), nil
+}
+
+// randomGet implements random_get(ptr, len).
+func (e *Env) randomGet(hc *core.HostContext, args []uint64) (uint64, error) {
+	ptr := uint64(uint32(args[0]))
+	n := uint64(uint32(args[1]))
+	if n == 0 {
+		return uint64(errnoSuccess), nil
+	}
+	buf := hc.Mem.Bytes(ptr, n, true)
+	var scratch [8]byte
+	for i := 0; i < len(buf); i += 8 {
+		binary.LittleEndian.PutUint64(scratch[:], e.Rand.Uint64())
+		copy(buf[i:], scratch[:])
+	}
+	return uint64(errnoSuccess), nil
+}
+
+// sizes implements {args,environ}_sizes_get.
+func (e *Env) sizes(hc *core.HostContext, list []string, args []uint64) (uint64, error) {
+	total := 0
+	for _, s := range list {
+		total += len(s) + 1
+	}
+	hc.Mem.StoreU32(uint64(uint32(args[0])), uint32(len(list)))
+	hc.Mem.StoreU32(uint64(uint32(args[1])), uint32(total))
+	return uint64(errnoSuccess), nil
+}
+
+// vector implements {args,environ}_get: pointers then packed NUL-
+// terminated strings.
+func (e *Env) vector(hc *core.HostContext, list []string, args []uint64) (uint64, error) {
+	ptrs := uint64(uint32(args[0]))
+	buf := uint64(uint32(args[1]))
+	for i, s := range list {
+		hc.Mem.StoreU32(ptrs+uint64(i)*4, uint32(buf))
+		hc.Mem.WriteAt(buf, append([]byte(s), 0))
+		buf += uint64(len(s)) + 1
+	}
+	return uint64(errnoSuccess), nil
+}

@@ -1,0 +1,158 @@
+package wasi_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"leapsandbounds/internal/compiled"
+	"leapsandbounds/internal/core"
+	"leapsandbounds/internal/isa"
+	"leapsandbounds/internal/wasi"
+	"leapsandbounds/internal/wasm"
+	g "leapsandbounds/internal/wasmgen"
+)
+
+// helloModule builds a module that writes a string via fd_write and
+// then exits with code 7.
+func helloModule(t *testing.T) *wasm.Module {
+	t.Helper()
+	mb := g.NewModule()
+	fdWrite := mb.ImportFunc("wasi_snapshot_preview1", "fd_write",
+		[]wasm.ValueType{wasm.I32, wasm.I32, wasm.I32, wasm.I32}, []wasm.ValueType{wasm.I32})
+	procExit := mb.ImportFunc("wasi_snapshot_preview1", "proc_exit",
+		[]wasm.ValueType{wasm.I32}, nil)
+	mb.Memory(1, 2)
+	const msg = "hello, wasi\n"
+	mb.Data(64, []byte(msg))
+
+	f := mb.Func("_start")
+	f.Body(
+		// iovec at 0: ptr=64, len=len(msg)
+		g.StoreI32(g.I32(0), 0, g.I32(64)),
+		g.StoreI32(g.I32(4), 0, g.I32(int32(len(msg)))),
+		g.Drop(g.Call(fdWrite, g.I32(1), g.I32(0), g.I32(1), g.I32(16))),
+		g.CallS(procExit, g.I32(7)),
+	)
+	mb.Export("_start", f)
+	m, err := mb.Module()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestFdWriteAndProcExit(t *testing.T) {
+	m := helloModule(t)
+	cm, err := compiled.NewWAVM().Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	env := wasi.NewEnv(&out, nil)
+	inst, err := cm.Instantiate(core.Config{Profile: isa.X86_64()}, env.Imports())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Close()
+	_, err = inst.Invoke("_start")
+	var exit *wasi.ExitError
+	if !errors.As(err, &exit) {
+		t.Fatalf("want ExitError, got %v", err)
+	}
+	if exit.Code != 7 {
+		t.Errorf("exit code %d, want 7", exit.Code)
+	}
+	if out.String() != "hello, wasi\n" {
+		t.Errorf("stdout %q", out.String())
+	}
+}
+
+func TestClockRandomArgs(t *testing.T) {
+	mb := g.NewModule()
+	clock := mb.ImportFunc("wasi_snapshot_preview1", "clock_time_get",
+		[]wasm.ValueType{wasm.I32, wasm.I64, wasm.I32}, []wasm.ValueType{wasm.I32})
+	random := mb.ImportFunc("wasi_snapshot_preview1", "random_get",
+		[]wasm.ValueType{wasm.I32, wasm.I32}, []wasm.ValueType{wasm.I32})
+	argsSizes := mb.ImportFunc("wasi_snapshot_preview1", "args_sizes_get",
+		[]wasm.ValueType{wasm.I32, wasm.I32}, []wasm.ValueType{wasm.I32})
+	argsGet := mb.ImportFunc("wasi_snapshot_preview1", "args_get",
+		[]wasm.ValueType{wasm.I32, wasm.I32}, []wasm.ValueType{wasm.I32})
+	mb.Memory(1, 2)
+
+	f := mb.Func("probe", wasm.I64)
+	f.Body(
+		g.Drop(g.Call(clock, g.I32(0), g.I64(0), g.I32(0))), // realtime at 0
+		g.Drop(g.Call(random, g.I32(8), g.I32(8))),          // 8 random bytes at 8
+		g.Drop(g.Call(argsSizes, g.I32(16), g.I32(20))),     // argc at 16, len at 20
+		g.Drop(g.Call(argsGet, g.I32(24), g.I32(64))),       // ptrs at 24, data at 64
+		g.Return(g.LoadI64(g.I32(0), 0)),                    // the timestamp
+	)
+	mb.Export("probe", f)
+	m, err := mb.Module()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, err := compiled.NewWasmtime().Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := wasi.NewEnv(nil, nil)
+	env.Args = []string{"prog", "arg1"}
+	fixed := time.Unix(1_700_000_000, 42)
+	env.Now = func() time.Time { return fixed }
+	inst, err := cm.Instantiate(core.Config{Profile: isa.X86_64()}, env.Imports())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Close()
+	res, err := inst.Invoke("probe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(res[0]) != fixed.UnixNano() {
+		t.Errorf("clock = %d, want %d", res[0], fixed.UnixNano())
+	}
+	mem := inst.Memory()
+	if mem.LoadU64(8) == 0 {
+		t.Error("random_get wrote nothing")
+	}
+	if argc := mem.LoadU32(16); argc != 2 {
+		t.Errorf("argc = %d", argc)
+	}
+	// args_get packs "prog\0arg1\0" at 64.
+	got := string(mem.Bytes(64, 10, false))
+	if got != "prog\x00arg1\x00" {
+		t.Errorf("args data %q", got)
+	}
+}
+
+func TestFdWriteBadFd(t *testing.T) {
+	mb := g.NewModule()
+	fdWrite := mb.ImportFunc("wasi_snapshot_preview1", "fd_write",
+		[]wasm.ValueType{wasm.I32, wasm.I32, wasm.I32, wasm.I32}, []wasm.ValueType{wasm.I32})
+	mb.Memory(1, 2)
+	f := mb.Func("w", wasm.I32)
+	fd := f.ParamI32("fd")
+	f.Body(g.Return(g.Call(fdWrite, g.Get(fd), g.I32(0), g.I32(0), g.I32(8))))
+	mb.Export("w", f)
+	m, err := mb.Module()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, _ := compiled.NewWAVM().Compile(m)
+	env := wasi.NewEnv(nil, nil)
+	inst, err := cm.Instantiate(core.Config{Profile: isa.X86_64()}, env.Imports())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Close()
+	res, err := inst.Invoke("w", 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] != 8 { // errnoBadf
+		t.Errorf("errno = %d, want 8 (badf)", res[0])
+	}
+}

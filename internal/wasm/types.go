@@ -1,0 +1,155 @@
+package wasm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ValueType is one of WebAssembly's four primitive value types.
+type ValueType byte
+
+// Value types as encoded in the binary format.
+const (
+	I32 ValueType = 0x7f
+	I64 ValueType = 0x7e
+	F32 ValueType = 0x7d
+	F64 ValueType = 0x7c
+	// Funcref is the only reference type in the MVP; it may appear
+	// exclusively as a table element type.
+	Funcref ValueType = 0x70
+)
+
+func (t ValueType) String() string {
+	switch t {
+	case I32:
+		return "i32"
+	case I64:
+		return "i64"
+	case F32:
+		return "f32"
+	case F64:
+		return "f64"
+	case Funcref:
+		return "funcref"
+	default:
+		return fmt.Sprintf("valuetype(0x%02x)", byte(t))
+	}
+}
+
+// Valid reports whether t is a numeric value type.
+func (t ValueType) Valid() bool {
+	return t == I32 || t == I64 || t == F32 || t == F64
+}
+
+// FuncType is a function signature. The MVP allows at most one result.
+type FuncType struct {
+	Params  []ValueType
+	Results []ValueType
+}
+
+func (f FuncType) String() string {
+	var sb strings.Builder
+	sb.WriteByte('(')
+	for i, p := range f.Params {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(p.String())
+	}
+	sb.WriteString(") -> (")
+	for i, r := range f.Results {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(r.String())
+	}
+	sb.WriteByte(')')
+	return sb.String()
+}
+
+// Equal reports whether two function types are structurally equal.
+func (f FuncType) Equal(o FuncType) bool {
+	if len(f.Params) != len(o.Params) || len(f.Results) != len(o.Results) {
+		return false
+	}
+	for i := range f.Params {
+		if f.Params[i] != o.Params[i] {
+			return false
+		}
+	}
+	for i := range f.Results {
+		if f.Results[i] != o.Results[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Limits bound the size of a memory or table. Max is in effect only
+// when HasMax is set.
+type Limits struct {
+	Min    uint32
+	Max    uint32
+	HasMax bool
+}
+
+// Valid reports whether the limits are well-formed against a range
+// ceiling (e.g. 65536 pages for memories).
+func (l Limits) Valid(ceil uint32) bool {
+	if l.Min > ceil {
+		return false
+	}
+	if l.HasMax && (l.Max > ceil || l.Max < l.Min) {
+		return false
+	}
+	return true
+}
+
+// MemoryType describes a linear memory. Limits are in 64 KiB pages.
+type MemoryType struct {
+	Limits Limits
+}
+
+// TableType describes a function table.
+type TableType struct {
+	Elem   ValueType // always Funcref in the MVP
+	Limits Limits
+}
+
+// GlobalType describes a global variable.
+type GlobalType struct {
+	Type    ValueType
+	Mutable bool
+}
+
+// PageSize is the WebAssembly linear memory page size in bytes.
+const PageSize = 64 * 1024
+
+// MaxPages is the number of pages addressable with a 32-bit index.
+const MaxPages = 65536
+
+// ExternKind discriminates import/export descriptors.
+type ExternKind byte
+
+// Extern kinds as encoded in the binary format.
+const (
+	ExternFunc   ExternKind = 0x00
+	ExternTable  ExternKind = 0x01
+	ExternMemory ExternKind = 0x02
+	ExternGlobal ExternKind = 0x03
+)
+
+func (k ExternKind) String() string {
+	switch k {
+	case ExternFunc:
+		return "func"
+	case ExternTable:
+		return "table"
+	case ExternMemory:
+		return "memory"
+	case ExternGlobal:
+		return "global"
+	default:
+		return fmt.Sprintf("externkind(0x%02x)", byte(k))
+	}
+}

@@ -1,0 +1,153 @@
+package wasmgen
+
+import (
+	"fmt"
+
+	"leapsandbounds/internal/wasm"
+)
+
+// Arr is a typed view of a region of linear memory starting at a
+// static base offset, indexed by element. It is the workhorse for
+// authoring array kernels: loads and stores fold the base into the
+// instruction's static offset, matching what a C compiler emits for
+// global arrays.
+type Arr struct {
+	base uint32
+	elem uint32
+	typ  wasm.ValueType
+}
+
+// ArrF64 is an f64 array at the given byte offset.
+func ArrF64(base uint32) Arr { return Arr{base, 8, wasm.F64} }
+
+// ArrF32 is an f32 array at the given byte offset.
+func ArrF32(base uint32) Arr { return Arr{base, 4, wasm.F32} }
+
+// ArrI32 is an i32 array at the given byte offset.
+func ArrI32(base uint32) Arr { return Arr{base, 4, wasm.I32} }
+
+// ArrI64 is an i64 array at the given byte offset.
+func ArrI64(base uint32) Arr { return Arr{base, 8, wasm.I64} }
+
+// ArrU8 is a byte array at the given byte offset.
+func ArrU8(base uint32) Arr { return Arr{base, 1, wasm.I32} }
+
+// Base returns the base byte offset of the array.
+func (a Arr) Base() uint32 { return a.base }
+
+// ElemSize returns the element size in bytes.
+func (a Arr) ElemSize() uint32 { return a.elem }
+
+// addr converts an element index expression to a byte address.
+func (a Arr) addr(idx Expr) Expr {
+	mustType("array index", idx, wasm.I32)
+	switch a.elem {
+	case 1:
+		return idx
+	case 4:
+		return Shl(idx, I32(2))
+	case 8:
+		return Shl(idx, I32(3))
+	default:
+		return Mul(idx, U32(a.elem))
+	}
+}
+
+// At returns the byte address of element idx (base folded in).
+func (a Arr) At(idx Expr) Expr { return Add(a.addr(idx), U32(a.base)) }
+
+// Load reads element idx.
+func (a Arr) Load(idx Expr) Expr {
+	switch a.typ {
+	case wasm.F64:
+		return LoadF64(a.addr(idx), a.base)
+	case wasm.F32:
+		return LoadF32(a.addr(idx), a.base)
+	case wasm.I64:
+		return LoadI64(a.addr(idx), a.base)
+	default:
+		if a.elem == 1 {
+			return LoadU8(a.addr(idx), a.base)
+		}
+		return LoadI32(a.addr(idx), a.base)
+	}
+}
+
+// Store writes v to element idx.
+func (a Arr) Store(idx Expr, v Expr) Stmt {
+	switch a.typ {
+	case wasm.F64:
+		return StoreF64(a.addr(idx), a.base, v)
+	case wasm.F32:
+		return StoreF32(a.addr(idx), a.base, v)
+	case wasm.I64:
+		return StoreI64(a.addr(idx), a.base, v)
+	default:
+		if a.elem == 1 {
+			return StoreU8(a.addr(idx), a.base, v)
+		}
+		return StoreI32(a.addr(idx), a.base, v)
+	}
+}
+
+// ByteSize returns n elements' worth of bytes.
+func (a Arr) ByteSize(n uint32) uint32 { return n * a.elem }
+
+// Idx2 flattens a 2-D index (i, j) over row length n.
+func Idx2(i, j Expr, n int32) Expr { return Add(Mul(i, I32(n)), j) }
+
+// Idx3 flattens a 3-D index (i, j, k) over dimensions (n2, n3).
+func Idx3(i, j, k Expr, n2, n3 int32) Expr {
+	return Add(Mul(Add(Mul(i, I32(n2)), j), I32(n3)), k)
+}
+
+// Layout allocates consecutive array regions in linear memory,
+// 64-byte aligned, tracking the high-water mark so callers can size
+// the memory correctly.
+type Layout struct {
+	next uint32
+}
+
+// NewLayout starts allocation at the given byte offset (offset 0 is
+// conventionally kept for scratch/IO).
+func NewLayout(start uint32) *Layout { return &Layout{next: align64(start)} }
+
+func align64(v uint32) uint32 { return (v + 63) &^ 63 }
+
+// F64 reserves an f64 array of n elements.
+func (l *Layout) F64(n uint32) Arr { return l.alloc(8, n, wasm.F64) }
+
+// F32 reserves an f32 array of n elements.
+func (l *Layout) F32(n uint32) Arr { return l.alloc(4, n, wasm.F32) }
+
+// I32 reserves an i32 array of n elements.
+func (l *Layout) I32(n uint32) Arr { return l.alloc(4, n, wasm.I32) }
+
+// I64 reserves an i64 array of n elements.
+func (l *Layout) I64(n uint32) Arr { return l.alloc(8, n, wasm.I64) }
+
+// U8 reserves a byte array of n elements.
+func (l *Layout) U8(n uint32) Arr { return l.alloc(1, n, wasm.I32) }
+
+func (l *Layout) alloc(elem, n uint32, t wasm.ValueType) Arr {
+	a := Arr{base: l.next, elem: elem, typ: t}
+	if elem != 1 {
+		// keep element alignment
+		a.base = (a.base + elem - 1) &^ (elem - 1)
+	}
+	l.next = align64(a.base + elem*n)
+	return a
+}
+
+// Bytes returns the total bytes reserved so far.
+func (l *Layout) Bytes() uint32 { return l.next }
+
+// Pages returns the number of 64 KiB pages needed to hold the layout.
+func (l *Layout) Pages() uint32 {
+	return (l.next + wasm.PageSize - 1) / wasm.PageSize
+}
+
+// String describes the layout extent for diagnostics.
+func (l *Layout) String() string {
+	return fmt.Sprintf("layout[%d bytes, %d pages]", l.next, l.Pages())
+}

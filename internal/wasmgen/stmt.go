@@ -1,0 +1,439 @@
+package wasmgen
+
+import (
+	"fmt"
+
+	"leapsandbounds/internal/wasm"
+)
+
+// Stmt is a statement node: executed for its effect, leaves the
+// operand stack balanced.
+type Stmt interface {
+	emitStmt(e *emitter)
+}
+
+// setStmt assigns a local.
+type setStmt struct {
+	l *Local
+	v Expr
+}
+
+func (s setStmt) emitStmt(e *emitter) {
+	s.v.emit(e)
+	e.opA(wasm.OpLocalSet, uint64(s.l.index))
+}
+
+// Set assigns v to local l.
+func Set(l *Local, v Expr) Stmt {
+	mustType(fmt.Sprintf("set %s", l.name), v, l.typ)
+	return setStmt{l, v}
+}
+
+// Inc adds v to local l (a common loop idiom).
+func Inc(l *Local, v Expr) Stmt { return Set(l, Add(Get(l), v)) }
+
+// setGStmt assigns a global.
+type setGStmt struct {
+	g *GlobalVar
+	v Expr
+}
+
+func (s setGStmt) emitStmt(e *emitter) {
+	s.v.emit(e)
+	e.opA(wasm.OpGlobalSet, uint64(s.g.index))
+}
+
+// SetG assigns v to global g.
+func SetG(g *GlobalVar, v Expr) Stmt {
+	mustType("global set", v, g.typ)
+	return setGStmt{g, v}
+}
+
+// storeStmt writes to linear memory.
+type storeStmt struct {
+	addr, v Expr
+	op      wasm.Opcode
+	offset  uint32
+}
+
+func (s storeStmt) emitStmt(e *emitter) {
+	s.addr.emit(e)
+	s.v.emit(e)
+	e.mem(s.op, naturalAlign(s.op), s.offset)
+}
+
+func store(addr, v Expr, op wasm.Opcode, offset uint32, want wasm.ValueType) Stmt {
+	mustType("store address", addr, wasm.I32)
+	mustType("store value", v, want)
+	return storeStmt{addr, v, op, offset}
+}
+
+// StoreI32 stores an i32 at addr+offset.
+func StoreI32(addr Expr, offset uint32, v Expr) Stmt {
+	return store(addr, v, wasm.OpI32Store, offset, wasm.I32)
+}
+
+// StoreI64 stores an i64 at addr+offset.
+func StoreI64(addr Expr, offset uint32, v Expr) Stmt {
+	return store(addr, v, wasm.OpI64Store, offset, wasm.I64)
+}
+
+// StoreF32 stores an f32 at addr+offset.
+func StoreF32(addr Expr, offset uint32, v Expr) Stmt {
+	return store(addr, v, wasm.OpF32Store, offset, wasm.F32)
+}
+
+// StoreF64 stores an f64 at addr+offset.
+func StoreF64(addr Expr, offset uint32, v Expr) Stmt {
+	return store(addr, v, wasm.OpF64Store, offset, wasm.F64)
+}
+
+// StoreU8 stores the low byte of an i32.
+func StoreU8(addr Expr, offset uint32, v Expr) Stmt {
+	return store(addr, v, wasm.OpI32Store8, offset, wasm.I32)
+}
+
+// StoreU16 stores the low 16 bits of an i32.
+func StoreU16(addr Expr, offset uint32, v Expr) Stmt {
+	return store(addr, v, wasm.OpI32Store16, offset, wasm.I32)
+}
+
+// seqStmt groups statements without introducing a label.
+type seqStmt []Stmt
+
+func (s seqStmt) emitStmt(e *emitter) {
+	for _, st := range s {
+		st.emitStmt(e)
+	}
+}
+
+// Seq groups statements.
+func Seq(stmts ...Stmt) Stmt { return seqStmt(stmts) }
+
+// forStmt is a counted loop: for l = from; l < to; l += step.
+type forStmt struct {
+	l        *Local
+	from, to Expr
+	step     Expr
+	body     []Stmt
+}
+
+func (s forStmt) emitStmt(e *emitter) {
+	// l = from
+	// block $exit
+	//   loop $top
+	//     br_if $exit (l >= to)
+	//     block $continue
+	//       body
+	//     end
+	//     l += step
+	//     br $top
+	//   end
+	// end
+	s.from.emit(e)
+	e.opA(wasm.OpLocalSet, uint64(s.l.index))
+
+	e.opA(wasm.OpBlock, wasm.BlockEmpty)
+	e.depth++
+	exitDepth := e.depth
+	e.opA(wasm.OpLoop, wasm.BlockEmpty)
+	e.depth++
+
+	// Condition: exit when l >= to.
+	ge := Ge(Get(s.l), s.to)
+	ge.emit(e)
+	e.opA(wasm.OpBrIf, uint64(e.depth-exitDepth))
+
+	e.opA(wasm.OpBlock, wasm.BlockEmpty)
+	e.depth++
+	contDepth := e.depth
+	e.loops = append(e.loops, loopLabels{breakDepth: exitDepth, continueDepth: contDepth})
+	for _, st := range s.body {
+		st.emitStmt(e)
+	}
+	e.loops = e.loops[:len(e.loops)-1]
+	e.op(wasm.OpEnd)
+	e.depth--
+
+	Inc(s.l, s.step).emitStmt(e)
+	e.opA(wasm.OpBr, 0) // label 0 is the innermost loop: back to $top
+	e.op(wasm.OpEnd)
+	e.depth--
+	e.op(wasm.OpEnd)
+	e.depth--
+}
+
+// For emits a counted loop over l in [from, to) with step +1.
+// Comparisons are signed for i32/i64 counters.
+func For(l *Local, from, to Expr, body ...Stmt) Stmt {
+	return ForStep(l, from, to, one(l.typ), body...)
+}
+
+// ForStep is For with an explicit step expression.
+func ForStep(l *Local, from, to, step Expr, body ...Stmt) Stmt {
+	mustType("for init", from, l.typ)
+	mustType("for bound", to, l.typ)
+	mustType("for step", step, l.typ)
+	return forStmt{l, from, to, step, body}
+}
+
+// forDownStmt is a descending counted loop:
+// for l = from; l >= downTo; l--.
+type forDownStmt struct {
+	l            *Local
+	from, downTo Expr
+	body         []Stmt
+}
+
+func (s forDownStmt) emitStmt(e *emitter) {
+	s.from.emit(e)
+	e.opA(wasm.OpLocalSet, uint64(s.l.index))
+
+	e.opA(wasm.OpBlock, wasm.BlockEmpty)
+	e.depth++
+	exitDepth := e.depth
+	e.opA(wasm.OpLoop, wasm.BlockEmpty)
+	e.depth++
+
+	// Exit when l < downTo.
+	lt := Lt(Get(s.l), s.downTo)
+	lt.emit(e)
+	e.opA(wasm.OpBrIf, uint64(e.depth-exitDepth))
+
+	e.opA(wasm.OpBlock, wasm.BlockEmpty)
+	e.depth++
+	contDepth := e.depth
+	e.loops = append(e.loops, loopLabels{breakDepth: exitDepth, continueDepth: contDepth})
+	for _, st := range s.body {
+		st.emitStmt(e)
+	}
+	e.loops = e.loops[:len(e.loops)-1]
+	e.op(wasm.OpEnd)
+	e.depth--
+
+	Set(s.l, Sub(Get(s.l), one(s.l.typ))).emitStmt(e)
+	e.opA(wasm.OpBr, 0) // back to $top
+	e.op(wasm.OpEnd)
+	e.depth--
+	e.op(wasm.OpEnd)
+	e.depth--
+}
+
+// ForDown emits a descending loop over l in [downTo, from], i.e.
+// starting at from and decrementing while l >= downTo (signed).
+func ForDown(l *Local, from, downTo Expr, body ...Stmt) Stmt {
+	mustType("for-down init", from, l.typ)
+	mustType("for-down bound", downTo, l.typ)
+	return forDownStmt{l, from, downTo, body}
+}
+
+func one(t wasm.ValueType) Expr {
+	switch t {
+	case wasm.I32:
+		return I32(1)
+	case wasm.I64:
+		return I64(1)
+	default:
+		panic("wasmgen: loop counter must be an integer type")
+	}
+}
+
+// whileStmt loops while cond holds.
+type whileStmt struct {
+	cond Expr
+	body []Stmt
+}
+
+func (s whileStmt) emitStmt(e *emitter) {
+	e.opA(wasm.OpBlock, wasm.BlockEmpty)
+	e.depth++
+	exitDepth := e.depth
+	e.opA(wasm.OpLoop, wasm.BlockEmpty)
+	e.depth++
+
+	Eqz(s.cond).emit(e)
+	e.opA(wasm.OpBrIf, uint64(e.depth-exitDepth))
+
+	e.opA(wasm.OpBlock, wasm.BlockEmpty)
+	e.depth++
+	contDepth := e.depth
+	e.loops = append(e.loops, loopLabels{breakDepth: exitDepth, continueDepth: contDepth})
+	for _, st := range s.body {
+		st.emitStmt(e)
+	}
+	e.loops = e.loops[:len(e.loops)-1]
+	e.op(wasm.OpEnd)
+	e.depth--
+
+	e.opA(wasm.OpBr, 0) // back to $top
+	e.op(wasm.OpEnd)
+	e.depth--
+	e.op(wasm.OpEnd)
+	e.depth--
+}
+
+// While loops while cond evaluates non-zero.
+func While(cond Expr, body ...Stmt) Stmt {
+	mustType("while condition", cond, wasm.I32)
+	return whileStmt{cond, body}
+}
+
+// ifStmt is a conditional with optional else.
+type ifStmt struct {
+	cond Expr
+	then []Stmt
+	els  []Stmt
+}
+
+func (s ifStmt) emitStmt(e *emitter) {
+	s.cond.emit(e)
+	e.opA(wasm.OpIf, wasm.BlockEmpty)
+	e.depth++
+	for _, st := range s.then {
+		st.emitStmt(e)
+	}
+	if len(s.els) > 0 {
+		e.op(wasm.OpElse)
+		for _, st := range s.els {
+			st.emitStmt(e)
+		}
+	}
+	e.op(wasm.OpEnd)
+	e.depth--
+}
+
+// If executes body when cond is non-zero.
+func If(cond Expr, body ...Stmt) Stmt {
+	mustType("if condition", cond, wasm.I32)
+	return ifStmt{cond: cond, then: body}
+}
+
+// IfElse executes then when cond is non-zero, els otherwise.
+func IfElse(cond Expr, then, els []Stmt) Stmt {
+	mustType("if condition", cond, wasm.I32)
+	return ifStmt{cond: cond, then: then, els: els}
+}
+
+// breakStmt exits the innermost loop.
+type breakStmt struct{}
+
+func (breakStmt) emitStmt(e *emitter) {
+	if len(e.loops) == 0 {
+		e.failf("wasmgen: break outside loop")
+		return
+	}
+	target := e.loops[len(e.loops)-1].breakDepth
+	e.opA(wasm.OpBr, uint64(e.depth-target))
+}
+
+// Break exits the innermost For or While loop.
+func Break() Stmt { return breakStmt{} }
+
+// continueStmt advances the innermost loop.
+type continueStmt struct{}
+
+func (continueStmt) emitStmt(e *emitter) {
+	if len(e.loops) == 0 {
+		e.failf("wasmgen: continue outside loop")
+		return
+	}
+	target := e.loops[len(e.loops)-1].continueDepth
+	e.opA(wasm.OpBr, uint64(e.depth-target))
+}
+
+// Continue advances the innermost For (running the step) or re-tests
+// the innermost While.
+func Continue() Stmt { return continueStmt{} }
+
+// returnStmt returns from the function.
+type returnStmt struct{ v Expr }
+
+func (s returnStmt) emitStmt(e *emitter) {
+	if s.v != nil {
+		s.v.emit(e)
+	}
+	e.op(wasm.OpReturn)
+}
+
+// Return returns v from the function.
+func Return(v Expr) Stmt { return returnStmt{v} }
+
+// ReturnVoid returns from a function with no results.
+func ReturnVoid() Stmt { return returnStmt{} }
+
+// callStmt calls a function for its effects, dropping any result.
+type callStmt struct {
+	f    *Func
+	args []Expr
+}
+
+func (s callStmt) emitStmt(e *emitter) {
+	for _, a := range s.args {
+		a.emit(e)
+	}
+	e.opA(wasm.OpCall, uint64(s.f.index))
+	for range s.f.typ.Results {
+		e.op(wasm.OpDrop)
+	}
+}
+
+// CallS calls a function as a statement, dropping its results.
+func CallS(f *Func, args ...Expr) Stmt {
+	checkArgs(f, args)
+	return callStmt{f, args}
+}
+
+// dropStmt evaluates an expression and discards the value.
+type dropStmt struct{ v Expr }
+
+func (s dropStmt) emitStmt(e *emitter) {
+	s.v.emit(e)
+	e.op(wasm.OpDrop)
+}
+
+// Drop evaluates v for its side effects and discards the result.
+func Drop(v Expr) Stmt { return dropStmt{v} }
+
+// memFillStmt is memory.fill.
+type memFillStmt struct{ dst, val, n Expr }
+
+func (s memFillStmt) emitStmt(e *emitter) {
+	s.dst.emit(e)
+	s.val.emit(e)
+	s.n.emit(e)
+	e.sub(wasm.SubMemoryFill)
+}
+
+// MemFill fills n bytes at dst with the low byte of val.
+func MemFill(dst, val, n Expr) Stmt {
+	mustType("memory.fill dst", dst, wasm.I32)
+	mustType("memory.fill val", val, wasm.I32)
+	mustType("memory.fill len", n, wasm.I32)
+	return memFillStmt{dst, val, n}
+}
+
+// memCopyStmt is memory.copy.
+type memCopyStmt struct{ dst, src, n Expr }
+
+func (s memCopyStmt) emitStmt(e *emitter) {
+	s.dst.emit(e)
+	s.src.emit(e)
+	s.n.emit(e)
+	e.sub(wasm.SubMemoryCopy)
+}
+
+// MemCopy copies n bytes from src to dst within linear memory.
+func MemCopy(dst, src, n Expr) Stmt {
+	mustType("memory.copy dst", dst, wasm.I32)
+	mustType("memory.copy src", src, wasm.I32)
+	mustType("memory.copy len", n, wasm.I32)
+	return memCopyStmt{dst, src, n}
+}
+
+// unreachableStmt traps.
+type unreachableStmt struct{}
+
+func (unreachableStmt) emitStmt(e *emitter) { e.op(wasm.OpUnreachable) }
+
+// Unreachable emits a trap.
+func Unreachable() Stmt { return unreachableStmt{} }

@@ -1,0 +1,162 @@
+package wasmgen_test
+
+import (
+	"strings"
+	"testing"
+
+	"leapsandbounds/internal/validate"
+	"leapsandbounds/internal/wasm"
+	g "leapsandbounds/internal/wasmgen"
+)
+
+func TestBuildValidatesAndEncodes(t *testing.T) {
+	mb := g.NewModule()
+	mb.Memory(1, 4)
+	f := mb.Func("f", wasm.I32)
+	x := f.ParamI32("x")
+	f.Body(g.Return(g.Add(g.Get(x), g.I32(1))))
+	mb.Export("f", f)
+
+	bin, err := mb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := wasm.Decode(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := validate.Module(m); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.ExportedFunc("f"); !ok {
+		t.Error("export missing after roundtrip")
+	}
+}
+
+func TestTypeInterning(t *testing.T) {
+	mb := g.NewModule()
+	f1 := mb.Func("a", wasm.I32)
+	f1.ParamI32("x")
+	f1.Body(g.Return(g.I32(1)))
+	f2 := mb.Func("b", wasm.I32)
+	f2.ParamI32("y")
+	f2.Body(g.Return(g.I32(2)))
+	m, err := mb.Module()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Types) != 1 {
+		t.Errorf("%d types, want 1 (interned)", len(m.Types))
+	}
+}
+
+func TestTypeMismatchPanics(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected panic")
+		}
+		if !strings.Contains(r.(string), "operand types differ") {
+			t.Errorf("panic message %v", r)
+		}
+	}()
+	g.Add(g.I32(1), g.F64(2))
+}
+
+func TestBreakOutsideLoopFails(t *testing.T) {
+	mb := g.NewModule()
+	f := mb.Func("f")
+	f.Body(g.Break())
+	mb.Export("f", f)
+	if _, err := mb.Module(); err == nil {
+		t.Error("break outside loop accepted")
+	}
+}
+
+func TestImportAfterFuncFails(t *testing.T) {
+	mb := g.NewModule()
+	f := mb.Func("f")
+	f.Body(g.ReturnVoid())
+	mb.ImportFunc("env", "late", nil, nil)
+	mb.Export("f", f)
+	if _, err := mb.Module(); err == nil {
+		t.Error("late import accepted")
+	}
+}
+
+func TestDoubleMemoryFails(t *testing.T) {
+	mb := g.NewModule()
+	mb.Memory(1, 2)
+	mb.Memory(1, 2)
+	f := mb.Func("f")
+	f.Body(g.ReturnVoid())
+	if _, err := mb.Module(); err == nil {
+		t.Error("double memory accepted")
+	}
+}
+
+func TestLayout(t *testing.T) {
+	lay := g.NewLayout(0)
+	a := lay.F64(100) // 800 bytes
+	b := lay.I32(10)  // 40 bytes, 64-aligned start
+	c := lay.U8(3)    // bytes
+	if a.Base() != 0 {
+		t.Errorf("a at %d", a.Base())
+	}
+	if b.Base()%64 != 0 || b.Base() < 800 {
+		t.Errorf("b at %d", b.Base())
+	}
+	if c.Base()%64 != 0 {
+		t.Errorf("c at %d", c.Base())
+	}
+	if lay.Pages() != 1 {
+		t.Errorf("pages %d", lay.Pages())
+	}
+	big := g.NewLayout(0)
+	big.F64(10000) // 80 KB > 1 page
+	if big.Pages() != 2 {
+		t.Errorf("big pages %d", big.Pages())
+	}
+}
+
+func TestElemAlignment(t *testing.T) {
+	lay := g.NewLayout(1) // misaligned start
+	a := lay.F64(4)
+	if a.Base()%8 != 0 {
+		t.Errorf("f64 array misaligned at %d", a.Base())
+	}
+}
+
+func TestTableAndStart(t *testing.T) {
+	mb := g.NewModule()
+	gl := mb.GlobalI32(0)
+	setup := mb.Func("setup")
+	setup.Body(g.SetG(gl, g.I32(99)))
+	getter := mb.Func("get", wasm.I32)
+	getter.Body(g.Return(g.GetG(gl)))
+	mb.Table(getter)
+	mb.Start(setup)
+	mb.Export("get", getter)
+	m, err := mb.Module()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Start == nil || *m.Start != setup.Index() {
+		t.Error("start function not recorded")
+	}
+	if len(m.Tables) != 1 || len(m.Elems) != 1 {
+		t.Error("table/elems not built")
+	}
+}
+
+func TestMustBuildPanicsOnError(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	mb := g.NewModule()
+	f := mb.Func("f")
+	f.Body(g.Continue()) // invalid: continue outside loop
+	mb.MustBuild()
+}

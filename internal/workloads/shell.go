@@ -1,0 +1,59 @@
+package workloads
+
+import (
+	"math"
+
+	"leapsandbounds/internal/wasm"
+	g "leapsandbounds/internal/wasmgen"
+)
+
+// f64bits packs a float checksum into the raw-bits return convention
+// shared with the wasm side.
+func f64bits(f float64) uint64 { return math.Float64bits(f) }
+
+// kb is the common shell for workload modules: a module with one
+// exported function (Entry) and a linear-memory layout. The memory
+// is declared with a 1-page minimum and grown at the start of run,
+// modelling the libc heap growth each real benchmark performs at
+// startup — the memory.grow path is part of what the paper's
+// bounds-checking strategies differ on.
+type kb struct {
+	MB  *g.ModuleBuilder
+	F   *g.Func
+	Lay *g.Layout
+}
+
+func newKernel(result wasm.ValueType) *kb {
+	mb := g.NewModule()
+	return &kb{MB: mb, F: mb.Func(Entry, result), Lay: g.NewLayout(0)}
+}
+
+// Finish declares memory sized to the layout, prepends the grow, and
+// builds the module. Workload construction errors are programmer
+// errors in static kernel definitions, so Finish panics (the test
+// suite executes every kernel).
+func (k *kb) Finish(body ...g.Stmt) *wasm.Module {
+	pages := k.Lay.Pages() + 1
+	k.MB.Memory(1, pages+4)
+	if pages > 1 {
+		k.F.Body(g.Drop(g.MemGrow(g.I32(int32(pages) - 1))))
+	}
+	k.F.Body(body...)
+	k.MB.Export(Entry, k.F)
+	m, err := k.MB.Module()
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// fdiv builds the PolyBench-style init expression
+// float64(numerator % mod) / float64(div) in the DSL.
+func fdiv(num g.Expr, mod, div int32) g.Expr {
+	return g.Div(g.F64FromI32(g.Rem(num, g.I32(mod))), g.F64(float64(div)))
+}
+
+// nfdiv is fdiv's native twin.
+func nfdiv(num, mod, div int32) float64 {
+	return float64(num%mod) / float64(div)
+}

@@ -1,0 +1,106 @@
+// Package workloads defines the benchmark programs from the paper's
+// evaluation (§3.3): the PolyBench/C suite and analogs of the six
+// SPEC CPU 2017 Rate benchmarks the authors could compile to WASI
+// (505.mcf, 508.namd, 519.lbm, 531.deepsjeng, 544.nab, 557.xz).
+//
+// Every workload exists twice, generated from the same loop
+// structure: as a WebAssembly module authored through the wasmgen
+// DSL, and as a native Go function (the paper's native-Clang
+// baseline analog). Both compute a checksum over their outputs with
+// identical operation order, so results must match bit-for-bit —
+// the cross-validation the test suite enforces on every engine and
+// bounds-checking strategy.
+//
+// Problem sizes: the paper uses PolyBench MEDIUM and SPEC Train.
+// Those sizes assume native-speed execution; this reproduction also
+// runs a threaded interpreter, so the Bench class scales dimensions
+// down while preserving each kernel's loop structure, memory-access
+// pattern and working-set shape (documented per kernel). The Test
+// class is smaller still, for unit tests.
+package workloads
+
+import (
+	"fmt"
+	"sync"
+
+	"leapsandbounds/internal/wasm"
+)
+
+// Class selects a problem size.
+type Class int
+
+// Size classes.
+const (
+	// Test sizes make the full engine × strategy matrix fast enough
+	// for go test.
+	Test Class = iota
+	// Bench sizes are the harness defaults (MEDIUM-shaped, scaled).
+	Bench
+)
+
+// Spec describes one workload.
+type Spec struct {
+	// Name is the benchmark name as it appears in the paper's
+	// figures (e.g. "gemm", "505.mcf").
+	Name string
+	// Suite is "polybench" or "spec".
+	Suite string
+	// Desc summarizes the kernel.
+	Desc string
+	// Build constructs the wasm module and the native twin for a
+	// size class.
+	Build func(c Class) (*wasm.Module, func() uint64)
+}
+
+// Entry is the exported function every workload module defines; it
+// takes no arguments and returns the checksum (f64 or i64 bits).
+const Entry = "run"
+
+var (
+	registry   []Spec
+	registryMu sync.Mutex
+)
+
+func register(s Spec) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	registry = append(registry, s)
+}
+
+// All returns every workload, PolyBench first, in registration order.
+func All() []Spec {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	out := make([]Spec, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// Suite returns the workloads of one suite.
+func Suite(name string) []Spec {
+	var out []Spec
+	for _, s := range All() {
+		if s.Suite == name {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// ByName finds a workload.
+func ByName(name string) (Spec, error) {
+	for _, s := range All() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("workloads: unknown workload %q", name)
+}
+
+// pick returns t for Test and b for Bench.
+func pick(c Class, t, b int32) int32 {
+	if c == Test {
+		return t
+	}
+	return b
+}

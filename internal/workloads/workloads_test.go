@@ -1,0 +1,111 @@
+package workloads_test
+
+import (
+	"math"
+	"testing"
+
+	"leapsandbounds/internal/compiled"
+	"leapsandbounds/internal/core"
+	"leapsandbounds/internal/interp"
+	"leapsandbounds/internal/isa"
+	"leapsandbounds/internal/mem"
+	"leapsandbounds/internal/workloads"
+)
+
+// TestWasmMatchesNative is the central cross-validation: every
+// workload's wasm module must produce exactly the checksum its
+// native twin computes, on every engine.
+func TestWasmMatchesNative(t *testing.T) {
+	engines := map[string]core.Engine{
+		"wasm3":    interp.NewWasm3(),
+		"wasmtime": compiled.NewWasmtime(),
+		"wavm":     compiled.NewWAVM(),
+	}
+	for _, spec := range workloads.All() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			t.Parallel()
+			m, native := spec.Build(workloads.Test)
+			want := native()
+			if f := math.Float64frombits(want); math.IsNaN(f) {
+				t.Fatalf("native checksum is NaN")
+			}
+			for name, e := range engines {
+				cm, err := e.Compile(m)
+				if err != nil {
+					t.Fatalf("%s: compile: %v", name, err)
+				}
+				inst, err := cm.Instantiate(core.Config{Profile: isa.X86_64()}, nil)
+				if err != nil {
+					t.Fatalf("%s: instantiate: %v", name, err)
+				}
+				res, err := inst.Invoke(workloads.Entry)
+				inst.Close()
+				if err != nil {
+					t.Fatalf("%s: invoke: %v", name, err)
+				}
+				if res[0] != want {
+					t.Errorf("%s: checksum %#x (%v), native %#x (%v)",
+						name, res[0], math.Float64frombits(res[0]),
+						want, math.Float64frombits(want))
+				}
+			}
+		})
+	}
+}
+
+// TestStrategiesMatchOnWorkloads runs a subset of workloads across
+// every bounds-checking strategy on the optimizing engine.
+func TestStrategiesMatchOnWorkloads(t *testing.T) {
+	names := []string{"gemm", "cholesky", "jacobi-2d", "atax"}
+	for _, name := range names {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			spec, err := workloads.ByName(name)
+			if err != nil {
+				t.Skip(err)
+			}
+			m, native := spec.Build(workloads.Test)
+			want := native()
+			cm, err := compiled.NewWAVM().Compile(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, s := range mem.Strategies() {
+				inst, err := cm.Instantiate(core.Config{Profile: isa.X86_64(), Strategy: s}, nil)
+				if err != nil {
+					t.Fatalf("%v: %v", s, err)
+				}
+				res, err := inst.Invoke(workloads.Entry)
+				inst.Close()
+				if err != nil {
+					t.Fatalf("%v: %v", s, err)
+				}
+				if res[0] != want {
+					t.Errorf("%v: %#x, want %#x", s, res[0], want)
+				}
+			}
+		})
+	}
+}
+
+func TestRegistryIntegrity(t *testing.T) {
+	all := workloads.All()
+	if len(all) < 20 {
+		t.Errorf("only %d workloads registered", len(all))
+	}
+	seen := map[string]bool{}
+	for _, s := range all {
+		if seen[s.Name] {
+			t.Errorf("duplicate workload %q", s.Name)
+		}
+		seen[s.Name] = true
+		if s.Suite != "polybench" && s.Suite != "spec" {
+			t.Errorf("%s: unknown suite %q", s.Name, s.Suite)
+		}
+	}
+	if len(workloads.Suite("polybench")) < 15 {
+		t.Errorf("polybench suite too small: %d", len(workloads.Suite("polybench")))
+	}
+}
