@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: build test vet race verify bench figures
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Short race pass over the concurrency-heavy packages (the metrics
+# registry, the simulated VM subsystem, the hazard-pointer domain).
+race:
+	$(GO) test -race -count=1 ./internal/obs/ ./internal/vmm/ ./internal/hazard/
+
+# The full tier-1 gate: build + vet + tests + race pass.
+verify:
+	./scripts/verify.sh
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+figures:
+	$(GO) run ./cmd/leapsbench -fig all

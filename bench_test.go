@@ -222,3 +222,51 @@ func BenchmarkUffdArenaPool(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkObsOverhead compares a gemm isolate-churn run with the
+// observability plumbing disabled (NewProcess: traceless private
+// registry, counters only) against fully enabled (shared registry
+// with the default trace ring, every layer emitting events). The
+// acceptance bar is <5% overhead for "enabled" over "disabled".
+func BenchmarkObsOverhead(b *testing.B) {
+	run := func(b *testing.B, proc *leaps.Process) {
+		b.Helper()
+		wl, err := leaps.WorkloadByName("gemm")
+		if err != nil {
+			b.Fatal(err)
+		}
+		module, _ := wl.Build(leaps.SizeTest)
+		eng, closeEng, err := leaps.NewEngine(leaps.EngineWasmtime)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer closeEng()
+		cm, err := eng.Compile(module)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := proc.Config(leaps.Mprotect)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			inst, err := cm.Instantiate(cfg, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := inst.Invoke("run"); err != nil {
+				b.Fatal(err)
+			}
+			inst.Close()
+		}
+	}
+	b.Run("disabled", func(b *testing.B) {
+		proc := leaps.NewProcess(leaps.ProfileX86())
+		defer proc.Close()
+		run(b, proc)
+	})
+	b.Run("enabled", func(b *testing.B) {
+		metrics := leaps.NewMetrics()
+		proc := leaps.NewObservedProcess(leaps.ProfileX86(), metrics, "proc0")
+		defer proc.Close()
+		run(b, proc)
+	})
+}

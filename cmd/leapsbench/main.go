@@ -20,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"text/tabwriter"
 	"time"
 
@@ -27,6 +28,7 @@ import (
 	"leapsandbounds/internal/harness"
 	"leapsandbounds/internal/isa"
 	"leapsandbounds/internal/mem"
+	"leapsandbounds/internal/obs"
 	"leapsandbounds/internal/workloads"
 )
 
@@ -45,9 +47,15 @@ func main() {
 		cycles   = flag.Bool("cycles", false, "enable the per-ISA cycle model")
 		ops      = flag.Bool("ops", false, "single-run mode: print the executed-op histogram instead of timing")
 		asJSON   = flag.Bool("json", false, "single-run mode: emit the result as JSON")
+		metrics  = flag.String("metrics", "", "write run metrics and trace events to this file (.json, .csv, or .txt summary; \"-\" for stdout)")
 		list     = flag.Bool("list", false, "list workloads and engines")
 	)
 	flag.Parse()
+
+	var reg *obs.Registry
+	if *metrics != "" {
+		reg = obs.NewRegistry()
+	}
 
 	if *list {
 		listAll()
@@ -66,8 +74,13 @@ func main() {
 			Quick:   *quick,
 			Measure: *measure,
 			Warmup:  *warmup,
+			Metrics: reg,
 		}
 		if err := runFigures(*fig, cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "leapsbench:", err)
+			os.Exit(1)
+		}
+		if err := writeMetrics(reg, *metrics); err != nil {
 			fmt.Fprintln(os.Stderr, "leapsbench:", err)
 			os.Exit(1)
 		}
@@ -114,8 +127,13 @@ func main() {
 		Measure:     *measure,
 		Warmup:      *warmup,
 		CountCycles: *cycles,
+		Obs:         reg,
 	})
 	if err != nil {
+		fmt.Fprintln(os.Stderr, "leapsbench:", err)
+		os.Exit(1)
+	}
+	if err := writeMetrics(reg, *metrics); err != nil {
 		fmt.Fprintln(os.Stderr, "leapsbench:", err)
 		os.Exit(1)
 	}
@@ -129,6 +147,36 @@ func main() {
 		return
 	}
 	printResult(res)
+}
+
+// writeMetrics flushes the registry to path, picking the sink by
+// extension: .csv → flat rows, .txt → human summary, anything else →
+// JSON. "-" writes the summary to stdout.
+func writeMetrics(reg *obs.Registry, path string) error {
+	if reg == nil || path == "" {
+		return nil
+	}
+	if path == "-" {
+		return reg.Flush(obs.SummarySink{W: os.Stdout})
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	var sink obs.Sink
+	switch {
+	case strings.HasSuffix(path, ".csv"):
+		sink = obs.CSVSink{W: f}
+	case strings.HasSuffix(path, ".txt"):
+		sink = obs.SummarySink{W: f}
+	default:
+		sink = obs.JSONSink{W: f}
+	}
+	if err := reg.Flush(sink); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func runFigures(which string, cfg figures.Config) error {

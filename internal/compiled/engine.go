@@ -161,7 +161,9 @@ func (inst *Instance) Invoke(name string, args ...uint64) ([]uint64, error) {
 	if !ok {
 		return nil, fmt.Errorf("compiled: no exported function %q", name)
 	}
-	return inst.invokeIndex(idx, args)
+	res, err := inst.invokeIndex(idx, args)
+	inst.base.ObsInvoke(err)
+	return res, err
 }
 
 func (inst *Instance) invokeIndex(idx uint32, args []uint64) (res []uint64, err error) {

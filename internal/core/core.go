@@ -17,6 +17,7 @@ import (
 
 	"leapsandbounds/internal/isa"
 	"leapsandbounds/internal/mem"
+	"leapsandbounds/internal/obs"
 	"leapsandbounds/internal/trap"
 	"leapsandbounds/internal/vmm"
 	"leapsandbounds/internal/wasm"
@@ -48,6 +49,11 @@ type Config struct {
 	EagerCommit bool
 	// CountCycles enables the per-ISA cycle accounting model.
 	CountCycles bool
+	// Obs is the scope instance metrics land under (invocations,
+	// traps, cycle-class totals). If nil, a child scope "engine" of
+	// the address space's scope is used, so every engine reports
+	// uniformly without explicit wiring.
+	Obs *obs.Scope
 	// MaxPages caps memory for modules that declare no maximum.
 	MaxPages uint32
 	// CallDepth bounds recursion; 0 means the default (1000).
@@ -76,7 +82,16 @@ func (c Config) withDefaults() (Config, error) {
 		c.AS = vmm.New(c.Profile.VM)
 	}
 	if c.Strategy == mem.Uffd && c.Pool == nil && !c.UffdNoPool {
-		c.Pool = mem.NewArenaPool()
+		// One pool per simulated process, not per instantiation: a
+		// fresh pool here would defeat arena recycling for every
+		// caller that doesn't wire Pool explicitly (the default
+		// serverless path), turning each instance teardown into a
+		// munmap and each start into an mmap — exactly the mmap-lock
+		// traffic the uffd strategy exists to avoid.
+		c.Pool = mem.SharedPool(c.AS)
+	}
+	if c.Obs == nil {
+		c.Obs = c.AS.Obs().Child("engine")
 	}
 	return c, nil
 }
@@ -168,6 +183,13 @@ type InstanceBase struct {
 	CycleCounts isa.Counts
 	// Depth is the current call depth (engines maintain it).
 	Depth int
+
+	// obsInvokes/obsTraps are cached metric handles so the per-call
+	// cost is one atomic add; obsFlushed guards the one-time cycle
+	// flush in Close.
+	obsInvokes *obs.Counter
+	obsTraps   *obs.Counter
+	obsFlushed bool
 }
 
 // NewInstanceBase performs the engine-independent instantiation
@@ -178,7 +200,12 @@ func NewInstanceBase(m *wasm.Module, cfg Config, imports Imports) (*InstanceBase
 	if err != nil {
 		return nil, err
 	}
-	b := &InstanceBase{Module: m, Cfg: cfg}
+	b := &InstanceBase{
+		Module:     m,
+		Cfg:        cfg,
+		obsInvokes: cfg.Obs.Counter("invokes"),
+		obsTraps:   cfg.Obs.Counter("traps"),
+	}
 
 	for _, im := range m.Imports {
 		switch im.Kind {
@@ -311,12 +338,45 @@ func (b *InstanceBase) close() {
 	}
 }
 
-// Close releases the base's resources.
+// Close releases the base's resources and flushes accumulated cycle
+// counts into the instance's obs scope (once).
 func (b *InstanceBase) Close() error {
+	b.flushCycles()
 	if b.Mem != nil {
 		return b.Mem.Close()
 	}
 	return nil
+}
+
+// ObsInvoke records one completed Invoke call: every engine calls it
+// on the way out so invocation and trap counts are uniform across
+// compiled, tiered and interpreted execution.
+func (b *InstanceBase) ObsInvoke(err error) {
+	b.obsInvokes.Inc()
+	if err == nil {
+		return
+	}
+	var t *trap.Trap
+	if errors.As(err, &t) {
+		b.obsTraps.Inc()
+		b.Cfg.Obs.Emit(obs.EvTrap, int64(t.Kind), 0)
+	}
+}
+
+// flushCycles publishes CycleCounts as per-class counters under
+// cycles/<class>. Deferred to Close because CycleCounts is a plain
+// (non-atomic) hot-path accumulator owned by one instance.
+func (b *InstanceBase) flushCycles() {
+	if b.obsFlushed || !b.Cfg.CountCycles {
+		return
+	}
+	b.obsFlushed = true
+	sc := b.Cfg.Obs.Child("cycles")
+	for class := isa.OpClass(0); class < isa.NumClasses; class++ {
+		if n := b.CycleCounts[class]; n != 0 {
+			sc.Counter(class.String()).Add(n)
+		}
+	}
 }
 
 // Memory returns the instance memory (nil if the module has none).

@@ -7,6 +7,7 @@ import (
 	"leapsandbounds/internal/core"
 	"leapsandbounds/internal/isa"
 	"leapsandbounds/internal/mem"
+	"leapsandbounds/internal/vmm"
 	"leapsandbounds/internal/wasm"
 )
 
@@ -106,6 +107,35 @@ func TestConfigDefaults(t *testing.T) {
 	// Missing profile is an error.
 	if _, err := core.NewInstanceBase(module(), core.Config{}, nil); err == nil {
 		t.Error("nil profile accepted")
+	}
+}
+
+func TestDefaultPoolSharedAcrossInstances(t *testing.T) {
+	// Regression: the defaulted uffd arena pool must be one pool per
+	// address space, not one per instantiation — otherwise sequential
+	// instances each mmap a fresh arena and recycling never happens
+	// (the serverless pattern the uffd strategy exists to serve).
+	as := vmm.New(isa.X86_64().VM)
+	c := core.Config{Profile: isa.X86_64(), Strategy: mem.Uffd, AS: as}
+	for i := 0; i < 3; i++ {
+		b, err := core.NewInstanceBase(module(), c, nil)
+		if err != nil {
+			t.Fatalf("instance %d: %v", i, err)
+		}
+		b.Mem.StoreU8(0, 0xAB) // commit a page so recycling has work
+		if err := b.Close(); err != nil {
+			t.Fatalf("close %d: %v", i, err)
+		}
+	}
+	ps := mem.SharedPool(as).Stats()
+	if ps.Created != 1 {
+		t.Errorf("arenas created = %d, want 1 (fresh pool per instantiation?)", ps.Created)
+	}
+	if ps.Reused != 2 {
+		t.Errorf("arenas reused = %d, want 2", ps.Reused)
+	}
+	if ps.Returned != 3 {
+		t.Errorf("arenas returned = %d, want 3", ps.Returned)
 	}
 }
 

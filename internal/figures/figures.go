@@ -15,6 +15,7 @@ import (
 	"leapsandbounds/internal/harness"
 	"leapsandbounds/internal/isa"
 	"leapsandbounds/internal/mem"
+	"leapsandbounds/internal/obs"
 	"leapsandbounds/internal/stats"
 	"leapsandbounds/internal/workloads"
 )
@@ -34,6 +35,10 @@ type Config struct {
 	// MaxThreads caps the thread axis (defaults to the paper's 16,
 	// bounded by the host's CPU count).
 	MaxThreads int
+	// Metrics, when non-nil, collects every run's counters,
+	// histograms and trace events under per-run labeled scopes
+	// (see harness.Options.Obs); leapsbench -metrics wires it.
+	Metrics *obs.Registry
 }
 
 func (c *Config) defaults() {
@@ -94,6 +99,7 @@ func (c *Config) run(opts harness.Options) (*harness.Result, error) {
 	if opts.Warmup == 0 {
 		opts.Warmup = c.Warmup
 	}
+	opts.Obs = c.Metrics
 	return harness.Run(opts)
 }
 

@@ -28,6 +28,7 @@ import (
 	"leapsandbounds/internal/interp"
 	"leapsandbounds/internal/isa"
 	"leapsandbounds/internal/mem"
+	"leapsandbounds/internal/obs"
 	"leapsandbounds/internal/stats"
 	"leapsandbounds/internal/sysmon"
 	"leapsandbounds/internal/tiered"
@@ -87,6 +88,20 @@ type Options struct {
 	// multiprocess runtime". Defaults to 1 (the paper's isolate-
 	// per-thread single process).
 	Processes int
+	// Obs receives the run's telemetry. Each Run registers its
+	// metrics and trace events under one labeled scope
+	// "run[engine=E workload=W strategy=S threads=N]", with one
+	// child scope per simulated process, so a single registry can
+	// hold a whole figure sweep and still attribute every mmap-lock
+	// wait to its configuration. Nil leaves the run unobserved
+	// (each address space falls back to a private registry).
+	Obs *obs.Registry
+}
+
+// RunLabel is the scope name a run registers under in Options.Obs.
+func (o Options) RunLabel() string {
+	return fmt.Sprintf("run[engine=%s workload=%s strategy=%s threads=%d]",
+		o.Engine, o.Workload.Name, o.Strategy, o.Threads)
 }
 
 // Result is one benchmark measurement.
@@ -181,10 +196,16 @@ func Run(opts Options) (*Result, error) {
 	if numProcs > opts.Threads {
 		numProcs = opts.Threads
 	}
+	runScope := opts.Obs.Scope(opts.RunLabel())
+	iterHist := runScope.Histogram("iter_wall_ns")
+
 	procs := make([]*vmm.AddressSpace, numProcs)
 	pools := make([]*mem.ArenaPool, numProcs)
+	engineScopes := make([]*obs.Scope, numProcs)
 	for p := range procs {
-		procs[p] = vmm.New(opts.Profile.VM)
+		procScope := runScope.Child(fmt.Sprintf("proc%d", p))
+		procs[p] = vmm.NewObserved(opts.Profile.VM, procScope.Child("vmm"))
+		engineScopes[p] = procScope.Child("engine")
 		if opts.Strategy == mem.Uffd && !opts.UffdNoPool {
 			pools[p] = mem.NewArenaPool()
 		}
@@ -209,6 +230,9 @@ func Run(opts Options) (*Result, error) {
 			return nil, err
 		}
 		defer cleanup()
+		if te, ok := eng.(*tiered.Engine); ok {
+			te.AttachObs(runScope.Child("v8"))
+		}
 		cm, err := eng.Compile(module)
 		if err != nil {
 			return nil, fmt.Errorf("harness: compile %s on %s: %w", opts.Workload.Name, opts.Engine, err)
@@ -223,6 +247,7 @@ func Run(opts Options) (*Result, error) {
 				UffdNoPool:  opts.UffdNoPool,
 				UffdPoll:    opts.UffdPoll,
 				EagerCommit: opts.EagerCommit,
+				Obs:         engineScopes[p],
 			}
 			iterators[p] = func() (time.Duration, uint64, time.Duration, error) {
 				inst, err := cm.Instantiate(cfg, nil)
@@ -313,6 +338,10 @@ func Run(opts Options) (*Result, error) {
 			defer as.RemoveThread()
 
 			o := &outs[w]
+			// Phase events reconstruct each thread's timeline
+			// (A = phase, B = worker index).
+			runScope.Emit(obs.EvPhase, obs.PhaseWarmup, int64(w))
+			defer runScope.Emit(obs.EvPhase, obs.PhaseDone, int64(w))
 			for i := 0; i < opts.Warmup; i++ {
 				if _, _, _, err := iterate(); err != nil {
 					o.err = err
@@ -322,6 +351,7 @@ func Run(opts Options) (*Result, error) {
 			}
 			warmed.Done()
 			<-start
+			runScope.Emit(obs.EvPhase, obs.PhaseMeasure, int64(w))
 
 			for i := 0; i < opts.Measure; i++ {
 				dt, sum, sim, err := iterate()
@@ -338,11 +368,13 @@ func Run(opts Options) (*Result, error) {
 					return
 				}
 				o.times = append(o.times, dt)
+				iterHist.Observe(dt.Nanoseconds())
 				if sim > 0 {
 					o.sims = append(o.sims, sim)
 				}
 			}
 			measured.Add(1)
+			runScope.Emit(obs.EvPhase, obs.PhaseCooldown, int64(w))
 
 			// Cool-down: keep the CPU busy until every thread has
 			// finished its measured runs (paper §3.5).
@@ -415,6 +447,17 @@ func Run(opts Options) (*Result, error) {
 	if n := residentSamples.Load(); n > 0 {
 		res.ResidentMean = residentSum.Load() / n
 	}
+
+	// Publish the run's headline numbers so a metrics dump is
+	// self-contained: whoever reads the registry sees the same values
+	// the figure tables print. Percentages keep two decimals via a
+	// x100 fixed-point gauge.
+	runScope.Gauge("cpu_percent_x100").Set(int64(res.CPUPercent * 100))
+	runScope.Gauge("ctxt_per_sec").Set(int64(res.CtxtPerSec))
+	runScope.Gauge("resident_peak_bytes").Set(res.ResidentPeak)
+	runScope.Gauge("throughput_x1000").Set(int64(res.Throughput * 1000))
+	runScope.Counter("iterations").Add(int64(len(allTimes)))
+	runScope.Emit(obs.EvSample, int64(res.CPUPercent*100), int64(res.CtxtPerSec))
 
 	for _, pool := range pools {
 		if pool != nil {

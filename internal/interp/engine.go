@@ -133,7 +133,9 @@ func (inst *Instance) Invoke(name string, args ...uint64) (res []uint64, err err
 	if !ok {
 		return nil, fmt.Errorf("interp: no exported function %q", name)
 	}
-	return inst.invokeIndex(idx, args)
+	res, err = inst.invokeIndex(idx, args)
+	inst.base.ObsInvoke(err)
+	return res, err
 }
 
 func (inst *Instance) invokeIndex(idx uint32, args []uint64) (res []uint64, err error) {

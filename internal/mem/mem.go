@@ -22,6 +22,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"leapsandbounds/internal/obs"
 	"leapsandbounds/internal/trap"
 	"leapsandbounds/internal/vmm"
 	"leapsandbounds/internal/wasm"
@@ -145,6 +146,14 @@ type Memory struct {
 	poll         *uffdServer
 	eager        bool // mprotect strategy: commit at grow time
 	closed       bool
+
+	// obs is the per-strategy scope under the owning process
+	// ("<proc>/mem/<strategy>"); grow and slow-path fault commits are
+	// counted here so figures can attribute management cost per
+	// strategy (the raw syscall/fault counters stay in vmm).
+	obs          *obs.Scope
+	growCalls    *obs.Counter
+	faultCommits *obs.Counter
 }
 
 // New instantiates a linear memory per the configuration.
@@ -155,11 +164,15 @@ func New(cfg Config) (*Memory, error) {
 	if cfg.MaxPages == 0 || cfg.MaxPages > wasm.MaxPages || cfg.MinPages > cfg.MaxPages {
 		return nil, fmt.Errorf("mem: bad page limits min=%d max=%d", cfg.MinPages, cfg.MaxPages)
 	}
+	sc := cfg.AS.Obs().Child("mem").Child(cfg.Strategy.String())
 	m := &Memory{
-		strategy:  cfg.Strategy,
-		sizeBytes: uint64(cfg.MinPages) * wasm.PageSize,
-		minBytes:  uint64(cfg.MinPages) * wasm.PageSize,
-		maxBytes:  uint64(cfg.MaxPages) * wasm.PageSize,
+		strategy:     cfg.Strategy,
+		sizeBytes:    uint64(cfg.MinPages) * wasm.PageSize,
+		minBytes:     uint64(cfg.MinPages) * wasm.PageSize,
+		maxBytes:     uint64(cfg.MaxPages) * wasm.PageSize,
+		obs:          sc,
+		growCalls:    sc.Counter("grows"),
+		faultCommits: sc.Counter("fault_commits"),
 	}
 	switch cfg.Strategy {
 	case None, Clamp, Trap:
@@ -279,6 +292,8 @@ func (m *Memory) Grow(delta uint32) int32 {
 	}
 	prev := m.sizeBytes
 	m.sizeBytes = newBytes
+	m.growCalls.Inc()
+	m.obs.Emit(obs.EvGrow, int64(delta), int64(m.strategy))
 	switch m.strategy {
 	case None:
 		if err := m.mapping.Touch(prev, newBytes-prev); err != nil {
@@ -440,6 +455,7 @@ func (m *Memory) fault(addr, n uint64, write bool) uint64 {
 	if end > m.committedEnd {
 		m.committedEnd = end
 	}
+	m.faultCommits.Inc()
 	m.advanceWatermark()
 	return addr
 }

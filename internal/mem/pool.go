@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 
 	"leapsandbounds/internal/hazard"
+	"leapsandbounds/internal/obs"
 	"leapsandbounds/internal/vmm"
 )
 
@@ -39,6 +40,9 @@ type arena struct {
 	// highWater is the largest wasm-visible size the arena has
 	// served, so recycling only clears what was used.
 	highWater uint64
+	// obs is the owning process's scope, captured at creation so put
+	// (which has no AddressSpace parameter) can trace recycling.
+	obs *obs.Scope
 }
 
 // NewArenaPool returns an empty pool.
@@ -51,6 +55,7 @@ func NewArenaPool() *ArenaPool {
 func (p *ArenaPool) get(as *vmm.AddressSpace, maxBytes uint64) (*arena, error) {
 	if a := p.pop(maxBytes); a != nil {
 		p.reused.Add(1)
+		as.Obs().Emit(obs.EvArenaReuse, int64(a.mapping.Backing()), 0)
 		return a, nil
 	}
 	mp, err := as.Mmap(Reserve, maxBytes, vmm.ProtNone)
@@ -62,7 +67,8 @@ func (p *ArenaPool) get(as *vmm.AddressSpace, maxBytes uint64) (*arena, error) {
 		return nil, err
 	}
 	p.created.Add(1)
-	return &arena{mapping: mp}, nil
+	as.Obs().Emit(obs.EvArenaCreate, int64(maxBytes), 0)
+	return &arena{mapping: mp, obs: as.Obs()}, nil
 }
 
 // pop removes an arena with sufficient backing from the stack. Only
@@ -96,6 +102,7 @@ func (p *ArenaPool) put(a *arena, usedBytes uint64) error {
 	if usedBytes > a.highWater {
 		a.highWater = usedBytes
 	}
+	cleared := int64(a.highWater)
 	if a.highWater > 0 {
 		clear(a.mapping.Data()[:a.highWater])
 		if err := a.mapping.UffdDecommitPages(0, a.highWater); err != nil {
@@ -104,6 +111,7 @@ func (p *ArenaPool) put(a *arena, usedBytes uint64) error {
 		a.highWater = 0
 	}
 	p.returned.Add(1)
+	a.obs.Emit(obs.EvArenaRecycle, cleared, 0)
 	for {
 		old := p.head.Load()
 		a.next.Store(old)
@@ -142,4 +150,18 @@ func (p *ArenaPool) Stats() PoolStats {
 		Reused:   p.reused.Load(),
 		Returned: p.returned.Load(),
 	}
+}
+
+// sharedPoolKey identifies the per-address-space default pool in the
+// vmm aux stash.
+const sharedPoolKey = "mem.arenapool"
+
+// SharedPool returns the address space's default arena pool,
+// creating it on first use. One pool per simulated process is the
+// paper's deployment model: arena recycling only pays off when
+// arenas outlive individual instances, so instantiations that don't
+// wire an explicit pool must all share this one rather than each
+// creating a pool that dies with the instance.
+func SharedPool(as *vmm.AddressSpace) *ArenaPool {
+	return as.Aux(sharedPoolKey, func() any { return NewArenaPool() }).(*ArenaPool)
 }

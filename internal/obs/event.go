@@ -1,0 +1,162 @@
+package obs
+
+import "sync/atomic"
+
+// EventKind classifies trace events. The set covers every mechanism
+// the paper's analysis leans on: mmap-lock acquisition and
+// contention, fault handling per delivery path, TLB shootdowns,
+// arena recycling, tier-up recompilation, GC pauses, and harness
+// phase transitions.
+type EventKind uint8
+
+// Event kinds. The A/B payload convention is documented per kind.
+const (
+	// EvLockAcquired: mmap lock acquired. A = wait ns, B = 1 if the
+	// acquisition had to wait (contended), else 0.
+	EvLockAcquired EventKind = iota
+	// EvLockContended: mmap lock acquisition that blocked. A = wait
+	// ns. Emitted in addition to EvLockAcquired so contention can be
+	// traced without recording every uncontended acquisition.
+	EvLockContended
+	// EvShootdown: TLB shootdown broadcast. A = active threads.
+	EvShootdown
+	// EvFault: page fault handled. A = byte offset, B = fault kind
+	// (0 resolved, 1 segv/mprotect, 2 uffd, 3 minor/first-touch).
+	EvFault
+	// EvMmap: mmap call. A = backing bytes.
+	EvMmap
+	// EvMunmap: munmap call. A = backing bytes.
+	EvMunmap
+	// EvMprotect: mprotect call. A = length bytes.
+	EvMprotect
+	// EvGrow: wasm memory.grow. A = delta pages, B = strategy ordinal.
+	EvGrow
+	// EvArenaCreate: uffd arena freshly mmapped. A = backing bytes.
+	EvArenaCreate
+	// EvArenaReuse: pooled arena served to a new instance.
+	EvArenaReuse
+	// EvArenaRecycle: arena returned to the pool. A = bytes cleared.
+	EvArenaRecycle
+	// EvTierUp: optimizing tier swapped in. A = module ops.
+	EvTierUp
+	// EvGCPause: stop-the-world pause. A = pause ns.
+	EvGCPause
+	// EvTrap: invocation ended in a wasm trap. A = trap kind ordinal.
+	EvTrap
+	// EvPhase: harness phase transition. A = worker id, B = phase
+	// (see PhaseWarmup..PhaseDone).
+	EvPhase
+	// EvSample: host sampler reading. A = CPU utilization in
+	// hundredths of a percent, B = context switches/s.
+	EvSample
+	numEventKinds
+)
+
+// Harness phase codes carried in EvPhase.B.
+const (
+	PhaseWarmup int64 = iota
+	PhaseMeasure
+	PhaseCooldown
+	PhaseDone
+)
+
+var eventKindNames = [numEventKinds]string{
+	"lock_acquired", "lock_contended", "shootdown", "fault",
+	"mmap", "munmap", "mprotect", "grow",
+	"arena_create", "arena_reuse", "arena_recycle",
+	"tier_up", "gc_pause", "trap", "phase", "sample",
+}
+
+func (k EventKind) String() string {
+	if int(k) < len(eventKindNames) {
+		return eventKindNames[k]
+	}
+	return "event(?)"
+}
+
+// Event is one fixed-size trace record. It contains no pointers so
+// emission never allocates.
+type Event struct {
+	TimeNs int64
+	Scope  uint32
+	Kind   EventKind
+	A, B   int64
+}
+
+// ring is a bounded lock-free MPMC queue (Vyukov's design): each
+// slot carries a sequence number that encodes whether it is free for
+// the enqueuer or ready for the dequeuer of a given lap. Producers
+// never block; when the ring is full the event is dropped and
+// counted, giving the bounded-loss guarantee the trace needs under
+// bursty emission.
+type ring struct {
+	mask    uint64
+	slots   []ringSlot
+	enq     atomic.Uint64
+	deq     atomic.Uint64
+	dropped atomic.Int64
+}
+
+type ringSlot struct {
+	seq atomic.Uint64
+	ev  Event
+}
+
+// newRing rounds capacity up to a power of two.
+func newRing(capacity int) *ring {
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	r := &ring{mask: uint64(n - 1), slots: make([]ringSlot, n)}
+	for i := range r.slots {
+		r.slots[i].seq.Store(uint64(i))
+	}
+	return r
+}
+
+// push enqueues ev, returning false (and counting a drop) when the
+// ring is full.
+func (r *ring) push(ev Event) bool {
+	pos := r.enq.Load()
+	for {
+		slot := &r.slots[pos&r.mask]
+		seq := slot.seq.Load()
+		switch {
+		case seq == pos: // slot free for this lap
+			if r.enq.CompareAndSwap(pos, pos+1) {
+				slot.ev = ev
+				slot.seq.Store(pos + 1)
+				return true
+			}
+			pos = r.enq.Load()
+		case seq < pos: // full: dequeuer hasn't freed this slot yet
+			r.dropped.Add(1)
+			return false
+		default: // another producer advanced past us
+			pos = r.enq.Load()
+		}
+	}
+}
+
+// pop dequeues the oldest event, returning false when empty.
+func (r *ring) pop() (Event, bool) {
+	pos := r.deq.Load()
+	for {
+		slot := &r.slots[pos&r.mask]
+		seq := slot.seq.Load()
+		switch {
+		case seq == pos+1: // slot ready for this lap
+			if r.deq.CompareAndSwap(pos, pos+1) {
+				ev := slot.ev
+				slot.seq.Store(pos + uint64(len(r.slots)))
+				return ev, true
+			}
+			pos = r.deq.Load()
+		case seq <= pos: // empty
+			return Event{}, false
+		default:
+			pos = r.deq.Load()
+		}
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"leapsandbounds/internal/interp"
 	"leapsandbounds/internal/isa"
 	"leapsandbounds/internal/mem"
+	"leapsandbounds/internal/obs"
 	"leapsandbounds/internal/validate"
 	"leapsandbounds/internal/wasm"
 )
@@ -64,7 +65,16 @@ type Engine struct {
 	gcPauses atomic.Int64
 	tierUps  atomic.Int64
 	sweeps   atomic.Int64
+
+	// obsSc is the attached trace scope; read by background workers
+	// and the GC loop, hence an atomic pointer (nil scope is a no-op).
+	obsSc atomic.Pointer[obs.Scope]
 }
+
+// AttachObs routes the engine's runtime-service events (tier-up
+// recompiles, stop-the-world GC pauses) to sc. Safe to call at any
+// time; events before attachment are dropped.
+func (e *Engine) AttachObs(sc *obs.Scope) { e.obsSc.Store(sc) }
 
 // New creates the tiered engine with V8-like worker threads: the
 // paper observes V8 spawning workers for JIT compilation and GC that
@@ -151,10 +161,15 @@ func (e *Engine) gcLoop() {
 			// Stop the world: block new invocations, wait for the
 			// running ones to reach their safepoint (invoke exit),
 			// then pause.
+			t0 := time.Now()
 			e.world.Lock()
 			e.gcPauses.Add(1)
 			busySpin(gcPause)
 			e.world.Unlock()
+			// The reported pause includes the safepoint wait: that is
+			// what executor threads lose, which is the quantity the
+			// paper's V8 tail-latency discussion cares about.
+			e.obsSc.Load().Emit(obs.EvGCPause, time.Since(t0).Nanoseconds(), 0)
 		}
 	}
 }
@@ -182,11 +197,13 @@ func (e *Engine) Compile(m *wasm.Module) (core.CompiledModule, error) {
 		ops += len(m.Code[i].Body)
 	}
 	job := func() {
+		t0 := time.Now()
 		busySpin(time.Duration(ops) * compileCostPerOp)
 		top, err := e.topTier.CompileModule(m)
 		if err == nil {
 			tm.top.Store(top)
 			e.tierUps.Add(1)
+			e.obsSc.Load().Emit(obs.EvTierUp, time.Since(t0).Nanoseconds(), int64(ops))
 		}
 	}
 	select {

@@ -6,6 +6,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"leapsandbounds/internal/obs"
 )
 
 // Prot is a page protection bit set.
@@ -105,26 +107,55 @@ type AddressSpace struct {
 	// (backing allocation is kernel work done under the lock).
 	freelist map[uint64][][]byte
 
-	threads  atomic.Int64 // active threads, for shootdown cost
-	resident atomic.Int64 // bytes the "kernel" counts as used
+	threads  *obs.Gauge // active threads, for shootdown cost
+	resident *obs.Gauge // bytes the "kernel" counts as used
+	obs      *obs.Scope
 	stats    Stats
+
+	// aux stashes per-process singletons owned by higher layers that
+	// vmm cannot import (e.g. the mem package's shared arena pool).
+	auxMu sync.Mutex
+	aux   map[string]any
 }
 
-// Stats aggregates syscall and fault counters. All fields are
-// updated atomically; read a consistent copy via Snapshot.
+// Stats aggregates syscall and fault counters, registry-backed:
+// every field is an obs counter registered under the address space's
+// scope, so the same numbers appear in harness metric dumps and in
+// StatsSnapshot compatibility views. All counters are lock-free.
 type Stats struct {
-	MmapCalls     atomic.Int64
-	MunmapCalls   atomic.Int64
-	MprotectCalls atomic.Int64
-	MinorFaults   atomic.Int64 // first-touch anonymous faults
-	UffdFaults    atomic.Int64 // faults resolved through userfaultfd
-	SegvFaults    atomic.Int64 // faults delivered as SIGSEGV
-	Shootdowns    atomic.Int64
-	VMAsTouched   atomic.Int64
-	THPPromotions atomic.Int64
-	LockWaitNs    atomic.Int64 // time spent waiting for the mmap lock
-	LockHoldNs    atomic.Int64 // time spent holding the mmap lock
-	LockContended atomic.Int64 // acquisitions that had to wait
+	MmapCalls     *obs.Counter
+	MunmapCalls   *obs.Counter
+	MprotectCalls *obs.Counter
+	MinorFaults   *obs.Counter // first-touch anonymous faults
+	UffdFaults    *obs.Counter // faults resolved through userfaultfd
+	SegvFaults    *obs.Counter // faults delivered as SIGSEGV
+	Shootdowns    *obs.Counter
+	VMAsTouched   *obs.Counter
+	THPPromotions *obs.Counter
+	LockWaitNs    *obs.Counter // time spent waiting for the mmap lock
+	LockHoldNs    *obs.Counter // time spent holding the mmap lock
+	LockContended *obs.Counter // acquisitions that had to wait
+	// LockWait is the wait-time distribution behind LockWaitNs.
+	LockWait *obs.Histogram
+}
+
+// newStats registers the counters under sc.
+func newStats(sc *obs.Scope) Stats {
+	return Stats{
+		MmapCalls:     sc.Counter("mmap_calls"),
+		MunmapCalls:   sc.Counter("munmap_calls"),
+		MprotectCalls: sc.Counter("mprotect_calls"),
+		MinorFaults:   sc.Counter("minor_faults"),
+		UffdFaults:    sc.Counter("uffd_faults"),
+		SegvFaults:    sc.Counter("segv_faults"),
+		Shootdowns:    sc.Counter("shootdowns"),
+		VMAsTouched:   sc.Counter("vmas_touched"),
+		THPPromotions: sc.Counter("thp_promotions"),
+		LockWaitNs:    sc.Counter("lock_wait_ns"),
+		LockHoldNs:    sc.Counter("lock_hold_ns"),
+		LockContended: sc.Counter("lock_contended"),
+		LockWait:      sc.Histogram("lock_wait_hist_ns"),
+	}
 }
 
 // StatsSnapshot is a plain-value copy of Stats.
@@ -139,20 +170,59 @@ type StatsSnapshot struct {
 }
 
 // New creates an address space with the given configuration,
-// applying defaults for zero fields.
-func New(cfg Config) *AddressSpace {
+// applying defaults for zero fields. Its counters live in a private
+// registry; use NewObserved to attach them to a shared one.
+func New(cfg Config) *AddressSpace { return NewObserved(cfg, nil) }
+
+// NewObserved creates an address space whose counters, gauges and
+// trace events register under the given scope (one scope per
+// simulated process). A nil scope falls back to a private registry
+// so Snapshot always works; the fallback is created without a trace
+// ring (nobody drains a private ring, and event pushes would be pure
+// overhead on every unobserved address space).
+func NewObserved(cfg Config, sc *obs.Scope) *AddressSpace {
 	if cfg.PageSize == 0 {
 		cfg.PageSize = 4096
+	}
+	if sc == nil {
+		sc = obs.NewRegistrySized(0).Scope("vmm")
 	}
 	return &AddressSpace{
 		cfg:      cfg,
 		nextAddr: mmapBase,
 		freelist: make(map[uint64][][]byte),
+		threads:  sc.Gauge("threads"),
+		resident: sc.Gauge("resident_bytes"),
+		obs:      sc,
+		stats:    newStats(sc),
 	}
 }
 
 // Config returns the address space's configuration.
 func (as *AddressSpace) Config() Config { return as.cfg }
+
+// Obs returns the address space's observation scope; higher layers
+// (mem, core) hang their per-process metrics off it.
+func (as *AddressSpace) Obs() *obs.Scope { return as.obs }
+
+// Aux returns the per-address-space singleton stored under key,
+// calling create under a lock to build it on first use. It lets
+// higher layers (which vmm cannot import) attach one shared object —
+// e.g. the mem package's default arena pool — to the process whose
+// lifetime it must follow.
+func (as *AddressSpace) Aux(key string, create func() any) any {
+	as.auxMu.Lock()
+	defer as.auxMu.Unlock()
+	if as.aux == nil {
+		as.aux = make(map[string]any)
+	}
+	v, ok := as.aux[key]
+	if !ok {
+		v = create()
+		as.aux[key] = v
+	}
+	return v
+}
 
 // AddThread records a thread entering the simulated process; TLB
 // shootdown costs scale with the number of active threads.
@@ -172,12 +242,17 @@ func (as *AddressSpace) lock() (release func()) {
 	t1 := time.Now()
 	wait := t1.Sub(t0)
 	as.stats.LockWaitNs.Add(wait.Nanoseconds())
+	as.stats.LockWait.Observe(wait.Nanoseconds())
 	// A waiting acquisition implies the thread blocked and was
 	// rescheduled: the context-switch proxy used when host counters
 	// are unavailable.
+	contended := int64(0)
 	if wait > 500*time.Nanosecond {
+		contended = 1
 		as.stats.LockContended.Add(1)
+		as.obs.Emit(obs.EvLockContended, wait.Nanoseconds(), 0)
 	}
+	as.obs.Emit(obs.EvLockAcquired, wait.Nanoseconds(), contended)
 	return func() {
 		as.stats.LockHoldNs.Add(time.Since(t1).Nanoseconds())
 		as.mu.Unlock()
@@ -199,7 +274,9 @@ func spin(d time.Duration) {
 // mmap lock.
 func (as *AddressSpace) shootdownLocked() {
 	as.stats.Shootdowns.Add(1)
-	spin(as.cfg.ShootdownBase + time.Duration(as.threads.Load())*as.cfg.ShootdownPerThread)
+	threads := as.threads.Load()
+	as.obs.Emit(obs.EvShootdown, threads, 0)
+	spin(as.cfg.ShootdownBase + time.Duration(threads)*as.cfg.ShootdownPerThread)
 }
 
 // Mapping is one simulated mmap'd region. The virtual reservation
@@ -236,6 +313,7 @@ func (as *AddressSpace) Mmap(reserve, backing uint64, prot Prot) (*Mapping, erro
 
 	spin(as.cfg.MmapBase)
 	as.stats.MmapCalls.Add(1)
+	as.obs.Emit(obs.EvMmap, int64(backing), 0)
 
 	addr := as.tree.findGap(as.nextAddr, reserve)
 	m := &Mapping{
@@ -284,6 +362,7 @@ func (as *AddressSpace) Munmap(m *Mapping) error {
 
 	spin(as.cfg.MmapBase)
 	as.stats.MunmapCalls.Add(1)
+	as.obs.Emit(obs.EvMunmap, int64(m.backing), 0)
 
 	// Remove every node belonging to this mapping; mprotect may have
 	// split the original two into many.
@@ -364,6 +443,7 @@ func (m *Mapping) Mprotect(off, length uint64, prot Prot) error {
 	defer release()
 
 	as.stats.MprotectCalls.Add(1)
+	as.obs.Emit(obs.EvMprotect, int64(length), 0)
 	touched, err := as.tree.protRange(m.addr+off, m.addr+off+length, prot)
 	if err != nil {
 		return err
@@ -437,6 +517,7 @@ const (
 func (m *Mapping) Fault(off uint64, write bool) FaultKind {
 	if m.dead.Load() || off >= m.backing {
 		m.as.stats.SegvFaults.Add(1)
+		m.as.obs.Emit(obs.EvFault, int64(off), int64(FaultSegv))
 		return FaultSegv
 	}
 	ps := m.as.cfg.PageSize
@@ -450,9 +531,11 @@ func (m *Mapping) Fault(off uint64, write bool) FaultKind {
 	}
 	if m.uffd.Load() {
 		m.as.stats.UffdFaults.Add(1)
+		m.as.obs.Emit(obs.EvFault, int64(off), int64(FaultUffd))
 		return FaultUffd
 	}
 	m.as.stats.SegvFaults.Add(1)
+	m.as.obs.Emit(obs.EvFault, int64(off), int64(FaultSegv))
 	return FaultSegv
 }
 
@@ -578,6 +661,7 @@ func (m *Mapping) Touch(off, length uint64) error {
 		return fmt.Errorf("%w: touch [%d,%d) backing %d", ErrBadRange, off, off+length, m.backing)
 	}
 	first := off / ps
+	var touched int64
 	for p := first; p < first+length/ps; p++ {
 		for {
 			old := m.pages[p].Load()
@@ -589,10 +673,17 @@ func (m *Mapping) Touch(off, length uint64) error {
 			}
 			if m.pages[p].CompareAndSwap(old, old|pageCommitted) {
 				m.as.stats.MinorFaults.Add(1)
+				touched++
 				m.accountCommit(p)
 				break
 			}
 		}
+	}
+	if touched > 0 {
+		// One event per touched range; the per-page count is in the
+		// minor_faults counter (a per-page event would flood the ring
+		// on eager-commit strategies).
+		m.as.obs.Emit(obs.EvFault, int64(off), 3)
 	}
 	return nil
 }

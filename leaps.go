@@ -39,6 +39,7 @@ import (
 	"leapsandbounds/internal/harness"
 	"leapsandbounds/internal/isa"
 	"leapsandbounds/internal/mem"
+	"leapsandbounds/internal/obs"
 	"leapsandbounds/internal/validate"
 	"leapsandbounds/internal/vmm"
 	"leapsandbounds/internal/wasi"
@@ -192,6 +193,18 @@ func NewProcess(p *Profile) *Process {
 	}
 }
 
+// NewObservedProcess creates a simulated process whose kernel
+// counters, lock-wait histograms and trace events register in m
+// under the scope named name (e.g. "proc0"). Use one Metrics
+// registry across processes to compare strategies side by side.
+func NewObservedProcess(p *Profile, m *Metrics, name string) *Process {
+	return &Process{
+		as:      vmm.NewObserved(p.VM, m.Scope(name)),
+		pool:    mem.NewArenaPool(),
+		profile: p,
+	}
+}
+
 // Config returns an instantiation config bound to this process.
 func (p *Process) Config(s Strategy) Config {
 	return Config{Strategy: s, Profile: p.profile, AS: p.as, Pool: p.pool}
@@ -205,6 +218,22 @@ func (p *Process) ResidentBytes() int64 { return p.as.ResidentBytes() }
 
 // Close releases pooled arenas.
 func (p *Process) Close() { p.pool.Drain() }
+
+// Metrics is a process-wide, allocation-free metrics registry:
+// atomic counters, gauges and fixed-bucket latency histograms, plus
+// a lock-free bounded ring of typed trace events (faults, mmap-lock
+// acquisitions, TLB shootdowns, tier-ups, GC pauses, arena
+// recycling, harness phases). Pass one registry to BenchOptions.Obs
+// or figures.Config.Metrics and flush it through a sink
+// (obs.JSONSink, obs.CSVSink, obs.SummarySink) when done.
+type Metrics = obs.Registry
+
+// MetricsSnapshot is a point-in-time copy of a Metrics registry.
+type MetricsSnapshot = obs.Snapshot
+
+// NewMetrics creates an empty metrics registry with the default
+// trace-ring capacity.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
 
 // BenchOptions configures a harness run.
 type BenchOptions = harness.Options

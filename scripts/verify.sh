@@ -1,0 +1,26 @@
+#!/bin/sh
+# verify.sh — the repo's tier-1 gate plus a short race pass over the
+# concurrency-heavy packages. Run from the repository root:
+#
+#     ./scripts/verify.sh        # or: make verify
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go test ./..."
+go test ./...
+
+# The packages where a data race would silently corrupt the paper's
+# measurements: the metrics registry and trace ring, the simulated
+# kernel's lock/fault accounting, and the hazard-pointer domain
+# behind arena recycling.
+echo "== go test -race (obs, vmm, hazard)"
+go test -race -count=1 ./internal/obs/ ./internal/vmm/ ./internal/hazard/
+
+echo "verify: OK"
