@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify bench figures
+.PHONY: build test vet race verify bench bench-quick figures
 
 build:
 	$(GO) build ./...
@@ -12,9 +12,10 @@ test:
 	$(GO) test ./...
 
 # Short race pass over the concurrency-heavy packages (the metrics
-# registry, the simulated VM subsystem, the hazard-pointer domain).
+# registry, the simulated VM subsystem, the hazard-pointer domain,
+# the module cache's singleflight path, the sweep scheduler).
 race:
-	$(GO) test -race -count=1 ./internal/obs/ ./internal/vmm/ ./internal/hazard/
+	$(GO) test -race -count=1 ./internal/obs/ ./internal/vmm/ ./internal/hazard/ ./internal/modcache/ ./internal/harness/
 
 # The full tier-1 gate: build + vet + tests + race pass.
 verify:
@@ -22,6 +23,12 @@ verify:
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# Cold-serial vs warm-parallel cache benchmark: runs a small sweep
+# twice and writes wall clocks, hit rate and compile-ns-saved to
+# BENCH_sweep.json.
+bench-quick:
+	$(GO) run ./cmd/leapsbench -benchsweep BENCH_sweep.json -quick
 
 figures:
 	$(GO) run ./cmd/leapsbench -fig all

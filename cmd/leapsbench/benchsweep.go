@@ -1,0 +1,190 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"leapsandbounds/internal/harness"
+	"leapsandbounds/internal/isa"
+	"leapsandbounds/internal/mem"
+	"leapsandbounds/internal/modcache"
+	"leapsandbounds/internal/tiered"
+	"leapsandbounds/internal/workloads"
+)
+
+// benchSweepReport is the JSON artifact of -benchsweep: the same
+// sweep run twice, serial with a cold disabled cache versus parallel
+// with a prewarmed one, with the cache counters that explain the gap.
+type benchSweepReport struct {
+	HostCPUs int      `json:"host_cpus"`
+	Class    string   `json:"class"`
+	Configs  []string `json:"configs"`
+
+	ColdSerialWallNs   int64   `json:"cold_serial_wall_ns"`
+	WarmParallelWallNs int64   `json:"warm_parallel_wall_ns"`
+	Speedup            float64 `json:"speedup"`
+
+	CacheHits      int64   `json:"cache_hits"`
+	CacheMisses    int64   `json:"cache_misses"`
+	CacheDedups    int64   `json:"cache_dedups"`
+	CacheHitRate   float64 `json:"cache_hit_rate"`
+	CompileNsSaved int64   `json:"compile_ns_saved"`
+	PrewarmNs      int64   `json:"prewarm_ns"`
+
+	ChecksumsMatch bool `json:"checksums_match"`
+}
+
+// benchSweepConfigs is the fixed configuration set of the cache
+// benchmark: every wasm engine over two strategies on a few
+// representative workloads, single-threaded (so runs are shareable
+// and the parallel pass can pack them).
+func benchSweepConfigs(quick bool) ([]harness.Options, error) {
+	names := []string{"gemm", "atax", "jacobi-2d", "505.mcf"}
+	if quick {
+		names = names[:2]
+	}
+	cls := workloads.Test
+	prof := isa.X86_64()
+	var optss []harness.Options
+	for _, eng := range []string{harness.EngineWAVM, harness.EngineWasmtime, harness.EngineV8} {
+		for _, s := range []mem.Strategy{mem.Trap, mem.Mprotect} {
+			for _, name := range names {
+				wl, err := workloads.ByName(name)
+				if err != nil {
+					return nil, err
+				}
+				optss = append(optss, harness.Options{
+					Engine: eng, Workload: wl, Class: cls,
+					Strategy: s, Profile: prof, Threads: 1,
+					Warmup: 1, Measure: 2,
+				})
+			}
+		}
+	}
+	return optss, nil
+}
+
+// prewarm compiles every distinct engine × module of the sweep into
+// the shared cache, waiting for the tiered engine's optimizing tier
+// so warm runs adopt it instead of recompiling.
+func prewarm(optss []harness.Options) error {
+	type ck struct {
+		engine, workload string
+	}
+	seen := map[ck]bool{}
+	for _, o := range optss {
+		k := ck{o.Engine, o.Workload.Name}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		module, _, err := o.Workload.BuildChecked(o.Class)
+		if err != nil {
+			return err
+		}
+		eng, cleanup, err := harness.NewEngine(o.Engine)
+		if err != nil {
+			return err
+		}
+		cm, err := eng.Compile(module)
+		if err != nil {
+			cleanup()
+			return err
+		}
+		tiered.WaitReady(cm, 10*time.Second)
+		cleanup()
+	}
+	return nil
+}
+
+// runBenchSweep executes the cold-vs-warm cache benchmark and writes
+// the JSON report to path ("-" for stdout).
+func runBenchSweep(path string, quick bool) error {
+	optss, err := benchSweepConfigs(quick)
+	if err != nil {
+		return err
+	}
+	// Open the report destination before measuring anything, so a bad
+	// path fails fast instead of after the sweep.
+	out := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	cache := modcache.Shared()
+
+	// Pass 1: cold and serial — the pre-cache baseline. Disabling the
+	// cache (not just purging it) also disables singleflight, so every
+	// run pays its own full compile.
+	cache.SetEnabled(false)
+	cache.Purge()
+	t0 := time.Now()
+	res1, err := harness.RunSweep(harness.SweepOf(optss...), harness.SweepOptions{Serial: true})
+	if err != nil {
+		return err
+	}
+	coldWall := time.Since(t0)
+
+	// Pass 2: warm and parallel. Prewarm compiles each distinct
+	// engine × module once; the sweep then packs onto the pool with
+	// every compile a cache hit.
+	cache.SetEnabled(true)
+	cache.Purge()
+	tw := time.Now()
+	if err := prewarm(optss); err != nil {
+		return err
+	}
+	prewarmDur := time.Since(tw)
+	before := cache.Stats()
+	t1 := time.Now()
+	res2, err := harness.RunSweep(harness.SweepOf(optss...), harness.SweepOptions{})
+	if err != nil {
+		return err
+	}
+	warmWall := time.Since(t1)
+	after := cache.Stats()
+
+	match := true
+	configs := make([]string, len(optss))
+	for i := range optss {
+		configs[i] = optss[i].RunLabel()
+		if res1[i].Result.Checksum != res2[i].Result.Checksum {
+			match = false
+		}
+	}
+
+	rep := benchSweepReport{
+		HostCPUs:           runtime.NumCPU(),
+		Class:              "test",
+		Configs:            configs,
+		ColdSerialWallNs:   coldWall.Nanoseconds(),
+		WarmParallelWallNs: warmWall.Nanoseconds(),
+		Speedup:            float64(coldWall) / float64(warmWall),
+		CacheHits:          after.Hits - before.Hits,
+		CacheMisses:        after.Misses - before.Misses,
+		CacheDedups:        after.Dedups - before.Dedups,
+		CacheHitRate:       modcache.HitRate(before, after),
+		CompileNsSaved:     after.CompileNsSaved - before.CompileNsSaved,
+		PrewarmNs:          prewarmDur.Nanoseconds(),
+		ChecksumsMatch:     match,
+	}
+
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr,
+		"benchsweep: %d configs on %d CPUs: cold serial %v, warm parallel %v (%.2fx), hit rate %.0f%%, compile time saved %v, checksums match: %v\n",
+		len(configs), rep.HostCPUs, coldWall.Round(time.Millisecond),
+		warmWall.Round(time.Millisecond), rep.Speedup,
+		rep.CacheHitRate*100, time.Duration(rep.CompileNsSaved).Round(time.Millisecond), match)
+	return nil
+}

@@ -28,6 +28,7 @@ import (
 	"leapsandbounds/internal/harness"
 	"leapsandbounds/internal/isa"
 	"leapsandbounds/internal/mem"
+	"leapsandbounds/internal/modcache"
 	"leapsandbounds/internal/obs"
 	"leapsandbounds/internal/workloads"
 )
@@ -48,6 +49,9 @@ func main() {
 		ops      = flag.Bool("ops", false, "single-run mode: print the executed-op histogram instead of timing")
 		asJSON   = flag.Bool("json", false, "single-run mode: emit the result as JSON")
 		metrics  = flag.String("metrics", "", "write run metrics and trace events to this file (.json, .csv, or .txt summary; \"-\" for stdout)")
+		parallel = flag.Bool("parallel", true, "figure mode: schedule configurations through the sweep scheduler (single-isolate runs pack onto a worker pool; thread-scaling runs stay exclusive)")
+		nocache  = flag.Bool("nocache", false, "disable the compiled-module cache (every run pays the full compile)")
+		bsweep   = flag.String("benchsweep", "", "run the cold-vs-warm cache benchmark and write its JSON report to this file (\"-\" for stdout)")
 		list     = flag.Bool("list", false, "list workloads and engines")
 	)
 	flag.Parse()
@@ -55,6 +59,18 @@ func main() {
 	var reg *obs.Registry
 	if *metrics != "" {
 		reg = obs.NewRegistry()
+		modcache.Shared().AttachObs(reg.Scope("modcache"))
+	}
+	if *nocache {
+		modcache.Shared().SetEnabled(false)
+	}
+
+	if *bsweep != "" {
+		if err := runBenchSweep(*bsweep, *quick); err != nil {
+			fmt.Fprintln(os.Stderr, "leapsbench:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *list {
@@ -69,12 +85,13 @@ func main() {
 
 	if *fig != "" {
 		cfg := figures.Config{
-			Out:     os.Stdout,
-			Class:   cls,
-			Quick:   *quick,
-			Measure: *measure,
-			Warmup:  *warmup,
-			Metrics: reg,
+			Out:      os.Stdout,
+			Class:    cls,
+			Quick:    *quick,
+			Measure:  *measure,
+			Warmup:   *warmup,
+			Metrics:  reg,
+			Parallel: *parallel,
 		}
 		if err := runFigures(*fig, cfg); err != nil {
 			fmt.Fprintln(os.Stderr, "leapsbench:", err)
@@ -127,6 +144,7 @@ func main() {
 		Measure:     *measure,
 		Warmup:      *warmup,
 		CountCycles: *cycles,
+		NoCache:     *nocache,
 		Obs:         reg,
 	})
 	if err != nil {

@@ -23,51 +23,82 @@ import (
 )
 
 const (
-	requests  = 400
-	workBytes = 256 << 10 // per-request working set (short-lived function)
+	bursts           = 4
+	requestsPerBurst = 100
+	workBytes        = 256 << 10 // per-request working set (short-lived function)
 )
 
 func main() {
 	module := buildHandler()
-	engine, closeEngine, err := leaps.NewEngine(leaps.EngineWasmtime)
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer closeEngine()
-	compiled, err := engine.Compile(module)
-	if err != nil {
-		log.Fatal(err)
-	}
 
 	workers := max(4, runtime.NumCPU())
-	fmt.Printf("serving %d requests on %d workers, %d KiB per isolate\n\n",
-		requests, workers, workBytes/1024)
+	fmt.Printf("serving %d bursts of %d requests on %d workers, %d KiB per isolate\n\n",
+		bursts, requestsPerBurst, workers, workBytes/1024)
 	fmt.Printf("%-10s %12s %14s %14s %10s\n",
 		"strategy", "total", "req/s", "lock wait", "mmaps")
 
+	before := leaps.CompileCache().Stats()
 	for _, strategy := range []leaps.Strategy{leaps.Mprotect, leaps.Uffd} {
-		elapsed, vm := serveBurst(compiled, strategy, workers)
+		elapsed, vm, err := serveBursts(module, strategy, workers)
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("%-10v %12v %14.0f %14v %10d\n",
 			strategy,
 			elapsed.Round(time.Millisecond),
-			float64(requests)/elapsed.Seconds(),
+			float64(bursts*requestsPerBurst)/elapsed.Seconds(),
 			time.Duration(vm.LockWaitNs).Round(time.Microsecond),
 			vm.MmapCalls)
 	}
+	after := leaps.CompileCache().Stats()
+	fmt.Printf("\ncompile cache over %d cold starts: %d compile(s), %d hit(s), %v of compilation avoided\n",
+		bursts*2, after.Compiles-before.Compiles, after.Hits-before.Hits,
+		time.Duration(after.CompileNsSaved-before.CompileNsSaved).Round(time.Microsecond))
+}
+
+// serveBursts serves a sequence of request bursts. Each burst is one
+// scale-up event: a fresh engine spins up (the deployment's
+// cold-start path) and compiles the function — but because every
+// engine shares the process-wide compile cache, only the first burst
+// pays the compile; the rest adopt the cached artifact and go
+// straight to instantiation.
+func serveBursts(module *leaps.Module, strategy leaps.Strategy, workers int) (time.Duration, leaps.VMStats, error) {
+	proc := leaps.NewProcess(leaps.ProfileX86())
+	defer proc.Close()
+	cfg := proc.Config(strategy)
+
+	var total time.Duration
+	for b := 0; b < bursts; b++ {
+		engine, closeEngine, err := leaps.NewEngine(leaps.EngineWasmtime)
+		if err != nil {
+			return 0, leaps.VMStats{}, err
+		}
+		compiled, err := engine.Compile(module)
+		if err != nil {
+			closeEngine()
+			return 0, leaps.VMStats{}, err
+		}
+		dt, err := serveBurst(compiled, cfg, workers)
+		closeEngine()
+		if err != nil {
+			return 0, leaps.VMStats{}, err
+		}
+		total += dt
+	}
+	return total, proc.VMStats(), nil
 }
 
 // serveBurst drains a queue of requests across worker goroutines,
 // one fresh isolate per request — the serverless cold-start path.
 // All isolates share one simulated process; that sharing is what the
 // strategies differ on.
-func serveBurst(compiled leaps.CompiledModule, strategy leaps.Strategy, workers int) (time.Duration, leaps.VMStats) {
-	proc := leaps.NewProcess(leaps.ProfileX86())
-	defer proc.Close()
-	cfg := proc.Config(strategy)
-
+func serveBurst(compiled leaps.CompiledModule, cfg leaps.Config, workers int) (time.Duration, error) {
 	var queue atomic.Int64
-	queue.Store(requests)
+	queue.Store(requestsPerBurst)
 	var wg sync.WaitGroup
+	var errOnce sync.Once
+	var firstErr error
+	fail := func(err error) { errOnce.Do(func() { firstErr = err }) }
 	t0 := time.Now()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -76,17 +107,23 @@ func serveBurst(compiled leaps.CompiledModule, strategy leaps.Strategy, workers 
 			for queue.Add(-1) >= 0 {
 				inst, err := compiled.Instantiate(cfg, nil)
 				if err != nil {
-					log.Fatal(err)
+					fail(err)
+					return
 				}
 				if _, err := inst.Invoke("handle", 7); err != nil {
-					log.Fatal(err)
+					inst.Close()
+					fail(err)
+					return
 				}
 				inst.Close()
 			}
 		}()
 	}
 	wg.Wait()
-	return time.Since(t0), proc.VMStats()
+	if firstErr != nil {
+		return 0, firstErr
+	}
+	return time.Since(t0), nil
 }
 
 // buildHandler authors the "function": it touches a working set and

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"testing"
+
+	leaps "leapsandbounds"
+)
+
+// TestBurstsCompileOnce is the serving scenario's cache guarantee:
+// after the first burst warms the compile cache, scale-up events
+// (fresh engine + Compile per burst) perform zero additional
+// compiles — every later Compile is a cache hit on the
+// content-addressed artifact.
+func TestBurstsCompileOnce(t *testing.T) {
+	module := buildHandler()
+	cache := leaps.CompileCache()
+	if !cache.Enabled() {
+		t.Fatal("shared compile cache is disabled")
+	}
+
+	// Warm-up burst: the one compile the function ever needs.
+	engine, closeEngine, err := leaps.NewEngine(leaps.EngineWasmtime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := engine.Compile(module); err != nil {
+		closeEngine()
+		t.Fatal(err)
+	}
+	closeEngine()
+
+	before := cache.Stats()
+	const coldStarts = 5
+	for b := 0; b < coldStarts; b++ {
+		engine, closeEngine, err := leaps.NewEngine(leaps.EngineWasmtime)
+		if err != nil {
+			t.Fatal(err)
+		}
+		compiled, err := engine.Compile(module)
+		if err != nil {
+			closeEngine()
+			t.Fatal(err)
+		}
+		proc := leaps.NewProcess(leaps.ProfileX86())
+		if _, err := serveBurst(compiled, proc.Config(leaps.Uffd), 4); err != nil {
+			t.Fatal(err)
+		}
+		proc.Close()
+		closeEngine()
+	}
+	after := cache.Stats()
+
+	if got := after.Compiles - before.Compiles; got != 0 {
+		t.Errorf("compiles after warm-up = %d, want 0", got)
+	}
+	if got := after.Hits - before.Hits; got < coldStarts {
+		t.Errorf("cache hits after warm-up = %d, want >= %d", got, coldStarts)
+	}
+	if saved := after.CompileNsSaved - before.CompileNsSaved; saved <= 0 {
+		t.Errorf("compile ns saved = %d, want > 0", saved)
+	}
+}

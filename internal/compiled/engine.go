@@ -7,16 +7,21 @@ import (
 	"leapsandbounds/internal/flatten"
 	"leapsandbounds/internal/isa"
 	"leapsandbounds/internal/mem"
+	"leapsandbounds/internal/modcache"
 	"leapsandbounds/internal/trap"
 	"leapsandbounds/internal/validate"
 	"leapsandbounds/internal/wasm"
 )
 
-// Engine is a closure-compiling AOT engine.
+// Engine is a closure-compiling AOT engine. Engines are immutable
+// configuration (name + optimization flag) with no lifecycle, which
+// is what makes their compiled modules safely shareable through the
+// process-wide module cache.
 type Engine struct {
 	name     string
 	desc     string
 	optimize bool
+	cache    core.ModuleCache
 }
 
 // NewWAVM returns the WAVM analog: ahead-of-time compilation with
@@ -27,6 +32,7 @@ func NewWAVM() *Engine {
 		name:     "wavm",
 		desc:     "optimizing closure-compiling AOT engine (WAVM/LLVM analog)",
 		optimize: true,
+		cache:    modcache.Shared(),
 	}
 }
 
@@ -37,7 +43,39 @@ func NewWasmtime() *Engine {
 		name:     "wasmtime",
 		desc:     "single-pass closure-compiling AOT engine (Wasmtime/Cranelift analog)",
 		optimize: false,
+		cache:    modcache.Shared(),
 	}
+}
+
+// SetCache implements core.CacheSetter: it redirects the engine's
+// compile path to c, or detaches it from caching when c is nil. Call
+// before the first Compile.
+func (e *Engine) SetCache(c core.ModuleCache) { e.cache = c }
+
+// cacheOpts fingerprints the engine's codegen-affecting options for
+// the cache key (redundant with the engine name today, but the key
+// must stay sound if more constructors appear).
+func (e *Engine) cacheOpts() string {
+	if e.optimize {
+		return "optimize=1"
+	}
+	return "optimize=0"
+}
+
+// CachedModule returns the already-compiled artifact for m from the
+// engine's cache, without compiling. The tiered engine uses it to
+// adopt a warm optimized tier at Compile time instead of scheduling a
+// background recompile.
+func (e *Engine) CachedModule(m *wasm.Module) (*Module, bool) {
+	if e.cache == nil {
+		return nil, false
+	}
+	cm, ok := e.cache.Peek(m, e.name, e.cacheOpts())
+	if !ok {
+		return nil, false
+	}
+	tm, ok := cm.(*Module)
+	return tm, ok
 }
 
 // Name implements core.Engine.
@@ -71,8 +109,24 @@ func (e *Engine) Compile(m *wasm.Module) (core.CompiledModule, error) {
 	return e.CompileModule(m)
 }
 
-// CompileModule is Compile with a concrete result type.
+// CompileModule is Compile with a concrete result type. It routes
+// through the engine's module cache: the full validate → flatten →
+// optimize → emit pipeline runs only on a cache miss, and concurrent
+// misses on the same module deduplicate to one compile.
 func (e *Engine) CompileModule(m *wasm.Module) (*Module, error) {
+	if e.cache == nil {
+		return e.compileModule(m)
+	}
+	cm, _, err := e.cache.GetOrCompile(m, e.name, e.cacheOpts(),
+		func() (core.CompiledModule, error) { return e.compileModule(m) })
+	if err != nil {
+		return nil, err
+	}
+	return cm.(*Module), nil
+}
+
+// compileModule is the uncached compile pipeline.
+func (e *Engine) compileModule(m *wasm.Module) (*Module, error) {
 	if err := validate.Module(m); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,91 @@
+package compiled_test
+
+import (
+	"testing"
+
+	"leapsandbounds/internal/compiled"
+	"leapsandbounds/internal/core"
+	"leapsandbounds/internal/isa"
+	"leapsandbounds/internal/mem"
+	"leapsandbounds/internal/wasm"
+	g "leapsandbounds/internal/wasmgen"
+)
+
+// TestCompiledModuleInstantiationIndependent verifies the invariant
+// the module cache's key is built on (see core.ModuleCache): a
+// compiled module carries no instantiation-time configuration.
+// Bounds-checking strategy, hardware profile and address space are
+// all applied at Instantiate, so one artifact — compiled exactly once
+// — must produce identical results under every strategy × profile
+// combination, and compiling it must not mutate the source module
+// (its content hash, the cache key, stays fixed).
+func TestCompiledModuleInstantiationIndependent(t *testing.T) {
+	mb := g.NewModule()
+	mb.Memory(1, 8)
+	lay := g.NewLayout(0)
+	arr := lay.I64(512)
+	f := mb.Func("run", wasm.I64)
+	i := f.LocalI32("i")
+	acc := f.LocalI64("acc")
+	f.Body(
+		g.For(i, g.I32(0), g.I32(512),
+			arr.Store(g.Get(i), g.Mul(g.I64FromI32(g.Get(i)), g.I64(-0x61c8864680b583eb))),
+		),
+		g.For(i, g.I32(0), g.I32(512),
+			g.Set(acc, g.Xor(g.Get(acc), arr.Load(g.Get(i)))),
+		),
+		g.Return(g.Get(acc)),
+	)
+	mb.Export("run", f)
+	m, err := mb.Module()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for name, eng := range map[string]*compiled.Engine{
+		"wavm": compiled.NewWAVM(), "wasmtime": compiled.NewWasmtime(),
+	} {
+		t.Run(name, func(t *testing.T) {
+			hashBefore, err := m.ContentHash()
+			if err != nil {
+				t.Fatal(err)
+			}
+			// One compile serves every instantiation below.
+			cm, err := eng.Compile(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			var want uint64
+			first := true
+			for _, prof := range isa.Profiles() {
+				for _, s := range mem.Strategies() {
+					inst, err := cm.Instantiate(core.Config{
+						Strategy: s, Profile: prof,
+					}, nil)
+					if err != nil {
+						t.Fatalf("%s/%v: instantiate: %v", prof.Name, s, err)
+					}
+					res, err := inst.Invoke("run")
+					inst.Close()
+					if err != nil {
+						t.Fatalf("%s/%v: invoke: %v", prof.Name, s, err)
+					}
+					if first {
+						want, first = res[0], false
+					} else if res[0] != want {
+						t.Errorf("%s/%v: checksum %#x, want %#x", prof.Name, s, res[0], want)
+					}
+				}
+			}
+
+			hashAfter, err := m.ContentHash()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if hashAfter != hashBefore {
+				t.Error("compilation or instantiation mutated the source module: content hash changed")
+			}
+		})
+	}
+}

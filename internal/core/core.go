@@ -96,6 +96,33 @@ func (c Config) withDefaults() (Config, error) {
 	return c, nil
 }
 
+// ModuleCache is a process-wide cache of compiled modules, keyed by
+// module content hash, engine name and codegen-affecting options
+// (implemented by internal/modcache). Engines route Compile through
+// one so that repeated compiles of the same module become lookups;
+// the boolean reports whether the artifact came from the cache. A
+// sound cache key deliberately excludes instantiation-time
+// configuration (bounds-checking strategy, hardware profile, address
+// space): compiled modules are instantiation-independent — the
+// invariant TestCompiledModuleInstantiationIndependent enforces.
+type ModuleCache interface {
+	// GetOrCompile returns the cached artifact for (m, engine, opts),
+	// or runs compile exactly once (concurrent requests for the same
+	// key are deduplicated) and caches its result.
+	GetOrCompile(m *wasm.Module, engine, opts string, compile func() (CompiledModule, error)) (CompiledModule, bool, error)
+	// Peek returns the cached artifact without compiling.
+	Peek(m *wasm.Module, engine, opts string) (CompiledModule, bool)
+}
+
+// CacheSetter is implemented by engines whose compile path can be
+// redirected to a different ModuleCache — or detached from caching
+// entirely with a nil cache (benchmarks that measure compile cost
+// need every Compile to do the work). Call it before the engine's
+// first Compile; it is not synchronized against concurrent compiles.
+type CacheSetter interface {
+	SetCache(ModuleCache)
+}
+
 // Engine compiles modules for one runtime design point.
 type Engine interface {
 	// Name is the short identifier used in figures (e.g. "wavm").

@@ -39,6 +39,14 @@ type Config struct {
 	// histograms and trace events under per-run labeled scopes
 	// (see harness.Options.Obs); leapsbench -metrics wires it.
 	Metrics *obs.Registry
+	// Parallel schedules each figure's configurations through
+	// harness.RunSweep instead of running them serially: the
+	// single-isolate runs (figures 1 and 2) pack onto a worker pool,
+	// while thread-scaling runs (figures 3-5) keep the host to
+	// themselves. Figure values are unaffected — results come back in
+	// input order and shareable runs measure per-iteration latency of
+	// one isolate, not machine-wide throughput.
+	Parallel bool
 }
 
 func (c *Config) defaults() {
@@ -103,6 +111,34 @@ func (c *Config) run(opts harness.Options) (*harness.Result, error) {
 	return harness.Run(opts)
 }
 
+// runBatch executes a figure's configurations and returns results in
+// input order, failing on the first error. With c.Parallel the batch
+// goes through the sweep scheduler (shareable runs pack, exclusive
+// runs serialize); otherwise it runs serially in input order, which
+// is byte-for-byte the old per-call behaviour.
+func (c *Config) runBatch(optss []harness.Options) ([]*harness.Result, error) {
+	for i := range optss {
+		optss[i].Class = c.Class
+		if optss[i].Measure == 0 {
+			optss[i].Measure = c.Measure
+		}
+		if optss[i].Warmup == 0 {
+			optss[i].Warmup = c.Warmup
+		}
+		optss[i].Obs = c.Metrics
+	}
+	sres, err := harness.RunSweep(harness.SweepOf(optss...),
+		harness.SweepOptions{Serial: !c.Parallel, Obs: c.Metrics})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*harness.Result, len(sres))
+	for i := range sres {
+		out[i] = sres[i].Result
+	}
+	return out, nil
+}
+
 // nativeAdvantage is the single calibration constant of the cycle
 // model: the paper's x86-64 gap between WAVM (no checks) and native
 // Clang is about 8%; the simulated-native baseline is defined as the
@@ -130,45 +166,36 @@ func Fig1(c Config) error {
 		"benchmark", "suite", "none", "mprotect", "vm ratio", "check ratio")
 
 	prof := isa.X86_64()
+	var wls []workloads.Spec
+	var optss []harness.Options
 	for _, suite := range []string{"polybench", "spec"} {
 		for _, wl := range c.suiteWorkloads(suite) {
-			// Wall-clock pair, both without cycle accounting (the
-			// counting loop would bias whichever side carries it).
-			noneWall, err := c.run(harness.Options{
-				Engine: harness.EngineV8, Workload: wl,
-				Strategy: mem.None, Profile: prof,
-			})
-			if err != nil {
-				return err
-			}
-			mp, err := c.run(harness.Options{
-				Engine: harness.EngineV8, Workload: wl,
-				Strategy: mem.Mprotect, Profile: prof,
-			})
-			if err != nil {
-				return err
-			}
-			// Cycle-model pair for the codegen-level check cost.
-			noneSim, err := c.run(harness.Options{
-				Engine: harness.EngineV8, Workload: wl,
-				Strategy: mem.None, Profile: prof, CountCycles: true,
-			})
-			if err != nil {
-				return err
-			}
-			checked, err := c.run(harness.Options{
-				Engine: harness.EngineV8, Workload: wl,
-				Strategy: mem.Trap, Profile: prof, CountCycles: true,
-			})
-			if err != nil {
-				return err
-			}
-			vmRatio := float64(mp.MedianWall) / float64(noneWall.MedianWall)
-			checkRatio := float64(checked.MedianSimTime) / float64(noneSim.MedianSimTime)
-			fmt.Fprintf(c.Out, "%-14s %-10s %12v %12v %12.3f %12.3f\n",
-				wl.Name, wl.Suite, noneWall.MedianWall.Round(time.Microsecond),
-				mp.MedianWall.Round(time.Microsecond), vmRatio, checkRatio)
+			wls = append(wls, wl)
+			optss = append(optss,
+				// Wall-clock pair, both without cycle accounting (the
+				// counting loop would bias whichever side carries it).
+				harness.Options{Engine: harness.EngineV8, Workload: wl,
+					Strategy: mem.None, Profile: prof},
+				harness.Options{Engine: harness.EngineV8, Workload: wl,
+					Strategy: mem.Mprotect, Profile: prof},
+				// Cycle-model pair for the codegen-level check cost.
+				harness.Options{Engine: harness.EngineV8, Workload: wl,
+					Strategy: mem.None, Profile: prof, CountCycles: true},
+				harness.Options{Engine: harness.EngineV8, Workload: wl,
+					Strategy: mem.Trap, Profile: prof, CountCycles: true})
 		}
+	}
+	res, err := c.runBatch(optss)
+	if err != nil {
+		return err
+	}
+	for i, wl := range wls {
+		noneWall, mp, noneSim, checked := res[4*i], res[4*i+1], res[4*i+2], res[4*i+3]
+		vmRatio := float64(mp.MedianWall) / float64(noneWall.MedianWall)
+		checkRatio := float64(checked.MedianSimTime) / float64(noneSim.MedianSimTime)
+		fmt.Fprintf(c.Out, "%-14s %-10s %12v %12v %12.3f %12.3f\n",
+			wl.Name, wl.Suite, noneWall.MedianWall.Round(time.Microsecond),
+			mp.MedianWall.Round(time.Microsecond), vmRatio, checkRatio)
 	}
 	return nil
 }
@@ -210,55 +237,62 @@ func fig2Panel(c Config, prof *isa.Profile, suite string) error {
 	fmt.Fprintf(c.Out, "(wall ratios: every wasm run carries cycle accounting, so rows compare fairly with each other but carry a uniform counting overhead against the native wall baseline)\n")
 	fmt.Fprintf(c.Out, "%-10s %-10s %14s %14s\n", "engine", "strategy", "wall ratio", "sim ratio")
 
-	// Native wall baseline per workload.
-	nativeWall := make([]float64, len(wls))
-	for i, wl := range wls {
-		res, err := c.run(harness.Options{
-			Engine: harness.EngineNative, Workload: wl, Profile: prof,
-		})
-		if err != nil {
-			return err
-		}
-		nativeWall[i] = float64(res.MedianWall)
+	// One batch holds the two baselines and the whole engine ×
+	// strategy matrix: native wall per workload, then the simulated-
+	// native baseline (the optimized wavm op stream, no checks), then
+	// one block of len(wls) runs per matrix cell.
+	var optss []harness.Options
+	for _, wl := range wls {
+		optss = append(optss, harness.Options{
+			Engine: harness.EngineNative, Workload: wl, Profile: prof})
 	}
-	// Simulated-native baseline per workload: the optimized op
-	// stream (wavm, no checks) discounted by the calibrated native
-	// codegen advantage.
-	nativeSim := make([]float64, len(wls))
-	for i, wl := range wls {
-		res, err := c.run(harness.Options{
+	for _, wl := range wls {
+		optss = append(optss, harness.Options{
 			Engine: harness.EngineWAVM, Workload: wl,
-			Strategy: mem.None, Profile: prof, CountCycles: true,
-		})
-		if err != nil {
-			return err
-		}
-		nativeSim[i] = float64(res.MedianSimTime) / nativeAdvantage
+			Strategy: mem.None, Profile: prof, CountCycles: true})
 	}
-
+	type cell struct {
+		eng string
+		s   mem.Strategy
+	}
+	var cells []cell
 	for _, eng := range fig2Engines(prof) {
 		strategies := mem.Strategies()
 		if eng == harness.EngineWasm3 {
 			strategies = []mem.Strategy{mem.Trap} // wasm3 is trap-only (paper §3.2)
 		}
 		for _, s := range strategies {
-			wall := make([]float64, len(wls))
-			sim := make([]float64, len(wls))
-			for i, wl := range wls {
-				res, err := c.run(harness.Options{
+			cells = append(cells, cell{eng, s})
+			for _, wl := range wls {
+				optss = append(optss, harness.Options{
 					Engine: eng, Workload: wl,
-					Strategy: s, Profile: prof, CountCycles: true,
-				})
-				if err != nil {
-					return err
-				}
-				wall[i] = float64(res.MedianWall)
-				sim[i] = float64(res.MedianSimTime)
+					Strategy: s, Profile: prof, CountCycles: true})
 			}
-			wallRatio := stats.GeomeanRatios(wall, nativeWall)
-			simRatio := stats.GeomeanRatios(sim, nativeSim)
-			fmt.Fprintf(c.Out, "%-10s %-10s %14.3f %14.3f\n", eng, s, wallRatio, simRatio)
 		}
+	}
+	res, err := c.runBatch(optss)
+	if err != nil {
+		return err
+	}
+
+	nativeWall := make([]float64, len(wls))
+	nativeSim := make([]float64, len(wls))
+	for i := range wls {
+		nativeWall[i] = float64(res[i].MedianWall)
+		nativeSim[i] = float64(res[len(wls)+i].MedianSimTime) / nativeAdvantage
+	}
+	cursor := 2 * len(wls)
+	for _, cl := range cells {
+		wall := make([]float64, len(wls))
+		sim := make([]float64, len(wls))
+		for i := range wls {
+			wall[i] = float64(res[cursor+i].MedianWall)
+			sim[i] = float64(res[cursor+i].MedianSimTime)
+		}
+		cursor += len(wls)
+		wallRatio := stats.GeomeanRatios(wall, nativeWall)
+		simRatio := stats.GeomeanRatios(sim, nativeSim)
+		fmt.Fprintf(c.Out, "%-10s %-10s %14.3f %14.3f\n", cl.eng, cl.s, wallRatio, simRatio)
 	}
 	return nil
 }
@@ -292,33 +326,49 @@ func runScaling(c Config, suite string) ([]int, []scalingRow, error) {
 		wls = wls[:2]
 	}
 	axis := c.threadAxis()
-	var rows []scalingRow
 	engines := []string{harness.EngineWAVM, harness.EngineWasmtime, harness.EngineV8}
 	strategies := []mem.Strategy{mem.None, mem.Trap, mem.Mprotect, mem.Uffd}
+	// One batch for the whole matrix. The multi-threaded entries are
+	// exclusive (the scheduler serializes them — they measure
+	// contention); the 1-thread entries pack.
+	var optss []harness.Options
 	for _, eng := range engines {
 		for _, s := range strategies {
-			row := scalingRow{engine: eng, strategy: s}
 			for _, threads := range axis {
-				// Aggregate throughput over the suite subset: run
-				// each workload and sum normalized throughput.
-				var agg *harness.Result
 				for _, wl := range wls {
-					res, err := c.run(harness.Options{
+					optss = append(optss, harness.Options{
 						Engine: eng, Workload: wl,
 						Strategy: s, Profile: isa.X86_64(), Threads: threads,
 					})
-					if err != nil {
-						return nil, nil, err
-					}
+				}
+			}
+		}
+	}
+	res, err := c.runBatch(optss)
+	if err != nil {
+		return nil, nil, err
+	}
+	var rows []scalingRow
+	cursor := 0
+	for _, eng := range engines {
+		for _, s := range strategies {
+			row := scalingRow{engine: eng, strategy: s}
+			for range axis {
+				// Aggregate throughput over the suite subset: sum
+				// normalized throughput across workloads.
+				var agg *harness.Result
+				for range wls {
+					r := res[cursor]
+					cursor++
 					if agg == nil {
-						agg = res
+						agg = r
 					} else {
-						agg.Throughput += res.Throughput
-						agg.CPUPercent += res.CPUPercent
-						agg.CtxtPerSec += res.CtxtPerSec
-						agg.VM.LockWaitNs += res.VM.LockWaitNs
-						agg.VM.MprotectCalls += res.VM.MprotectCalls
-						agg.VM.UffdFaults += res.VM.UffdFaults
+						agg.Throughput += r.Throughput
+						agg.CPUPercent += r.CPUPercent
+						agg.CtxtPerSec += r.CtxtPerSec
+						agg.VM.LockWaitNs += r.VM.LockWaitNs
+						agg.VM.MprotectCalls += r.VM.MprotectCalls
+						agg.VM.UffdFaults += r.VM.UffdFaults
 					}
 				}
 				agg.CPUPercent /= float64(len(wls))
@@ -424,26 +474,39 @@ func Fig5(c Config) error {
 // explains in §4.3.
 func Fig6(c Config) error {
 	c.defaults()
+	engines := []string{harness.EngineWAVM, harness.EngineWasmtime, harness.EngineV8}
+	strategies := []mem.Strategy{mem.None, mem.Trap, mem.Mprotect, mem.Uffd}
+	wls := c.suiteWorkloads("polybench")
 	for _, prof := range []*isa.Profile{isa.X86_64(), isa.ARMv8()} {
+		var optss []harness.Options
+		for _, eng := range engines {
+			for _, s := range strategies {
+				for _, wl := range wls {
+					optss = append(optss, harness.Options{
+						Engine: eng, Workload: wl, Strategy: s, Profile: prof, Threads: 2,
+					})
+				}
+			}
+		}
+		res, err := c.runBatch(optss)
+		if err != nil {
+			return err
+		}
 		fmt.Fprintf(c.Out, "\nFigure 6 (%s): average simulated resident memory (polybench)\n", prof.Name)
 		fmt.Fprintf(c.Out, "%-10s %-10s %14s %14s %8s\n",
 			"engine", "strategy", "mean", "peak", "THP")
-		for _, eng := range []string{harness.EngineWAVM, harness.EngineWasmtime, harness.EngineV8} {
-			for _, s := range []mem.Strategy{mem.None, mem.Trap, mem.Mprotect, mem.Uffd} {
-				wls := c.suiteWorkloads("polybench")
+		cursor := 0
+		for _, eng := range engines {
+			for _, s := range strategies {
 				var mean, peak, thp int64
-				for _, wl := range wls {
-					res, err := c.run(harness.Options{
-						Engine: eng, Workload: wl, Strategy: s, Profile: prof, Threads: 2,
-					})
-					if err != nil {
-						return err
+				for range wls {
+					r := res[cursor]
+					cursor++
+					mean += r.ResidentMean
+					if r.ResidentPeak > peak {
+						peak = r.ResidentPeak
 					}
-					mean += res.ResidentMean
-					if res.ResidentPeak > peak {
-						peak = res.ResidentPeak
-					}
-					thp += res.VM.THPPromotions
+					thp += r.VM.THPPromotions
 				}
 				mean /= int64(len(wls))
 				fmt.Fprintf(c.Out, "%-10s %-10s %14s %14s %8d\n",
@@ -467,18 +530,21 @@ func Replication(c Config) error {
 	// cycle model; the wall-clock gap between a Go switch
 	// interpreter and Go closure code is structurally compressed.
 	wls := c.suiteWorkloads("polybench")
-	var simRatios, wallRatios []float64
+	var optss []harness.Options
 	for _, wl := range wls {
-		w3, err := c.run(harness.Options{Engine: harness.EngineWasm3, Workload: wl,
-			Strategy: mem.Trap, Profile: prof, CountCycles: true})
-		if err != nil {
-			return err
-		}
-		v8, err := c.run(harness.Options{Engine: harness.EngineV8, Workload: wl,
-			Strategy: mem.Mprotect, Profile: prof, CountCycles: true})
-		if err != nil {
-			return err
-		}
+		optss = append(optss,
+			harness.Options{Engine: harness.EngineWasm3, Workload: wl,
+				Strategy: mem.Trap, Profile: prof, CountCycles: true},
+			harness.Options{Engine: harness.EngineV8, Workload: wl,
+				Strategy: mem.Mprotect, Profile: prof, CountCycles: true})
+	}
+	res, err := c.runBatch(optss)
+	if err != nil {
+		return err
+	}
+	var simRatios, wallRatios []float64
+	for i := range wls {
+		w3, v8 := res[2*i], res[2*i+1]
 		simRatios = append(simRatios, float64(w3.MedianSimTime)/float64(v8.MedianSimTime))
 		wallRatios = append(wallRatios, float64(w3.MedianWall)/float64(v8.MedianWall))
 	}
@@ -489,23 +555,23 @@ func Replication(c Config) error {
 	// SPEC slowdown vs native on V8 (Jangda et al.: 1.55x; the paper
 	// measures 1.69x on x86-64).
 	specWls := c.suiteWorkloads("spec")
-	var v8Sim, natSim, v8Wall, natWall []float64
+	optss = optss[:0]
 	for _, wl := range specWls {
-		v8, err := c.run(harness.Options{Engine: harness.EngineV8, Workload: wl,
-			Strategy: mem.Mprotect, Profile: prof, CountCycles: true})
-		if err != nil {
-			return err
-		}
-		simNat, err := c.run(harness.Options{Engine: harness.EngineWAVM, Workload: wl,
-			Strategy: mem.None, Profile: prof, CountCycles: true})
-		if err != nil {
-			return err
-		}
-		nat, err := c.run(harness.Options{Engine: harness.EngineNative, Workload: wl,
-			Profile: prof})
-		if err != nil {
-			return err
-		}
+		optss = append(optss,
+			harness.Options{Engine: harness.EngineV8, Workload: wl,
+				Strategy: mem.Mprotect, Profile: prof, CountCycles: true},
+			harness.Options{Engine: harness.EngineWAVM, Workload: wl,
+				Strategy: mem.None, Profile: prof, CountCycles: true},
+			harness.Options{Engine: harness.EngineNative, Workload: wl,
+				Profile: prof})
+	}
+	res, err = c.runBatch(optss)
+	if err != nil {
+		return err
+	}
+	var v8Sim, natSim, v8Wall, natWall []float64
+	for i := range specWls {
+		v8, simNat, nat := res[3*i], res[3*i+1], res[3*i+2]
 		v8Sim = append(v8Sim, float64(v8.MedianSimTime))
 		natSim = append(natSim, float64(simNat.MedianSimTime)/nativeAdvantage)
 		v8Wall = append(v8Wall, float64(v8.MedianWall))
@@ -515,18 +581,21 @@ func Replication(c Config) error {
 		stats.GeomeanRatios(v8Sim, natSim), stats.GeomeanRatios(v8Wall, natWall))
 
 	// PolyBench distribution vs native on the fastest engine.
-	within10, within2x := 0, 0
+	optss = optss[:0]
 	for _, wl := range wls {
-		wv, err := c.run(harness.Options{Engine: harness.EngineWAVM, Workload: wl,
-			Strategy: mem.Mprotect, Profile: prof, CountCycles: true})
-		if err != nil {
-			return err
-		}
-		nat, err := c.run(harness.Options{Engine: harness.EngineWAVM, Workload: wl,
-			Strategy: mem.None, Profile: prof, CountCycles: true})
-		if err != nil {
-			return err
-		}
+		optss = append(optss,
+			harness.Options{Engine: harness.EngineWAVM, Workload: wl,
+				Strategy: mem.Mprotect, Profile: prof, CountCycles: true},
+			harness.Options{Engine: harness.EngineWAVM, Workload: wl,
+				Strategy: mem.None, Profile: prof, CountCycles: true})
+	}
+	res, err = c.runBatch(optss)
+	if err != nil {
+		return err
+	}
+	within10, within2x := 0, 0
+	for i := range wls {
+		wv, nat := res[2*i], res[2*i+1]
 		r := float64(wv.MedianSimTime) / (float64(nat.MedianSimTime) / nativeAdvantage)
 		if r <= 1.10 {
 			within10++

@@ -1,0 +1,51 @@
+package harness_test
+
+import (
+	"testing"
+
+	"leapsandbounds/internal/harness"
+	"leapsandbounds/internal/isa"
+	"leapsandbounds/internal/mem"
+	"leapsandbounds/internal/workloads"
+)
+
+// TestCachedCompileMatchesFresh runs every wasm engine × strategy
+// configuration twice — once with the engine detached from the module
+// cache (a guaranteed fresh compile) and once through it — and
+// requires identical checksums. This is the user-visible form of the
+// instantiation-independence invariant: serving a run from the cache
+// must be indistinguishable from compiling.
+func TestCachedCompileMatchesFresh(t *testing.T) {
+	wl := spec(t, "atax")
+	for _, eng := range harness.WasmEngineNames() {
+		strategies := mem.Strategies()
+		if eng == harness.EngineWasm3 {
+			strategies = []mem.Strategy{mem.Trap} // wasm3 is trap-only
+		}
+		for _, s := range strategies {
+			opts := harness.Options{
+				Engine:   eng,
+				Workload: wl,
+				Class:    workloads.Test,
+				Strategy: s,
+				Profile:  isa.X86_64(),
+				Warmup:   1,
+				Measure:  2,
+			}
+			fresh := opts
+			fresh.NoCache = true
+			freshRes, err := harness.Run(fresh)
+			if err != nil {
+				t.Fatalf("%s/%v fresh: %v", eng, s, err)
+			}
+			cachedRes, err := harness.Run(opts)
+			if err != nil {
+				t.Fatalf("%s/%v cached: %v", eng, s, err)
+			}
+			if freshRes.Checksum != cachedRes.Checksum {
+				t.Errorf("%s/%v: cached checksum %#x, fresh %#x",
+					eng, s, cachedRes.Checksum, freshRes.Checksum)
+			}
+		}
+	}
+}

@@ -81,6 +81,10 @@ type Options struct {
 	// EagerCommit selects grow-time commit for the Mprotect
 	// strategy (ablation, see core.Config.EagerCommit).
 	EagerCommit bool
+	// NoCache detaches the run's engine from the process-wide module
+	// cache, so every Run pays the full compile (the cold-start
+	// baseline for cache benchmarks).
+	NoCache bool
 	// Processes splits the workers across this many simulated
 	// processes (separate address spaces, separate mmap locks) —
 	// the paper's §4.2.1 alternative mitigation: "limit the number
@@ -99,9 +103,14 @@ type Options struct {
 }
 
 // RunLabel is the scope name a run registers under in Options.Obs.
+// Defaulted fields print their effective values (Threads 0 runs as 1).
 func (o Options) RunLabel() string {
+	threads := o.Threads
+	if threads <= 0 {
+		threads = 1
+	}
 	return fmt.Sprintf("run[engine=%s workload=%s strategy=%s threads=%d]",
-		o.Engine, o.Workload.Name, o.Strategy, o.Threads)
+		o.Engine, o.Workload.Name, o.Strategy, threads)
 }
 
 // Result is one benchmark measurement.
@@ -177,7 +186,10 @@ func Run(opts Options) (*Result, error) {
 		opts.Measure = 8
 	}
 
-	module, native := opts.Workload.Build(opts.Class)
+	module, native, err := opts.Workload.BuildChecked(opts.Class)
+	if err != nil {
+		return nil, err
+	}
 	res := &Result{
 		Engine:   opts.Engine,
 		Workload: opts.Workload.Name,
@@ -230,6 +242,11 @@ func Run(opts Options) (*Result, error) {
 			return nil, err
 		}
 		defer cleanup()
+		if opts.NoCache {
+			if cs, ok := eng.(core.CacheSetter); ok {
+				cs.SetCache(nil)
+			}
+		}
 		if te, ok := eng.(*tiered.Engine); ok {
 			te.AttachObs(runScope.Child("v8"))
 		}
@@ -474,7 +491,10 @@ func Run(opts Options) (*Result, error) {
 // checks are expensive.
 func OpHistogram(engine string, wl workloads.Spec, cls workloads.Class,
 	strategy mem.Strategy, profile *isa.Profile) (*isa.Counts, error) {
-	module, _ := wl.Build(cls)
+	module, _, err := wl.BuildChecked(cls)
+	if err != nil {
+		return nil, err
+	}
 	eng, cleanup, err := NewEngine(engine)
 	if err != nil {
 		return nil, err

@@ -9,17 +9,22 @@ import (
 	"leapsandbounds/internal/flatten"
 	"leapsandbounds/internal/isa"
 	"leapsandbounds/internal/mem"
+	"leapsandbounds/internal/modcache"
 	"leapsandbounds/internal/numeric"
 	"leapsandbounds/internal/trap"
 	"leapsandbounds/internal/validate"
 	"leapsandbounds/internal/wasm"
 )
 
-// Engine is the threaded-interpreter engine.
+// Engine is the threaded-interpreter engine. Like the compiled
+// engines, an Engine is immutable configuration with no lifecycle,
+// so its compiled modules are safely shared through the process-wide
+// module cache.
 type Engine struct {
 	name      string
 	desc      string
 	forceTrap bool
+	cache     core.ModuleCache
 }
 
 // NewWasm3 returns the Wasm3 analog: a threaded interpreter that,
@@ -31,6 +36,7 @@ func NewWasm3() *Engine {
 		name:      "wasm3",
 		desc:      "threaded interpreter (Wasm3 analog); trap-style bounds checks",
 		forceTrap: true,
+		cache:     modcache.Shared(),
 	}
 }
 
@@ -39,10 +45,15 @@ func NewWasm3() *Engine {
 // baseline tier of the tiered (V8 analog) engine.
 func NewConfigurable() *Engine {
 	return &Engine{
-		name: "interp",
-		desc: "threaded interpreter with configurable bounds checking",
+		name:  "interp",
+		desc:  "threaded interpreter with configurable bounds checking",
+		cache: modcache.Shared(),
 	}
 }
+
+// SetCache implements core.CacheSetter; a nil cache detaches the
+// engine from caching. Call before the first Compile.
+func (e *Engine) SetCache(c core.ModuleCache) { e.cache = c }
 
 // Name implements core.Engine.
 func (e *Engine) Name() string { return e.name }
@@ -64,8 +75,26 @@ func (e *Engine) Compile(m *wasm.Module) (core.CompiledModule, error) {
 	return e.CompileInterp(m)
 }
 
-// CompileInterp is Compile with a concrete result type.
+// CompileInterp is Compile with a concrete result type. It routes
+// through the engine's module cache: validate + flatten run only on
+// a cache miss. "wasm3" and "interp" artifacts are keyed separately
+// (the engine name is part of the key) even though flattening is
+// identical, because the cached module retains the engine pointer
+// whose forceTrap flag selects the memory accessors at instantiate.
 func (e *Engine) CompileInterp(m *wasm.Module) (*Module, error) {
+	if e.cache == nil {
+		return e.compileInterp(m)
+	}
+	cm, _, err := e.cache.GetOrCompile(m, e.name, "",
+		func() (core.CompiledModule, error) { return e.compileInterp(m) })
+	if err != nil {
+		return nil, err
+	}
+	return cm.(*Module), nil
+}
+
+// compileInterp is the uncached compile pipeline.
+func (e *Engine) compileInterp(m *wasm.Module) (*Module, error) {
 	if err := validate.Module(m); err != nil {
 		return nil, err
 	}

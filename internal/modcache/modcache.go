@@ -1,0 +1,414 @@
+// Package modcache is the process-wide, content-addressed cache of
+// compiled WebAssembly modules. Real runtimes treat compilation as a
+// cacheable artifact (Wasmtime ships an on-disk module cache); this
+// repository's figure sweeps recompile the same ~29 workload modules
+// hundreds of times without one, and the ROADMAP's serving scenario —
+// instance churn for one function deployed by many users — amortizes
+// exactly this cost.
+//
+// The cache maps (module content hash, engine name, codegen-affecting
+// options) → core.CompiledModule. The key deliberately excludes
+// instantiation-time configuration: bounds-checking strategy,
+// hardware profile and address space are all applied at Instantiate,
+// so one compiled artifact serves every strategy (the invariant is
+// enforced by TestCompiledModuleInstantiationIndependent in
+// internal/compiled).
+//
+// Design:
+//
+//   - lock striping: keys are sharded across independent mutexes so
+//     concurrent sweep workers compiling different modules never
+//     contend;
+//   - singleflight: N goroutines requesting the same uncompiled key
+//     trigger exactly one compile; the rest block on its result (the
+//     paper's harness spawns per-thread workers that would otherwise
+//     race to compile the same module);
+//   - LRU bounding: each shard evicts least-recently-used artifacts
+//     past its byte budget (sizes are estimates; see EstimateSize);
+//   - observability: hit/miss/evict/dedup counters and
+//     compile-ns-saved report through internal/obs once AttachObs is
+//     called, and Stats() snapshots them for tests and tools;
+//   - a Disable knob (SetEnabled) so benchmarks that measure compile
+//     cost still can.
+//
+// Cached artifacts may retain a pointer to the engine instance that
+// first compiled them. That is sound for the compiled and interp
+// engines because their Engine values are immutable configuration
+// (name + flags) with no lifecycle; the tiered engine, which owns
+// background workers and a Close method, therefore caches only its
+// per-tier artifacts, never its own modules.
+package modcache
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"leapsandbounds/internal/core"
+	"leapsandbounds/internal/obs"
+	"leapsandbounds/internal/wasm"
+)
+
+// Key addresses one compiled artifact.
+type Key struct {
+	// Module is the content hash of the wasm binary.
+	Module wasm.Hash
+	// Engine is the compiling engine's name ("wavm", "wasmtime",
+	// "interp", "wasm3"); distinct engine configurations must use
+	// distinct names or distinct Opts.
+	Engine string
+	// Opts fingerprints codegen-affecting engine options.
+	Opts string
+}
+
+// DefaultMaxBytes bounds the shared cache: generous next to the
+// repository's whole workload suite (a few MiB of closures per
+// engine) yet small next to the address-space budgets the harness
+// simulates.
+const DefaultMaxBytes = 256 << 20
+
+// numShards stripes the key space; 16 is plenty for GOMAXPROCS-sized
+// sweep pools while keeping per-shard LRU lists coherent.
+const numShards = 16
+
+type entry struct {
+	key       Key
+	cm        core.CompiledModule
+	size      int64
+	compileNs int64
+	elem      *list.Element
+}
+
+type shard struct {
+	mu    sync.Mutex
+	items map[Key]*entry
+	lru   list.List // front = most recently used
+	bytes int64
+}
+
+// flight is one in-progress compile that concurrent requesters of
+// the same key wait on.
+type flight struct {
+	done      chan struct{}
+	cm        core.CompiledModule
+	err       error
+	compileNs int64
+}
+
+// Cache is a sharded, lock-striped, LRU-bounded compiled-module
+// cache with singleflight compile deduplication. The zero value is
+// not usable; construct with New.
+type Cache struct {
+	shardMax int64 // per-shard byte budget
+	shards   [numShards]shard
+	enabled  atomic.Bool
+
+	flightMu sync.Mutex
+	flights  map[Key]*flight
+
+	hits           atomic.Int64
+	misses         atomic.Int64
+	dedups         atomic.Int64
+	evictions      atomic.Int64
+	compiles       atomic.Int64
+	compileNsSaved atomic.Int64
+	entries        atomic.Int64
+	bytes          atomic.Int64
+
+	obsH atomic.Pointer[obsHandles]
+}
+
+// obsHandles are pre-resolved metric handles so the per-operation obs
+// cost is one atomic add (all obs types are nil-safe).
+type obsHandles struct {
+	hits, misses, dedups, evictions, compiles, nsSaved *obs.Counter
+	entries, bytes                                     *obs.Gauge
+}
+
+// New returns an enabled cache bounded to maxBytes (estimated;
+// <= 0 means DefaultMaxBytes).
+func New(maxBytes int64) *Cache {
+	if maxBytes <= 0 {
+		maxBytes = DefaultMaxBytes
+	}
+	c := &Cache{
+		shardMax: maxBytes / numShards,
+		flights:  make(map[Key]*flight),
+	}
+	for i := range c.shards {
+		c.shards[i].items = make(map[Key]*entry)
+	}
+	c.enabled.Store(true)
+	return c
+}
+
+// shared is the process-wide cache every engine uses by default.
+var shared = New(DefaultMaxBytes)
+
+// Shared returns the process-wide cache.
+func Shared() *Cache { return shared }
+
+// SetEnabled is the disable knob: a disabled cache compiles on every
+// call (no lookups, no insertion, no deduplication), which is what
+// benchmarks measuring compile cost want. Counters keep accumulating
+// compiles so callers can still observe the work done.
+func (c *Cache) SetEnabled(v bool) { c.enabled.Store(v) }
+
+// Enabled reports whether the cache is serving lookups.
+func (c *Cache) Enabled() bool { return c.enabled.Load() }
+
+// AttachObs routes the cache's counters and gauges to sc (typically
+// a "modcache" scope of the run registry). Safe to call at any time;
+// operations before attachment only accumulate in Stats.
+func (c *Cache) AttachObs(sc *obs.Scope) {
+	if sc == nil {
+		c.obsH.Store(nil)
+		return
+	}
+	c.obsH.Store(&obsHandles{
+		hits:      sc.Counter("hits"),
+		misses:    sc.Counter("misses"),
+		dedups:    sc.Counter("dedups"),
+		evictions: sc.Counter("evictions"),
+		compiles:  sc.Counter("compiles"),
+		nsSaved:   sc.Counter("compile_ns_saved"),
+		entries:   sc.Gauge("entries"),
+		bytes:     sc.Gauge("bytes"),
+	})
+}
+
+// Stats is a point-in-time snapshot of the cache counters.
+type Stats struct {
+	Hits, Misses, Dedups, Evictions, Compiles int64
+	// CompileNsSaved sums, over every hit and deduplicated request,
+	// the nanoseconds the original compile of that artifact took.
+	CompileNsSaved int64
+	Entries, Bytes int64
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Hits:           c.hits.Load(),
+		Misses:         c.misses.Load(),
+		Dedups:         c.dedups.Load(),
+		Evictions:      c.evictions.Load(),
+		Compiles:       c.compiles.Load(),
+		CompileNsSaved: c.compileNsSaved.Load(),
+		Entries:        c.entries.Load(),
+		Bytes:          c.bytes.Load(),
+	}
+}
+
+// HitRate returns hits/(hits+misses) over the deltas of two
+// snapshots (0 when no lookups happened).
+func HitRate(before, after Stats) float64 {
+	h := after.Hits - before.Hits
+	m := after.Misses - before.Misses
+	if h+m == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+m)
+}
+
+// Purge drops every cached artifact (cumulative counters are kept).
+func (c *Cache) Purge() {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		c.entries.Add(-int64(len(s.items)))
+		c.bytes.Add(-s.bytes)
+		for k := range s.items {
+			delete(s.items, k)
+		}
+		s.lru.Init()
+		s.bytes = 0
+		s.mu.Unlock()
+	}
+	if h := c.obsH.Load(); h != nil {
+		h.entries.Set(c.entries.Load())
+		h.bytes.Set(c.bytes.Load())
+	}
+}
+
+// EstimateSize approximates the in-memory footprint of one compiled
+// artifact for LRU accounting: compiled closure code scales with the
+// instruction count, plus data segments carried by the module, plus a
+// fixed per-module overhead. Estimates only need to be consistent,
+// not exact — they bound the cache, they don't meter it.
+func EstimateSize(m *wasm.Module) int64 {
+	var n int64 = 4096
+	for i := range m.Code {
+		n += int64(len(m.Code[i].Body)) * 48
+	}
+	for i := range m.Data {
+		n += int64(len(m.Data[i].Data))
+	}
+	return n
+}
+
+func (c *Cache) shardFor(k Key) *shard {
+	// The module hash is uniformly distributed; fold in the first
+	// engine-name byte so the same module under different engines can
+	// land on different shards.
+	idx := uint(k.Module[0])
+	if len(k.Engine) > 0 {
+		idx += uint(k.Engine[0])
+	}
+	return &c.shards[idx%numShards]
+}
+
+// lookup returns the cached artifact for k, updating LRU order and
+// hit accounting.
+func (c *Cache) lookup(k Key) (core.CompiledModule, bool) {
+	s := c.shardFor(k)
+	s.mu.Lock()
+	e, ok := s.items[k]
+	if ok {
+		s.lru.MoveToFront(e.elem)
+	}
+	s.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	c.addHit(e.compileNs)
+	return e.cm, true
+}
+
+func (c *Cache) addHit(savedNs int64) {
+	c.hits.Add(1)
+	c.compileNsSaved.Add(savedNs)
+	if h := c.obsH.Load(); h != nil {
+		h.hits.Inc()
+		h.nsSaved.Add(savedNs)
+	}
+}
+
+func (c *Cache) insert(k Key, cm core.CompiledModule, size, compileNs int64) {
+	s := c.shardFor(k)
+	s.mu.Lock()
+	if _, ok := s.items[k]; ok {
+		// A racing disabled->enabled transition or Purge interleaving
+		// can double-insert; keep the resident entry.
+		s.mu.Unlock()
+		return
+	}
+	e := &entry{key: k, cm: cm, size: size, compileNs: compileNs}
+	e.elem = s.lru.PushFront(e)
+	s.items[k] = e
+	s.bytes += size
+	c.entries.Add(1)
+	c.bytes.Add(size)
+	var evicted int64
+	for s.bytes > c.shardMax && s.lru.Len() > 1 {
+		back := s.lru.Back()
+		v := back.Value.(*entry)
+		s.lru.Remove(back)
+		delete(s.items, v.key)
+		s.bytes -= v.size
+		c.entries.Add(-1)
+		c.bytes.Add(-v.size)
+		evicted++
+	}
+	s.mu.Unlock()
+	c.evictions.Add(evicted)
+	if h := c.obsH.Load(); h != nil {
+		h.evictions.Add(evicted)
+		h.entries.Set(c.entries.Load())
+		h.bytes.Set(c.bytes.Load())
+	}
+}
+
+// GetOrCompile implements core.ModuleCache. On a hit it returns the
+// cached artifact; on a miss it runs compile — deduplicated, so
+// concurrent misses on the same key run it exactly once — and caches
+// the result. A disabled cache, or a module whose content hash cannot
+// be computed, falls through to a plain compile.
+func (c *Cache) GetOrCompile(m *wasm.Module, engine, opts string,
+	compile func() (core.CompiledModule, error)) (core.CompiledModule, bool, error) {
+	if !c.enabled.Load() {
+		cm, err := c.timedCompile(compile)
+		return cm, false, err
+	}
+	hash, err := m.ContentHash()
+	if err != nil {
+		cm, cerr := c.timedCompile(compile)
+		return cm, false, cerr
+	}
+	k := Key{Module: hash, Engine: engine, Opts: opts}
+	if cm, ok := c.lookup(k); ok {
+		return cm, true, nil
+	}
+	c.misses.Add(1)
+	if h := c.obsH.Load(); h != nil {
+		h.misses.Inc()
+	}
+
+	// Singleflight: first requester compiles, the rest wait.
+	c.flightMu.Lock()
+	if f, ok := c.flights[k]; ok {
+		c.flightMu.Unlock()
+		c.dedups.Add(1)
+		if h := c.obsH.Load(); h != nil {
+			h.dedups.Inc()
+		}
+		<-f.done
+		if f.err == nil {
+			// The waiter was spared a compile of known cost.
+			c.compileNsSaved.Add(f.compileNs)
+			if h := c.obsH.Load(); h != nil {
+				h.nsSaved.Add(f.compileNs)
+			}
+		}
+		return f.cm, true, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	c.flights[k] = f
+	c.flightMu.Unlock()
+
+	t0 := time.Now()
+	f.cm, f.err = compile()
+	f.compileNs = time.Since(t0).Nanoseconds()
+	c.compiles.Add(1)
+	if h := c.obsH.Load(); h != nil {
+		h.compiles.Inc()
+	}
+	if f.err == nil {
+		c.insert(k, f.cm, EstimateSize(m), f.compileNs)
+	}
+	c.flightMu.Lock()
+	delete(c.flights, k)
+	c.flightMu.Unlock()
+	close(f.done)
+	return f.cm, false, f.err
+}
+
+// Peek implements core.ModuleCache: it returns the cached artifact
+// for (m, engine, opts) without compiling. A successful peek counts
+// as a hit (the caller is about to skip a compile because of it); a
+// failed one counts nothing — peeks are opportunistic probes, and
+// charging them as misses would distort the hit rate of the compile
+// path.
+func (c *Cache) Peek(m *wasm.Module, engine, opts string) (core.CompiledModule, bool) {
+	if !c.enabled.Load() {
+		return nil, false
+	}
+	hash, err := m.ContentHash()
+	if err != nil {
+		return nil, false
+	}
+	return c.lookup(Key{Module: hash, Engine: engine, Opts: opts})
+}
+
+func (c *Cache) timedCompile(compile func() (core.CompiledModule, error)) (core.CompiledModule, error) {
+	cm, err := compile()
+	c.compiles.Add(1)
+	if h := c.obsH.Load(); h != nil {
+		h.compiles.Inc()
+	}
+	return cm, err
+}
+
+// Interface conformance.
+var _ core.ModuleCache = (*Cache)(nil)

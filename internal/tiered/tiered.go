@@ -62,9 +62,10 @@ type Engine struct {
 	active atomic.Int64
 
 	// Stats.
-	gcPauses atomic.Int64
-	tierUps  atomic.Int64
-	sweeps   atomic.Int64
+	gcPauses   atomic.Int64
+	tierUps    atomic.Int64
+	sweeps     atomic.Int64
+	warmStarts atomic.Int64
 
 	// obsSc is the attached trace scope; read by background workers
 	// and the GC loop, hence an atomic pointer (nil scope is a no-op).
@@ -113,14 +114,18 @@ func (e *Engine) Close() {
 // Stats reports runtime-service activity.
 type Stats struct {
 	GCPauses, TierUps, Sweeps int64
+	// WarmStarts counts modules whose optimized tier was adopted
+	// from the compile cache instead of recompiled.
+	WarmStarts int64
 }
 
 // Stats returns a snapshot of runtime-service counters.
 func (e *Engine) Stats() Stats {
 	return Stats{
-		GCPauses: e.gcPauses.Load(),
-		TierUps:  e.tierUps.Load(),
-		Sweeps:   e.sweeps.Load(),
+		GCPauses:   e.gcPauses.Load(),
+		TierUps:    e.tierUps.Load(),
+		Sweeps:     e.sweeps.Load(),
+		WarmStarts: e.warmStarts.Load(),
 	}
 }
 
@@ -180,9 +185,23 @@ func busySpin(d time.Duration) {
 	}
 }
 
+// SetCache implements core.CacheSetter by forwarding to both tiers:
+// the tiered module itself is never cached (it holds a pointer to
+// this engine, which owns goroutines and a Close method), but its
+// per-tier artifacts are plain interp/compiled modules and cache
+// like any other.
+func (e *Engine) SetCache(c core.ModuleCache) {
+	e.baseline.SetCache(c)
+	e.topTier.SetCache(c)
+}
+
 // Compile implements core.Engine: the baseline tier compiles
 // synchronously (fast, like Liftoff); the optimizing tier is
-// scheduled on a background worker and swapped in when ready.
+// scheduled on a background worker and swapped in when ready. When
+// the optimized artifact is already in the module cache — a warm
+// start, the serving scenario's steady state — it is adopted
+// immediately: no background job, no simulated optimizing-compile
+// cost, and WaitReady returns at once.
 func (e *Engine) Compile(m *wasm.Module) (core.CompiledModule, error) {
 	if err := validate.Module(m); err != nil {
 		return nil, err
@@ -192,11 +211,24 @@ func (e *Engine) Compile(m *wasm.Module) (core.CompiledModule, error) {
 		return nil, err
 	}
 	tm := &module{engine: e, wasm: m, baseline: base}
+	if top, ok := e.topTier.CachedModule(m); ok {
+		tm.top.Store(top)
+		e.warmStarts.Add(1)
+		return tm, nil
+	}
 	ops := 0
 	for i := range m.Code {
 		ops += len(m.Code[i].Body)
 	}
 	job := func() {
+		// Re-probe on the worker: another engine may have compiled
+		// the artifact while this job sat in the queue, in which case
+		// the optimizing-compiler work (the busy spin) never happens.
+		if top, ok := e.topTier.CachedModule(m); ok {
+			tm.top.Store(top)
+			e.warmStarts.Add(1)
+			return
+		}
 		t0 := time.Now()
 		busySpin(time.Duration(ops) * compileCostPerOp)
 		top, err := e.topTier.CompileModule(m)

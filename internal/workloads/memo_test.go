@@ -1,0 +1,64 @@
+package workloads_test
+
+import (
+	"testing"
+
+	"leapsandbounds/internal/workloads"
+)
+
+// TestBuildMemoized verifies that module construction runs once per
+// (workload, class): repeated Build calls return the identical module
+// pointer, and classes are memoized independently.
+func TestBuildMemoized(t *testing.T) {
+	s, err := workloads.ByName("gemm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, n1 := s.Build(workloads.Test)
+	m2, n2 := s.Build(workloads.Test)
+	if m1 != m2 {
+		t.Error("repeated Build returned a different module: construction was not memoized")
+	}
+	if n1() != n2() {
+		t.Error("memoized native twins disagree")
+	}
+	mb, _ := s.Build(workloads.Bench)
+	if mb == m1 {
+		t.Error("Bench class returned the Test-class module")
+	}
+	// The memo key is the builder function, not the name: a Spec
+	// copied by value still hits the same entry.
+	copied := s
+	m3, _ := copied.Build(workloads.Test)
+	if m3 != m1 {
+		t.Error("copied Spec missed the memo")
+	}
+}
+
+// TestBuildCheckedValidatesOnce does not directly observe the
+// validation count, but it pins the contract: BuildChecked on every
+// registered workload returns no error (all registered workloads
+// validate), and the error slot is memoized alongside the module.
+func TestBuildCheckedAllWorkloads(t *testing.T) {
+	for _, s := range workloads.All() {
+		if _, _, err := s.BuildChecked(workloads.Test); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+	}
+}
+
+// BenchmarkBuildMemoized shows repeated Build calls are O(1): after
+// the first construction, a call is a mutex-guarded map lookup plus a
+// sync.Once check, nanoseconds against the microseconds-to-
+// milliseconds of DSL construction plus validation.
+func BenchmarkBuildMemoized(b *testing.B) {
+	s, err := workloads.ByName("gemm")
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.Build(workloads.Test) // pay construction outside the timer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Build(workloads.Test)
+	}
+}

@@ -13,28 +13,28 @@ import (
 func init() {
 	register(Spec{Name: "gemm", Suite: "polybench",
 		Desc:  "C = alpha*A*B + beta*C",
-		Build: buildGemm})
+		BuildFn: buildGemm})
 	register(Spec{Name: "2mm", Suite: "polybench",
 		Desc:  "D = alpha*A*B*C + beta*D",
-		Build: build2mm})
+		BuildFn: build2mm})
 	register(Spec{Name: "3mm", Suite: "polybench",
 		Desc:  "G = (A*B)*(C*D)",
-		Build: build3mm})
+		BuildFn: build3mm})
 	register(Spec{Name: "gesummv", Suite: "polybench",
 		Desc:  "y = alpha*A*x + beta*B*x",
-		Build: buildGesummv})
+		BuildFn: buildGesummv})
 	register(Spec{Name: "syrk", Suite: "polybench",
 		Desc:  "symmetric rank-k update",
-		Build: buildSyrk})
+		BuildFn: buildSyrk})
 	register(Spec{Name: "syr2k", Suite: "polybench",
 		Desc:  "symmetric rank-2k update",
-		Build: buildSyr2k})
+		BuildFn: buildSyr2k})
 	register(Spec{Name: "trmm", Suite: "polybench",
 		Desc:  "triangular matrix multiply",
-		Build: buildTrmm})
+		BuildFn: buildTrmm})
 	register(Spec{Name: "symm", Suite: "polybench",
 		Desc:  "symmetric matrix multiply",
-		Build: buildSymm})
+		BuildFn: buildSymm})
 }
 
 const (

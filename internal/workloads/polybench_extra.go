@@ -16,22 +16,22 @@ import (
 func init() {
 	register(Spec{Name: "doitgen", Suite: "polybench",
 		Desc:  "multi-resolution tensor contraction",
-		Build: buildDoitgen})
+		BuildFn: buildDoitgen})
 	register(Spec{Name: "gramschmidt", Suite: "polybench",
 		Desc:  "Gram-Schmidt QR decomposition",
-		Build: buildGramschmidt})
+		BuildFn: buildGramschmidt})
 	register(Spec{Name: "heat-3d", Suite: "polybench",
 		Desc:  "3-D heat equation stencil",
-		Build: buildHeat3d})
+		BuildFn: buildHeat3d})
 	register(Spec{Name: "adi", Suite: "polybench",
 		Desc:  "alternating-direction implicit solver",
-		Build: buildAdi})
+		BuildFn: buildAdi})
 	register(Spec{Name: "floyd-warshall", Suite: "polybench",
 		Desc:  "all-pairs shortest paths (integer)",
-		Build: buildFloydWarshall})
+		BuildFn: buildFloydWarshall})
 	register(Spec{Name: "correlation", Suite: "polybench",
 		Desc:  "correlation matrix computation",
-		Build: buildCorrelation})
+		BuildFn: buildCorrelation})
 }
 
 func buildDoitgen(c Class) (*wasm.Module, func() uint64) {

@@ -11,19 +11,19 @@ import (
 func init() {
 	register(Spec{Name: "atax", Suite: "polybench",
 		Desc:  "y = A^T (A x)",
-		Build: buildAtax})
+		BuildFn: buildAtax})
 	register(Spec{Name: "bicg", Suite: "polybench",
 		Desc:  "BiCG sub-kernel: s = A^T r, q = A p",
-		Build: buildBicg})
+		BuildFn: buildBicg})
 	register(Spec{Name: "mvt", Suite: "polybench",
 		Desc:  "x1 += A y1, x2 += A^T y2",
-		Build: buildMvt})
+		BuildFn: buildMvt})
 	register(Spec{Name: "gemver", Suite: "polybench",
 		Desc:  "vector multiplications and additions",
-		Build: buildGemver})
+		BuildFn: buildGemver})
 	register(Spec{Name: "covariance", Suite: "polybench",
 		Desc:  "covariance matrix computation",
-		Build: buildCovariance})
+		BuildFn: buildCovariance})
 }
 
 func buildAtax(c Class) (*wasm.Module, func() uint64) {

@@ -15,16 +15,16 @@ import (
 func init() {
 	register(Spec{Name: "cholesky", Suite: "polybench",
 		Desc:  "Cholesky factorization",
-		Build: buildCholesky})
+		BuildFn: buildCholesky})
 	register(Spec{Name: "lu", Suite: "polybench",
 		Desc:  "LU factorization",
-		Build: buildLU})
+		BuildFn: buildLU})
 	register(Spec{Name: "trisolv", Suite: "polybench",
 		Desc:  "triangular solve",
-		Build: buildTrisolv})
+		BuildFn: buildTrisolv})
 	register(Spec{Name: "durbin", Suite: "polybench",
 		Desc:  "Toeplitz system solver",
-		Build: buildDurbin})
+		BuildFn: buildDurbin})
 }
 
 // ddInit emits the diagonally dominant symmetric initialization

@@ -11,16 +11,16 @@ import (
 func init() {
 	register(Spec{Name: "jacobi-1d", Suite: "polybench",
 		Desc:  "1-D Jacobi stencil",
-		Build: buildJacobi1d})
+		BuildFn: buildJacobi1d})
 	register(Spec{Name: "jacobi-2d", Suite: "polybench",
 		Desc:  "2-D Jacobi 5-point stencil",
-		Build: buildJacobi2d})
+		BuildFn: buildJacobi2d})
 	register(Spec{Name: "seidel-2d", Suite: "polybench",
 		Desc:  "2-D Gauss-Seidel 9-point stencil",
-		Build: buildSeidel2d})
+		BuildFn: buildSeidel2d})
 	register(Spec{Name: "fdtd-2d", Suite: "polybench",
 		Desc:  "2-D finite-difference time-domain",
-		Build: buildFdtd2d})
+		BuildFn: buildFdtd2d})
 }
 
 func buildJacobi1d(c Class) (*wasm.Module, func() uint64) {

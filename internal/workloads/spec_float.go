@@ -18,13 +18,13 @@ import (
 func init() {
 	register(Spec{Name: "508.namd", Suite: "spec",
 		Desc:  "Lennard-Jones pairwise forces with cutoff",
-		Build: buildNamd})
+		BuildFn: buildNamd})
 	register(Spec{Name: "519.lbm", Suite: "spec",
 		Desc:  "D2Q9 lattice-Boltzmann stream/collide",
-		Build: buildLbm})
+		BuildFn: buildLbm})
 	register(Spec{Name: "544.nab", Suite: "spec",
 		Desc:  "generalized-Born pairwise energy",
-		Build: buildNab})
+		BuildFn: buildNab})
 }
 
 func buildNamd(c Class) (*wasm.Module, func() uint64) {

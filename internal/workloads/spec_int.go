@@ -24,13 +24,13 @@ import (
 func init() {
 	register(Spec{Name: "505.mcf", Suite: "spec",
 		Desc:  "shortest-path relaxation over a sparse network",
-		Build: buildMcf})
+		BuildFn: buildMcf})
 	register(Spec{Name: "531.deepsjeng", Suite: "spec",
 		Desc:  "alpha-beta game-tree search",
-		Build: buildDeepsjeng})
+		BuildFn: buildDeepsjeng})
 	register(Spec{Name: "557.xz", Suite: "spec",
 		Desc:  "LZ77 compression with hash chains",
-		Build: buildXz})
+		BuildFn: buildXz})
 }
 
 // lcg constants shared by the synthetic input generators.

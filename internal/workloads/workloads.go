@@ -21,8 +21,10 @@ package workloads
 
 import (
 	"fmt"
+	"reflect"
 	"sync"
 
+	"leapsandbounds/internal/validate"
 	"leapsandbounds/internal/wasm"
 )
 
@@ -47,9 +49,67 @@ type Spec struct {
 	Suite string
 	// Desc summarizes the kernel.
 	Desc string
-	// Build constructs the wasm module and the native twin for a
-	// size class.
-	Build func(c Class) (*wasm.Module, func() uint64)
+	// BuildFn constructs the wasm module and the native twin for a
+	// size class. Callers should go through Build or BuildChecked,
+	// which memoize the (deterministic) construction and validate the
+	// module exactly once per (workload, class).
+	BuildFn func(c Class) (*wasm.Module, func() uint64)
+}
+
+// buildKey identifies one memoized build: the registered builder
+// function (by code pointer, so ad-hoc Specs in tests with colliding
+// names cannot alias) at one size class.
+type buildKey struct {
+	fn    uintptr
+	class Class
+}
+
+// buildEntry holds one memoized build result.
+type buildEntry struct {
+	once   sync.Once
+	module *wasm.Module
+	native func() uint64
+	err    error
+}
+
+var (
+	buildsMu sync.Mutex
+	builds   = map[buildKey]*buildEntry{}
+)
+
+// BuildChecked returns the workload's wasm module and native twin,
+// validating the module on first use. Construction and validation run
+// exactly once per (workload, class) for the life of the process; the
+// returned module is shared, which is safe because nothing mutates a
+// built module (the engines treat it as immutable input, and the
+// module cache keys off its content hash).
+func (s Spec) BuildChecked(c Class) (*wasm.Module, func() uint64, error) {
+	k := buildKey{fn: reflect.ValueOf(s.BuildFn).Pointer(), class: c}
+	buildsMu.Lock()
+	e := builds[k]
+	if e == nil {
+		e = &buildEntry{}
+		builds[k] = e
+	}
+	buildsMu.Unlock()
+	e.once.Do(func() {
+		e.module, e.native = s.BuildFn(c)
+		if err := validate.Module(e.module); err != nil {
+			e.err = fmt.Errorf("workloads: %s/%v: %w", s.Name, c, err)
+		}
+	})
+	return e.module, e.native, e.err
+}
+
+// Build is BuildChecked for callers that treat an invalid registered
+// workload as a programming error (all registered workloads validate;
+// the test suite enforces it).
+func (s Spec) Build(c Class) (*wasm.Module, func() uint64) {
+	m, native, err := s.BuildChecked(c)
+	if err != nil {
+		panic(err)
+	}
+	return m, native
 }
 
 // Entry is the exported function every workload module defines; it

@@ -39,6 +39,7 @@ import (
 	"leapsandbounds/internal/harness"
 	"leapsandbounds/internal/isa"
 	"leapsandbounds/internal/mem"
+	"leapsandbounds/internal/modcache"
 	"leapsandbounds/internal/obs"
 	"leapsandbounds/internal/validate"
 	"leapsandbounds/internal/vmm"
@@ -244,3 +245,43 @@ type BenchResult = harness.Result
 // RunBenchmark executes one benchmark configuration with the
 // paper's warm-up/measure/cool-down protocol.
 func RunBenchmark(opts BenchOptions) (*BenchResult, error) { return harness.Run(opts) }
+
+// ModuleCache is the process-wide, content-addressed cache of
+// compiled modules. Every engine routes Compile through it by
+// default: repeated compiles of the same module (same content hash,
+// engine and codegen options) return the cached artifact, and
+// concurrent first compiles deduplicate to one. Compiled modules are
+// instantiation-independent — strategy, profile and address space
+// apply at Instantiate — so one artifact serves every configuration.
+type ModuleCache = modcache.Cache
+
+// CacheStats is a snapshot of the module-cache counters.
+type CacheStats = modcache.Stats
+
+// CompileCache returns the shared compiled-module cache, for
+// inspecting hit rates (see CacheHitRate) or disabling caching
+// process-wide with SetEnabled(false).
+func CompileCache() *ModuleCache { return modcache.Shared() }
+
+// CacheHitRate is the hit fraction between two CacheStats snapshots.
+func CacheHitRate(before, after CacheStats) float64 { return modcache.HitRate(before, after) }
+
+// SweepItem, SweepResult and SweepOptions parameterize RunSweep.
+type (
+	SweepItem    = harness.SweepItem
+	SweepResult  = harness.SweepResult
+	SweepOptions = harness.SweepOptions
+)
+
+// Sweep wraps benchmark configurations as sweep items, marking the
+// multi-worker ones exclusive (they measure contention and must own
+// the host).
+func Sweep(optss ...BenchOptions) []SweepItem { return harness.SweepOf(optss...) }
+
+// RunSweep executes independent benchmark configurations through the
+// sweep scheduler: shareable (single-isolate) runs pack onto a
+// worker pool, exclusive runs serialize, and results come back in
+// input order.
+func RunSweep(items []SweepItem, so SweepOptions) ([]SweepResult, error) {
+	return harness.RunSweep(items, so)
+}

@@ -18,9 +18,10 @@ go test ./...
 
 # The packages where a data race would silently corrupt the paper's
 # measurements: the metrics registry and trace ring, the simulated
-# kernel's lock/fault accounting, and the hazard-pointer domain
-# behind arena recycling.
-echo "== go test -race (obs, vmm, hazard)"
-go test -race -count=1 ./internal/obs/ ./internal/vmm/ ./internal/hazard/
+# kernel's lock/fault accounting, the hazard-pointer domain behind
+# arena recycling, the module cache's singleflight compile path, and
+# the sweep scheduler.
+echo "== go test -race (obs, vmm, hazard, modcache, harness)"
+go test -race -count=1 ./internal/obs/ ./internal/vmm/ ./internal/hazard/ ./internal/modcache/ ./internal/harness/
 
 echo "verify: OK"

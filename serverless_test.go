@@ -161,3 +161,52 @@ func TestServerlessLockContention(t *testing.T) {
 		t.Error("uffd steady state: no userfaultfd faults recorded; burst did not exercise the fault path")
 	}
 }
+
+// TestServerlessZeroRecompiles is the compile-cache half of the
+// serving story: after one burst warms the cache, every later
+// cold start (fresh engine + Compile of the same module) is a cache
+// hit — zero additional compiles.
+func TestServerlessZeroRecompiles(t *testing.T) {
+	module := buildHandlerModule(t)
+	cache := leaps.CompileCache()
+
+	// Warm-up: the only compile this function should ever need.
+	engine, closeEngine, err := leaps.NewEngine(leaps.EngineWasmtime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, err := engine.Compile(module)
+	if err != nil {
+		closeEngine()
+		t.Fatal(err)
+	}
+	closeEngine()
+
+	proc := leaps.NewProcess(leaps.ProfileX86())
+	defer proc.Close()
+	cfg := proc.Config(leaps.Uffd)
+
+	before := cache.Stats()
+	const coldStarts = 4
+	for b := 0; b < coldStarts; b++ {
+		engine, closeEngine, err := leaps.NewEngine(leaps.EngineWasmtime)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cm, err = engine.Compile(module)
+		if err != nil {
+			closeEngine()
+			t.Fatal(err)
+		}
+		serveTestBurst(t, cm, cfg, 2, 8)
+		closeEngine()
+	}
+	after := cache.Stats()
+
+	if got := after.Compiles - before.Compiles; got != 0 {
+		t.Errorf("compiles after warm-up = %d, want 0", got)
+	}
+	if got := after.Hits - before.Hits; got < coldStarts {
+		t.Errorf("cache hits = %d, want >= %d", got, coldStarts)
+	}
+}
