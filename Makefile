@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify bench bench-quick figures
+.PHONY: build test vet race verify bench bench-quick figures fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -12,10 +12,17 @@ test:
 	$(GO) test ./...
 
 # Short race pass over the concurrency-heavy packages (the metrics
-# registry, the simulated VM subsystem, the hazard-pointer domain,
-# the module cache's singleflight path, the sweep scheduler).
+# registry, the simulated VM subsystem, linear memory and the arena
+# pool, the fault injector, the hazard-pointer domain, the module
+# cache's singleflight path, the sweep scheduler).
 race:
-	$(GO) test -race -count=1 ./internal/obs/ ./internal/vmm/ ./internal/hazard/ ./internal/modcache/ ./internal/harness/
+	$(GO) test -race -count=1 ./internal/obs/ ./internal/vmm/ ./internal/mem/ ./internal/faultinject/ ./internal/hazard/ ./internal/modcache/ ./internal/harness/
+
+# Short coverage-guided fuzz pass over the binary decoder and the
+# validator (~10s each); regressions land in testdata/fuzz/.
+fuzz-smoke:
+	$(GO) test ./internal/wasm/ -run '^$$' -fuzz FuzzDecode -fuzztime 10s
+	$(GO) test ./internal/validate/ -run '^$$' -fuzz FuzzValidate -fuzztime 10s
 
 # The full tier-1 gate: build + vet + tests + race pass.
 verify:

@@ -52,6 +52,7 @@ func main() {
 		parallel = flag.Bool("parallel", true, "figure mode: schedule configurations through the sweep scheduler (single-isolate runs pack onto a worker pool; thread-scaling runs stay exclusive)")
 		nocache  = flag.Bool("nocache", false, "disable the compiled-module cache (every run pays the full compile)")
 		bsweep   = flag.String("benchsweep", "", "run the cold-vs-warm cache benchmark and write its JSON report to this file (\"-\" for stdout)")
+		chaos    = flag.Int64("chaos", 0, "run the deterministic fault-injection sweep with this seed (twice, verifying the replay reproduces it exactly)")
 		list     = flag.Bool("list", false, "list workloads and engines")
 	)
 	flag.Parse()
@@ -67,6 +68,14 @@ func main() {
 
 	if *bsweep != "" {
 		if err := runBenchSweep(*bsweep, *quick); err != nil {
+			fmt.Fprintln(os.Stderr, "leapsbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *chaos != 0 {
+		if err := runChaos(*chaos, *quick); err != nil {
 			fmt.Fprintln(os.Stderr, "leapsbench:", err)
 			os.Exit(1)
 		}

@@ -1,6 +1,7 @@
 package compiled_test
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -10,6 +11,8 @@ import (
 	"leapsandbounds/internal/interp"
 	"leapsandbounds/internal/isa"
 	"leapsandbounds/internal/mem"
+	"leapsandbounds/internal/tiered"
+	"leapsandbounds/internal/trap"
 	"leapsandbounds/internal/wasm"
 	g "leapsandbounds/internal/wasmgen"
 )
@@ -239,6 +242,225 @@ func buildRandomProgram(seed int64) (*wasm.Module, error) {
 	f.Body(stmts...)
 	mb.Export("run", f)
 	return mb.Module()
+}
+
+// oobArrBase positions the straddling array for the out-of-bounds
+// differential test: with Memory(1,4) the wasm-visible size is
+// 64 KiB and the backing 256 KiB, so an i64 array of fuzzArrLen
+// elements starting here has its first half below the size boundary
+// and its second half beyond it — but never beyond the backing, so
+// the none strategy's "MMU window" stays silent, exactly as real
+// hardware inside the 8 GiB reservation would be.
+const oobArrBase = 65536 - fuzzArrLen*8/2
+
+// buildOOBProgram is buildRandomProgram with the i64 array straddling
+// the memory-size boundary: masked indices land on either side, so
+// runs make a data-dependent mix of in-bounds and out-of-bounds
+// accesses. The digest only reads the in-bounds half (reading the
+// rest would force a trap on every strategy that traps, flattening
+// the per-seed variety this test exists to exercise).
+func buildOOBProgram(seed int64) (*wasm.Module, error) {
+	r := rand.New(rand.NewSource(seed))
+	mb := g.NewModule()
+	mb.Memory(1, 4)
+
+	f := mb.Func("run", wasm.I64)
+	p := &progGen{r: r, f: f}
+	p.arrI64 = g.NewLayout(oobArrBase).I64(fuzzArrLen)
+	p.arrF64 = g.NewLayout(0).F64(fuzzArrLen)
+	for i := 0; i < 4; i++ {
+		p.i32s = append(p.i32s, f.LocalI32(fmt.Sprintf("a%d", i)))
+		p.i64s = append(p.i64s, f.LocalI64(fmt.Sprintf("b%d", i)))
+		p.f64s = append(p.f64s, f.LocalF64(fmt.Sprintf("d%d", i)))
+	}
+	var stmts []g.Stmt
+	for i, l := range p.i32s {
+		stmts = append(stmts, g.Set(l, g.I32(int32(seed)+int32(i*7+1))))
+	}
+	for i, l := range p.i64s {
+		stmts = append(stmts, g.Set(l, g.I64(seed*31+int64(i))))
+	}
+	for i, l := range p.f64s {
+		stmts = append(stmts, g.Set(l, g.F64(float64(i)+0.5)))
+	}
+	for i := 0; i < 12; i++ {
+		stmts = append(stmts, p.stmt(3))
+	}
+	digest := f.LocalI64("digest")
+	idx := f.LocalI32("idx")
+	mix := func(v g.Expr) g.Stmt {
+		return g.Set(digest, g.Add(g.Mul(g.Get(digest), g.I64(1099511628211)), v))
+	}
+	for _, l := range p.i32s {
+		stmts = append(stmts, mix(g.I64FromI32U(g.Get(l))))
+	}
+	for _, l := range p.i64s {
+		stmts = append(stmts, mix(g.Get(l)))
+	}
+	for _, l := range p.f64s {
+		stmts = append(stmts, mix(g.I64ReinterpretF64(g.Get(l))))
+	}
+	stmts = append(stmts,
+		g.For(idx, g.I32(0), g.I32(fuzzArrLen/2),
+			mix(p.arrI64.Load(g.Get(idx))),
+			mix(g.I64ReinterpretF64(p.arrF64.Load(g.Get(idx)))),
+		),
+		g.Return(g.Get(digest)),
+	)
+	f.Body(stmts...)
+	mb.Export("run", f)
+	return mb.Module()
+}
+
+// oobOutcome is one (engine, strategy) execution result.
+type oobOutcome struct {
+	trapped bool
+	digest  uint64
+}
+
+// TestDifferentialOOBTrapEquivalence generates programs whose memory
+// traffic straddles the bounds-check boundary and runs each on the
+// compiled, interpreted and tiered engines under all five strategies.
+// Within a strategy every engine must agree exactly (trap/no-trap and
+// digest); across strategies the paper's semantics partition them:
+// trap, mprotect and uffd are exactly equivalent (they all detect the
+// violation), clamp never traps (accesses are redirected to the end
+// of memory), and none never traps for accesses inside the backing.
+func TestDifferentialOOBTrapEquivalence(t *testing.T) {
+	seeds := 30
+	if testing.Short() {
+		seeds = 6
+	}
+	for seed := int64(1); seed <= int64(seeds); seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			m, err := buildOOBProgram(seed)
+			if err != nil {
+				t.Fatalf("generator produced invalid module: %v", err)
+			}
+			// The interpreter entry must be the configurable variant:
+			// NewWasm3 pins the Trap strategy (as real wasm3 has no
+			// others), which would defeat the strategy matrix.
+			v8 := tiered.New()
+			defer v8.Close()
+			engines := []struct {
+				name string
+				eng  core.Engine
+			}{
+				{"wavm", compiled.NewWAVM()},
+				{"interp", interp.NewConfigurable()},
+				{"v8", v8},
+			}
+			outcomes := make(map[mem.Strategy]oobOutcome)
+			for _, e := range engines {
+				cm, err := e.eng.Compile(m)
+				if err != nil {
+					t.Fatalf("%s: %v", e.name, err)
+				}
+				for _, s := range mem.Strategies() {
+					inst, err := cm.Instantiate(core.Config{Profile: isa.X86_64(), Strategy: s}, nil)
+					if err != nil {
+						t.Fatalf("%s/%v: %v", e.name, s, err)
+					}
+					res, ierr := inst.Invoke("run")
+					inst.Close()
+					got := oobOutcome{trapped: ierr != nil}
+					if ierr != nil {
+						var tr *trap.Trap
+						if !errors.As(ierr, &tr) || tr.Kind != trap.OutOfBounds {
+							t.Fatalf("%s/%v: non-OOB failure: %v", e.name, s, ierr)
+						}
+					} else {
+						got.digest = res[0]
+					}
+					if prev, ok := outcomes[s]; !ok {
+						outcomes[s] = got
+					} else if prev != got {
+						t.Errorf("%s/%v: outcome %+v, other engines got %+v", e.name, s, got, prev)
+					}
+				}
+			}
+			t.Logf("trapping strategies trapped=%v", outcomes[mem.Trap].trapped)
+			// Trap, mprotect and uffd are exactly equivalent.
+			vmGroup := []mem.Strategy{mem.Trap, mem.Mprotect, mem.Uffd}
+			for _, s := range vmGroup[1:] {
+				if outcomes[s] != outcomes[vmGroup[0]] {
+					t.Errorf("%v outcome %+v differs from %v outcome %+v",
+						s, outcomes[s], vmGroup[0], outcomes[vmGroup[0]])
+				}
+			}
+			// Clamp and none have defined non-trapping semantics here.
+			for _, s := range []mem.Strategy{mem.Clamp, mem.None} {
+				if outcomes[s].trapped {
+					t.Errorf("%v trapped; it must never trap on this program", s)
+				}
+			}
+			// A program that made no OOB access must agree everywhere.
+			if !outcomes[mem.Trap].trapped {
+				for _, s := range []mem.Strategy{mem.Clamp, mem.None} {
+					if outcomes[s].digest != outcomes[mem.Trap].digest {
+						t.Errorf("no OOB access, yet %v digest %#x != trap digest %#x",
+							s, outcomes[s].digest, outcomes[mem.Trap].digest)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestClampRedirectSemantics pins clamp's defined behaviour exactly:
+// an out-of-bounds n-byte access is redirected to sizeBytes-n, for
+// stores and loads alike, on every engine.
+func TestClampRedirectSemantics(t *testing.T) {
+	const marker = int64(0x5ca1ab1e)
+	mb := g.NewModule()
+	mb.Memory(1, 4)
+	arr := g.NewLayout(0).I64(1) // base 0, element size 8
+	f := mb.Func("run", wasm.I64)
+	// Store OOB at byte 160000 → redirected to 65528 (= 65536-8).
+	// Load in-bounds from 65528, then load OOB from 240000 (also
+	// redirected to 65528): both must observe the marker.
+	f.Body(
+		arr.Store(g.I32(20000), g.I64(marker)),
+		g.Return(g.Add(arr.Load(g.I32(65528/8)), g.Mul(arr.Load(g.I32(30000)), g.I64(31)))),
+	)
+	mb.Export("run", f)
+	m, err := mb.Module()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := uint64(marker + marker*31)
+
+	v8 := tiered.New()
+	defer v8.Close()
+	engines := []struct {
+		name string
+		eng  core.Engine
+	}{
+		{"wavm", compiled.NewWAVM()},
+		{"wasmtime", compiled.NewWasmtime()},
+		{"interp", interp.NewConfigurable()},
+		{"v8", v8},
+	}
+	for _, e := range engines {
+		cm, err := e.eng.Compile(m)
+		if err != nil {
+			t.Fatalf("%s: %v", e.name, err)
+		}
+		inst, err := cm.Instantiate(core.Config{Profile: isa.X86_64(), Strategy: mem.Clamp}, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", e.name, err)
+		}
+		res, err := inst.Invoke("run")
+		inst.Close()
+		if err != nil {
+			t.Fatalf("%s: clamp must not trap: %v", e.name, err)
+		}
+		if res[0] != want {
+			t.Errorf("%s: clamp redirect result %#x, want %#x", e.name, res[0], want)
+		}
+	}
 }
 
 // TestDifferentialRandomPrograms runs randomly generated programs on

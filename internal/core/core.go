@@ -14,7 +14,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"time"
 
+	"leapsandbounds/internal/faultinject"
 	"leapsandbounds/internal/isa"
 	"leapsandbounds/internal/mem"
 	"leapsandbounds/internal/obs"
@@ -58,6 +60,12 @@ type Config struct {
 	MaxPages uint32
 	// CallDepth bounds recursion; 0 means the default (1000).
 	CallDepth int
+	// Fault, when non-nil, installs a deterministic fault injector on
+	// the address space (chaos testing): vmm syscall and fault paths
+	// consult it, and the mem layer's retry/fallback machinery absorbs
+	// what it injects. An injector already installed on AS wins, so
+	// harness-level wiring is not overwritten.
+	Fault *faultinject.Plan
 }
 
 // DefaultMaxPages caps memories that declare no maximum: 2048 wasm
@@ -80,6 +88,9 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.AS == nil {
 		c.AS = vmm.New(c.Profile.VM)
+	}
+	if c.Fault != nil && c.AS.Injector() == nil {
+		c.AS.SetInjector(faultinject.New(*c.Fault, c.AS.Obs().Child("faultinject")))
 	}
 	if c.Strategy == mem.Uffd && c.Pool == nil && !c.UffdNoPool {
 		// One pool per simulated process, not per instantiation: a
@@ -213,10 +224,12 @@ type InstanceBase struct {
 
 	// obsInvokes/obsTraps are cached metric handles so the per-call
 	// cost is one atomic add; obsFlushed guards the one-time cycle
-	// flush in Close.
-	obsInvokes *obs.Counter
-	obsTraps   *obs.Counter
-	obsFlushed bool
+	// flush in Close. obsInjected counts the subset of traps caused
+	// by injected faults that exhausted the retry budget.
+	obsInvokes  *obs.Counter
+	obsTraps    *obs.Counter
+	obsInjected *obs.Counter
+	obsFlushed  bool
 }
 
 // NewInstanceBase performs the engine-independent instantiation
@@ -228,10 +241,11 @@ func NewInstanceBase(m *wasm.Module, cfg Config, imports Imports) (*InstanceBase
 		return nil, err
 	}
 	b := &InstanceBase{
-		Module:     m,
-		Cfg:        cfg,
-		obsInvokes: cfg.Obs.Counter("invokes"),
-		obsTraps:   cfg.Obs.Counter("traps"),
+		Module:      m,
+		Cfg:         cfg,
+		obsInvokes:  cfg.Obs.Counter("invokes"),
+		obsTraps:    cfg.Obs.Counter("traps"),
+		obsInjected: cfg.Obs.Counter("injected_traps"),
 	}
 
 	for _, im := range m.Imports {
@@ -386,6 +400,9 @@ func (b *InstanceBase) ObsInvoke(err error) {
 	var t *trap.Trap
 	if errors.As(err, &t) {
 		b.obsTraps.Inc()
+		if t.Kind == trap.Injected {
+			b.obsInjected.Inc()
+		}
 		b.Cfg.Obs.Emit(obs.EvTrap, int64(t.Kind), 0)
 	}
 }
@@ -451,6 +468,52 @@ func (b *InstanceBase) CallHost(i int, args []uint64) (uint64, error) {
 
 // InvokeErr converts a recovered engine panic into an Invoke error.
 func InvokeErr(r any) error { return trap.Recover(r) }
+
+// InstantiateMaxAttempts bounds InstantiateWithRetry.
+const InstantiateMaxAttempts = 8
+
+// InstantiateWithRetry instantiates cm, retrying with backoff when
+// instantiation fails with an injected transient fault (an mmap or
+// eager-commit mprotect failure under chaos testing). Permanent
+// errors return immediately; a recovery after a transient failure is
+// counted against the address space's injector.
+func InstantiateWithRetry(cm CompiledModule, cfg Config, imports Imports) (Instance, error) {
+	var lastErr error
+	for attempt := 0; attempt < InstantiateMaxAttempts; attempt++ {
+		if attempt > 0 {
+			retryPause(attempt)
+		}
+		inst, err := cm.Instantiate(cfg, imports)
+		if err == nil {
+			if lastErr != nil && cfg.AS != nil {
+				if site, ok := faultinject.IsTransient(lastErr); ok {
+					cfg.AS.Injector().Recovered(site)
+				}
+			}
+			return inst, nil
+		}
+		if _, ok := faultinject.IsTransient(err); !ok {
+			return nil, err
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("core: instantiation failed after %d attempts: %w",
+		InstantiateMaxAttempts, lastErr)
+}
+
+// retryPause busy-waits an exponentially growing, capped interval.
+// Busy-waiting keeps single-threaded chaos runs replay-deterministic
+// (no scheduler round trip).
+func retryPause(attempt int) {
+	shift := attempt
+	if shift > 6 {
+		shift = 6
+	}
+	d := time.Duration(1<<shift) * 250 * time.Nanosecond
+	t0 := time.Now()
+	for time.Since(t0) < d {
+	}
+}
 
 // WriteTo is a small helper for engines that expose stdout-style
 // diagnostics; unused writers default to io.Discard.

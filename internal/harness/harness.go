@@ -25,6 +25,7 @@ import (
 
 	"leapsandbounds/internal/compiled"
 	"leapsandbounds/internal/core"
+	"leapsandbounds/internal/faultinject"
 	"leapsandbounds/internal/interp"
 	"leapsandbounds/internal/isa"
 	"leapsandbounds/internal/mem"
@@ -32,6 +33,7 @@ import (
 	"leapsandbounds/internal/stats"
 	"leapsandbounds/internal/sysmon"
 	"leapsandbounds/internal/tiered"
+	"leapsandbounds/internal/trap"
 	"leapsandbounds/internal/vmm"
 	"leapsandbounds/internal/workloads"
 )
@@ -92,6 +94,13 @@ type Options struct {
 	// multiprocess runtime". Defaults to 1 (the paper's isolate-
 	// per-thread single process).
 	Processes int
+	// Fault, when non-nil, runs the benchmark under deterministic
+	// fault injection: each simulated process gets an injector seeded
+	// by Plan.Derive(process index), and iteration failures are
+	// recorded as failure causes in the result instead of aborting
+	// the run (partial results). With Fault nil any worker error
+	// aborts the run, as before.
+	Fault *faultinject.Plan
 	// Obs receives the run's telemetry. Each Run registers its
 	// metrics and trace events under one labeled scope
 	// "run[engine=E workload=W strategy=S threads=N]", with one
@@ -151,6 +160,12 @@ type Result struct {
 
 	// Checksum of the workload result (identical across iterations).
 	Checksum uint64
+
+	// FailureCauses counts failed iterations by cause (only populated
+	// under fault injection, where failures are tolerated rather than
+	// fatal); FailedIters is the total across causes.
+	FailureCauses map[string]int
+	FailedIters   int
 }
 
 // NewEngine constructs a wasm engine by name. The caller must invoke
@@ -221,6 +236,12 @@ func Run(opts Options) (*Result, error) {
 		if opts.Strategy == mem.Uffd && !opts.UffdNoPool {
 			pools[p] = mem.NewArenaPool()
 		}
+		if opts.Fault != nil {
+			// Each simulated process draws from its own derived seed so
+			// multi-process runs stay replayable per process.
+			procs[p].SetInjector(faultinject.New(
+				opts.Fault.Derive(int64(p)), procScope.Child("faultinject")))
+		}
 	}
 
 	// iterators[p] runs one isolate lifecycle in process p and
@@ -267,7 +288,7 @@ func Run(opts Options) (*Result, error) {
 				Obs:         engineScopes[p],
 			}
 			iterators[p] = func() (time.Duration, uint64, time.Duration, error) {
-				inst, err := cm.Instantiate(cfg, nil)
+				inst, err := core.InstantiateWithRetry(cm, cfg, nil)
 				if err != nil {
 					return 0, 0, 0, err
 				}
@@ -297,12 +318,28 @@ func Run(opts Options) (*Result, error) {
 	}
 
 	type workerOut struct {
-		times []time.Duration
-		sims  []time.Duration
-		sum   uint64
-		err   error
+		times   []time.Duration
+		sims    []time.Duration
+		sum     uint64
+		haveSum bool
+		err     error
+		causes  map[string]int
 	}
 	outs := make([]workerOut, opts.Threads)
+
+	// With fault injection active, iteration failures are recorded by
+	// cause and the run continues (partial results); without it any
+	// failure aborts, as before.
+	tolerate := opts.Fault != nil
+	failScope := runScope.Child("failures")
+	record := func(o *workerOut, err error) {
+		cause := FailureCause(err)
+		if o.causes == nil {
+			o.causes = make(map[string]int)
+		}
+		o.causes[cause]++
+		failScope.Counter(cause).Inc()
+	}
 
 	var (
 		warmed    sync.WaitGroup
@@ -361,6 +398,10 @@ func Run(opts Options) (*Result, error) {
 			defer runScope.Emit(obs.EvPhase, obs.PhaseDone, int64(w))
 			for i := 0; i < opts.Warmup; i++ {
 				if _, _, _, err := iterate(); err != nil {
+					if tolerate {
+						record(o, err)
+						continue
+					}
 					o.err = err
 					warmed.Done()
 					return
@@ -373,13 +414,21 @@ func Run(opts Options) (*Result, error) {
 			for i := 0; i < opts.Measure; i++ {
 				dt, sum, sim, err := iterate()
 				if err != nil {
+					if tolerate {
+						record(o, err)
+						continue
+					}
 					o.err = err
 					measured.Add(1)
 					return
 				}
-				if i == 0 {
+				if !o.haveSum {
 					o.sum = sum
+					o.haveSum = true
 				} else if sum != o.sum {
+					// Checksum divergence is fatal even under injection:
+					// injected transient faults must never change results,
+					// only retry and fallback counters.
 					o.err = fmt.Errorf("harness: nondeterministic checksum: %#x vs %#x", sum, o.sum)
 					measured.Add(1)
 					return
@@ -397,6 +446,10 @@ func Run(opts Options) (*Result, error) {
 			// finished its measured runs (paper §3.5).
 			for measured.Load() < int64(threads) {
 				if _, _, _, err := iterate(); err != nil {
+					if tolerate {
+						record(o, err)
+						continue
+					}
 					o.err = err
 					return
 				}
@@ -423,7 +476,16 @@ func Run(opts Options) (*Result, error) {
 		}
 		allTimes = append(allTimes, outs[w].times...)
 		allSims = append(allSims, outs[w].sims...)
-		checksum = outs[w].sum
+		if outs[w].haveSum {
+			checksum = outs[w].sum
+		}
+		for cause, n := range outs[w].causes {
+			if res.FailureCauses == nil {
+				res.FailureCauses = make(map[string]int)
+			}
+			res.FailureCauses[cause] += n
+			res.FailedIters += n
+		}
 	}
 	res.Times = allTimes
 	res.MedianWall = stats.MedianDurations(allTimes)
@@ -474,6 +536,9 @@ func Run(opts Options) (*Result, error) {
 	runScope.Gauge("resident_peak_bytes").Set(res.ResidentPeak)
 	runScope.Gauge("throughput_x1000").Set(int64(res.Throughput * 1000))
 	runScope.Counter("iterations").Add(int64(len(allTimes)))
+	if res.FailedIters > 0 {
+		runScope.Counter("failed_iters").Add(int64(res.FailedIters))
+	}
 	runScope.Emit(obs.EvSample, int64(res.CPUPercent*100), int64(res.CtxtPerSec))
 
 	for _, pool := range pools {
@@ -482,6 +547,21 @@ func Run(opts Options) (*Result, error) {
 		}
 	}
 	return res, nil
+}
+
+// FailureCause classifies an iteration error for partial-result
+// accounting: injected transient faults name their site, traps name
+// their kind, anything else is generic. Strings are deterministic so
+// replayed chaos runs produce identical cause maps.
+func FailureCause(err error) string {
+	if site, ok := faultinject.IsTransient(err); ok {
+		return "transient:" + site.String()
+	}
+	var t *trap.Trap
+	if errors.As(err, &t) {
+		return "trap:" + t.Kind.String()
+	}
+	return "error"
 }
 
 // OpHistogram executes one iteration of a workload with cycle
@@ -531,6 +611,7 @@ func sumSnapshots(procs []*vmm.AddressSpace) vmm.StatsSnapshot {
 		sum.MinorFaults += s.MinorFaults
 		sum.UffdFaults += s.UffdFaults
 		sum.SegvFaults += s.SegvFaults
+		sum.DroppedFaults += s.DroppedFaults
 		sum.Shootdowns += s.Shootdowns
 		sum.VMAsTouched += s.VMAsTouched
 		sum.THPPromotions += s.THPPromotions
@@ -551,6 +632,7 @@ func deltaSnapshot(a, b vmm.StatsSnapshot) vmm.StatsSnapshot {
 		MinorFaults:   b.MinorFaults - a.MinorFaults,
 		UffdFaults:    b.UffdFaults - a.UffdFaults,
 		SegvFaults:    b.SegvFaults - a.SegvFaults,
+		DroppedFaults: b.DroppedFaults - a.DroppedFaults,
 		Shootdowns:    b.Shootdowns - a.Shootdowns,
 		VMAsTouched:   b.VMAsTouched - a.VMAsTouched,
 		THPPromotions: b.THPPromotions - a.THPPromotions,

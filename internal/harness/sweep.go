@@ -90,6 +90,8 @@ func RunSweep(items []SweepItem, so SweepOptions) ([]SweepResult, error) {
 	runHist := sc.Histogram("run_ns")
 	runsOK := sc.Counter("runs_ok")
 	runsErr := sc.Counter("runs_err")
+	runsDegraded := sc.Counter("runs_degraded")
+	failScope := sc.Child("failures")
 
 	results := make([]SweepResult, len(items))
 	t0 := time.Now()
@@ -109,6 +111,15 @@ func RunSweep(items []SweepItem, so SweepOptions) ([]SweepResult, error) {
 			runsErr.Add(1)
 		} else {
 			runsOK.Add(1)
+			// A run that completed but recorded iteration failures
+			// (fault injection's partial results) is degraded, not
+			// failed; its causes aggregate across the sweep.
+			if r.Result != nil && r.Result.FailedIters > 0 {
+				runsDegraded.Add(1)
+				for cause, n := range r.Result.FailureCauses {
+					failScope.Counter(cause).Add(int64(n))
+				}
+			}
 		}
 		sc.Child(it.Opts.RunLabel()).Gauge("run_ns").Set(r.RunFor.Nanoseconds())
 	}

@@ -21,7 +21,9 @@ package mem
 import (
 	"encoding/binary"
 	"fmt"
+	"time"
 
+	"leapsandbounds/internal/faultinject"
 	"leapsandbounds/internal/obs"
 	"leapsandbounds/internal/trap"
 	"leapsandbounds/internal/vmm"
@@ -154,6 +156,30 @@ type Memory struct {
 	obs          *obs.Scope
 	growCalls    *obs.Counter
 	faultCommits *obs.Counter
+
+	// inj is the process fault injector captured at instantiation
+	// (nil outside chaos runs); the fault path consults it to retry
+	// transient failures and count recoveries.
+	inj *faultinject.Injector
+}
+
+// faultMaxAttempts bounds the fault-path retry loop: a transient
+// commit failure or dropped fault delivery is retried with backoff up
+// to this many times before surfacing as a trap.Injected.
+const faultMaxAttempts = 8
+
+// backoff busy-waits before retry attempt (exponential, capped).
+// Busy-waiting rather than sleeping keeps single-threaded chaos runs
+// replay-deterministic: no scheduler round trip is introduced.
+func backoff(attempt int) {
+	shift := attempt
+	if shift > 6 {
+		shift = 6
+	}
+	d := time.Duration(1<<shift) * 250 * time.Nanosecond
+	t0 := time.Now()
+	for time.Since(t0) < d {
+	}
 }
 
 // New instantiates a linear memory per the configuration.
@@ -173,6 +199,7 @@ func New(cfg Config) (*Memory, error) {
 		obs:          sc,
 		growCalls:    sc.Counter("grows"),
 		faultCommits: sc.Counter("fault_commits"),
+		inj:          cfg.AS.Injector(),
 	}
 	switch cfg.Strategy {
 	case None, Clamp, Trap:
@@ -203,7 +230,7 @@ func New(cfg Config) (*Memory, error) {
 		m.fastLimit = 0
 		m.eager = cfg.EagerCommit
 		if m.eager && m.sizeBytes > 0 {
-			if err := mp.Mprotect(0, m.sizeBytes, vmm.ProtRW); err != nil {
+			if err := m.mprotectRetry(mp, 0, m.sizeBytes); err != nil {
 				cleanup(cfg.AS, mp)
 				return nil, err
 			}
@@ -232,6 +259,24 @@ func New(cfg Config) (*Memory, error) {
 		}
 		a, err := cfg.Pool.get(cfg.AS, m.maxBytes)
 		if err != nil {
+			if site, ok := faultinject.IsTransient(err); ok {
+				// Pool exhausted (injected): degrade to the mprotect
+				// strategy rather than failing the instantiation. Trap
+				// semantics are identical — both virtual-memory
+				// strategies fault and commit lazily — so the
+				// degradation is invisible to the guest.
+				mp, merr := cfg.AS.Mmap(Reserve, m.maxBytes, vmm.ProtNone)
+				if merr != nil {
+					return nil, merr
+				}
+				m.strategy = Mprotect
+				m.mapping = mp
+				m.data = mp.Data()
+				m.fastLimit = 0
+				sc.Counter("uffd_fallbacks").Inc()
+				m.inj.Recovered(site)
+				break
+			}
 			return nil, err
 		}
 		m.arena = a
@@ -290,6 +335,13 @@ func (m *Memory) Grow(delta uint32) int32 {
 	if newBytes > m.maxBytes {
 		return -1
 	}
+	if m.inj.GrowFail(uint32(newBytes / wasm.PageSize)) {
+		// Injected commit pressure: grow fails even though the wasm
+		// limit allows it, exactly as a real allocator under memory
+		// pressure does. Spec-visible (grow returns -1), so only
+		// enabled by plans that opt into SiteGrow.
+		return -1
+	}
 	prev := m.sizeBytes
 	m.sizeBytes = newBytes
 	m.growCalls.Inc()
@@ -306,7 +358,7 @@ func (m *Memory) Grow(delta uint32) int32 {
 		m.fastLimit = newBytes
 	case Mprotect:
 		if m.eager {
-			if err := m.mapping.Mprotect(prev, newBytes-prev, vmm.ProtRW); err != nil {
+			if err := m.mprotectRetry(m.mapping, prev, newBytes-prev); err != nil {
 				trap.Throwf(trap.MemoryLimit, "grow: %v", err)
 			}
 			m.fastLimit = newBytes
@@ -416,7 +468,10 @@ func (m *Memory) slow(addr, n uint64, write bool) uint64 {
 
 // fault is the simulated signal-handler path for the virtual-memory
 // strategies: SIGSEGV + mprotect for Mprotect, SIGBUS + lock-free
-// population for Uffd.
+// population for Uffd. Transient failures (injected commit errors,
+// dropped fault deliveries) are retried with backoff up to
+// faultMaxAttempts; a failure persisting past the budget surfaces as
+// trap.Injected, and every absorbed failure counts a recovery.
 func (m *Memory) fault(addr, n uint64, write bool) uint64 {
 	// The runtime's handler knows the instance's true size; accesses
 	// beyond it are genuine bounds violations.
@@ -426,38 +481,86 @@ func (m *Memory) fault(addr, n uint64, write bool) uint64 {
 	ps := m.mapping.PageSize()
 	start := addr / ps * ps
 	end := (addr + n + ps - 1) / ps * ps
-	switch kind := m.mapping.Fault(addr, write); kind {
-	case vmm.FaultSegv:
-		// SIGSEGV handler: commit the page range with mprotect(2),
-		// serialized on the process mmap lock.
-		if err := m.mapping.Mprotect(start, end-start, vmm.ProtRW); err != nil {
-			trap.Throwf(trap.OutOfBounds, "mprotect handler: %v", err)
+	var lastErr error
+	lastSite := faultinject.SiteFaultDrop
+	for attempt := 0; attempt < faultMaxAttempts; attempt++ {
+		if attempt > 0 {
+			backoff(attempt)
 		}
-	case vmm.FaultUffd:
-		// SIGBUS mode resolves on the faulting thread, lock-free;
-		// poll mode round-trips to the handler thread (the latency
-		// the paper's footnote 2 cites for preferring SIGBUS).
+		kind := m.mapping.Fault(addr, write)
+		if kind == vmm.FaultDropped {
+			// Delivery lost: the access re-faults after backoff, as a
+			// thread whose signal got lost would when it retries the
+			// instruction.
+			lastErr = &faultinject.Error{Site: faultinject.SiteFaultDrop}
+			lastSite = faultinject.SiteFaultDrop
+			continue
+		}
 		var err error
-		if m.poll != nil {
-			err = m.poll.resolve(m.mapping, start, end-start)
-		} else {
-			err = m.mapping.UffdZeroPages(start, end-start)
+		switch kind {
+		case vmm.FaultSegv:
+			// SIGSEGV handler: commit the page range with mprotect(2),
+			// serialized on the process mmap lock.
+			err = m.mapping.Mprotect(start, end-start, vmm.ProtRW)
+		case vmm.FaultUffd:
+			// SIGBUS mode resolves on the faulting thread, lock-free;
+			// poll mode round-trips to the handler thread (the latency
+			// the paper's footnote 2 cites for preferring SIGBUS).
+			if m.poll != nil {
+				err = m.poll.resolve(m.mapping, start, end-start)
+			} else {
+				err = m.mapping.UffdZeroPages(start, end-start)
+			}
+		case vmm.FaultResolved:
+			// Another thread (or a previous arena user) already
+			// populated the page; proceed.
+		default:
+			trap.Throwf(trap.OutOfBounds, "unexpected fault kind %v", kind)
 		}
 		if err != nil {
-			trap.Throwf(trap.OutOfBounds, "uffd handler: %v", err)
+			if site, ok := faultinject.IsTransient(err); ok {
+				lastErr, lastSite = err, site
+				continue
+			}
+			trap.Throwf(trap.OutOfBounds, "fault handler: %v", err)
 		}
-	case vmm.FaultResolved:
-		// Another thread (or a previous arena user) already
-		// populated the page; proceed.
-	default:
-		trap.Throwf(trap.OutOfBounds, "unexpected fault kind %v", kind)
+		if lastErr != nil {
+			m.inj.Recovered(lastSite)
+		}
+		if end > m.committedEnd {
+			m.committedEnd = end
+		}
+		m.faultCommits.Inc()
+		m.advanceWatermark()
+		return addr
 	}
-	if end > m.committedEnd {
-		m.committedEnd = end
+	trap.ThrowWrap(trap.Injected, lastErr,
+		"fault at %#x+%d unresolved after %d attempts", addr, n, faultMaxAttempts)
+	return 0 // unreachable
+}
+
+// mprotectRetry commits [off, off+length) read-write, retrying
+// injected transient failures with backoff. Used by eager-commit
+// instantiation and grow; the lazy fault path has its own loop.
+func (m *Memory) mprotectRetry(mp *vmm.Mapping, off, length uint64) error {
+	var lastErr error
+	for attempt := 0; attempt < faultMaxAttempts; attempt++ {
+		if attempt > 0 {
+			backoff(attempt)
+		}
+		err := mp.Mprotect(off, length, vmm.ProtRW)
+		if err == nil {
+			if lastErr != nil {
+				m.inj.Recovered(faultinject.SiteMprotect)
+			}
+			return nil
+		}
+		if _, ok := faultinject.IsTransient(err); !ok {
+			return err
+		}
+		lastErr = err
 	}
-	m.faultCommits.Inc()
-	m.advanceWatermark()
-	return addr
+	return lastErr
 }
 
 // advanceWatermark extends the fast-path limit over the contiguous

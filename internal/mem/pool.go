@@ -1,12 +1,20 @@
 package mem
 
 import (
+	"errors"
+	"fmt"
 	"sync/atomic"
 
+	"leapsandbounds/internal/faultinject"
 	"leapsandbounds/internal/hazard"
 	"leapsandbounds/internal/obs"
 	"leapsandbounds/internal/vmm"
 )
+
+// ErrArenaDoubleRelease reports an arena returned to the pool twice
+// without an intervening acquisition — a lifetime bug that would
+// otherwise hand the same mapping to two instances.
+var ErrArenaDoubleRelease = errors.New("mem: arena released to the pool twice")
 
 // ArenaPool recycles userfaultfd-registered memory arenas across
 // instance lifetimes. This is the paper's uffd mitigation (§4.2.1):
@@ -27,9 +35,10 @@ type ArenaPool struct {
 	pollServer *uffdServer
 
 	// Statistics.
-	created  atomic.Int64
-	reused   atomic.Int64
-	returned atomic.Int64
+	created   atomic.Int64
+	reused    atomic.Int64
+	returned  atomic.Int64
+	discarded atomic.Int64
 }
 
 // arena is one pooled memory reservation plus its intrusive stack
@@ -43,6 +52,9 @@ type arena struct {
 	// obs is the owning process's scope, captured at creation so put
 	// (which has no AddressSpace parameter) can trace recycling.
 	obs *obs.Scope
+	// pooled guards against double release: true while the arena sits
+	// in (or is being returned to) the pool.
+	pooled atomic.Bool
 }
 
 // NewArenaPool returns an empty pool.
@@ -51,8 +63,15 @@ func NewArenaPool() *ArenaPool {
 }
 
 // get pops a pooled arena of at least maxBytes backing, or creates
-// a fresh uffd-registered reservation.
+// a fresh uffd-registered reservation. Injected pool exhaustion
+// surfaces as a transient error callers may absorb by falling back
+// to another strategy; injected registry contention stalls the call.
 func (p *ArenaPool) get(as *vmm.AddressSpace, maxBytes uint64) (*arena, error) {
+	inj := as.Injector()
+	inj.DelayIf(faultinject.SitePoolContention)
+	if err := inj.Fail(faultinject.SitePoolGet); err != nil {
+		return nil, fmt.Errorf("mem: arena pool exhausted: %w", err)
+	}
 	if a := p.pop(maxBytes); a != nil {
 		p.reused.Add(1)
 		as.Obs().Emit(obs.EvArenaReuse, int64(a.mapping.Backing()), 0)
@@ -89,6 +108,7 @@ func (p *ArenaPool) pop(maxBytes uint64) *arena {
 		next := a.next.Load()
 		if p.head.CompareAndSwap(a, next) {
 			slot.Clear()
+			a.pooled.Store(false)
 			return a
 		}
 	}
@@ -97,16 +117,42 @@ func (p *ArenaPool) pop(maxBytes uint64) *arena {
 // put recycles an arena after an instance closes. The used range is
 // zeroed and decommitted lock-free so the next instance observes
 // fresh zero-filled pages (kernel semantics), then the arena is
-// pushed back.
+// pushed back. Transient decommit failures are retried; if one
+// persists the arena is discarded (unmapped) rather than recycled
+// dirty. Releasing the same arena twice is detected and rejected.
 func (p *ArenaPool) put(a *arena, usedBytes uint64) error {
+	if a.pooled.Swap(true) {
+		return ErrArenaDoubleRelease
+	}
+	inj := a.mapping.AddressSpace().Injector()
+	inj.DelayIf(faultinject.SitePoolContention)
 	if usedBytes > a.highWater {
 		a.highWater = usedBytes
 	}
 	cleared := int64(a.highWater)
 	if a.highWater > 0 {
 		clear(a.mapping.Data()[:a.highWater])
-		if err := a.mapping.UffdDecommitPages(0, a.highWater); err != nil {
-			return err
+		var err error
+		for attempt := 0; attempt < faultMaxAttempts; attempt++ {
+			if attempt > 0 {
+				backoff(attempt)
+			}
+			if err = a.mapping.UffdDecommitPages(0, a.highWater); err == nil {
+				if attempt > 0 {
+					inj.Recovered(faultinject.SiteUffdZero)
+				}
+				break
+			}
+			if _, ok := faultinject.IsTransient(err); !ok {
+				return err
+			}
+		}
+		if err != nil {
+			// Degradation: never recycle an arena whose pages could
+			// not be returned to missing state — discard it and let
+			// the next get mint a fresh one.
+			p.discarded.Add(1)
+			return a.mapping.Munmap()
 		}
 		a.highWater = 0
 	}
@@ -141,14 +187,18 @@ func (p *ArenaPool) Drain() {
 // PoolStats reports pool activity.
 type PoolStats struct {
 	Created, Reused, Returned int64
+	// Discarded counts arenas unmapped instead of recycled because
+	// their decommit failed persistently.
+	Discarded int64
 }
 
 // Stats returns a snapshot of pool counters.
 func (p *ArenaPool) Stats() PoolStats {
 	return PoolStats{
-		Created:  p.created.Load(),
-		Reused:   p.reused.Load(),
-		Returned: p.returned.Load(),
+		Created:   p.created.Load(),
+		Reused:    p.reused.Load(),
+		Returned:  p.returned.Load(),
+		Discarded: p.discarded.Load(),
 	}
 }
 

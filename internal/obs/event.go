@@ -49,6 +49,13 @@ const (
 	// EvSample: host sampler reading. A = CPU utilization in
 	// hundredths of a percent, B = context switches/s.
 	EvSample
+	// EvInject: a fault-injection site fired. A = site ordinal,
+	// B = 1-based occurrence number of the site.
+	EvInject
+	// EvRecover: a degradation path (retry, fallback) absorbed an
+	// injected failure. A = site ordinal, B = injections at the site
+	// so far.
+	EvRecover
 	numEventKinds
 )
 
@@ -65,6 +72,7 @@ var eventKindNames = [numEventKinds]string{
 	"mmap", "munmap", "mprotect", "grow",
 	"arena_create", "arena_reuse", "arena_recycle",
 	"tier_up", "gc_pause", "trap", "phase", "sample",
+	"inject", "recover",
 }
 
 func (k EventKind) String() string {

@@ -17,6 +17,7 @@ import (
 
 	"leapsandbounds/internal/compiled"
 	"leapsandbounds/internal/core"
+	"leapsandbounds/internal/faultinject"
 	"leapsandbounds/internal/interp"
 	"leapsandbounds/internal/isa"
 	"leapsandbounds/internal/mem"
@@ -62,10 +63,11 @@ type Engine struct {
 	active atomic.Int64
 
 	// Stats.
-	gcPauses   atomic.Int64
-	tierUps    atomic.Int64
-	sweeps     atomic.Int64
-	warmStarts atomic.Int64
+	gcPauses      atomic.Int64
+	tierUps       atomic.Int64
+	sweeps        atomic.Int64
+	warmStarts    atomic.Int64
+	tierFallbacks atomic.Int64
 
 	// obsSc is the attached trace scope; read by background workers
 	// and the GC loop, hence an atomic pointer (nil scope is a no-op).
@@ -117,15 +119,19 @@ type Stats struct {
 	// WarmStarts counts modules whose optimized tier was adopted
 	// from the compile cache instead of recompiled.
 	WarmStarts int64
+	// TierFallbacks counts instantiations that fell back to the
+	// baseline tier after an injected transient top-tier failure.
+	TierFallbacks int64
 }
 
 // Stats returns a snapshot of runtime-service counters.
 func (e *Engine) Stats() Stats {
 	return Stats{
-		GCPauses:   e.gcPauses.Load(),
-		TierUps:    e.tierUps.Load(),
-		Sweeps:     e.sweeps.Load(),
-		WarmStarts: e.warmStarts.Load(),
+		GCPauses:      e.gcPauses.Load(),
+		TierUps:       e.tierUps.Load(),
+		Sweeps:        e.sweeps.Load(),
+		WarmStarts:    e.warmStarts.Load(),
+		TierFallbacks: e.tierFallbacks.Load(),
 	}
 }
 
@@ -268,12 +274,24 @@ type module struct {
 	top      atomic.Pointer[compiled.Module]
 }
 
-// Instantiate picks the best available tier.
+// Instantiate picks the best available tier. Under fault injection a
+// transient top-tier instantiation failure degrades to the baseline
+// tier (semantically identical, slower) rather than failing the
+// request, and the absorbed failure is counted as a recovery.
 func (m *module) Instantiate(cfg core.Config, imports core.Imports) (core.Instance, error) {
 	var inner core.Instance
 	var err error
 	if top := m.top.Load(); top != nil {
 		inner, err = top.InstantiateCompiled(cfg, imports)
+		if err != nil && cfg.AS != nil {
+			if site, ok := faultinject.IsTransient(err); ok {
+				inner, err = m.baseline.InstantiateInterp(cfg, imports)
+				if err == nil {
+					m.engine.tierFallbacks.Add(1)
+					cfg.AS.Injector().Recovered(site)
+				}
+			}
+		}
 	} else {
 		inner, err = m.baseline.InstantiateInterp(cfg, imports)
 	}

@@ -23,6 +23,10 @@ const (
 	StackOverflow
 	MemoryLimit // memory.grow beyond max (not a trap in wasm; grow returns -1; used for internal errors)
 	HostError
+	// Injected: an injected transient fault persisted past the
+	// bounded retry/fallback budget (chaos testing only; never raised
+	// outside fault-injection runs).
+	Injected
 )
 
 var kindNames = map[Kind]string{
@@ -37,6 +41,15 @@ var kindNames = map[Kind]string{
 	StackOverflow:     "call stack exhausted",
 	MemoryLimit:       "memory limit exceeded",
 	HostError:         "host error",
+	Injected:          "injected fault persisted",
+}
+
+// String returns the specification-style description of the kind.
+func (k Kind) String() string {
+	if name, ok := kindNames[k]; ok {
+		return name
+	}
+	return fmt.Sprintf("trap(%d)", int(k))
 }
 
 // Trap is the panic value engines throw; it satisfies error.
@@ -76,6 +89,12 @@ func Throw(kind Kind) {
 // Throwf panics with a trap carrying detail text.
 func Throwf(kind Kind, format string, args ...any) {
 	panic(&Trap{Kind: kind, Detail: fmt.Sprintf(format, args...)})
+}
+
+// ThrowWrap panics with a trap that wraps err (exposed through
+// errors.Unwrap/As at the Invoke boundary) plus detail text.
+func ThrowWrap(kind Kind, err error, format string, args ...any) {
+	panic(&Trap{Kind: kind, Detail: fmt.Sprintf(format, args...), Err: err})
 }
 
 // Recover converts a recovered panic value into a *Trap error,

@@ -1,0 +1,35 @@
+package validate_test
+
+import (
+	"testing"
+
+	"leapsandbounds/internal/validate"
+	"leapsandbounds/internal/wasm"
+	"leapsandbounds/internal/workloads"
+)
+
+// FuzzValidate drives the validator with whatever modules the binary
+// decoder accepts from arbitrary bytes. The property is purely
+// defensive: Module must return (an error or nil), never panic —
+// malformed-but-decodable modules (bad indices, type confusion,
+// truncated bodies) are exactly what the validator exists to reject
+// gracefully before an engine dereferences them.
+func FuzzValidate(f *testing.F) {
+	for _, spec := range workloads.All() {
+		m, _ := spec.Build(workloads.Test)
+		if bin, err := wasm.Encode(m); err == nil {
+			f.Add(bin)
+			c := append([]byte(nil), bin...)
+			c[len(c)/2] ^= 0xff
+			f.Add(c)
+		}
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := wasm.Decode(data)
+		if err != nil {
+			return
+		}
+		_ = validate.Module(m)
+	})
+}

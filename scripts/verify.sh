@@ -18,10 +18,11 @@ go test ./...
 
 # The packages where a data race would silently corrupt the paper's
 # measurements: the metrics registry and trace ring, the simulated
-# kernel's lock/fault accounting, the hazard-pointer domain behind
-# arena recycling, the module cache's singleflight compile path, and
-# the sweep scheduler.
-echo "== go test -race (obs, vmm, hazard, modcache, harness)"
-go test -race -count=1 ./internal/obs/ ./internal/vmm/ ./internal/hazard/ ./internal/modcache/ ./internal/harness/
+# kernel's lock/fault accounting, linear memory and the arena pool,
+# the fault injector, the hazard-pointer domain behind arena
+# recycling, the module cache's singleflight compile path, and the
+# sweep scheduler.
+echo "== go test -race (obs, vmm, mem, faultinject, hazard, modcache, harness)"
+go test -race -count=1 ./internal/obs/ ./internal/vmm/ ./internal/mem/ ./internal/faultinject/ ./internal/hazard/ ./internal/modcache/ ./internal/harness/
 
 echo "verify: OK"
