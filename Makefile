@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify bench bench-quick figures fuzz-smoke
+.PHONY: build test vet race verify bench bench-quick bench-hot figures fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -14,15 +14,18 @@ test:
 # Short race pass over the concurrency-heavy packages (the metrics
 # registry, the simulated VM subsystem, linear memory and the arena
 # pool, the fault injector, the hazard-pointer domain, the module
-# cache's singleflight path, the sweep scheduler).
+# cache's singleflight path, the sweep scheduler, the compiled
+# engines' unchecked fast paths).
 race:
-	$(GO) test -race -count=1 ./internal/obs/ ./internal/vmm/ ./internal/mem/ ./internal/faultinject/ ./internal/hazard/ ./internal/modcache/ ./internal/harness/
+	$(GO) test -race -count=1 ./internal/obs/ ./internal/vmm/ ./internal/mem/ ./internal/faultinject/ ./internal/hazard/ ./internal/modcache/ ./internal/harness/ ./internal/compiled/
 
-# Short coverage-guided fuzz pass over the binary decoder and the
-# validator (~10s each); regressions land in testdata/fuzz/.
+# Short coverage-guided fuzz pass over the binary decoder, the
+# validator, and the elide on/off differential (~10s each);
+# regressions land in testdata/fuzz/.
 fuzz-smoke:
 	$(GO) test ./internal/wasm/ -run '^$$' -fuzz FuzzDecode -fuzztime 10s
 	$(GO) test ./internal/validate/ -run '^$$' -fuzz FuzzValidate -fuzztime 10s
+	$(GO) test ./internal/compiled/ -run '^$$' -fuzz FuzzElideDiff -fuzztime 10s
 
 # The full tier-1 gate: build + vet + tests + race pass.
 verify:
@@ -36,6 +39,12 @@ bench:
 # BENCH_sweep.json.
 bench-quick:
 	$(GO) run ./cmd/leapsbench -benchsweep BENCH_sweep.json -quick
+
+# Hot-path benchmarks of the bounds-check elision pass: per-strategy
+# checked-load micro timings, the gemm/atax elide on/off macro
+# benches, and the machine-readable BENCH_bce.json artifact.
+bench-hot:
+	./scripts/bench_hot.sh
 
 figures:
 	$(GO) run ./cmd/leapsbench -fig all

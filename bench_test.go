@@ -10,6 +10,10 @@ import (
 	"testing"
 
 	leaps "leapsandbounds"
+	"leapsandbounds/internal/compiled"
+	"leapsandbounds/internal/core"
+	"leapsandbounds/internal/isa"
+	"leapsandbounds/internal/mem"
 )
 
 // benchWorkloads is the representative subset used by the benches
@@ -222,6 +226,58 @@ func BenchmarkUffdArenaPool(b *testing.B) {
 		})
 	}
 }
+
+// benchElideKernel measures the bounds-check elision pass on the
+// optimizing engine: the same kernel under the trap strategy (the
+// paper's expensive software check) with the pass off and on. The
+// engine is detached from the module cache so each variant pays —
+// and demonstrates — its own compile, and the two variants' results
+// must agree, so the benchmark doubles as an equivalence check.
+func benchElideKernel(b *testing.B, workload string) {
+	wl, err := leaps.WorkloadByName(workload)
+	if err != nil {
+		b.Fatal(err)
+	}
+	module, _ := wl.Build(leaps.SizeTest)
+	var sums [2][]uint64
+	for i, elide := range []bool{false, true} {
+		name := "elide=off"
+		if elide {
+			name = "elide=on"
+		}
+		b.Run(name, func(b *testing.B) {
+			eng := compiled.NewWAVM()
+			eng.SetCache(nil)
+			eng.SetCodegen(core.Codegen{BoundsElision: elide})
+			cm, err := eng.CompileModule(module)
+			if err != nil {
+				b.Fatal(err)
+			}
+			inst, err := cm.Instantiate(core.Config{Profile: isa.X86_64(), Strategy: mem.Trap}, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer inst.Close()
+			b.ResetTimer()
+			for j := 0; j < b.N; j++ {
+				res, err := inst.Invoke("run")
+				if err != nil {
+					b.Fatal(err)
+				}
+				sums[i] = res
+			}
+		})
+	}
+	if sums[0] != nil && sums[1] != nil && fmt.Sprint(sums[0]) != fmt.Sprint(sums[1]) {
+		b.Fatalf("elide changed the result: off=%v on=%v", sums[0], sums[1])
+	}
+}
+
+// BenchmarkGemmCompiled and BenchmarkAtaxCompiled are the headline
+// hot-path benches of the elision pass (see BENCH_bce.json for the
+// committed full-size numbers from cmd/leapsbench -benchbce).
+func BenchmarkGemmCompiled(b *testing.B) { benchElideKernel(b, "gemm") }
+func BenchmarkAtaxCompiled(b *testing.B) { benchElideKernel(b, "atax") }
 
 // BenchmarkObsOverhead compares a gemm isolate-churn run with the
 // observability plumbing disabled (NewProcess: traceless private

@@ -1,0 +1,205 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+	"time"
+
+	"leapsandbounds/internal/compiled"
+	"leapsandbounds/internal/harness"
+	"leapsandbounds/internal/isa"
+	"leapsandbounds/internal/mem"
+	"leapsandbounds/internal/vmm"
+	"leapsandbounds/internal/workloads"
+)
+
+// gitSHA returns the short commit hash of the working tree, or
+// "unknown" when git (or the .git directory) is unavailable — the
+// benchmark artifacts must be producible from an export too.
+func gitSHA() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// benchBCERun is one workload × strategy cell of the elision
+// benchmark: the same configuration with the pass off and on.
+type benchBCERun struct {
+	Workload       string  `json:"workload"`
+	Strategy       string  `json:"strategy"`
+	ElideOffWallNs int64   `json:"elide_off_wall_ns"`
+	ElideOnWallNs  int64   `json:"elide_on_wall_ns"`
+	Speedup        float64 `json:"speedup"`
+	ImprovementPct float64 `json:"improvement_pct"`
+	ChecksumsMatch bool    `json:"checksums_match"`
+}
+
+// benchBCEReport is the JSON artifact of -benchbce (BENCH_bce.json):
+// hot-path load micro-timings per strategy, the gemm/atax macro
+// matrix with elision off vs on, and the elision-pass counters
+// accumulated over the matrix compiles.
+type benchBCEReport struct {
+	HostCPUs   int    `json:"host_cpus"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	GitSHA     string `json:"git_sha"`
+	Class      string `json:"class"`
+	Engine     string `json:"engine"`
+
+	// MicroLoadNsPerOp["trap"]["u32"] is the per-load cost of the
+	// checked fast path (watermark compare + bounds-checked slice
+	// read) for that strategy and width.
+	MicroLoadNsPerOp map[string]map[string]float64 `json:"micro_load_ns_per_op"`
+
+	Runs []benchBCERun `json:"runs"`
+
+	Elision           compiled.BCEStats `json:"elision_counters"`
+	AllChecksumsMatch bool              `json:"all_checksums_match"`
+}
+
+// microLoadNs times the checked per-access load path for one
+// strategy: the loop a compiled load closure reduces to, minus
+// dispatch. Memory is pre-committed so the VM strategies measure
+// their steady state, not fault costs.
+func microLoadNs(s mem.Strategy, width int) (float64, error) {
+	cfg := vmm.DefaultConfig()
+	as := vmm.New(cfg)
+	mc := mem.Config{Strategy: s, AS: as, MinPages: 16, MaxPages: 16}
+	if s == mem.Uffd {
+		mc.Pool = mem.NewArenaPool()
+	}
+	m, err := mem.New(mc)
+	if err != nil {
+		return 0, err
+	}
+	defer m.Close()
+	size := m.SizeBytes()
+	m.Fill(0, 0, size) // commit every page up front
+
+	const iters = 1 << 21
+	var sink uint64
+	mask := size - 64 // keep the widest access in range
+	t0 := time.Now()
+	switch width {
+	case 8:
+		for i := uint64(0); i < iters; i++ {
+			sink += uint64(m.LoadU8((i * 67) & mask))
+		}
+	case 32:
+		for i := uint64(0); i < iters; i++ {
+			sink += uint64(m.LoadU32((i * 67) & mask))
+		}
+	default:
+		for i := uint64(0); i < iters; i++ {
+			sink += m.LoadU64((i * 67) & mask)
+		}
+	}
+	d := time.Since(t0)
+	runtime.KeepAlive(sink)
+	return float64(d.Nanoseconds()) / iters, nil
+}
+
+// runBenchBCE executes the bounds-check elision benchmark and writes
+// the JSON report to path ("-" for stdout).
+func runBenchBCE(path string, quick bool) error {
+	out := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+
+	rep := benchBCEReport{
+		HostCPUs:         runtime.NumCPU(),
+		GOMAXPROCS:       runtime.GOMAXPROCS(0),
+		GitSHA:           gitSHA(),
+		Class:            "bench",
+		Engine:           harness.EngineWAVM,
+		MicroLoadNsPerOp: map[string]map[string]float64{},
+	}
+
+	for _, s := range mem.Strategies() {
+		row := map[string]float64{}
+		for _, w := range []int{8, 32, 64} {
+			ns, err := microLoadNs(s, w)
+			if err != nil {
+				return err
+			}
+			row[fmt.Sprintf("u%d", w)] = ns
+		}
+		rep.MicroLoadNsPerOp[s.String()] = row
+	}
+
+	warmup, measure := 2, 15
+	if quick {
+		warmup, measure = 1, 5
+	}
+	before := compiled.Stats()
+	rep.AllChecksumsMatch = true
+	for _, name := range []string{"gemm", "atax"} {
+		wl, err := workloads.ByName(name)
+		if err != nil {
+			return err
+		}
+		for _, s := range mem.Strategies() {
+			var wall [2]time.Duration
+			var sums [2]uint64
+			for i, noElide := range []bool{true, false} {
+				res, err := harness.Run(harness.Options{
+					Engine: harness.EngineWAVM, Workload: wl,
+					Class: workloads.Bench, Strategy: s,
+					Profile: isa.X86_64(), Threads: 1,
+					Warmup: warmup, Measure: measure,
+					NoElide: noElide,
+				})
+				if err != nil {
+					return err
+				}
+				wall[i] = res.MedianWall
+				sums[i] = res.Checksum
+			}
+			match := sums[0] == sums[1]
+			rep.AllChecksumsMatch = rep.AllChecksumsMatch && match
+			rep.Runs = append(rep.Runs, benchBCERun{
+				Workload:       name,
+				Strategy:       s.String(),
+				ElideOffWallNs: wall[0].Nanoseconds(),
+				ElideOnWallNs:  wall[1].Nanoseconds(),
+				Speedup:        float64(wall[0]) / float64(wall[1]),
+				ImprovementPct: 100 * (1 - float64(wall[1])/float64(wall[0])),
+				ChecksumsMatch: match,
+			})
+		}
+	}
+	after := compiled.Stats()
+	rep.Elision = compiled.BCEStats{
+		ChecksEmitted:   after.ChecksEmitted - before.ChecksEmitted,
+		ChecksElided:    after.ChecksElided - before.ChecksElided,
+		RangesCoalesced: after.RangesCoalesced - before.RangesCoalesced,
+		Hoisted:         after.Hoisted - before.Hoisted,
+		Revalidations:   after.Revalidations - before.Revalidations,
+		AddrFused:       after.AddrFused - before.AddrFused,
+	}
+
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+	for _, r := range rep.Runs {
+		fmt.Fprintf(os.Stderr, "benchbce: %-6s %-9s off %8v on %8v (%.1f%% faster), checksums match: %v\n",
+			r.Workload, r.Strategy,
+			time.Duration(r.ElideOffWallNs).Round(time.Microsecond),
+			time.Duration(r.ElideOnWallNs).Round(time.Microsecond),
+			r.ImprovementPct, r.ChecksumsMatch)
+	}
+	return nil
+}

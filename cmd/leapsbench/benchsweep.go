@@ -19,9 +19,11 @@ import (
 // sweep run twice, serial with a cold disabled cache versus parallel
 // with a prewarmed one, with the cache counters that explain the gap.
 type benchSweepReport struct {
-	HostCPUs int      `json:"host_cpus"`
-	Class    string   `json:"class"`
-	Configs  []string `json:"configs"`
+	HostCPUs   int      `json:"host_cpus"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	GitSHA     string   `json:"git_sha"`
+	Class      string   `json:"class"`
+	Configs    []string `json:"configs"`
 
 	ColdSerialWallNs   int64   `json:"cold_serial_wall_ns"`
 	WarmParallelWallNs int64   `json:"warm_parallel_wall_ns"`
@@ -162,6 +164,8 @@ func runBenchSweep(path string, quick bool) error {
 
 	rep := benchSweepReport{
 		HostCPUs:           runtime.NumCPU(),
+		GOMAXPROCS:         runtime.GOMAXPROCS(0),
+		GitSHA:             gitSHA(),
 		Class:              "test",
 		Configs:            configs,
 		ColdSerialWallNs:   coldWall.Nanoseconds(),

@@ -24,6 +24,7 @@ import (
 	"text/tabwriter"
 	"time"
 
+	"leapsandbounds/internal/compiled"
 	"leapsandbounds/internal/figures"
 	"leapsandbounds/internal/harness"
 	"leapsandbounds/internal/isa"
@@ -51,7 +52,9 @@ func main() {
 		metrics  = flag.String("metrics", "", "write run metrics and trace events to this file (.json, .csv, or .txt summary; \"-\" for stdout)")
 		parallel = flag.Bool("parallel", true, "figure mode: schedule configurations through the sweep scheduler (single-isolate runs pack onto a worker pool; thread-scaling runs stay exclusive)")
 		nocache  = flag.Bool("nocache", false, "disable the compiled-module cache (every run pays the full compile)")
+		elide    = flag.Bool("elide", true, "single-run mode: bounds-check elision in engines that support it (wavm); -elide=false compiles with per-access checks")
 		bsweep   = flag.String("benchsweep", "", "run the cold-vs-warm cache benchmark and write its JSON report to this file (\"-\" for stdout)")
+		bbce     = flag.String("benchbce", "", "run the bounds-check elision benchmark and write its JSON report to this file (\"-\" for stdout)")
 		chaos    = flag.Int64("chaos", 0, "run the deterministic fault-injection sweep with this seed (twice, verifying the replay reproduces it exactly)")
 		list     = flag.Bool("list", false, "list workloads and engines")
 	)
@@ -61,6 +64,7 @@ func main() {
 	if *metrics != "" {
 		reg = obs.NewRegistry()
 		modcache.Shared().AttachObs(reg.Scope("modcache"))
+		compiled.AttachBCEObs(reg.Scope("bce"))
 	}
 	if *nocache {
 		modcache.Shared().SetEnabled(false)
@@ -68,6 +72,14 @@ func main() {
 
 	if *bsweep != "" {
 		if err := runBenchSweep(*bsweep, *quick); err != nil {
+			fmt.Fprintln(os.Stderr, "leapsbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *bbce != "" {
+		if err := runBenchBCE(*bbce, *quick); err != nil {
 			fmt.Fprintln(os.Stderr, "leapsbench:", err)
 			os.Exit(1)
 		}
@@ -154,6 +166,7 @@ func main() {
 		Warmup:      *warmup,
 		CountCycles: *cycles,
 		NoCache:     *nocache,
+		NoElide:     !*elide,
 		Obs:         reg,
 	})
 	if err != nil {

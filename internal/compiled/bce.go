@@ -1,0 +1,1340 @@
+package compiled
+
+import (
+	"math"
+	"sync/atomic"
+
+	"leapsandbounds/internal/flatten"
+	"leapsandbounds/internal/isa"
+	"leapsandbounds/internal/obs"
+	"leapsandbounds/internal/wasm"
+)
+
+// Bounds-check elision (DESIGN.md §11). The pass rewrites optimized,
+// compacted slot IR so that provably-grouped memory accesses execute
+// through check-free closures guarded by a single up-front range
+// check. Two transforms run in sequence:
+//
+//  1. Loop versioning: an innermost counted loop whose accesses have
+//     addresses affine in the induction local is cloned. A preheader
+//     shRangeCheck evaluates each access's address at the first and
+//     last iteration, proves the whole sequence in bounds via
+//     mem.CheckRange, and dispatches to a fast copy (accesses
+//     unchecked) or the untouched slow copy. Calls and memory.grow in
+//     the body get a revalidation check after them in the fast copy,
+//     failing over to the slow copy mid-loop.
+//
+//  2. EBB coalescing: within a straight-line run (no labels, calls,
+//     or grows), accesses sharing a value-numbered base are replaced
+//     by one range check over [base+minOff, base+maxOff+width) plus a
+//     fast clone with unchecked members; on check failure the
+//     original checked clone runs.
+//
+// Soundness leans entirely on the mem.CheckRange contract: the check
+// never traps, a success is never invalidated (memory only grows and
+// committed pages stay committed), and clamp always fails it. A
+// failed check falls back to per-access-checked code that reproduces
+// exact trap sites and clamp redirect semantics, so elided and
+// unelided compiles are observationally identical. Speculatively
+// checking (and, under mprotect/uffd, committing) a superset of the
+// addresses a partially-executed region would touch is invisible:
+// committed pages read as zero either way.
+
+// checkPlan is the payload of a shRangeCheck sop.
+type checkPlan struct {
+	reval bool // revalidation copy of a loop check (obs accounting)
+
+	// EBB plan: one range relative to a base slot (-1 = absolute).
+	baseSlot int
+	lo       uint64
+	n        uint64
+	write    bool
+
+	// Loop plan (ranges non-nil): induction and bound description
+	// plus one evaluated range per hoisted access.
+	indSlot    int
+	limitSlot  int
+	limitImm   uint64
+	limitIsImm bool
+	step       int32
+	ranges     []loopRange
+}
+
+// loopRange is one hoisted access: expr evaluates the access's
+// address-slot value as a function of the induction value.
+type loopRange struct {
+	expr  evalFn
+	off   uint64
+	width uint64
+	write bool
+}
+
+// evalFn evaluates a pure address expression against the frame,
+// substituting cv for the induction local.
+type evalFn func(st []uint64, base int, cv uint64) uint64
+
+// Process-wide elision statistics, attached to obs like modcache's.
+var (
+	bceChecksEmitted   atomic.Int64 // accesses left per-access checked
+	bceChecksElided    atomic.Int64 // accesses lowered to unchecked closures
+	bceRangesCoalesced atomic.Int64 // EBB groups replaced by one range check
+	bceHoisted         atomic.Int64 // per-access checks hoisted to loop preheaders
+	bceRevalidations   atomic.Int64 // runtime re-checks after call/grow in fast loop copies
+	bceAddrFused       atomic.Int64 // address-mode ops folded into unchecked accesses
+
+	bceObsH atomic.Pointer[bceObsHandles]
+)
+
+type bceObsHandles struct {
+	emitted, elided, coalesced, hoisted, revals, fused *obs.Counter
+}
+
+// BCEStats is a snapshot of the elision counters.
+type BCEStats struct {
+	ChecksEmitted   int64
+	ChecksElided    int64
+	RangesCoalesced int64
+	Hoisted         int64
+	Revalidations   int64
+	AddrFused       int64
+}
+
+// Stats returns the process-wide elision counters.
+func Stats() BCEStats {
+	return BCEStats{
+		ChecksEmitted:   bceChecksEmitted.Load(),
+		ChecksElided:    bceChecksElided.Load(),
+		RangesCoalesced: bceRangesCoalesced.Load(),
+		Hoisted:         bceHoisted.Load(),
+		Revalidations:   bceRevalidations.Load(),
+		AddrFused:       bceAddrFused.Load(),
+	}
+}
+
+// AttachBCEObs routes the elision counters to sc (typically a "bce"
+// scope of the run registry); nil detaches.
+func AttachBCEObs(sc *obs.Scope) {
+	if sc == nil {
+		bceObsH.Store(nil)
+		return
+	}
+	bceObsH.Store(&bceObsHandles{
+		emitted:   sc.Counter("checks_emitted"),
+		elided:    sc.Counter("checks_elided"),
+		coalesced: sc.Counter("ranges_coalesced"),
+		hoisted:   sc.Counter("hoisted"),
+		revals:    sc.Counter("revalidations"),
+		fused:     sc.Counter("addr_fused"),
+	})
+}
+
+func bceCount(c *atomic.Int64, pick func(*bceObsHandles) *obs.Counter, n int64) {
+	if n == 0 {
+		return
+	}
+	c.Add(n)
+	if h := bceObsH.Load(); h != nil {
+		pick(h).Add(n)
+	}
+}
+
+// elide is the pass entry point, run after optimize+compact.
+func elide(ir []sop, numLocals int) []sop {
+	ir = hoistLoops(ir, numLocals)
+	ir = coalesceEBB(ir, numLocals)
+	ir = fuseAddrs(ir, numLocals)
+	checked := int64(0)
+	for i := range ir {
+		if (ir[i].shape == shLoad || ir[i].shape == shStore) && !ir[i].unchecked {
+			checked++
+		}
+	}
+	bceCount(&bceChecksEmitted, func(h *bceObsHandles) *obs.Counter { return h.emitted }, checked)
+	return ir
+}
+
+// accWidth returns the byte width a load/store opcode touches.
+func accWidth(op wasm.Opcode) uint64 {
+	switch op {
+	case wasm.OpI32Load8S, wasm.OpI32Load8U, wasm.OpI64Load8S, wasm.OpI64Load8U,
+		wasm.OpI32Store8, wasm.OpI64Store8:
+		return 1
+	case wasm.OpI32Load16S, wasm.OpI32Load16U, wasm.OpI64Load16S, wasm.OpI64Load16U,
+		wasm.OpI32Store16, wasm.OpI64Store16:
+		return 2
+	case wasm.OpI32Load, wasm.OpF32Load, wasm.OpI64Load32S, wasm.OpI64Load32U,
+		wasm.OpI32Store, wasm.OpF32Store, wasm.OpI64Store32:
+		return 4
+	default:
+		return 8
+	}
+}
+
+// sopWrites calls f for every frame slot s may write. Calls clobber
+// the callee frame, i.e. everything at or above argBase; that is
+// reported separately through clob (the smallest such base, or -1).
+func sopWrites(s *sop, f func(slot int)) (clob int) {
+	clob = -1
+	switch s.shape {
+	case shConst, shMove, shUn, shBin, shSelect, shLoad, shGlobalGet,
+		shMemSize, shMemGrow, shTruncSat:
+		f(s.dst)
+	case shJump, shBranchIf:
+		if s.carrySrc >= 0 {
+			f(s.carryDst)
+		}
+	case shBrTable:
+		for _, bt := range s.table {
+			if bt.Arity > 0 {
+				f(int(bt.PopTo))
+			}
+		}
+	case shCall, shCallInd:
+		clob = s.argBase
+	}
+	return clob
+}
+
+// sopReads calls f for every frame slot s reads, for the straight-line
+// shapes fuseAddrs treats as transparent (branch and call shapes track
+// their reads elsewhere and never participate in chain sinking).
+func sopReads(s *sop, f func(slot int)) {
+	switch s.shape {
+	case shMove, shUn, shTruncSat, shGlobalSet:
+		f(s.a)
+	case shBin:
+		if !s.aImm {
+			f(s.a)
+		}
+		if !s.bImm {
+			f(s.b)
+		}
+	case shSelect:
+		f(s.a)
+		f(s.b)
+		f(s.c)
+	case shLoad:
+		if !s.aImm {
+			f(s.a)
+		}
+	case shStore:
+		if !s.aImm {
+			f(s.a)
+		}
+		if !s.bImm {
+			f(s.b)
+		}
+	case shMemGrow:
+		f(s.a)
+	case shMemCopy, shMemFill:
+		f(s.a)
+		f(s.b)
+		f(s.c)
+	}
+}
+
+// trappingBin lists binary ops that may trap and therefore must not
+// be evaluated speculatively at a loop preheader.
+var trappingBin = map[wasm.Opcode]bool{
+	wasm.OpI32DivS: true, wasm.OpI32DivU: true,
+	wasm.OpI32RemS: true, wasm.OpI32RemU: true,
+	wasm.OpI64DivS: true, wasm.OpI64DivU: true,
+	wasm.OpI64RemS: true, wasm.OpI64RemU: true,
+}
+
+// ---------------------------------------------------------------------------
+// Loop versioning
+// ---------------------------------------------------------------------------
+
+type loopVer struct {
+	L, E    int
+	plan    *checkPlan
+	planned map[int]bool // rel offsets of accesses lowered to unchecked
+	revals  []int        // rel offsets of calls/grows needing revalidation
+}
+
+// hoistLoops finds analyzable innermost counted loops and versions
+// them: [check][fast copy (+revalidations)][slow copy].
+func hoistLoops(ir []sop, numLocals int) []sop {
+	labels := findLabels(ir)
+	loops := map[int]*loopVer{}
+	claimed := -1 // highest pc already inside a chosen loop
+	for E := 0; E < len(ir); E++ {
+		s := &ir[E]
+		if s.shape != shJump || int(s.tgt) > E {
+			continue
+		}
+		L := int(s.tgt)
+		if L <= claimed {
+			continue
+		}
+		if lv := analyzeLoop(ir, labels, L, E, numLocals); lv != nil {
+			loops[L] = lv
+			claimed = E
+		}
+	}
+	if len(loops) == 0 {
+		return ir
+	}
+
+	// Phase A: layout. remap carries old→new positions for branch
+	// targets from outside a cloned region; positions inside a loop
+	// default to the slow copy (no outside branch can reach them —
+	// the body is label-free — but the backedge target L maps to the
+	// check so every loop entry is guarded).
+	remap := make([]int32, len(ir)+1)
+	type placedLoop struct {
+		lv                *loopVer
+		check, fastStart  int
+		slowStart, merged int
+		fastPos           []int32
+	}
+	var places []placedLoop
+	newPC := int32(0)
+	for i := 0; i < len(ir); {
+		lv, ok := loops[i]
+		if !ok {
+			remap[i] = newPC
+			newPC++
+			i++
+			continue
+		}
+		n := lv.E - lv.L + 1
+		p := placedLoop{lv: lv, check: int(newPC)}
+		remap[i] = newPC
+		newPC++ // the range check
+		p.fastStart = int(newPC)
+		p.fastPos = make([]int32, n)
+		ri := 0
+		for k := 0; k < n; k++ {
+			p.fastPos[k] = newPC
+			newPC++
+			if ri < len(lv.revals) && lv.revals[ri] == k {
+				newPC++ // revalidation after this call/grow
+				ri++
+			}
+		}
+		p.slowStart = int(newPC)
+		for k := 1; k < n; k++ {
+			remap[i+k] = newPC + int32(k)
+		}
+		newPC += int32(n)
+		places = append(places, p)
+		i = lv.E + 1
+	}
+	remap[len(ir)] = newPC
+
+	// Phase B: emit.
+	out := make([]sop, 0, newPC)
+	pi := 0
+	hoisted, elided := int64(0), int64(0)
+	for i := 0; i < len(ir); {
+		lv, ok := loops[i]
+		if !ok {
+			s := ir[i]
+			rewriteTargets(&s, func(t int32) int32 { return remap[t] })
+			out = append(out, s)
+			i++
+			continue
+		}
+		p := places[pi]
+		pi++
+		n := lv.E - lv.L + 1
+		plan := *lv.plan
+		out = append(out, sop{
+			shape:  shRangeCheck,
+			tgt:    int32(p.slowStart),
+			chk:    &plan,
+			class:  isa.ClassBranch,
+			memAcc: true,
+		})
+		mapLoopTgt := func(hdr int32) func(int32) int32 {
+			return func(t int32) int32 {
+				if int(t) == lv.L {
+					return hdr
+				}
+				return remap[t]
+			}
+		}
+		// Fast copy: planned accesses unchecked, revalidations after
+		// calls/grows failing over to the slow copy at the same point.
+		ri := 0
+		for k := 0; k < n; k++ {
+			s := ir[lv.L+k]
+			rewriteTargets(&s, mapLoopTgt(p.fastPos[0]))
+			if lv.planned[k] {
+				s.unchecked = true
+				s.memAcc = false
+				elided++
+			}
+			out = append(out, s)
+			if ri < len(lv.revals) && lv.revals[ri] == k {
+				rp := plan
+				rp.reval = true
+				out = append(out, sop{
+					shape:  shRangeCheck,
+					tgt:    int32(p.slowStart + k + 1),
+					chk:    &rp,
+					class:  isa.ClassBranch,
+					memAcc: true,
+				})
+				ri++
+			}
+		}
+		// Slow copy: the original loop, verbatim.
+		for k := 0; k < n; k++ {
+			s := ir[lv.L+k]
+			rewriteTargets(&s, mapLoopTgt(int32(p.slowStart)))
+			out = append(out, s)
+		}
+		hoisted += int64(len(lv.plan.ranges))
+		i = lv.E + 1
+	}
+	bceCount(&bceHoisted, func(h *bceObsHandles) *obs.Counter { return h.hoisted }, hoisted)
+	bceCount(&bceChecksElided, func(h *bceObsHandles) *obs.Counter { return h.elided }, elided)
+	return out
+}
+
+// analyzeLoop decides whether [L..E] is a versionable counted loop
+// and builds its preheader plan.
+func analyzeLoop(ir []sop, labels []bool, L, E, numLocals int) *loopVer {
+	// Innermost and single-entry: no labels past the header.
+	for pc := L + 1; pc <= E; pc++ {
+		if labels[pc] {
+			return nil
+		}
+	}
+	// Exactly one backedge (ours): a second branch to L could skip
+	// the increment.
+	for pc := L; pc < E; pc++ {
+		s := &ir[pc]
+		switch s.shape {
+		case shJump, shIfFalse, shBranchIf, shCmpBranch:
+			if int(s.tgt) == L {
+				return nil
+			}
+		case shBrTable:
+			for _, bt := range s.table {
+				if int(bt.Tgt) == L {
+					return nil
+				}
+			}
+		}
+	}
+	// Header: fused compare exiting the loop while the induction
+	// local stays below an invariant bound.
+	hdr := &ir[L]
+	if hdr.shape != shCmpBranch || hdr.aImm {
+		return nil
+	}
+	switch {
+	case hdr.cmpOp == wasm.OpI32GeS && hdr.brOnTrue:
+	case hdr.cmpOp == wasm.OpI32LtS && !hdr.brOnTrue:
+	default:
+		return nil
+	}
+	if t := int(hdr.tgt); t >= L && t <= E {
+		return nil
+	}
+	c := hdr.a
+	if c >= numLocals {
+		return nil
+	}
+
+	// Write set of the body; the induction must have exactly one
+	// writer, the canonical increment.
+	written := map[int]bool{}
+	cWrites := 0
+	incPC := -1
+	for pc := L; pc <= E; pc++ {
+		s := &ir[pc]
+		clob := sopWrites(s, func(slot int) {
+			written[slot] = true
+			if slot == c {
+				cWrites++
+				incPC = pc
+			}
+		})
+		_ = clob // calls clobber only callee frames (>= numLocals)
+	}
+	if cWrites != 1 {
+		return nil
+	}
+	// The increment is either a retargeted binop writing the local
+	// directly, or the common local.set of a temp holding c + step.
+	inc := &ir[incPC]
+	if inc.shape == shMove {
+		src := -1
+		for p := incPC - 1; p > L; p-- {
+			hit := false
+			clob := sopWrites(&ir[p], func(w int) {
+				if w == inc.a {
+					hit = true
+				}
+			})
+			if hit || (clob >= 0 && inc.a >= clob) {
+				src = p
+				break
+			}
+		}
+		if src < 0 {
+			return nil
+		}
+		inc = &ir[src]
+	}
+	if inc.shape != shBin || inc.op != wasm.OpI32Add || inc.a != c || !inc.bImm {
+		return nil
+	}
+	step := int32(uint32(inc.immB))
+	if step <= 0 {
+		return nil
+	}
+	invariant := func(slot int) bool { return !written[slot] }
+	if !hdr.bImm && !invariant(hdr.b) {
+		return nil
+	}
+
+	lv := &loopVer{L: L, E: E, planned: map[int]bool{}}
+	plan := &checkPlan{
+		baseSlot:   -1,
+		indSlot:    c,
+		limitSlot:  hdr.b,
+		limitImm:   hdr.immB,
+		limitIsImm: hdr.bImm,
+		step:       step,
+	}
+	an := &affineAnalyzer{ir: ir, L: L, c: c, incPC: incPC, step: step, invariant: invariant}
+	for pc := L + 1; pc < E; pc++ {
+		s := &ir[pc]
+		switch s.shape {
+		case shCall, shCallInd, shMemGrow:
+			lv.revals = append(lv.revals, pc-L)
+		case shLoad, shStore:
+			if s.unchecked || (!s.pure && !s.aImm) {
+				continue
+			}
+			var ex *aexpr
+			if s.aImm {
+				ex = constExpr(0)
+			} else {
+				ex = an.build(s.a, pc, 0)
+			}
+			if ex == nil || !ex.affine {
+				continue
+			}
+			plan.ranges = append(plan.ranges, loopRange{
+				expr:  ex.eval,
+				off:   s.off,
+				width: accWidth(s.op),
+				write: s.shape == shStore,
+			})
+			lv.planned[pc-L] = true
+		}
+	}
+	if len(plan.ranges) == 0 {
+		return nil
+	}
+	lv.plan = plan
+	return lv
+}
+
+// aexpr is a pure address expression rebuilt from the IR def chain:
+// evaluable at the preheader, with affinity in the induction tracked
+// so only arithmetic sequences are hoisted. Invariant expressions are
+// trivially affine (coefficient zero).
+type aexpr struct {
+	eval   evalFn
+	depC   bool
+	affine bool
+}
+
+func constExpr(k uint64) *aexpr {
+	return &aexpr{
+		eval:   func(st []uint64, base int, cv uint64) uint64 { return k },
+		affine: true,
+	}
+}
+
+type affineAnalyzer struct {
+	ir        []sop
+	L         int
+	c         int
+	incPC     int
+	step      int32
+	invariant func(int) bool
+}
+
+const maxExprDepth = 32
+
+// build reconstructs the value of slot as read at pc.
+func (an *affineAnalyzer) build(slot, pc, depth int) *aexpr {
+	if depth > maxExprDepth {
+		return nil
+	}
+	// Find the def reaching this read inside the straight-line body.
+	def := -1
+	for p := pc - 1; p > an.L; p-- {
+		hit := false
+		clob := sopWrites(&an.ir[p], func(w int) {
+			if w == slot {
+				hit = true
+			}
+		})
+		if hit || (clob >= 0 && slot >= clob) {
+			def = p
+			break
+		}
+	}
+	if def < 0 {
+		// Value flows in from the loop header: the induction local
+		// reads as the iteration value; anything else must be loop
+		// invariant so the preheader sees the same value every
+		// iteration.
+		if slot == an.c {
+			return &aexpr{
+				eval:   func(st []uint64, base int, cv uint64) uint64 { return cv },
+				depC:   true,
+				affine: true,
+			}
+		}
+		if !an.invariant(slot) {
+			return nil
+		}
+		s := slot
+		return &aexpr{
+			eval:   func(st []uint64, base int, cv uint64) uint64 { return st[base+s] },
+			affine: true,
+		}
+	}
+	if def == an.incPC && slot == an.c {
+		// c read after its increment: iteration value + step.
+		step := uint32(an.step)
+		return &aexpr{
+			eval: func(st []uint64, base int, cv uint64) uint64 {
+				return uint64(uint32(cv) + step)
+			},
+			depC:   true,
+			affine: true,
+		}
+	}
+	d := &an.ir[def]
+	switch d.shape {
+	case shConst:
+		return constExpr(d.immA)
+	case shMove:
+		// Reading through a copy: the source's value at the def site.
+		return an.build(d.a, def, depth+1)
+	case shBin:
+		if trappingBin[d.op] {
+			return nil
+		}
+		fn := binOps[d.op]
+		if fn == nil {
+			return nil
+		}
+		var ea, eb *aexpr
+		if d.aImm {
+			ea = constExpr(d.immA)
+		} else {
+			ea = an.build(d.a, def, depth+1)
+		}
+		if ea == nil {
+			return nil
+		}
+		if d.bImm {
+			eb = constExpr(d.immB)
+		} else {
+			eb = an.build(d.b, def, depth+1)
+		}
+		if eb == nil {
+			return nil
+		}
+		r := &aexpr{depC: ea.depC || eb.depC}
+		switch {
+		case !r.depC:
+			r.affine = true
+		case d.op == wasm.OpI32Add || d.op == wasm.OpI32Sub:
+			r.affine = ea.affine && eb.affine
+		case d.op == wasm.OpI32Mul:
+			// k*x is linear mod 2^32 when one side is invariant.
+			r.affine = ea.affine && eb.affine && !(ea.depC && eb.depC)
+		case d.op == wasm.OpI32Shl:
+			// x<<k multiplies by a power of two; the shift amount
+			// itself must not vary with the induction.
+			r.affine = ea.affine && !eb.depC
+		default:
+			r.affine = false
+		}
+		if !r.affine {
+			return nil
+		}
+		fa, fb := ea.eval, eb.eval
+		r.eval = func(st []uint64, base int, cv uint64) uint64 {
+			return fn(fa(st, base, cv), fb(st, base, cv))
+		}
+		return r
+	case shUn:
+		// Pure non-trapping unary ops are evaluable but not linear:
+		// only invariant subtrees pass.
+		if unOps[d.op] == nil || !safeUnFold(d.op) {
+			return nil
+		}
+		ea := an.build(d.a, def, depth+1)
+		if ea == nil || ea.depC {
+			return nil
+		}
+		fn, fa := unOps[d.op], ea.eval
+		return &aexpr{
+			eval: func(st []uint64, base int, cv uint64) uint64 {
+				return fn(fa(st, base, cv))
+			},
+			affine: true,
+		}
+	default:
+		return nil
+	}
+}
+
+// ---------------------------------------------------------------------------
+// EBB coalescing
+// ---------------------------------------------------------------------------
+
+type ebbMember struct {
+	pc    int
+	off   uint64
+	width uint64
+	write bool
+}
+
+type ebbGroup struct {
+	baseSlot int // -1 for constant-address members
+	members  []ebbMember
+}
+
+// coalesceEBB groups same-base accesses inside straight-line runs and
+// versions each group region on one range check.
+func coalesceEBB(ir []sop, numLocals int) []sop {
+	labels := findLabels(ir)
+	groups := collectGroups(ir, labels)
+	if len(groups) == 0 {
+		return ir
+	}
+
+	// Greedy non-overlapping regions, in program order.
+	type region struct {
+		first, last int
+		g           *ebbGroup
+	}
+	var regions []region
+	end := -1
+	for gi := range groups {
+		g := &groups[gi]
+		first := g.members[0].pc
+		last := g.members[len(g.members)-1].pc
+		if first <= end {
+			continue
+		}
+		regions = append(regions, region{first, last, g})
+		end = last
+	}
+
+	// Phase A: layout. Region at [first..last] becomes
+	// [check][fast first..last][jump merge][slow first..last].
+	remap := make([]int32, len(ir)+1)
+	newPC := int32(0)
+	ri := 0
+	for i := 0; i < len(ir); {
+		if ri < len(regions) && regions[ri].first == i {
+			r := regions[ri]
+			n := int32(r.last - r.first + 1)
+			remap[i] = newPC // entry lands on the check
+			for k := int32(1); k < n; k++ {
+				remap[i+int(k)] = newPC + 1 + k // unused: region is label-free past first
+			}
+			newPC += 1 + n + 1 + n
+			i = r.last + 1
+			ri++
+			continue
+		}
+		remap[i] = newPC
+		newPC++
+		i++
+	}
+	remap[len(ir)] = newPC
+
+	// Phase B: emit.
+	out := make([]sop, 0, newPC)
+	ri = 0
+	coalesced, elided := int64(0), int64(0)
+	for i := 0; i < len(ir); {
+		if ri >= len(regions) || regions[ri].first != i {
+			s := ir[i]
+			rewriteTargets(&s, func(t int32) int32 { return remap[t] })
+			out = append(out, s)
+			i++
+			continue
+		}
+		r := regions[ri]
+		ri++
+		n := r.last - r.first + 1
+		lo, hi := uint64(math.MaxUint64), uint64(0)
+		write := false
+		member := map[int]bool{}
+		for _, m := range r.g.members {
+			member[m.pc] = true
+			if m.off < lo {
+				lo = m.off
+			}
+			if m.off+m.width > hi {
+				hi = m.off + m.width
+			}
+			write = write || m.write
+		}
+		checkPos := remap[i]
+		slowStart := checkPos + 1 + int32(n) + 1
+		merge := remap[r.last+1]
+		out = append(out, sop{
+			shape: shRangeCheck,
+			tgt:   slowStart,
+			chk: &checkPlan{
+				baseSlot: r.g.baseSlot,
+				lo:       lo,
+				n:        hi - lo,
+				write:    write,
+			},
+			class:  isa.ClassBranch,
+			memAcc: true,
+		})
+		for k := 0; k < n; k++ {
+			s := ir[r.first+k]
+			rewriteTargets(&s, func(t int32) int32 { return remap[t] })
+			if member[r.first+k] {
+				s.unchecked = true
+				s.memAcc = false
+				elided++
+			}
+			out = append(out, s)
+		}
+		out = append(out, sop{shape: shJump, tgt: merge, carrySrc: -1, class: isa.ClassBranch})
+		for k := 0; k < n; k++ {
+			s := ir[r.first+k]
+			rewriteTargets(&s, func(t int32) int32 { return remap[t] })
+			out = append(out, s)
+		}
+		coalesced++
+		i = r.last + 1
+	}
+	bceCount(&bceRangesCoalesced, func(h *bceObsHandles) *obs.Counter { return h.coalesced }, coalesced)
+	bceCount(&bceChecksElided, func(h *bceObsHandles) *obs.Counter { return h.elided }, elided)
+	return out
+}
+
+// collectGroups value-numbers each straight-line run and returns the
+// ≥2-member same-base access groups in program order of first member.
+func collectGroups(ir []sop, labels []bool) []ebbGroup {
+	var groups []ebbGroup
+
+	type bucket struct {
+		baseSlot int
+		members  []ebbMember
+	}
+	var (
+		vnOf    map[int]uint64
+		vnTable map[[3]uint64]uint64
+		buckets map[uint64]*bucket
+		order   []uint64
+		nextVN  uint64
+	)
+	reset := func() {
+		vnOf = map[int]uint64{}
+		vnTable = map[[3]uint64]uint64{}
+		buckets = map[uint64]*bucket{}
+		order = nil
+		nextVN = 1
+	}
+	flush := func() {
+		for _, vn := range order {
+			b := buckets[vn]
+			if len(b.members) >= 2 {
+				groups = append(groups, ebbGroup{baseSlot: b.baseSlot, members: b.members})
+			}
+		}
+		reset()
+	}
+	fresh := func() uint64 { nextVN++; return nextVN }
+	vnGet := func(slot int) uint64 {
+		if v, ok := vnOf[slot]; ok {
+			return v
+		}
+		v := fresh()
+		vnOf[slot] = v
+		return v
+	}
+	hash := func(kind, a, b uint64) uint64 {
+		k := [3]uint64{kind, a, b}
+		if v, ok := vnTable[k]; ok {
+			return v
+		}
+		v := fresh()
+		vnTable[k] = v
+		return v
+	}
+	reset()
+
+	const vnImmBase = ^uint64(0) // shared id for constant-address accesses
+
+	for pc := 0; pc < len(ir); pc++ {
+		if labels[pc] {
+			flush()
+		}
+		s := &ir[pc]
+		switch s.shape {
+		case shCall, shCallInd, shMemGrow:
+			flush()
+			sopWrites(s, func(slot int) { delete(vnOf, slot) })
+			continue
+		case shConst:
+			vnOf[s.dst] = hash(1, s.immA, 0)
+			continue
+		case shMove:
+			vnOf[s.dst] = vnGet(s.a)
+			continue
+		case shBin:
+			va := uint64(0)
+			if s.aImm {
+				va = hash(1, s.immA, 0)
+			} else {
+				va = vnGet(s.a)
+			}
+			vb := uint64(0)
+			if s.bImm {
+				vb = hash(1, s.immB, 0)
+			} else {
+				vb = vnGet(s.b)
+			}
+			vnOf[s.dst] = hash(2+uint64(s.op), va, vb)
+			continue
+		case shLoad, shStore:
+			if !s.unchecked {
+				vn := vnImmBase
+				baseSlot := -1
+				if !s.aImm {
+					vn = vnGet(s.a)
+					baseSlot = s.a
+				}
+				b := buckets[vn]
+				if b == nil {
+					b = &bucket{baseSlot: baseSlot}
+					buckets[vn] = b
+					order = append(order, vn)
+				}
+				b.members = append(b.members, ebbMember{
+					pc:    pc,
+					off:   s.off,
+					width: accWidth(s.op),
+					write: s.shape == shStore,
+				})
+			}
+			if s.shape == shLoad {
+				vnOf[s.dst] = fresh()
+			}
+			continue
+		}
+		// Everything else: new values are opaque; branch carries and
+		// table pops invalidate their destinations.
+		sopWrites(s, func(slot int) { vnOf[slot] = fresh() })
+	}
+	flush()
+	return groups
+}
+
+// emitRangeCheck compiles a shRangeCheck sop: fall through on
+// success, branch to the checked clone on failure.
+func emitRangeCheck(s *sop) (cop, error) {
+	p := s.chk
+	tgt := int(s.tgt)
+	if p.ranges == nil {
+		baseSlot, lo, n, write := p.baseSlot, p.lo, p.n, p.write
+		if baseSlot < 0 {
+			return func(inst *Instance, base, pc int) int {
+				if _, ok := inst.base.Mem.CheckRange(lo, n, write); ok {
+					return pc + 1
+				}
+				return tgt
+			}, nil
+		}
+		return func(inst *Instance, base, pc int) int {
+			v := uint64(uint32(inst.stack[base+baseSlot]))
+			if _, ok := inst.base.Mem.CheckRange(v+lo, n, write); ok {
+				return pc + 1
+			}
+			return tgt
+		}, nil
+	}
+	ind := p.indSlot
+	step := int64(p.step)
+	limitSlot, limitImm, limitIsImm := p.limitSlot, p.limitImm, p.limitIsImm
+	reval := p.reval
+	ranges := p.ranges
+	return func(inst *Instance, base, pc int) int {
+		m := inst.base.Mem
+		if !m.ElisionCapable() {
+			// Clamp: the guard can never pass; skip the plan
+			// evaluation and run the checked copy directly.
+			return tgt
+		}
+		if reval {
+			bceCount(&bceRevalidations,
+				func(h *bceObsHandles) *obs.Counter { return h.revals }, 1)
+		}
+		st := inst.stack
+		lo := int64(int32(uint32(st[base+ind])))
+		var limit int64
+		if limitIsImm {
+			limit = int64(int32(uint32(limitImm)))
+		} else {
+			limit = int64(int32(uint32(st[base+limitSlot])))
+		}
+		if lo < 0 || lo >= limit {
+			return tgt
+		}
+		var iters int64
+		if step == 1 {
+			// The dominant shape: trip count needs no division and the
+			// induction cannot overflow int32 before reaching limit.
+			iters = limit - lo
+		} else {
+			iters = (limit - lo + step - 1) / step
+			if lo+iters*step > math.MaxInt32 {
+				// The original loop would wrap the induction rather
+				// than exit; only the checked copy reproduces that.
+				return tgt
+			}
+		}
+		for i := range ranges {
+			r := &ranges[i]
+			a0 := uint32(r.expr(st, base, uint64(lo)))
+			stride := uint32(r.expr(st, base, uint64(lo+step))) - a0
+			// The analyzer only admits expressions affine in the
+			// induction value mod 2^32, so the visited addresses are
+			// exactly a0 + k*stride (mod 2^32) for k in [0, iters); a
+			// bounded total span pins every interior address inside
+			// [a0, a0+total] with no wraparound.
+			total := uint64(stride) * uint64(iters-1)
+			if total >= 1<<32 {
+				return tgt
+			}
+			first := uint64(a0) + r.off
+			if first+total+r.width > 1<<32 {
+				return tgt
+			}
+			if _, ok := m.CheckRange(first, total+r.width, r.write); !ok {
+				return tgt
+			}
+		}
+		return pc + 1
+	}, nil
+}
+
+// rewriteTargets applies f to every branch target in s.
+func rewriteTargets(s *sop, f func(int32) int32) {
+	switch s.shape {
+	case shJump, shIfFalse, shBranchIf, shCmpBranch, shRangeCheck:
+		s.tgt = f(s.tgt)
+	case shBrTable:
+		tbl := make([]flatten.BranchTarget, len(s.table))
+		for k, bt := range s.table {
+			bt.Tgt = f(bt.Tgt)
+			tbl[k] = bt
+		}
+		s.table = tbl
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Address-mode fusion
+// ---------------------------------------------------------------------------
+
+// fuseAddrs folds short address-computation chains into the unchecked
+// accesses that consume them. Once the bounds check on an access is
+// gone, the i32 mul/add/shl run that builds its effective address is
+// pure addressing arithmetic, and the dispatch loop would spend more
+// cycles stepping through those closures than computing anything — the
+// closure-level analog of folding the sequence into a native
+// instruction's addressing mode (scale, index, base, displacement).
+// The chain is re-executed inside the access closure from the same
+// source slots, so it may also be *sunk*: a chain separated from its
+// access by sops that touch neither the address slot nor the chain's
+// sources (typically the value computation of a store) fuses the same
+// way. A branch to the head of a chain can land on the next remaining
+// sop; a branch anywhere between head and access (which would rely on
+// a partially computed address slot or skip the sources' defs)
+// disables fusion.
+//
+// Only unchecked accesses fuse: a checked access keeps its original
+// sop sequence so check failures, trap pcs and clamp redirects stay
+// byte-identical to the unelided build.
+func fuseAddrs(ir []sop, numLocals int) []sop {
+	isTgt := make([]bool, len(ir))
+	for i := range ir {
+		rewriteTargets(&ir[i], func(t int32) int32 {
+			isTgt[t] = true
+			return t
+		})
+	}
+	fusableOp := func(d *sop) bool {
+		if d.shape != shBin {
+			return false
+		}
+		switch d.op {
+		case wasm.OpI32Add, wasm.OpI32Sub, wasm.OpI32Mul, wasm.OpI32Shl:
+			return true
+		}
+		return false
+	}
+	// transparent reports whether a sop between chain and access can
+	// stay in place: straight-line, no calls (which clobber temps) and
+	// no control flow.
+	transparent := func(d *sop) bool {
+		switch d.shape {
+		case shConst, shMove, shUn, shBin, shSelect, shLoad, shStore,
+			shGlobalGet, shGlobalSet, shTruncSat, shMemSize:
+			return true
+		}
+		return false
+	}
+	const maxSink = 24 // bound the backward scan per access
+	drop := make([]bool, len(ir))
+	fusedOps := int64(0)
+	for pc := range ir {
+		s := &ir[pc]
+		if (s.shape != shLoad && s.shape != shStore) || !s.unchecked || s.aImm {
+			continue
+		}
+		a := s.a
+		if a < numLocals {
+			// Locals are not single-use temporaries; their defs stay.
+			continue
+		}
+		if s.shape == shStore && !s.bImm && s.b == a {
+			continue
+		}
+		// Walk back over transparent sops to the reaching def of the
+		// address slot, recording what the in-between region writes.
+		end := -1 // last chain op
+		var betweenWrites []int
+		for q := pc - 1; q >= 0 && pc-q <= maxSink; q-- {
+			d := &ir[q]
+			if drop[q] {
+				break // already consumed by an earlier fusion
+			}
+			wrotesA := false
+			clob := sopWrites(d, func(w int) {
+				if w == a {
+					wrotesA = true
+				}
+			})
+			if wrotesA {
+				end = q
+				break
+			}
+			if clob >= 0 && a >= clob {
+				break
+			}
+			if !transparent(d) {
+				break
+			}
+			readsA := false
+			sopReads(d, func(r int) {
+				if r == a {
+					readsA = true
+				}
+			})
+			if readsA {
+				break // the chain value has a second consumer
+			}
+			sopWrites(d, func(w int) { betweenWrites = append(betweenWrites, w) })
+		}
+		if end < 0 {
+			continue
+		}
+		// Maximal contiguous run ending at end whose ops all write the
+		// address slot. Slot discipline makes each intermediate dead
+		// once the next op (and finally the access) consumes it.
+		n := 0
+		for n < 3 {
+			q := end - n
+			if q < 0 || drop[q] {
+				break
+			}
+			d := &ir[q]
+			if !fusableOp(d) || d.dst != a {
+				break
+			}
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		head := end - n + 1
+		// Re-executing the chain at the access must see its source
+		// slots unmodified by the in-between region.
+		ok := true
+		for q := head; q <= end; q++ {
+			sopReads(&ir[q], func(r int) {
+				if r == a {
+					return // chain register, carried internally
+				}
+				for _, w := range betweenWrites {
+					if w == r {
+						ok = false
+					}
+				}
+			})
+		}
+		// Any branch target after the head would either resume a
+		// partially computed address or skip the sources' defs.
+		for q := head + 1; q <= pc; q++ {
+			if isTgt[q] {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		chain := make([]sop, n)
+		copy(chain, ir[head:end+1])
+		s.fuse = chain
+		for q := head; q <= end; q++ {
+			drop[q] = true
+		}
+		fusedOps += int64(n)
+	}
+	if fusedOps == 0 {
+		return ir
+	}
+	out := make([]sop, 0, len(ir))
+	remap := make([]int32, len(ir))
+	for pc := range ir {
+		remap[pc] = int32(len(out))
+		if !drop[pc] {
+			out = append(out, ir[pc])
+		}
+	}
+	for i := range out {
+		rewriteTargets(&out[i], func(t int32) int32 { return remap[t] })
+	}
+	bceCount(&bceAddrFused, func(h *bceObsHandles) *obs.Counter { return h.fused }, fusedOps)
+	return out
+}
+
+// fusedAddrFn compiles an access's fused chain (s.fuse) into one
+// effective-address callable (offset included), specializing the
+// row-major indexing pattern (x*K + y) << k that dominates the kernel
+// workloads.
+func fusedAddrFn(s *sop) func(st []uint64, base int) uint64 {
+	if len(s.fuse) == 0 {
+		return nil
+	}
+	off := s.off
+	a := s.a
+	if fn := fusedRowMajor(s); fn != nil {
+		return fn
+	}
+	if len(s.fuse) == 1 {
+		d := &s.fuse[0]
+		// Single op: no chain register involved, read slots directly
+		// (a read of the address slot sees the incoming frame value,
+		// exactly as the original sop did).
+		x := d.a
+		switch {
+		case d.op == wasm.OpI32Add && !d.aImm && d.bImm:
+			k := uint32(d.immB)
+			return func(st []uint64, base int) uint64 {
+				return uint64(uint32(st[base+x])+k) + off
+			}
+		case d.op == wasm.OpI32Add && !d.aImm && !d.bImm:
+			y := d.b
+			return func(st []uint64, base int) uint64 {
+				return uint64(uint32(st[base+x])+uint32(st[base+y])) + off
+			}
+		case d.op == wasm.OpI32Shl && !d.aImm && d.bImm:
+			k := uint32(d.immB) & 31
+			return func(st []uint64, base int) uint64 {
+				return uint64(uint32(st[base+x])<<k) + off
+			}
+		case d.op == wasm.OpI32Mul && !d.aImm && d.bImm:
+			k := uint32(d.immB)
+			return func(st []uint64, base int) uint64 {
+				return uint64(uint32(st[base+x])*k) + off
+			}
+		}
+	}
+	// Generic fallback: pre-lower each op to a step over the running
+	// chain value v (reads of the address slot after the first write
+	// see v; everything else reads the frame).
+	type stepFn func(st []uint64, base int, v uint64) uint64
+	steps := make([]stepFn, len(s.fuse))
+	for i := range s.fuse {
+		d := &s.fuse[i]
+		fn := binOps[d.op]
+		sel := func(imm bool, iv uint64, slot int) func(st []uint64, base int, v uint64) uint64 {
+			switch {
+			case imm:
+				return func(_ []uint64, _ int, _ uint64) uint64 { return iv }
+			case slot == a:
+				return func(_ []uint64, _ int, v uint64) uint64 { return v }
+			default:
+				return func(st []uint64, base int, _ uint64) uint64 { return st[base+slot] }
+			}
+		}
+		ax := sel(d.aImm, d.immA, d.a)
+		bx := sel(d.bImm, d.immB, d.b)
+		steps[i] = func(st []uint64, base int, v uint64) uint64 {
+			return fn(ax(st, base, v), bx(st, base, v))
+		}
+	}
+	return func(st []uint64, base int) uint64 {
+		v := st[base+a]
+		for i := range steps {
+			v = steps[i](st, base, v)
+		}
+		return uint64(uint32(v)) + off
+	}
+}
+
+// fusedRowMajor matches the three-op row-major address chain
+// mul(x, K); add(·, y); shl(·, k) and compiles it to straight-line
+// uint32 arithmetic.
+func fusedRowMajor(s *sop) func(st []uint64, base int) uint64 {
+	if len(s.fuse) != 3 {
+		return nil
+	}
+	a := s.a
+	f0, f1, f2 := &s.fuse[0], &s.fuse[1], &s.fuse[2]
+	if f0.op != wasm.OpI32Mul || f0.aImm || f0.a == a || !f0.bImm {
+		return nil
+	}
+	if f1.op != wasm.OpI32Add || f2.op != wasm.OpI32Shl {
+		return nil
+	}
+	var y int
+	switch {
+	case !f1.aImm && f1.a == a && !f1.bImm && f1.b != a:
+		y = f1.b
+	case !f1.bImm && f1.b == a && !f1.aImm && f1.a != a:
+		y = f1.a
+	default:
+		return nil
+	}
+	if f2.aImm || f2.a != a || !f2.bImm {
+		return nil
+	}
+	x, mk := f0.a, uint32(f0.immB)
+	sk := uint32(f2.immB) & 31
+	off := s.off
+	return func(st []uint64, base int) uint64 {
+		return uint64((uint32(st[base+x])*mk+uint32(st[base+y]))<<sk) + off
+	}
+}

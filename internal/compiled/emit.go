@@ -84,9 +84,17 @@ func emitOne(s *sop) (cop, error) {
 			return pc + 1
 		}, nil
 	case shLoad:
+		if s.unchecked {
+			return emitLoadUnchecked(s)
+		}
 		return emitLoad(s)
 	case shStore:
+		if s.unchecked {
+			return emitStoreUnchecked(s)
+		}
 		return emitStore(s)
+	case shRangeCheck:
+		return emitRangeCheck(s)
 	case shJump:
 		tgt := int(s.tgt)
 		if s.carrySrc >= 0 {
@@ -486,6 +494,204 @@ func emitLoad(s *sop) (cop, error) {
 		}, nil
 	default:
 		return nil, fmt.Errorf("bad load opcode")
+	}
+}
+
+// emitLoadUnchecked compiles a load whose address range was proven
+// accessible by a dominating shRangeCheck: no watermark compare, no
+// slice bounds check (mem's unsafe accessors), with the hottest
+// widths specialized like emitLoad.
+func emitLoadUnchecked(s *sop) (cop, error) {
+	off := s.off
+	dst := s.dst
+	aSlot := s.a
+	aImm := s.aImm
+	fused := fusedAddrFn(s)
+	ea := func(inst *Instance, base int) uint64 {
+		if fused != nil {
+			return fused(inst.stack, base)
+		}
+		if aImm {
+			return off
+		}
+		return uint64(uint32(inst.stack[base+aSlot])) + off
+	}
+	switch s.op {
+	case wasm.OpI32Load, wasm.OpF32Load:
+		if fused != nil {
+			return func(inst *Instance, base, pc int) int {
+				st := inst.stack
+				st[base+dst] = uint64(inst.base.Mem.LoadU32Unchecked(fused(st, base)))
+				return pc + 1
+			}, nil
+		}
+		if !aImm {
+			return func(inst *Instance, base, pc int) int {
+				st := inst.stack
+				addr := uint64(uint32(st[base+aSlot])) + off
+				st[base+dst] = uint64(inst.base.Mem.LoadU32Unchecked(addr))
+				return pc + 1
+			}, nil
+		}
+		return func(inst *Instance, base, pc int) int {
+			inst.stack[base+dst] = uint64(inst.base.Mem.LoadU32Unchecked(ea(inst, base)))
+			return pc + 1
+		}, nil
+	case wasm.OpI64Load, wasm.OpF64Load:
+		if fused != nil {
+			return func(inst *Instance, base, pc int) int {
+				st := inst.stack
+				st[base+dst] = inst.base.Mem.LoadU64Unchecked(fused(st, base))
+				return pc + 1
+			}, nil
+		}
+		if !aImm {
+			return func(inst *Instance, base, pc int) int {
+				st := inst.stack
+				addr := uint64(uint32(st[base+aSlot])) + off
+				st[base+dst] = inst.base.Mem.LoadU64Unchecked(addr)
+				return pc + 1
+			}, nil
+		}
+		return func(inst *Instance, base, pc int) int {
+			inst.stack[base+dst] = inst.base.Mem.LoadU64Unchecked(ea(inst, base))
+			return pc + 1
+		}, nil
+	case wasm.OpI32Load8S:
+		return func(inst *Instance, base, pc int) int {
+			inst.stack[base+dst] = uint64(uint32(int32(int8(inst.base.Mem.LoadU8Unchecked(ea(inst, base))))))
+			return pc + 1
+		}, nil
+	case wasm.OpI32Load8U:
+		return func(inst *Instance, base, pc int) int {
+			inst.stack[base+dst] = uint64(inst.base.Mem.LoadU8Unchecked(ea(inst, base)))
+			return pc + 1
+		}, nil
+	case wasm.OpI32Load16S:
+		return func(inst *Instance, base, pc int) int {
+			inst.stack[base+dst] = uint64(uint32(int32(int16(inst.base.Mem.LoadU16Unchecked(ea(inst, base))))))
+			return pc + 1
+		}, nil
+	case wasm.OpI32Load16U:
+		return func(inst *Instance, base, pc int) int {
+			inst.stack[base+dst] = uint64(inst.base.Mem.LoadU16Unchecked(ea(inst, base)))
+			return pc + 1
+		}, nil
+	case wasm.OpI64Load8S:
+		return func(inst *Instance, base, pc int) int {
+			inst.stack[base+dst] = uint64(int64(int8(inst.base.Mem.LoadU8Unchecked(ea(inst, base)))))
+			return pc + 1
+		}, nil
+	case wasm.OpI64Load8U:
+		return func(inst *Instance, base, pc int) int {
+			inst.stack[base+dst] = uint64(inst.base.Mem.LoadU8Unchecked(ea(inst, base)))
+			return pc + 1
+		}, nil
+	case wasm.OpI64Load16S:
+		return func(inst *Instance, base, pc int) int {
+			inst.stack[base+dst] = uint64(int64(int16(inst.base.Mem.LoadU16Unchecked(ea(inst, base)))))
+			return pc + 1
+		}, nil
+	case wasm.OpI64Load16U:
+		return func(inst *Instance, base, pc int) int {
+			inst.stack[base+dst] = uint64(inst.base.Mem.LoadU16Unchecked(ea(inst, base)))
+			return pc + 1
+		}, nil
+	case wasm.OpI64Load32S:
+		return func(inst *Instance, base, pc int) int {
+			inst.stack[base+dst] = uint64(int64(int32(inst.base.Mem.LoadU32Unchecked(ea(inst, base)))))
+			return pc + 1
+		}, nil
+	case wasm.OpI64Load32U:
+		return func(inst *Instance, base, pc int) int {
+			inst.stack[base+dst] = uint64(inst.base.Mem.LoadU32Unchecked(ea(inst, base)))
+			return pc + 1
+		}, nil
+	default:
+		return nil, fmt.Errorf("bad load opcode")
+	}
+}
+
+// emitStoreUnchecked is emitStore through the unsafe accessors; see
+// emitLoadUnchecked.
+func emitStoreUnchecked(s *sop) (cop, error) {
+	off := s.off
+	aSlot, aImm := s.a, s.aImm
+	bSlot, bImm, ibv := s.b, s.bImm, s.immB
+	fused := fusedAddrFn(s)
+	ea := func(inst *Instance, base int) uint64 {
+		if fused != nil {
+			return fused(inst.stack, base)
+		}
+		if aImm {
+			return off
+		}
+		return uint64(uint32(inst.stack[base+aSlot])) + off
+	}
+	val := func(inst *Instance, base int) uint64 {
+		if bImm {
+			return ibv
+		}
+		return inst.stack[base+bSlot]
+	}
+	switch s.op {
+	case wasm.OpI32Store, wasm.OpF32Store:
+		if fused != nil && !bImm {
+			return func(inst *Instance, base, pc int) int {
+				st := inst.stack
+				inst.base.Mem.StoreU32Unchecked(fused(st, base), uint32(st[base+bSlot]))
+				return pc + 1
+			}, nil
+		}
+		if !aImm && !bImm {
+			return func(inst *Instance, base, pc int) int {
+				st := inst.stack
+				addr := uint64(uint32(st[base+aSlot])) + off
+				inst.base.Mem.StoreU32Unchecked(addr, uint32(st[base+bSlot]))
+				return pc + 1
+			}, nil
+		}
+		return func(inst *Instance, base, pc int) int {
+			inst.base.Mem.StoreU32Unchecked(ea(inst, base), uint32(val(inst, base)))
+			return pc + 1
+		}, nil
+	case wasm.OpI64Store, wasm.OpF64Store:
+		if fused != nil && !bImm {
+			return func(inst *Instance, base, pc int) int {
+				st := inst.stack
+				inst.base.Mem.StoreU64Unchecked(fused(st, base), st[base+bSlot])
+				return pc + 1
+			}, nil
+		}
+		if !aImm && !bImm {
+			return func(inst *Instance, base, pc int) int {
+				st := inst.stack
+				addr := uint64(uint32(st[base+aSlot])) + off
+				inst.base.Mem.StoreU64Unchecked(addr, st[base+bSlot])
+				return pc + 1
+			}, nil
+		}
+		return func(inst *Instance, base, pc int) int {
+			inst.base.Mem.StoreU64Unchecked(ea(inst, base), val(inst, base))
+			return pc + 1
+		}, nil
+	case wasm.OpI32Store8, wasm.OpI64Store8:
+		return func(inst *Instance, base, pc int) int {
+			inst.base.Mem.StoreU8Unchecked(ea(inst, base), byte(val(inst, base)))
+			return pc + 1
+		}, nil
+	case wasm.OpI32Store16, wasm.OpI64Store16:
+		return func(inst *Instance, base, pc int) int {
+			inst.base.Mem.StoreU16Unchecked(ea(inst, base), uint16(val(inst, base)))
+			return pc + 1
+		}, nil
+	case wasm.OpI64Store32:
+		return func(inst *Instance, base, pc int) int {
+			inst.base.Mem.StoreU32Unchecked(ea(inst, base), uint32(val(inst, base)))
+			return pc + 1
+		}, nil
+	default:
+		return nil, fmt.Errorf("bad store opcode")
 	}
 }
 

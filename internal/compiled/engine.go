@@ -21,17 +21,21 @@ type Engine struct {
 	name     string
 	desc     string
 	optimize bool
+	codegen  core.Codegen
 	cache    core.ModuleCache
 }
 
 // NewWAVM returns the WAVM analog: ahead-of-time compilation with
 // the optimizer enabled (the closure-level stand-in for LLVM's
-// optimizing backend).
+// optimizing backend). Bounds-check elision is on by default, as it
+// is in the real engine's LLVM pipeline; SetCodegen turns it off for
+// ablations.
 func NewWAVM() *Engine {
 	return &Engine{
 		name:     "wavm",
 		desc:     "optimizing closure-compiling AOT engine (WAVM/LLVM analog)",
 		optimize: true,
+		codegen:  core.Codegen{BoundsElision: true},
 		cache:    modcache.Shared(),
 	}
 }
@@ -52,14 +56,28 @@ func NewWasmtime() *Engine {
 // before the first Compile.
 func (e *Engine) SetCache(c core.ModuleCache) { e.cache = c }
 
+// SetCodegen implements core.CodegenSetter. Call before the first
+// Compile; the knobs fold into the module-cache key, so modules
+// compiled under different codegen never alias.
+func (e *Engine) SetCodegen(cg core.Codegen) { e.codegen = cg }
+
+// elision reports whether the elision pass runs: it rewrites the
+// optimizer's canonical IR shapes, so the single-pass engine (which
+// models a baseline with no mid-end) never elides.
+func (e *Engine) elision() bool { return e.optimize && e.codegen.BoundsElision }
+
 // cacheOpts fingerprints the engine's codegen-affecting options for
 // the cache key (redundant with the engine name today, but the key
 // must stay sound if more constructors appear).
 func (e *Engine) cacheOpts() string {
-	if e.optimize {
-		return "optimize=1"
+	opts := "optimize=0 elide=0"
+	switch {
+	case e.optimize && e.elision():
+		opts = "optimize=1 elide=1"
+	case e.optimize:
+		opts = "optimize=1 elide=0"
 	}
-	return "optimize=0"
+	return opts
 }
 
 // CachedModule returns the already-compiled artifact for m from the
@@ -145,6 +163,9 @@ func (e *Engine) compileModule(m *wasm.Module) (*Module, error) {
 			ir = optimize(ir, ff.NumLocals)
 		}
 		ir = compact(ir)
+		if e.elision() {
+			ir = elide(ir, ff.NumLocals)
+		}
 		code, classes, memAcc, err := emit(ir)
 		if err != nil {
 			return nil, fmt.Errorf("compiled: function %d: %w", i, err)

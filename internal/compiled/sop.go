@@ -49,7 +49,8 @@ const (
 	shMemFill                // memory.fill(a, b, c)
 	shTruncSat               // dst = truncsat(a)
 	shUnreachable
-	shNop // deleted/padding
+	shNop        // deleted/padding
+	shRangeCheck // bounds-check elision guard; branches to tgt on failure
 )
 
 // sop is one slot-IR operation. Slot indices are frame-relative:
@@ -84,6 +85,12 @@ type sop struct {
 	class  isa.OpClass
 	memAcc bool // charges the software bounds-check class
 	dead   bool
+
+	// bounds-check elision (bce.go)
+	pure      bool       // load/store address is derivable from locals+consts
+	unchecked bool       // load/store proven in-range; emit the no-check variant
+	chk       *checkPlan // shRangeCheck payload
+	fuse      []sop      // address-mode chain folded into an unchecked access
 }
 
 // buildIR lowers a flattened function to slot IR (one sop per
@@ -211,12 +218,14 @@ func buildIR(ff *flatten.Func) ([]sop, error) {
 				s.dst = slot(h - 1)
 				s.off = in.B
 				s.memAcc = true
+				s.pure = in.PureAddr
 			} else if in.Op.IsStore() {
 				s.shape = shStore
 				s.a = slot(h - 2) // address
 				s.b = slot(h - 1) // value
 				s.off = in.B
 				s.memAcc = true
+				s.pure = in.PureAddr
 			} else {
 				_, delta, ok := flatten.Classify(in.Op)
 				if !ok {

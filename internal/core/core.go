@@ -107,6 +107,27 @@ func (c Config) withDefaults() (Config, error) {
 	return c, nil
 }
 
+// Codegen carries per-engine code-generation knobs. Unlike Config it
+// is compile-time state: it shapes the emitted artifact, so engines
+// fold it into their module-cache options string — artifacts built
+// under different knobs must never alias in the cache.
+type Codegen struct {
+	// BoundsElision enables the bounds-check elision pass in engines
+	// that support it (the optimizing compiled engine): per-access
+	// watermark checks are coalesced into per-region range checks and
+	// hoisted out of affine loops, with a checked fallback copy that
+	// preserves exact trap sites and clamp redirect semantics. The
+	// emitted code stays strategy-agnostic — elision is a codegen
+	// property, the strategy remains instantiation-time.
+	BoundsElision bool
+}
+
+// CodegenSetter is implemented by engines whose code generation can
+// be reconfigured. Call it before the engine's first Compile.
+type CodegenSetter interface {
+	SetCodegen(Codegen)
+}
+
 // ModuleCache is a process-wide cache of compiled modules, keyed by
 // module content hash, engine name and codegen-affecting options
 // (implemented by internal/modcache). Engines route Compile through

@@ -39,7 +39,46 @@ func Ablation(c Config) error {
 	if err := ablateCommitGranularity(c); err != nil {
 		return err
 	}
-	return ablateTHP(c)
+	if err := ablateTHP(c); err != nil {
+		return err
+	}
+	return ablateElision(c)
+}
+
+// ablateElision measures the bounds-check elision pass on the
+// optimizing engine: the same kernels with the pass on and off, per
+// strategy. The win concentrates in the explicit-check strategies
+// (trap, and none's watermark arithmetic); clamp never elides — its
+// redirect semantics depend on per-access clamping — so its rows are
+// the no-op control.
+func ablateElision(c Config) error {
+	fmt.Fprintf(c.Out, "\nAblation 7: bounds-check elision (wavm, 1 thread)\n")
+	fmt.Fprintf(c.Out, "%-10s %-10s %12s %12s %9s\n",
+		"benchmark", "strategy", "elide=off", "elide=on", "speedup")
+	for _, name := range []string{"gemm", "atax"} {
+		wl, err := workloads.ByName(name)
+		if err != nil {
+			return err
+		}
+		for _, s := range []mem.Strategy{mem.None, mem.Trap, mem.Mprotect, mem.Clamp} {
+			var wall [2]time.Duration
+			for i, noElide := range []bool{true, false} {
+				res, err := c.run(harness.Options{
+					Engine: harness.EngineWAVM, Workload: wl,
+					Strategy: s, Profile: isa.X86_64(), NoElide: noElide,
+				})
+				if err != nil {
+					return err
+				}
+				wall[i] = res.MedianWall
+			}
+			fmt.Fprintf(c.Out, "%-10s %-10s %12v %12v %8.2fx\n",
+				name, s,
+				wall[0].Round(time.Microsecond), wall[1].Round(time.Microsecond),
+				float64(wall[0])/float64(wall[1]))
+		}
+	}
+	return nil
 }
 
 // ablateCommitGranularity compares the mprotect strategy's two

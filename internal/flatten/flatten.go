@@ -27,6 +27,15 @@ type Instr struct {
 	H     int32  // operand-stack height before this instruction
 	Class isa.OpClass
 	Table []BranchTarget // br_table entries (default entry last)
+	// PureAddr is base/offset provenance for memory accesses: true
+	// when the address operand of this load/store is built purely
+	// from local reads, constants and arithmetic — no loads, calls,
+	// globals or control-flow joins feed it. Such addresses cannot be
+	// changed by intervening memory writes, which is the precondition
+	// the compiled engines' bounds-check elision pass needs before
+	// grouping accesses under one range check (DESIGN.md §11). The
+	// static offset part of the provenance is B, as before.
+	PureAddr bool
 }
 
 // BranchTarget is one br_table entry.
@@ -103,11 +112,30 @@ func Flatten(m *wasm.Module, fnIndex uint32, code *wasm.Code) (*Func, error) {
 		height int32
 		maxH   int32
 		dead   bool
+		// pure tracks, per operand-stack slot, whether the value was
+		// built purely from locals/constants/arithmetic (address
+		// provenance for Instr.PureAddr). Conservative: control-flow
+		// joins and anything memory- or call-derived clear it.
+		pure []bool
 	)
 	push := func(n int32) {
 		height += n
 		if height > maxH {
 			maxH = height
+		}
+	}
+	setPure := func(h int32, v bool) {
+		for int(h) >= len(pure) {
+			pure = append(pure, false)
+		}
+		pure[h] = v
+	}
+	isPure := func(h int32) bool { return h >= 0 && int(h) < len(pure) && pure[h] }
+	// clearPure marks [from, to) impure, for join points where a
+	// value may arrive from multiple predecessors.
+	clearPure := func(from, to int32) {
+		for h := from; h < to; h++ {
+			setPure(h, false)
 		}
 	}
 	emit := func(in Instr) int {
@@ -182,6 +210,7 @@ func Flatten(m *wasm.Module, fnIndex uint32, code *wasm.Code) (*Func, error) {
 						if height > maxH {
 							maxH = height
 						}
+						clearPure(c.height, height)
 						dead = false
 					}
 				}
@@ -228,6 +257,8 @@ func Flatten(m *wasm.Module, fnIndex uint32, code *wasm.Code) (*Func, error) {
 			if height > maxH {
 				maxH = height
 			}
+			// Join point: the result may arrive from any branch.
+			clearPure(c.height, height)
 		case wasm.OpBr:
 			j := emit(Instr{Op: OpJump, H: height, Class: isa.ClassBranch})
 			bt := branchTo(int(in.A), func(c *ctrl) { c.brs = append(c.brs, j) })
@@ -267,6 +298,7 @@ func Flatten(m *wasm.Module, fnIndex uint32, code *wasm.Code) (*Func, error) {
 			argBase := height - int32(len(callee.Params))
 			h := height
 			push(int32(len(callee.Results) - len(callee.Params)))
+			clearPure(argBase, height)
 			emit(Instr{Op: op, A: in.A, PopTo: argBase, H: h,
 				Arity: int8(len(callee.Results)), Class: isa.ClassCall})
 		case wasm.OpCallIndirect:
@@ -275,16 +307,20 @@ func Flatten(m *wasm.Module, fnIndex uint32, code *wasm.Code) (*Func, error) {
 			push(-1) // table index
 			argBase := height - int32(len(callee.Params))
 			push(int32(len(callee.Results) - len(callee.Params)))
+			clearPure(argBase, height)
 			emit(Instr{Op: op, A: in.A, PopTo: argBase, H: h,
 				Arity: int8(len(callee.Results)), Class: isa.ClassCallInd})
 		case wasm.OpDrop:
 			push(-1)
 			emit(Instr{Op: op, H: height + 1, Class: isa.ClassALU})
 		case wasm.OpSelect:
+			selPure := isPure(height-3) && isPure(height-2)
 			push(-2)
 			emit(Instr{Op: op, H: height + 2, Class: isa.ClassSelect})
+			setPure(height-1, selPure)
 		case wasm.OpLocalGet:
 			push(1)
+			setPure(height-1, true)
 			emit(Instr{Op: op, A: in.A, H: height - 1, Class: isa.ClassALU})
 		case wasm.OpLocalSet:
 			push(-1)
@@ -293,17 +329,21 @@ func Flatten(m *wasm.Module, fnIndex uint32, code *wasm.Code) (*Func, error) {
 			emit(Instr{Op: op, A: in.A, H: height, Class: isa.ClassALU})
 		case wasm.OpGlobalGet:
 			push(1)
+			setPure(height-1, false)
 			emit(Instr{Op: op, A: in.A, H: height - 1, Class: isa.ClassGlobal})
 		case wasm.OpGlobalSet:
 			push(-1)
 			emit(Instr{Op: op, A: in.A, H: height + 1, Class: isa.ClassGlobal})
 		case wasm.OpMemorySize:
 			push(1)
+			setPure(height-1, false)
 			emit(Instr{Op: op, H: height - 1, Class: isa.ClassALU})
 		case wasm.OpMemoryGrow:
+			setPure(height-1, false)
 			emit(Instr{Op: op, H: height, Class: isa.ClassCall})
 		case wasm.OpI32Const, wasm.OpI64Const, wasm.OpF32Const, wasm.OpF64Const:
 			push(1)
+			setPure(height-1, true)
 			emit(Instr{Op: op, A: in.A, H: height - 1, Class: isa.ClassALU})
 		case wasm.OpPrefix:
 			switch in.Sub {
@@ -320,7 +360,21 @@ func Flatten(m *wasm.Module, fnIndex uint32, code *wasm.Code) (*Func, error) {
 			}
 			h := height
 			push(delta)
-			emit(Instr{Op: op, A: in.A, B: in.B, H: h, Class: class})
+			ni := Instr{Op: op, A: in.A, B: in.B, H: h, Class: class}
+			switch {
+			case op.IsLoad():
+				// Address at h-1 is consumed; the loaded value is not
+				// derivable from locals and constants.
+				ni.PureAddr = isPure(h - 1)
+				setPure(h-1, false)
+			case op.IsStore():
+				// Address at h-2, value at h-1; both popped.
+				ni.PureAddr = isPure(h - 2)
+			case delta == -1:
+				// Binary op: result pure iff both operands were.
+				setPure(h-2, isPure(h-2) && isPure(h-1))
+			}
+			emit(ni)
 		}
 	}
 	return nil, fmt.Errorf("flatten: function body missing final end")

@@ -87,6 +87,11 @@ type Options struct {
 	// cache, so every Run pays the full compile (the cold-start
 	// baseline for cache benchmarks).
 	NoCache bool
+	// NoElide disables bounds-check elision in engines that support
+	// it (the wavm analog), for the elision ablation. The flag folds
+	// into the module-cache key, so elided and unelided compiles of
+	// the same module never alias.
+	NoElide bool
 	// Processes splits the workers across this many simulated
 	// processes (separate address spaces, separate mmap locks) —
 	// the paper's §4.2.1 alternative mitigation: "limit the number
@@ -118,8 +123,12 @@ func (o Options) RunLabel() string {
 	if threads <= 0 {
 		threads = 1
 	}
-	return fmt.Sprintf("run[engine=%s workload=%s strategy=%s threads=%d]",
-		o.Engine, o.Workload.Name, o.Strategy, threads)
+	elide := ""
+	if o.NoElide {
+		elide = " elide=off"
+	}
+	return fmt.Sprintf("run[engine=%s workload=%s strategy=%s threads=%d%s]",
+		o.Engine, o.Workload.Name, o.Strategy, threads, elide)
 }
 
 // Result is one benchmark measurement.
@@ -266,6 +275,11 @@ func Run(opts Options) (*Result, error) {
 		if opts.NoCache {
 			if cs, ok := eng.(core.CacheSetter); ok {
 				cs.SetCache(nil)
+			}
+		}
+		if opts.NoElide {
+			if cs, ok := eng.(core.CodegenSetter); ok {
+				cs.SetCodegen(core.Codegen{BoundsElision: false})
 			}
 		}
 		if te, ok := eng.(*tiered.Engine); ok {

@@ -22,6 +22,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"time"
+	"unsafe"
 
 	"leapsandbounds/internal/faultinject"
 	"leapsandbounds/internal/obs"
@@ -149,6 +150,12 @@ type Memory struct {
 	eager        bool // mprotect strategy: commit at grow time
 	closed       bool
 
+	// ptr caches the base of the backing array for the unchecked
+	// accessors: a raw-pointer load skips both the watermark compare
+	// and Go's slice bounds check, which is the entire point of the
+	// elision fast path. Valid for the lifetime of the mapping.
+	ptr unsafe.Pointer
+
 	// obs is the per-strategy scope under the owning process
 	// ("<proc>/mem/<strategy>"); grow and slow-path fault commits are
 	// counted here so figures can attribute management cost per
@@ -156,6 +163,10 @@ type Memory struct {
 	obs          *obs.Scope
 	growCalls    *obs.Counter
 	faultCommits *obs.Counter
+	// faultPages counts pages spanned by each fault-path commit, so
+	// figures can report pages populated per fault invocation (bulk
+	// operations commit whole ranges with a single fault).
+	faultPages *obs.Counter
 
 	// inj is the process fault injector captured at instantiation
 	// (nil outside chaos runs); the fault path consults it to retry
@@ -199,6 +210,7 @@ func New(cfg Config) (*Memory, error) {
 		obs:          sc,
 		growCalls:    sc.Counter("grows"),
 		faultCommits: sc.Counter("fault_commits"),
+		faultPages:   sc.Counter("fault_pages"),
 		inj:          cfg.AS.Injector(),
 	}
 	switch cfg.Strategy {
@@ -289,6 +301,9 @@ func New(cfg Config) (*Memory, error) {
 		}
 	default:
 		return nil, fmt.Errorf("mem: unknown strategy %v", cfg.Strategy)
+	}
+	if len(m.data) > 0 {
+		m.ptr = unsafe.Pointer(&m.data[0])
 	}
 	return m, nil
 }
@@ -531,6 +546,12 @@ func (m *Memory) fault(addr, n uint64, write bool) uint64 {
 			m.committedEnd = end
 		}
 		m.faultCommits.Inc()
+		if kind != vmm.FaultResolved {
+			// Pages spanned by this handler invocation's commit; a bulk
+			// range resolves in one invocation, so this is the
+			// pages-populated-per-fault figure.
+			m.faultPages.Add(int64((end - start) / ps))
+		}
 		m.advanceWatermark()
 		return addr
 	}
@@ -577,7 +598,10 @@ func (m *Memory) advanceWatermark() {
 
 // Bytes returns a slice over [addr, addr+n) after ensuring the range
 // is accessible, for bulk operations (memory.copy/fill, segment
-// initialization, WASI I/O). Traps on out-of-bounds.
+// initialization, WASI I/O). Traps on out-of-bounds. The whole range
+// is validated (and, for the virtual-memory strategies, committed)
+// through one CheckRange call — bulk operations pay one check, not
+// one per page or per element.
 func (m *Memory) Bytes(addr, n uint64, write bool) []byte {
 	if n == 0 {
 		if addr > m.sizeBytes {
@@ -588,17 +612,14 @@ func (m *Memory) Bytes(addr, n uint64, write bool) []byte {
 	if addr+n > m.sizeBytes || addr+n < addr {
 		trap.Throwf(trap.OutOfBounds, "bulk access [%#x,%#x) beyond size %d", addr, addr+n, m.sizeBytes)
 	}
-	if addr+n > m.fastLimit {
-		switch m.strategy {
-		case Mprotect, Uffd:
-			// Commit the whole range through the fault path, page by
-			// page as the copy loop would.
-			ps := m.mapping.PageSize()
-			for p := addr / ps * ps; p < addr+n; p += ps {
-				m.fault(p, 1, write)
-			}
-		default:
-			// Flat strategies: the range is within size, hence valid.
+	// Bulk operations trap on out-of-bounds under every strategy
+	// (wasm's memory.copy/fill semantics), so the clamp redirect does
+	// not apply and the elision-grade range check is valid here for
+	// clamp too; in-bounds was established above, hence for the
+	// non-clamp strategies CheckRange cannot fail.
+	if m.strategy != Clamp {
+		if _, ok := m.CheckRange(addr, n, write); !ok {
+			trap.Throwf(trap.OutOfBounds, "bulk access [%#x,%#x) beyond size %d", addr, addr+n, m.sizeBytes)
 		}
 	}
 	return m.data[addr : addr+n]

@@ -1,0 +1,22 @@
+#!/bin/sh
+# bench_hot.sh — hot-path benchmarks of the bounds-check elision
+# pass. Prints the per-strategy checked-load micro timings and the
+# gemm/atax elide on/off macro benches for humans, then writes the
+# machine-readable report (micro timings, the full workload ×
+# strategy × elide matrix with checksum equality, and the elision
+# counters) to BENCH_bce.json, the BENCH_sweep.json-style artifact
+# tracking the perf trajectory across commits.
+#
+#     ./scripts/bench_hot.sh        # or: make bench-hot
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== checked-load micro benchmarks (per strategy)"
+go test -run '^$' -bench 'BenchmarkLoadU(8|32|64)PerStrategy' -benchtime 100ms ./internal/mem
+
+echo "== elide on/off macro benchmarks (gemm, atax; trap strategy)"
+go test -run '^$' -bench 'Benchmark(Gemm|Atax)Compiled' -benchtime 1s .
+
+echo "== BENCH_bce.json"
+go run ./cmd/leapsbench -benchbce BENCH_bce.json

@@ -20,9 +20,18 @@ go test ./...
 # measurements: the metrics registry and trace ring, the simulated
 # kernel's lock/fault accounting, linear memory and the arena pool,
 # the fault injector, the hazard-pointer domain behind arena
-# recycling, the module cache's singleflight compile path, and the
-# sweep scheduler.
-echo "== go test -race (obs, vmm, mem, faultinject, hazard, modcache, harness)"
-go test -race -count=1 ./internal/obs/ ./internal/vmm/ ./internal/mem/ ./internal/faultinject/ ./internal/hazard/ ./internal/modcache/ ./internal/harness/
+# recycling, the module cache's singleflight compile path, the sweep
+# scheduler, and the compiled engines (the elision pass's unchecked
+# closures read the raw backing pointer; the race pass must cover
+# them).
+echo "== go test -race (obs, vmm, mem, faultinject, hazard, modcache, harness, compiled)"
+go test -race -count=1 ./internal/obs/ ./internal/vmm/ ./internal/mem/ ./internal/faultinject/ ./internal/hazard/ ./internal/modcache/ ./internal/harness/ ./internal/compiled/
+
+# Quick elide differential: the bounds-check elision pass must be
+# observationally equivalent to per-access checks — same digests,
+# same trap causes, same trap offsets — under all five strategies,
+# with the race detector watching the unchecked fast paths.
+echo "== elide-diff (elide=on vs elide=off differential, -race)"
+go test -race -count=1 -run 'TestDifferentialElide' -short ./internal/compiled/
 
 echo "verify: OK"
