@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify bench bench-quick bench-hot figures fuzz-smoke
+.PHONY: build test vet race verify check bench bench-quick bench-hot bench-gate figures fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -12,12 +12,14 @@ test:
 	$(GO) test ./...
 
 # Short race pass over the concurrency-heavy packages (the metrics
-# registry, the simulated VM subsystem, linear memory and the arena
-# pool, the fault injector, the hazard-pointer domain, the module
-# cache's singleflight path, the sweep scheduler, the compiled
-# engines' unchecked fast paths).
+# registry and span tracing, the simulated VM subsystem, linear
+# memory and the arena pool, the fault injector, the hazard-pointer
+# domain, the module cache's singleflight path, the sweep scheduler,
+# the compiled engines' unchecked fast paths, the tiered engine's
+# background workers and GC controller, and the live telemetry
+# server streaming from the trace ring).
 race:
-	$(GO) test -race -count=1 ./internal/obs/ ./internal/vmm/ ./internal/mem/ ./internal/faultinject/ ./internal/hazard/ ./internal/modcache/ ./internal/harness/ ./internal/compiled/
+	$(GO) test -race -count=1 ./internal/obs/ ./internal/vmm/ ./internal/mem/ ./internal/faultinject/ ./internal/hazard/ ./internal/modcache/ ./internal/harness/ ./internal/compiled/ ./internal/tiered/ ./internal/telemetry/
 
 # Short coverage-guided fuzz pass over the binary decoder, the
 # validator, and the elide on/off differential (~10s each);
@@ -30,6 +32,19 @@ fuzz-smoke:
 # The full tier-1 gate: build + vet + tests + race pass.
 verify:
 	./scripts/verify.sh
+
+# Everything the repo can check about itself: the tier-1 gate (which
+# includes the telemetry endpoint smoke tests and the Chrome/Perfetto
+# trace validity tests) plus the benchmark regression gate against
+# the committed BENCH_*.json baselines.
+check: verify bench-gate
+
+# Benchmark regression gate: quick re-measurement of the cache sweep
+# and elision suites, compared (with tolerances) against the
+# committed BENCH_sweep.json / BENCH_bce.json; verdict and provenance
+# land in BENCH_gate.json.
+bench-gate:
+	./scripts/bench_check.sh
 
 bench:
 	$(GO) test -bench=. -benchmem .

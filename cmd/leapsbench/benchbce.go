@@ -116,7 +116,28 @@ func runBenchBCE(path string, quick bool) error {
 		defer f.Close()
 		out = f
 	}
+	rep, err := collectBenchBCE(quick)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+	for _, r := range rep.Runs {
+		fmt.Fprintf(os.Stderr, "benchbce: %-6s %-9s off %8v on %8v (%.1f%% faster), checksums match: %v\n",
+			r.Workload, r.Strategy,
+			time.Duration(r.ElideOffWallNs).Round(time.Microsecond),
+			time.Duration(r.ElideOnWallNs).Round(time.Microsecond),
+			r.ImprovementPct, r.ChecksumsMatch)
+	}
+	return nil
+}
 
+// collectBenchBCE measures the elision benchmark and returns its
+// report (shared by -benchbce and the -benchgate regression gate).
+func collectBenchBCE(quick bool) (*benchBCEReport, error) {
 	rep := benchBCEReport{
 		HostCPUs:         runtime.NumCPU(),
 		GOMAXPROCS:       runtime.GOMAXPROCS(0),
@@ -131,7 +152,7 @@ func runBenchBCE(path string, quick bool) error {
 		for _, w := range []int{8, 32, 64} {
 			ns, err := microLoadNs(s, w)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			row[fmt.Sprintf("u%d", w)] = ns
 		}
@@ -147,7 +168,7 @@ func runBenchBCE(path string, quick bool) error {
 	for _, name := range []string{"gemm", "atax"} {
 		wl, err := workloads.ByName(name)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		for _, s := range mem.Strategies() {
 			var wall [2]time.Duration
@@ -161,7 +182,7 @@ func runBenchBCE(path string, quick bool) error {
 					NoElide: noElide,
 				})
 				if err != nil {
-					return err
+					return nil, err
 				}
 				wall[i] = res.MedianWall
 				sums[i] = res.Checksum
@@ -188,18 +209,5 @@ func runBenchBCE(path string, quick bool) error {
 		Revalidations:   after.Revalidations - before.Revalidations,
 		AddrFused:       after.AddrFused - before.AddrFused,
 	}
-
-	enc := json.NewEncoder(out)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(rep); err != nil {
-		return err
-	}
-	for _, r := range rep.Runs {
-		fmt.Fprintf(os.Stderr, "benchbce: %-6s %-9s off %8v on %8v (%.1f%% faster), checksums match: %v\n",
-			r.Workload, r.Strategy,
-			time.Duration(r.ElideOffWallNs).Round(time.Microsecond),
-			time.Duration(r.ElideOnWallNs).Round(time.Microsecond),
-			r.ImprovementPct, r.ChecksumsMatch)
-	}
-	return nil
+	return &rep, nil
 }

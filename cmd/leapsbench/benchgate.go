@@ -1,0 +1,159 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+)
+
+// gateCheck is one pass/fail comparison between a freshly measured
+// number and its committed baseline (already tolerance-adjusted).
+type gateCheck struct {
+	Name string  `json:"name"`
+	OK   bool    `json:"ok"`
+	Got  float64 `json:"got"`
+	Want float64 `json:"want"` // threshold Got is held against
+}
+
+// benchGateReport is the JSON artifact of -benchgate
+// (BENCH_gate.json): the verdict of re-running the two benchmark
+// suites and holding them against the committed BENCH_sweep.json and
+// BENCH_bce.json, with enough provenance (both SHAs) to reconstruct
+// what was compared to what.
+type benchGateReport struct {
+	GitSHA           string    `json:"git_sha"`
+	BaselineSweepSHA string    `json:"baseline_sweep_sha"`
+	BaselineBCESHA   string    `json:"baseline_bce_sha"`
+	Quick            bool      `json:"quick"`
+	When             time.Time `json:"when"`
+
+	Checks []gateCheck `json:"checks"`
+	Pass   bool        `json:"pass"`
+
+	Fresh struct {
+		Sweep *benchSweepReport `json:"sweep"`
+		BCE   *benchBCEReport   `json:"bce"`
+	} `json:"fresh"`
+}
+
+// loadBaseline decodes a committed benchmark artifact.
+func loadBaseline(path string, into any) error {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("benchgate: no committed baseline %s (run make bench-quick / make bench-hot first): %w", path, err)
+	}
+	return json.Unmarshal(b, into)
+}
+
+// meanImprovement averages the elide-on improvement over a report's
+// macro runs (percentage points).
+func meanImprovement(runs []benchBCERun) float64 {
+	if len(runs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, r := range runs {
+		sum += r.ImprovementPct
+	}
+	return sum / float64(len(runs))
+}
+
+// runBenchGate re-measures both benchmark suites and compares them
+// against the committed artifacts. Wall clocks are too noisy to gate
+// on directly, so the checks are structural and ratio-based with
+// explicit tolerances:
+//
+//   - sweep checksums still match and the warm pass still runs fully
+//     from cache (zero misses);
+//   - the cache hit rate is within 0.05 of the committed one;
+//   - warm-parallel is not slower than cold-serial by more than 10%
+//     (the cache win must not silently invert);
+//   - elision checksums still match, the pass still elides checks,
+//     and its mean improvement is within 15 percentage points of the
+//     committed mean.
+//
+// The verdict (and both baselines' SHAs) land in BENCH_gate.json; a
+// failing gate also returns an error so `make bench-gate` exits
+// nonzero.
+func runBenchGate(path string, quick bool) error {
+	var baseSweep benchSweepReport
+	var baseBCE benchBCEReport
+	if err := loadBaseline("BENCH_sweep.json", &baseSweep); err != nil {
+		return err
+	}
+	if err := loadBaseline("BENCH_bce.json", &baseBCE); err != nil {
+		return err
+	}
+
+	rep := benchGateReport{
+		GitSHA:           gitSHA(),
+		BaselineSweepSHA: baseSweep.GitSHA,
+		BaselineBCESHA:   baseBCE.GitSHA,
+		Quick:            quick,
+		When:             time.Now().UTC(),
+	}
+
+	sweep, err := collectBenchSweep(quick)
+	if err != nil {
+		return err
+	}
+	bce, err := collectBenchBCE(quick)
+	if err != nil {
+		return err
+	}
+	rep.Fresh.Sweep = sweep
+	rep.Fresh.BCE = bce
+
+	b2f := func(b bool) float64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	rep.Checks = []gateCheck{
+		{Name: "sweep_checksums_match", OK: sweep.ChecksumsMatch, Got: b2f(sweep.ChecksumsMatch), Want: 1},
+		{Name: "sweep_warm_cache_misses_zero", OK: sweep.CacheMisses == 0, Got: float64(sweep.CacheMisses), Want: 0},
+		{Name: "sweep_cache_hit_rate", OK: sweep.CacheHitRate >= baseSweep.CacheHitRate-0.05,
+			Got: sweep.CacheHitRate, Want: baseSweep.CacheHitRate - 0.05},
+		{Name: "sweep_speedup", OK: sweep.Speedup >= 0.9, Got: sweep.Speedup, Want: 0.9},
+		{Name: "bce_checksums_match", OK: bce.AllChecksumsMatch, Got: b2f(bce.AllChecksumsMatch), Want: 1},
+		{Name: "bce_checks_elided", OK: bce.Elision.ChecksElided > 0,
+			Got: float64(bce.Elision.ChecksElided), Want: 1},
+		{Name: "bce_mean_improvement_pct", OK: meanImprovement(bce.Runs) >= meanImprovement(baseBCE.Runs)-15,
+			Got: meanImprovement(bce.Runs), Want: meanImprovement(baseBCE.Runs) - 15},
+	}
+	rep.Pass = true
+	for _, c := range rep.Checks {
+		rep.Pass = rep.Pass && c.OK
+	}
+
+	out := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+	for _, c := range rep.Checks {
+		mark := "ok  "
+		if !c.OK {
+			mark = "FAIL"
+		}
+		fmt.Fprintf(os.Stderr, "benchgate: %s %-28s got %.3f want >= %.3f\n", mark, c.Name, c.Got, c.Want)
+	}
+	if !rep.Pass {
+		return fmt.Errorf("benchgate: regression against baselines %s (sweep) / %s (bce)",
+			rep.BaselineSweepSHA, rep.BaselineBCESHA)
+	}
+	fmt.Fprintf(os.Stderr, "benchgate: PASS against baselines %s (sweep) / %s (bce)\n",
+		rep.BaselineSweepSHA, rep.BaselineBCESHA)
+	return nil
+}

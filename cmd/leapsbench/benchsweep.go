@@ -105,10 +105,6 @@ func prewarm(optss []harness.Options) error {
 // runBenchSweep executes the cold-vs-warm cache benchmark and writes
 // the JSON report to path ("-" for stdout).
 func runBenchSweep(path string, quick bool) error {
-	optss, err := benchSweepConfigs(quick)
-	if err != nil {
-		return err
-	}
 	// Open the report destination before measuring anything, so a bad
 	// path fails fast instead of after the sweep.
 	out := os.Stdout
@@ -120,6 +116,30 @@ func runBenchSweep(path string, quick bool) error {
 		defer f.Close()
 		out = f
 	}
+	rep, err := collectBenchSweep(quick)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr,
+		"benchsweep: %d configs on %d CPUs: cold serial %v, warm parallel %v (%.2fx), hit rate %.0f%%, compile time saved %v, checksums match: %v\n",
+		len(rep.Configs), rep.HostCPUs, time.Duration(rep.ColdSerialWallNs).Round(time.Millisecond),
+		time.Duration(rep.WarmParallelWallNs).Round(time.Millisecond), rep.Speedup,
+		rep.CacheHitRate*100, time.Duration(rep.CompileNsSaved).Round(time.Millisecond), rep.ChecksumsMatch)
+	return nil
+}
+
+// collectBenchSweep measures the cache benchmark and returns its
+// report (shared by -benchsweep and the -benchgate regression gate).
+func collectBenchSweep(quick bool) (*benchSweepReport, error) {
+	optss, err := benchSweepConfigs(quick)
+	if err != nil {
+		return nil, err
+	}
 	cache := modcache.Shared()
 
 	// Pass 1: cold and serial — the pre-cache baseline. Disabling the
@@ -130,7 +150,7 @@ func runBenchSweep(path string, quick bool) error {
 	t0 := time.Now()
 	res1, err := harness.RunSweep(harness.SweepOf(optss...), harness.SweepOptions{Serial: true})
 	if err != nil {
-		return err
+		return nil, err
 	}
 	coldWall := time.Since(t0)
 
@@ -141,14 +161,14 @@ func runBenchSweep(path string, quick bool) error {
 	cache.Purge()
 	tw := time.Now()
 	if err := prewarm(optss); err != nil {
-		return err
+		return nil, err
 	}
 	prewarmDur := time.Since(tw)
 	before := cache.Stats()
 	t1 := time.Now()
 	res2, err := harness.RunSweep(harness.SweepOf(optss...), harness.SweepOptions{})
 	if err != nil {
-		return err
+		return nil, err
 	}
 	warmWall := time.Since(t1)
 	after := cache.Stats()
@@ -162,7 +182,7 @@ func runBenchSweep(path string, quick bool) error {
 		}
 	}
 
-	rep := benchSweepReport{
+	return &benchSweepReport{
 		HostCPUs:           runtime.NumCPU(),
 		GOMAXPROCS:         runtime.GOMAXPROCS(0),
 		GitSHA:             gitSHA(),
@@ -178,17 +198,5 @@ func runBenchSweep(path string, quick bool) error {
 		CompileNsSaved:     after.CompileNsSaved - before.CompileNsSaved,
 		PrewarmNs:          prewarmDur.Nanoseconds(),
 		ChecksumsMatch:     match,
-	}
-
-	enc := json.NewEncoder(out)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(rep); err != nil {
-		return err
-	}
-	fmt.Fprintf(os.Stderr,
-		"benchsweep: %d configs on %d CPUs: cold serial %v, warm parallel %v (%.2fx), hit rate %.0f%%, compile time saved %v, checksums match: %v\n",
-		len(configs), rep.HostCPUs, coldWall.Round(time.Millisecond),
-		warmWall.Round(time.Millisecond), rep.Speedup,
-		rep.CacheHitRate*100, time.Duration(rep.CompileNsSaved).Round(time.Millisecond), match)
-	return nil
+	}, nil
 }

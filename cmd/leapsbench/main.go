@@ -31,6 +31,7 @@ import (
 	"leapsandbounds/internal/mem"
 	"leapsandbounds/internal/modcache"
 	"leapsandbounds/internal/obs"
+	"leapsandbounds/internal/telemetry"
 	"leapsandbounds/internal/workloads"
 )
 
@@ -50,6 +51,9 @@ func main() {
 		ops      = flag.Bool("ops", false, "single-run mode: print the executed-op histogram instead of timing")
 		asJSON   = flag.Bool("json", false, "single-run mode: emit the result as JSON")
 		metrics  = flag.String("metrics", "", "write run metrics and trace events to this file (.json, .csv, or .txt summary; \"-\" for stdout)")
+		trace    = flag.String("trace", "", "record causal spans and write a Chrome/Perfetto trace-event JSON to this file; also prints the critical-path attribution table")
+		serve    = flag.String("serve", "", "serve live telemetry on this address while the run executes (/metrics, /snapshot, /events, /debug/pprof)")
+		bgate    = flag.String("benchgate", "", "re-run both benchmark suites and gate them against the committed BENCH_sweep.json/BENCH_bce.json, writing the verdict to this file (\"-\" for stdout)")
 		parallel = flag.Bool("parallel", true, "figure mode: schedule configurations through the sweep scheduler (single-isolate runs pack onto a worker pool; thread-scaling runs stay exclusive)")
 		nocache  = flag.Bool("nocache", false, "disable the compiled-module cache (every run pays the full compile)")
 		elide    = flag.Bool("elide", true, "single-run mode: bounds-check elision in engines that support it (wavm); -elide=false compiles with per-access checks")
@@ -60,14 +64,39 @@ func main() {
 	)
 	flag.Parse()
 
+	// One registry backs all three observability outputs: the -metrics
+	// sink, the -trace span recording, and the -serve live server. The
+	// final Snapshot is taken once and feeds every post-run consumer,
+	// so the metrics file, the trace file and the attribution table
+	// always describe the same drained ring.
 	var reg *obs.Registry
-	if *metrics != "" {
+	if *metrics != "" || *trace != "" || *serve != "" {
 		reg = obs.NewRegistry()
 		modcache.Shared().AttachObs(reg.Scope("modcache"))
 		compiled.AttachBCEObs(reg.Scope("bce"))
+		if *trace != "" {
+			reg.EnableTracing(true)
+		}
+	}
+	if *serve != "" {
+		srv, err := telemetry.Start(*serve, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "leapsbench:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "leapsbench: serving telemetry on http://%s/\n", srv.Addr())
 	}
 	if *nocache {
 		modcache.Shared().SetEnabled(false)
+	}
+
+	if *bgate != "" {
+		if err := runBenchGate(*bgate, *quick); err != nil {
+			fmt.Fprintln(os.Stderr, "leapsbench:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *bsweep != "" {
@@ -118,7 +147,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "leapsbench:", err)
 			os.Exit(1)
 		}
-		if err := writeMetrics(reg, *metrics); err != nil {
+		if err := finishObs(reg, *metrics, *trace); err != nil {
 			fmt.Fprintln(os.Stderr, "leapsbench:", err)
 			os.Exit(1)
 		}
@@ -173,7 +202,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "leapsbench:", err)
 		os.Exit(1)
 	}
-	if err := writeMetrics(reg, *metrics); err != nil {
+	if err := finishObs(reg, *metrics, *trace); err != nil {
 		fmt.Fprintln(os.Stderr, "leapsbench:", err)
 		os.Exit(1)
 	}
@@ -189,15 +218,47 @@ func main() {
 	printResult(res)
 }
 
-// writeMetrics flushes the registry to path, picking the sink by
+// finishObs drains the registry once, after all runs have completed
+// and joined, and feeds the single snapshot to every post-run
+// consumer: the -metrics sink, the -trace Chrome trace file, and the
+// attribution table the trace implies. One snapshot means the
+// outputs agree with each other and nothing emitted during the run
+// is lost to an early drain.
+func finishObs(reg *obs.Registry, metricsPath, tracePath string) error {
+	if reg == nil {
+		return nil
+	}
+	snap := reg.Snapshot(true)
+	if err := writeMetrics(snap, metricsPath); err != nil {
+		return err
+	}
+	if tracePath == "" {
+		return nil
+	}
+	f, err := os.Create(tracePath)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteChromeTrace(f, snap); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "leapsbench: wrote trace to %s (load at https://ui.perfetto.dev or chrome://tracing)\n", tracePath)
+	return obs.WriteAttribution(os.Stdout, obs.Attribute(snap))
+}
+
+// writeMetrics writes the snapshot to path, picking the sink by
 // extension: .csv → flat rows, .txt → human summary, anything else →
 // JSON. "-" writes the summary to stdout.
-func writeMetrics(reg *obs.Registry, path string) error {
-	if reg == nil || path == "" {
+func writeMetrics(snap *obs.Snapshot, path string) error {
+	if path == "" {
 		return nil
 	}
 	if path == "-" {
-		return reg.Flush(obs.SummarySink{W: os.Stdout})
+		return obs.SummarySink{W: os.Stdout}.Write(snap)
 	}
 	f, err := os.Create(path)
 	if err != nil {
@@ -212,7 +273,7 @@ func writeMetrics(reg *obs.Registry, path string) error {
 	default:
 		sink = obs.JSONSink{W: f}
 	}
-	if err := reg.Flush(sink); err != nil {
+	if err := sink.Write(snap); err != nil {
 		f.Close()
 		return err
 	}

@@ -236,8 +236,9 @@ func (inst *Instance) Invoke(name string, args ...uint64) ([]uint64, error) {
 	if !ok {
 		return nil, fmt.Errorf("compiled: no exported function %q", name)
 	}
+	sp := inst.base.BeginInvoke()
 	res, err := inst.invokeIndex(idx, args)
-	inst.base.ObsInvoke(err)
+	inst.base.EndInvoke(sp, err)
 	return res, err
 }
 

@@ -66,6 +66,12 @@ type Config struct {
 	// what it injects. An injector already installed on AS wins, so
 	// harness-level wiring is not overwritten.
 	Fault *faultinject.Plan
+	// Span is the causal parent for the instance's spans: the
+	// instantiate span opens under it, and kernel work between
+	// invokes (memory teardown, recycling) attributes to it. The
+	// harness points it at the current iteration's span; zero means
+	// root / untraced.
+	Span obs.SpanRef
 }
 
 // DefaultMaxPages caps memories that declare no maximum: 2048 wasm
@@ -268,6 +274,8 @@ func NewInstanceBase(m *wasm.Module, cfg Config, imports Imports) (*InstanceBase
 		obsTraps:    cfg.Obs.Counter("traps"),
 		obsInjected: cfg.Obs.Counter("injected_traps"),
 	}
+	instSpan := cfg.Obs.StartSpan(obs.SpanInstantiate, cfg.Span)
+	defer instSpan.End()
 
 	for _, im := range m.Imports {
 		switch im.Kind {
@@ -295,6 +303,10 @@ func NewInstanceBase(m *wasm.Module, cfg Config, imports Imports) (*InstanceBase
 		if maxPages == 0 {
 			maxPages = 1
 		}
+		memParent := cfg.Span
+		if instSpan.Ref().Valid() {
+			memParent = instSpan.Ref()
+		}
 		mm, err := mem.New(mem.Config{
 			Strategy:    cfg.Strategy,
 			AS:          cfg.AS,
@@ -304,6 +316,7 @@ func NewInstanceBase(m *wasm.Module, cfg Config, imports Imports) (*InstanceBase
 			DisablePool: cfg.UffdNoPool,
 			UffdPoll:    cfg.UffdPoll,
 			EagerCommit: cfg.EagerCommit,
+			Span:        memParent,
 		})
 		if err != nil {
 			return nil, err
@@ -371,6 +384,12 @@ func NewInstanceBase(m *wasm.Module, cfg Config, imports Imports) (*InstanceBase
 			return nil, fmt.Errorf("core: data segment %d: %w", i, err)
 		}
 	}
+	// Instantiation is done: faults and kernel work from here on
+	// belong to whatever context owns the instance, not to the
+	// (about-to-end) instantiate span.
+	if b.Mem != nil {
+		b.Mem.SetSpanParent(cfg.Span)
+	}
 	return b, nil
 }
 
@@ -408,6 +427,29 @@ func (b *InstanceBase) Close() error {
 		return b.Mem.Close()
 	}
 	return nil
+}
+
+// BeginInvoke opens the invoke span (under the instance's configured
+// parent) and points the memory's kernel-work attribution at it, so
+// faults taken during the call nest under the call. Engines bracket
+// Invoke with BeginInvoke/EndInvoke; the returned span is inert when
+// tracing is off, leaving only the counter cost of ObsInvoke.
+func (b *InstanceBase) BeginInvoke() obs.Span {
+	sp := b.Cfg.Obs.StartSpan(obs.SpanInvoke, b.Cfg.Span)
+	if sp.Ref().Valid() && b.Mem != nil {
+		b.Mem.SetSpanParent(sp.Ref())
+	}
+	return sp
+}
+
+// EndInvoke closes what BeginInvoke opened, restores the memory's
+// span parent, and records the invocation outcome.
+func (b *InstanceBase) EndInvoke(sp obs.Span, err error) {
+	if sp.Ref().Valid() && b.Mem != nil {
+		b.Mem.SetSpanParent(b.Cfg.Span)
+	}
+	sp.End()
+	b.ObsInvoke(err)
 }
 
 // ObsInvoke records one completed Invoke call: every engine calls it

@@ -234,6 +234,11 @@ func Run(opts Options) (*Result, error) {
 	}
 	runScope := opts.Obs.Scope(opts.RunLabel())
 	iterHist := runScope.Histogram("iter_wall_ns")
+	// Root of the run's causal span tree (inert unless the registry
+	// has tracing enabled); everything below — iterations, invokes,
+	// faults, kernel ops, lock waits — parents back to it.
+	runSpan := runScope.StartSpan(obs.SpanRun, obs.SpanRef{})
+	defer runSpan.End()
 
 	procs := make([]*vmm.AddressSpace, numProcs)
 	pools := make([]*mem.ArenaPool, numProcs)
@@ -255,12 +260,14 @@ func Run(opts Options) (*Result, error) {
 
 	// iterators[p] runs one isolate lifecycle in process p and
 	// returns the timed execution duration, the checksum, and the
-	// per-iteration simulated time (0 when not counted).
-	iterators := make([]func() (time.Duration, uint64, time.Duration, error), numProcs)
+	// per-iteration simulated time (0 when not counted). parent is
+	// the iteration span the lifecycle's spans nest under (zero when
+	// tracing is off).
+	iterators := make([]func(parent obs.SpanRef) (time.Duration, uint64, time.Duration, error), numProcs)
 
 	if opts.Engine == EngineNative {
 		for p := range iterators {
-			iterators[p] = func() (time.Duration, uint64, time.Duration, error) {
+			iterators[p] = func(obs.SpanRef) (time.Duration, uint64, time.Duration, error) {
 				t0 := time.Now()
 				sum := native()
 				return time.Since(t0), sum, 0, nil
@@ -301,8 +308,10 @@ func Run(opts Options) (*Result, error) {
 				EagerCommit: opts.EagerCommit,
 				Obs:         engineScopes[p],
 			}
-			iterators[p] = func() (time.Duration, uint64, time.Duration, error) {
-				inst, err := core.InstantiateWithRetry(cm, cfg, nil)
+			iterators[p] = func(parent obs.SpanRef) (time.Duration, uint64, time.Duration, error) {
+				c := cfg
+				c.Span = parent
+				inst, err := core.InstantiateWithRetry(cm, c, nil)
 				if err != nil {
 					return 0, 0, 0, err
 				}
@@ -362,11 +371,13 @@ func Run(opts Options) (*Result, error) {
 		finished  sync.WaitGroup
 		threads   = opts.Threads
 		stopWatch = make(chan struct{})
+		watchDone = make(chan struct{})
 	)
 
 	// Resident-memory watcher.
 	var residentPeak, residentSum, residentSamples atomic.Int64
 	go func() {
+		defer close(watchDone)
 		ticker := time.NewTicker(500 * time.Microsecond)
 		defer ticker.Stop()
 		for {
@@ -401,7 +412,16 @@ func Run(opts Options) (*Result, error) {
 			runtime.LockOSThread()
 			defer runtime.UnlockOSThread()
 			as := procs[w%numProcs]
-			iterate := iterators[w%numProcs]
+			inner := iterators[w%numProcs]
+			// Each isolate lifecycle gets an iteration span under the
+			// run root; the lifecycle's own spans (instantiate, invoke,
+			// faults, kernel ops) nest under it through Config.Span.
+			iterate := func() (time.Duration, uint64, time.Duration, error) {
+				sp := runScope.StartSpan(obs.SpanIter, runSpan.Ref())
+				dt, sum, sim, err := inner(sp.Ref())
+				sp.End()
+				return dt, sum, sim, err
+			}
 			as.AddThread()
 			defer as.RemoveThread()
 
@@ -481,6 +501,9 @@ func Run(opts Options) (*Result, error) {
 	after := sysmon.Read()
 	vmAfter := sumSnapshots(procs)
 	close(stopWatch)
+	// Join the watcher: it reads the address spaces and a snapshot
+	// taken after Run returns must not race its final tick.
+	<-watchDone
 
 	var allTimes, allSims []time.Duration
 	var checksum uint64

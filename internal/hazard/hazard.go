@@ -13,7 +13,10 @@ package hazard
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 	"unsafe"
+
+	"leapsandbounds/internal/obs"
 )
 
 // ptrOf erases a typed pointer for identity comparison in the hazard
@@ -30,8 +33,40 @@ const MaxReaders = 128
 type Domain struct {
 	slots [MaxReaders]slot
 
+	// obs carries the attached telemetry (nil until AttachObs):
+	// retire/reclaim counters, the pending-reclamation gauge, and
+	// the scope reclamation-batch spans record into.
+	obs atomic.Pointer[domainObs]
+
 	mu      sync.Mutex
 	retired []retiredPtr
+}
+
+// domainObs bundles the metrics resolved once at attach time so the
+// reclamation path does a single atomic load, not map lookups.
+type domainObs struct {
+	sc        *obs.Scope
+	retired   *obs.Counter
+	reclaimed *obs.Counter
+	pending   *obs.Gauge
+}
+
+// AttachObs routes the domain's reclamation telemetry to sc: how
+// many pointers were retired, how many reclaimed, how many are
+// parked waiting for a reader, and — when tracing is enabled — a
+// hazard.reclaim span per reclamation batch. A nil scope detaches.
+// Safe to call at any time; activity before attachment is dropped.
+func (d *Domain) AttachObs(sc *obs.Scope) {
+	if sc == nil {
+		d.obs.Store(nil)
+		return
+	}
+	d.obs.Store(&domainObs{
+		sc:        sc,
+		retired:   sc.Counter("retired"),
+		reclaimed: sc.Counter("reclaimed"),
+		pending:   sc.Gauge("pending"),
+	})
 }
 
 type slot struct {
@@ -108,10 +143,13 @@ func Retire[T any](d *Domain, p *T, reclaim func()) {
 	d.mu.Lock()
 	d.retired = append(d.retired, retiredPtr{p: (*byte)(ptrOf(p)), reclaim: reclaim})
 	ready := d.scanLocked()
+	pending := len(d.retired)
 	d.mu.Unlock()
-	for _, r := range ready {
-		r.reclaim()
+	if o := d.obs.Load(); o != nil {
+		o.retired.Inc()
+		o.pending.Set(int64(pending))
 	}
+	d.runReclaims(ready)
 }
 
 // Flush attempts to reclaim everything currently retired; pointers
@@ -119,11 +157,42 @@ func Retire[T any](d *Domain, p *T, reclaim func()) {
 func (d *Domain) Flush() int {
 	d.mu.Lock()
 	ready := d.scanLocked()
+	pending := len(d.retired)
 	d.mu.Unlock()
+	if o := d.obs.Load(); o != nil {
+		o.pending.Set(int64(pending))
+	}
+	d.runReclaims(ready)
+	return len(ready)
+}
+
+// runReclaims runs a batch of reclaim callbacks outside the domain
+// lock, recording the batch (count + a retroactive hazard.reclaim
+// span covering the callbacks' wall time) when telemetry is
+// attached. Reclaimers run exactly as they would untraced.
+func (d *Domain) runReclaims(ready []retiredPtr) {
+	if len(ready) == 0 {
+		return
+	}
+	o := d.obs.Load()
+	if o == nil {
+		for _, r := range ready {
+			r.reclaim()
+		}
+		return
+	}
+	traced := o.sc.TracingEnabled()
+	var t0 time.Time
+	if traced {
+		t0 = time.Now()
+	}
 	for _, r := range ready {
 		r.reclaim()
 	}
-	return len(ready)
+	o.reclaimed.Add(int64(len(ready)))
+	if traced {
+		o.sc.EndedSpan(obs.SpanHazardReclaim, obs.SpanRef{}, time.Since(t0).Nanoseconds())
+	}
 }
 
 // RetiredCount returns the number of pointers awaiting reclamation.

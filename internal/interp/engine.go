@@ -162,8 +162,9 @@ func (inst *Instance) Invoke(name string, args ...uint64) (res []uint64, err err
 	if !ok {
 		return nil, fmt.Errorf("interp: no exported function %q", name)
 	}
+	sp := inst.base.BeginInvoke()
 	res, err = inst.invokeIndex(idx, args)
-	inst.base.ObsInvoke(err)
+	inst.base.EndInvoke(sp, err)
 	return res, err
 }
 

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"leapsandbounds/internal/faultinject"
+	"leapsandbounds/internal/obs"
 	"leapsandbounds/internal/vmm"
 	"leapsandbounds/internal/wasm"
 )
@@ -166,7 +167,7 @@ func TestArenaDoubleRelease(t *testing.T) {
 	as := testAS()
 	pool := NewArenaPool()
 	defer pool.Drain()
-	a, err := pool.get(as, 4*wasm.PageSize)
+	a, err := pool.get(as, 4*wasm.PageSize, obs.SpanRef{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,7 +178,7 @@ func TestArenaDoubleRelease(t *testing.T) {
 		t.Fatalf("second put: %v, want ErrArenaDoubleRelease", err)
 	}
 	// Re-acquiring re-arms the guard.
-	b, err := pool.get(as, 4*wasm.PageSize)
+	b, err := pool.get(as, 4*wasm.PageSize, obs.SpanRef{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,7 +197,7 @@ func TestArenaConcurrentDoubleRelease(t *testing.T) {
 	as := testAS()
 	pool := NewArenaPool()
 	defer pool.Drain()
-	a, err := pool.get(as, 4*wasm.PageSize)
+	a, err := pool.get(as, 4*wasm.PageSize, obs.SpanRef{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -123,6 +123,11 @@ type Config struct {
 	// latency the paper's footnote 2 cites as the reason to prefer
 	// SIGBUS delivery.
 	UffdPoll bool
+	// Span is the causal parent for spans emitted during
+	// instantiation (kernel.mmap, pool.get) and, until SetSpanParent
+	// repoints it, for subsequent kernel work on the mapping. Zero
+	// means root / untraced.
+	Span obs.SpanRef
 }
 
 // Memory is one instance's linear memory. Not safe for concurrent
@@ -215,7 +220,7 @@ func New(cfg Config) (*Memory, error) {
 	}
 	switch cfg.Strategy {
 	case None, Clamp, Trap:
-		mp, err := cfg.AS.Mmap(Reserve, m.maxBytes, vmm.ProtRW)
+		mp, err := cfg.AS.MmapTraced(Reserve, m.maxBytes, vmm.ProtRW, cfg.Span)
 		if err != nil {
 			return nil, err
 		}
@@ -233,7 +238,7 @@ func New(cfg Config) (*Memory, error) {
 			m.fastLimit = m.sizeBytes
 		}
 	case Mprotect:
-		mp, err := cfg.AS.Mmap(Reserve, m.maxBytes, vmm.ProtNone)
+		mp, err := cfg.AS.MmapTraced(Reserve, m.maxBytes, vmm.ProtNone, cfg.Span)
 		if err != nil {
 			return nil, err
 		}
@@ -250,7 +255,7 @@ func New(cfg Config) (*Memory, error) {
 		}
 	case Uffd:
 		if cfg.DisablePool {
-			mp, err := cfg.AS.Mmap(Reserve, m.maxBytes, vmm.ProtNone)
+			mp, err := cfg.AS.MmapTraced(Reserve, m.maxBytes, vmm.ProtNone, cfg.Span)
 			if err != nil {
 				return nil, err
 			}
@@ -269,7 +274,7 @@ func New(cfg Config) (*Memory, error) {
 		if cfg.Pool == nil {
 			return nil, fmt.Errorf("mem: the uffd strategy requires an arena pool")
 		}
-		a, err := cfg.Pool.get(cfg.AS, m.maxBytes)
+		a, err := cfg.Pool.get(cfg.AS, m.maxBytes, cfg.Span)
 		if err != nil {
 			if site, ok := faultinject.IsTransient(err); ok {
 				// Pool exhausted (injected): degrade to the mprotect
@@ -277,7 +282,7 @@ func New(cfg Config) (*Memory, error) {
 				// semantics are identical — both virtual-memory
 				// strategies fault and commit lazily — so the
 				// degradation is invisible to the guest.
-				mp, merr := cfg.AS.Mmap(Reserve, m.maxBytes, vmm.ProtNone)
+				mp, merr := cfg.AS.MmapTraced(Reserve, m.maxBytes, vmm.ProtNone, cfg.Span)
 				if merr != nil {
 					return nil, merr
 				}
@@ -327,6 +332,18 @@ func (m *Memory) Close() error {
 		m.poll.close()
 	}
 	return m.mapping.Munmap()
+}
+
+// SetSpanParent repoints the causal parent of kernel work this
+// memory causes from now on — fault-path commits, grow mprotects,
+// arena recycling at Close. Higher layers call it at context
+// boundaries: core points it at the invoke span on entry and back at
+// the instance's span on exit, so a trace attributes each fault to
+// the invocation that triggered it. Zero detaches.
+func (m *Memory) SetSpanParent(ref obs.SpanRef) {
+	if m.mapping != nil {
+		m.mapping.SetSpanParent(ref)
+	}
 }
 
 // Strategy returns the memory's bounds-checking strategy.
@@ -492,6 +509,19 @@ func (m *Memory) fault(addr, n uint64, write bool) uint64 {
 	// beyond it are genuine bounds violations.
 	if addr+n > m.sizeBytes || addr+n < addr {
 		trap.Throwf(trap.OutOfBounds, "access at %#x+%d beyond size %d", addr, n, m.sizeBytes)
+	}
+	// Open the fault span under the mapping's current parent (the
+	// invoke that triggered the access) and make it the parent of the
+	// kernel work the handler performs, restoring on exit (including
+	// trap unwinds, which panic through this frame). The zero-span
+	// check keeps the disabled path free of atomic stores.
+	saved := m.mapping.SpanParent()
+	if sp := m.obs.StartSpan(obs.SpanFault, saved); sp.Ref().Valid() {
+		m.mapping.SetSpanParent(sp.Ref())
+		defer func() {
+			m.mapping.SetSpanParent(saved)
+			sp.End()
+		}()
 	}
 	ps := m.mapping.PageSize()
 	start := addr / ps * ps

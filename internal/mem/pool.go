@@ -3,6 +3,7 @@ package mem
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"leapsandbounds/internal/faultinject"
@@ -29,6 +30,10 @@ var ErrArenaDoubleRelease = errors.New("mem: arena released to the pool twice")
 type ArenaPool struct {
 	head   atomic.Pointer[arena]
 	domain hazard.Domain
+	// obsOnce wires the hazard domain's reclamation telemetry to the
+	// first acquiring process's scope (pools are per-process, so the
+	// first is the only one).
+	obsOnce sync.Once
 	// pollServer serves poll-mode fault delivery when a Memory is
 	// configured with UffdPoll (one handler thread per process, as
 	// a real poll-mode userfaultfd deployment would run).
@@ -66,7 +71,12 @@ func NewArenaPool() *ArenaPool {
 // a fresh uffd-registered reservation. Injected pool exhaustion
 // surfaces as a transient error callers may absorb by falling back
 // to another strategy; injected registry contention stalls the call.
-func (p *ArenaPool) get(as *vmm.AddressSpace, maxBytes uint64) (*arena, error) {
+// parent is the causal span the acquisition (and any mmap it causes)
+// reports under; the returned arena's mapping is re-parented to it.
+func (p *ArenaPool) get(as *vmm.AddressSpace, maxBytes uint64, parent obs.SpanRef) (*arena, error) {
+	p.obsOnce.Do(func() { p.domain.AttachObs(as.Obs().Child("hazard")) })
+	sp := as.Obs().StartSpan(obs.SpanPoolGet, parent)
+	defer sp.End()
 	inj := as.Injector()
 	inj.DelayIf(faultinject.SitePoolContention)
 	if err := inj.Fail(faultinject.SitePoolGet); err != nil {
@@ -74,10 +84,11 @@ func (p *ArenaPool) get(as *vmm.AddressSpace, maxBytes uint64) (*arena, error) {
 	}
 	if a := p.pop(maxBytes); a != nil {
 		p.reused.Add(1)
+		a.mapping.SetSpanParent(parent)
 		as.Obs().Emit(obs.EvArenaReuse, int64(a.mapping.Backing()), 0)
 		return a, nil
 	}
-	mp, err := as.Mmap(Reserve, maxBytes, vmm.ProtNone)
+	mp, err := as.MmapTraced(Reserve, maxBytes, vmm.ProtNone, sp.Ref())
 	if err != nil {
 		return nil, err
 	}
@@ -85,6 +96,7 @@ func (p *ArenaPool) get(as *vmm.AddressSpace, maxBytes uint64) (*arena, error) {
 		_ = mp.Munmap()
 		return nil, err
 	}
+	mp.SetSpanParent(parent)
 	p.created.Add(1)
 	as.Obs().Emit(obs.EvArenaCreate, int64(maxBytes), 0)
 	return &arena{mapping: mp, obs: as.Obs()}, nil
@@ -124,6 +136,17 @@ func (p *ArenaPool) put(a *arena, usedBytes uint64) error {
 	if a.pooled.Swap(true) {
 		return ErrArenaDoubleRelease
 	}
+	// Recycling work (decommit) parents under a pool.put span, itself
+	// under whatever the closing instance last pointed the mapping at;
+	// once parked the arena is detached from that instance's tree.
+	sp := a.obs.StartSpan(obs.SpanPoolPut, a.mapping.SpanParent())
+	if sp.Ref().Valid() {
+		a.mapping.SetSpanParent(sp.Ref())
+	}
+	defer func() {
+		a.mapping.SetSpanParent(obs.SpanRef{})
+		sp.End()
+	}()
 	inj := a.mapping.AddressSpace().Injector()
 	inj.DelayIf(faultinject.SitePoolContention)
 	if usedBytes > a.highWater {
@@ -168,17 +191,25 @@ func (p *ArenaPool) put(a *arena, usedBytes uint64) error {
 }
 
 // Drain unmaps every pooled arena, retiring each through the hazard
-// domain so in-flight pops complete safely.
+// domain so in-flight pops complete safely. The teardown is one
+// pool.drain span: every arena's final munmap — immediate or
+// deferred past a protecting reader — parents under it.
 func (p *ArenaPool) Drain() {
+	var sp obs.Span
 	for {
 		a := p.pop(0)
 		if a == nil {
 			break
 		}
+		if !sp.Ref().Valid() {
+			sp = a.obs.StartSpan(obs.SpanPoolDrain, obs.SpanRef{})
+		}
 		m := a.mapping
+		m.SetSpanParent(sp.Ref())
 		hazard.Retire(&p.domain, a, func() { _ = m.Munmap() })
 	}
 	p.domain.Flush()
+	sp.End()
 	if p.pollServer != nil {
 		p.pollServer.close()
 	}

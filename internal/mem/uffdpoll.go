@@ -2,6 +2,7 @@ package mem
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"leapsandbounds/internal/vmm"
 )
@@ -14,11 +15,13 @@ import (
 // footnote 2); this server exists to make that choice measurable
 // (see the uffd-delivery ablation).
 type uffdServer struct {
-	reqs    chan uffdReq
-	stop    chan struct{}
-	started sync.Once
-	stopped sync.Once
-	pool    sync.Pool // of chan error
+	reqs     chan uffdReq
+	stop     chan struct{}
+	done     chan struct{} // closed when the handler goroutine exits
+	started  sync.Once
+	stopped  sync.Once
+	launched atomic.Bool // true once the handler goroutine exists
+	pool     sync.Pool   // of chan error
 }
 
 type uffdReq struct {
@@ -32,6 +35,7 @@ func newUffdServer() *uffdServer {
 	s := &uffdServer{
 		reqs: make(chan uffdReq),
 		stop: make(chan struct{}),
+		done: make(chan struct{}),
 	}
 	s.pool.New = func() any { return make(chan error, 1) }
 	return s
@@ -40,7 +44,9 @@ func newUffdServer() *uffdServer {
 // start launches the handler thread on first use.
 func (s *uffdServer) start() {
 	s.started.Do(func() {
+		s.launched.Store(true)
 		go func() {
+			defer close(s.done)
 			for {
 				select {
 				case <-s.stop:
@@ -70,7 +76,15 @@ func (s *uffdServer) resolve(m *vmm.Mapping, off, length uint64) error {
 	return err
 }
 
-// close stops the handler thread.
+// close stops the handler thread and joins it. The join matters for
+// metric correctness: the handler mutates registry counters (page
+// commits via UffdZeroPages), so a snapshot taken after close must
+// not race a still-draining handler and under-count.
 func (s *uffdServer) close() {
-	s.stopped.Do(func() { close(s.stop) })
+	s.stopped.Do(func() {
+		close(s.stop)
+		if s.launched.Load() {
+			<-s.done
+		}
+	})
 }

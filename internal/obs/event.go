@@ -56,6 +56,11 @@ const (
 	// injected failure. A = site ordinal, B = injections at the site
 	// so far.
 	EvRecover
+	// EvSpanBegin: a causal span opened. A = spanID<<8 | SpanKind,
+	// B = parent span ID (0 = root). See span.go.
+	EvSpanBegin
+	// EvSpanEnd: a causal span closed. A = spanID<<8 | SpanKind.
+	EvSpanEnd
 	numEventKinds
 )
 
@@ -72,7 +77,7 @@ var eventKindNames = [numEventKinds]string{
 	"mmap", "munmap", "mprotect", "grow",
 	"arena_create", "arena_reuse", "arena_recycle",
 	"tier_up", "gc_pause", "trap", "phase", "sample",
-	"inject", "recover",
+	"inject", "recover", "span_begin", "span_end",
 }
 
 func (k EventKind) String() string {

@@ -142,12 +142,53 @@ func (h *Histogram) Sum() int64 {
 	return h.sum.Load()
 }
 
-// HistogramSnapshot is a plain-value copy of a histogram.
+// HistogramSnapshot is a plain-value copy of a histogram, including
+// bucket-interpolated percentiles (0 when the histogram is empty).
 type HistogramSnapshot struct {
 	Count   int64         `json:"count"`
 	Sum     int64         `json:"sum"`
 	Buckets []BucketCount `json:"buckets,omitempty"`
+	P50     int64         `json:"p50,omitempty"`
+	P95     int64         `json:"p95,omitempty"`
+	P99     int64         `json:"p99,omitempty"`
 }
+
+// Quantile estimates the q-th quantile (0 < q <= 1) by linear
+// interpolation inside the containing bucket. The overflow bucket has
+// no upper bound, so quantiles landing there report its lower bound —
+// a deliberate under-estimate rather than an invented tail.
+func (s HistogramSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 || q <= 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum float64
+	for _, b := range s.Buckets {
+		prev := cum
+		cum += float64(b.N)
+		if cum < rank {
+			continue
+		}
+		upper := b.Le
+		if upper < 0 { // overflow bucket
+			return maxFiniteBound
+		}
+		lower := int64(0)
+		if upper > 64 {
+			lower = upper / 2
+		}
+		frac := (rank - prev) / float64(b.N)
+		return lower + int64(frac*float64(upper-lower))
+	}
+	return maxFiniteBound
+}
+
+// maxFiniteBound is the top finite bucket bound, reported for
+// quantiles that land in the overflow bucket.
+const maxFiniteBound = int64(64) << (histBuckets - 2)
 
 // BucketCount is one non-empty bucket: Le is the inclusive upper
 // bound (-1 for the overflow bucket), N the observation count.
@@ -163,6 +204,9 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 			s.Buckets = append(s.Buckets, BucketCount{Le: BucketBound(i), N: n})
 		}
 	}
+	s.P50 = s.Quantile(0.50)
+	s.P95 = s.Quantile(0.95)
+	s.P99 = s.Quantile(0.99)
 	return s
 }
 
@@ -186,6 +230,11 @@ type Registry struct {
 
 	ring  *ring
 	start time.Time
+
+	// tracing gates span recording (span.go); spanIDs allocates
+	// registry-unique span IDs.
+	tracing atomic.Bool
+	spanIDs atomic.Int64
 }
 
 // NewRegistry returns a registry with the default trace capacity.
@@ -382,26 +431,47 @@ func (r *Registry) Snapshot(drainEvents bool) *Snapshot {
 	if r.ring != nil {
 		s.DroppedEvents = r.ring.dropped.Load()
 		if drainEvents {
-			for {
-				ev, ok := r.ring.pop()
-				if !ok {
-					break
-				}
-				scope := ""
-				if int(ev.Scope) < len(names) {
-					scope = names[ev.Scope]
-				}
-				s.Events = append(s.Events, EventRecord{
-					TimeNs: ev.TimeNs,
-					Scope:  scope,
-					Kind:   ev.Kind.String(),
-					A:      ev.A,
-					B:      ev.B,
-				})
-			}
+			s.Events = r.drainInto(nil, 0, names)
 		}
 	}
 	return s
+}
+
+// DrainEvents consumes up to limit events from the trace ring
+// (limit <= 0 means all currently buffered), resolving scope names.
+// Like a draining Snapshot, consumed events are removed: concurrent
+// drainers partition the trace. Returns nil on a nil registry or one
+// without a ring.
+func (r *Registry) DrainEvents(limit int) []EventRecord {
+	if r == nil || r.ring == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := append([]string(nil), r.scopeNames...)
+	r.mu.Unlock()
+	return r.drainInto(nil, limit, names)
+}
+
+// drainInto pops ring events into dst (at most limit when limit > 0).
+func (r *Registry) drainInto(dst []EventRecord, limit int, names []string) []EventRecord {
+	for limit <= 0 || len(dst) < limit {
+		ev, ok := r.ring.pop()
+		if !ok {
+			break
+		}
+		scope := ""
+		if int(ev.Scope) < len(names) {
+			scope = names[ev.Scope]
+		}
+		dst = append(dst, EventRecord{
+			TimeNs: ev.TimeNs,
+			Scope:  scope,
+			Kind:   ev.Kind.String(),
+			A:      ev.A,
+			B:      ev.B,
+		})
+	}
+	return dst
 }
 
 // sortedKeys returns map keys in lexical order (for stable sinks).

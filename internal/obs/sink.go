@@ -93,7 +93,9 @@ func (s SummarySink) Write(snap *Snapshot) error {
 			continue
 		}
 		mean := time.Duration(h.Sum / h.Count)
-		if _, err := fmt.Fprintf(s.W, "%-52s n=%d mean=%v\n", name, h.Count, mean); err != nil {
+		if _, err := fmt.Fprintf(s.W, "%-52s n=%d mean=%v p50=%v p95=%v p99=%v\n",
+			name, h.Count, mean,
+			time.Duration(h.P50), time.Duration(h.P95), time.Duration(h.P99)); err != nil {
 			return err
 		}
 	}
@@ -102,7 +104,7 @@ func (s SummarySink) Write(snap *Snapshot) error {
 		for _, ev := range snap.Events {
 			tally[ev.Kind]++
 		}
-		if _, err := fmt.Fprintf(s.W, "trace: %d events", len(snap.Events)); err != nil {
+		if _, err := fmt.Fprintf(s.W, "trace: %d events (%d dropped)", len(snap.Events), snap.DroppedEvents); err != nil {
 			return err
 		}
 		for _, kind := range sortedKeys(tally) {
@@ -113,9 +115,8 @@ func (s SummarySink) Write(snap *Snapshot) error {
 		if _, err := fmt.Fprintln(s.W); err != nil {
 			return err
 		}
-	}
-	if snap.DroppedEvents > 0 {
-		if _, err := fmt.Fprintf(s.W, "trace: %d events dropped (ring full)\n", snap.DroppedEvents); err != nil {
+	} else if snap.DroppedEvents > 0 {
+		if _, err := fmt.Fprintf(s.W, "trace: 0 events (%d dropped)\n", snap.DroppedEvents); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// failWriter errors after allowing n bytes through.
+type failWriter struct {
+	n       int
+	written int
+}
+
+var errSink = errors.New("sink: simulated write failure")
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.written+len(p) > w.n {
+		allowed := w.n - w.written
+		if allowed < 0 {
+			allowed = 0
+		}
+		w.written += allowed
+		return allowed, errSink
+	}
+	w.written += len(p)
+	return len(p), nil
+}
+
+// TestCSVSinkEscaping round-trips metric names containing every CSV
+// special character (quotes, commas, newlines) through a csv.Reader.
+func TestCSVSinkEscaping(t *testing.T) {
+	reg := NewRegistry()
+	nasty := `run[engine="wavm",mode=a b]` + "\nsecond/line"
+	reg.Scope(nasty).Counter(`count,with"quote`).Add(5)
+	reg.Scope(nasty).Emit(EvMmap, 1, 2)
+
+	var buf bytes.Buffer
+	if err := reg.Flush(CSVSink{W: &buf}); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("output is not parseable CSV: %v", err)
+	}
+	found := false
+	wantName := nasty + `/count,with"quote`
+	for _, row := range rows[1:] {
+		if row[0] == "counter" && row[1] == wantName && row[2] == "5" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("escaped counter row not found in:\n%v", rows)
+	}
+}
+
+// TestSinkWriteFailures ensures every sink surfaces writer errors
+// instead of swallowing them, at various truncation points.
+func TestSinkWriteFailures(t *testing.T) {
+	reg := NewRegistry()
+	sc := reg.Scope("s")
+	sc.Counter("c").Add(1)
+	sc.Gauge("g").Set(2)
+	sc.Histogram("h").Observe(100)
+	sc.Emit(EvMmap, 1, 2)
+	snap := reg.Snapshot(true)
+
+	sinks := map[string]func(*failWriter) Sink{
+		"json":    func(w *failWriter) Sink { return JSONSink{W: w} },
+		"csv":     func(w *failWriter) Sink { return CSVSink{W: w} },
+		"summary": func(w *failWriter) Sink { return SummarySink{W: w} },
+	}
+	for name, mk := range sinks {
+		for _, allow := range []int{0, 10, 100} {
+			sink := mk(&failWriter{n: allow})
+			if err := sink.Write(snap); !errors.Is(err, errSink) {
+				t.Errorf("%s sink with %d-byte writer: error = %v, want errSink", name, allow, err)
+			}
+		}
+	}
+}
+
+// TestFlushEmptyRegistry: a registry with nothing registered must
+// flush cleanly through every sink, and a nil registry must too.
+func TestFlushEmptyRegistry(t *testing.T) {
+	for _, reg := range []*Registry{NewRegistry(), nil} {
+		var jb, cb, sb bytes.Buffer
+		if err := reg.Flush(JSONSink{W: &jb}); err != nil {
+			t.Fatalf("JSON flush: %v", err)
+		}
+		var snap Snapshot
+		if err := json.Unmarshal(jb.Bytes(), &snap); err != nil {
+			t.Fatalf("empty JSON snapshot invalid: %v", err)
+		}
+		if len(snap.Counters) != 0 {
+			t.Fatalf("empty registry has counters: %v", snap.Counters)
+		}
+		if err := reg.Flush(CSVSink{W: &cb}); err != nil {
+			t.Fatalf("CSV flush: %v", err)
+		}
+		if rows, err := csv.NewReader(&cb).ReadAll(); err != nil || len(rows) != 1 {
+			t.Fatalf("empty CSV: rows=%v err=%v (want header only)", rows, err)
+		}
+		if err := reg.Flush(SummarySink{W: &sb}); err != nil {
+			t.Fatalf("summary flush: %v", err)
+		}
+		if sb.Len() != 0 {
+			t.Fatalf("empty summary wrote %q", sb.String())
+		}
+	}
+}
+
+// TestSummarySinkPercentilesAndDrops checks the new p50/p95/p99
+// digest line and that drops are reported even with zero events.
+func TestSummarySinkPercentilesAndDrops(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Scope("run").Histogram("iter_wall_ns")
+	for i := 0; i < 100; i++ {
+		h.Observe(int64(i) * 1000)
+	}
+	var buf bytes.Buffer
+	if err := reg.Flush(SummarySink{W: &buf}); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"p50=", "p95=", "p99=", "n=100"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+
+	// Overflow the 4-slot ring: the drop count must appear even after
+	// the events themselves were lost... and with events present too.
+	small := NewRegistrySized(4)
+	sc := small.Scope("s")
+	for i := 0; i < 10; i++ {
+		sc.Emit(EvMmap, int64(i), 0)
+	}
+	buf.Reset()
+	if err := small.Flush(SummarySink{W: &buf}); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if !strings.Contains(buf.String(), "dropped") {
+		t.Fatalf("summary does not report drops:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), fmt.Sprintf("(%d dropped)", 6)) {
+		t.Fatalf("summary drop count wrong:\n%s", buf.String())
+	}
+}
+
+// TestHistogramQuantiles pins the interpolation: exact bucket
+// boundaries, overflow clamping, and empty histograms.
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	if q := h.snapshot().Quantile(0.5); q != 0 {
+		t.Fatalf("empty histogram p50 = %d, want 0", q)
+	}
+	// All mass in bucket 0 (<= 64): quantiles interpolate within [0, 64].
+	for i := 0; i < 10; i++ {
+		h.Observe(10)
+	}
+	s := h.snapshot()
+	if s.P50 < 0 || s.P50 > 64 {
+		t.Fatalf("p50 = %d outside bucket 0 bounds", s.P50)
+	}
+	if s.P99 > 64 {
+		t.Fatalf("p99 = %d outside bucket 0 bounds", s.P99)
+	}
+	// Overflow bucket reports the top finite bound, not an invention.
+	var o Histogram
+	o.Observe(int64(1) << 40)
+	if got := o.snapshot().P50; got != maxFiniteBound {
+		t.Fatalf("overflow p50 = %d, want %d", got, maxFiniteBound)
+	}
+	// Quantile argument clamping.
+	if got := s.Quantile(2.0); got < s.P99 {
+		t.Fatalf("Quantile(2.0) = %d below p99 %d", got, s.P99)
+	}
+	if got := s.Quantile(-1); got != 0 {
+		t.Fatalf("Quantile(-1) = %d, want 0", got)
+	}
+}

@@ -1,0 +1,281 @@
+// Package telemetry serves a live view of an obs.Registry over HTTP:
+// Prometheus text metrics, a JSON snapshot, a server-sent-events
+// stream of trace events, and the standard pprof endpoints. It is the
+// "watch the experiment while it runs" companion to the post-hoc
+// sinks in internal/obs — point a browser or a Prometheus scraper at
+// a running sweep and the mmap-lock story unfolds in real time.
+//
+// Endpoints:
+//
+//	/metrics      Prometheus text exposition (non-draining)
+//	/snapshot     full obs.Snapshot as JSON (non-draining)
+//	/events       SSE stream of drained trace events (consuming!)
+//	/debug/pprof  net/http/pprof profiles
+//
+// Scope paths embed run labels ("run[engine=wavm strategy=uffd ...]").
+// The Prometheus view lifts those bracketed key=value pairs into
+// proper labels so PromQL can aggregate across runs.
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"leapsandbounds/internal/obs"
+)
+
+// NewHandler returns an http.Handler serving the registry.
+func NewHandler(reg *obs.Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", handleIndex)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		writeProm(w, reg.Snapshot(false))
+	})
+	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(reg.Snapshot(false))
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		handleEvents(w, r, reg)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	fmt.Fprint(w, `leapsbench telemetry
+/metrics      Prometheus text metrics
+/snapshot     JSON snapshot
+/events       SSE trace-event stream (draining; ?n=<max>&timeout=<dur>)
+/debug/pprof  Go profiles
+`)
+}
+
+// handleEvents streams drained trace events as server-sent events.
+// Draining is deliberate: the live stream is an alternative consumer
+// of the same bounded ring the sinks drain, so a stream and a final
+// -metrics dump partition the trace between them. ?n bounds the
+// number of events sent and ?timeout the total stream duration
+// (default 30s); both make the endpoint testable and curl-friendly.
+func handleEvents(w http.ResponseWriter, r *http.Request, reg *obs.Registry) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	maxEvents := 0
+	if v := r.URL.Query().Get("n"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			http.Error(w, "bad n", http.StatusBadRequest)
+			return
+		}
+		maxEvents = n
+	}
+	timeout := 30 * time.Second
+	if v := r.URL.Query().Get("timeout"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d <= 0 {
+			http.Error(w, "bad timeout", http.StatusBadRequest)
+			return
+		}
+		timeout = d
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	tick := time.NewTicker(25 * time.Millisecond)
+	defer tick.Stop()
+	sent := 0
+	for {
+		limit := 256
+		if maxEvents > 0 && maxEvents-sent < limit {
+			limit = maxEvents - sent
+		}
+		for _, ev := range reg.DrainEvents(limit) {
+			b, err := json.Marshal(ev)
+			if err != nil {
+				continue
+			}
+			fmt.Fprintf(w, "event: trace\ndata: %s\n\n", b)
+			sent++
+		}
+		fl.Flush()
+		if maxEvents > 0 && sent >= maxEvents {
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-deadline.C:
+			return
+		case <-tick.C:
+		}
+	}
+}
+
+// promSeries is one exposition line under a metric family.
+type promSeries struct {
+	labels string // rendered {k="v",...} or ""
+	value  string
+}
+
+// promFamilies groups series by family name so each family gets one
+// TYPE line regardless of how many runs contribute series to it.
+type promFamilies struct {
+	typ    map[string]string // family -> counter|gauge
+	series map[string][]promSeries
+}
+
+func newPromFamilies() *promFamilies {
+	return &promFamilies{typ: make(map[string]string), series: make(map[string][]promSeries)}
+}
+
+func (pf *promFamilies) add(family, typ, labels, value string) {
+	pf.typ[family] = typ
+	pf.series[family] = append(pf.series[family], promSeries{labels: labels, value: value})
+}
+
+func (pf *promFamilies) write(w io.Writer) {
+	names := make([]string, 0, len(pf.series))
+	for n := range pf.series {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if t := pf.typ[n]; t != "" {
+			fmt.Fprintf(w, "# TYPE %s %s\n", n, t)
+		}
+		ss := pf.series[n]
+		sort.Slice(ss, func(i, j int) bool { return ss[i].labels < ss[j].labels })
+		for _, s := range ss {
+			fmt.Fprintf(w, "%s%s %s\n", n, s.labels, s.value)
+		}
+	}
+}
+
+// writeProm renders the snapshot in the Prometheus text format.
+func writeProm(w io.Writer, snap *obs.Snapshot) {
+	pf := newPromFamilies()
+	for name, v := range snap.Counters {
+		family, labels := promName(name, "")
+		pf.add(family, "counter", labels, strconv.FormatInt(v, 10))
+	}
+	for name, v := range snap.Gauges {
+		family, labels := promName(name, "")
+		pf.add(family, "gauge", labels, strconv.FormatInt(v, 10))
+	}
+	for name, h := range snap.Histograms {
+		family, labels := promName(name, "")
+		pf.add(family+"_count", "counter", labels, strconv.FormatInt(h.Count, 10))
+		pf.add(family+"_sum", "counter", labels, strconv.FormatInt(h.Sum, 10))
+		cum := int64(0)
+		for _, b := range h.Buckets {
+			cum += b.N
+			if b.Le < 0 {
+				continue // +Inf below covers the overflow bucket
+			}
+			_, le := promName(name, fmt.Sprintf("le=%d", b.Le))
+			pf.add(family+"_bucket", "", le, strconv.FormatInt(cum, 10))
+		}
+		_, inf := promName(name, `le=+Inf`)
+		pf.add(family+"_bucket", "", inf, strconv.FormatInt(h.Count, 10))
+	}
+	if snap.DroppedEvents > 0 {
+		pf.add("leaps_trace_dropped_events", "counter", "", strconv.FormatInt(snap.DroppedEvents, 10))
+	}
+	pf.write(w)
+}
+
+// promName converts a registry path to a Prometheus family name plus
+// a rendered label set. A bracketed run label in the path
+// ("run[engine=wavm workload=gemm ...]"/...) becomes labels; the rest
+// of the path is sanitized into the family name. extraPair, when
+// non-empty ("k=v"), is appended to the label set (histogram le).
+func promName(path, extraPair string) (family, labels string) {
+	var pairs []string
+	if i := strings.Index(path, "["); i >= 0 {
+		if j := strings.Index(path[i:], "]"); j >= 0 {
+			for _, kv := range strings.Fields(path[i+1 : i+j]) {
+				if k, v, ok := strings.Cut(kv, "="); ok {
+					pairs = append(pairs, fmt.Sprintf("%s=%q", sanitize(k), v))
+				}
+			}
+			path = path[:i] + path[i+j+1:]
+		}
+	}
+	if extraPair != "" {
+		if k, v, ok := strings.Cut(extraPair, "="); ok {
+			pairs = append(pairs, fmt.Sprintf("%s=%q", sanitize(k), v))
+		}
+	}
+	family = "leaps_" + sanitize(strings.Trim(path, "/"))
+	if len(pairs) > 0 {
+		labels = "{" + strings.Join(pairs, ",") + "}"
+	}
+	return family, labels
+}
+
+// sanitize maps a path fragment to the Prometheus name alphabet.
+func sanitize(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// Server is a live telemetry server bound to a listener.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Start listens on addr (e.g. ":9090" or "127.0.0.1:0") and serves
+// the registry until Close.
+func Start(addr string, reg *obs.Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{ln: ln, srv: &http.Server{Handler: NewHandler(reg)}}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound address (useful with port 0).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the server down.
+func (s *Server) Close() error { return s.srv.Close() }

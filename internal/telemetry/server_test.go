@@ -1,0 +1,245 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"leapsandbounds/internal/obs"
+)
+
+// testRegistry builds a registry with one of everything, including a
+// bracketed run label so the Prometheus label lifting is exercised.
+func testRegistry() *obs.Registry {
+	reg := obs.NewRegistry()
+	run := reg.Scope("run[engine=wavm workload=gemm strategy=mprotect threads=4]")
+	run.Counter("iterations").Add(42)
+	run.Gauge("resident_peak_bytes").Set(1 << 20)
+	h := run.Histogram("iter_wall_ns")
+	for _, v := range []int64{10, 100, 1000, 10000, 100000} {
+		h.Observe(v)
+	}
+	vmm := run.Child("proc0").Child("vmm")
+	vmm.Counter("lock_contended").Add(7)
+	vmm.Emit(obs.EvLockContended, 1234, 0)
+	vmm.Emit(obs.EvMmap, 4096, 0)
+	return reg
+}
+
+func get(t *testing.T, srv *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s read: %v", path, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// TestMetricsEndpoint line-parses the Prometheus exposition: every
+// non-comment line must be "name{labels} value" with a numeric value,
+// TYPE lines must precede their family, and the run label must have
+// been lifted into labels.
+func TestMetricsEndpoint(t *testing.T) {
+	srv := httptest.NewServer(NewHandler(testRegistry()))
+	defer srv.Close()
+	code, body := get(t, srv, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	typed := make(map[string]bool)
+	series := 0
+	sc := bufio.NewScanner(strings.NewReader(body))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("malformed TYPE line: %q", line)
+			}
+			if parts[3] != "counter" && parts[3] != "gauge" {
+				t.Fatalf("unknown metric type in %q", line)
+			}
+			typed[parts[2]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		// name{labels} value | name value
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("malformed series line: %q", line)
+		}
+		nameAndLabels, value := line[:sp], line[sp+1:]
+		if _, err := jsonNumber(value); err != nil {
+			t.Fatalf("non-numeric value in %q: %v", line, err)
+		}
+		name := nameAndLabels
+		if i := strings.IndexByte(nameAndLabels, '{'); i >= 0 {
+			if !strings.HasSuffix(nameAndLabels, "}") {
+				t.Fatalf("unbalanced labels in %q", line)
+			}
+			name = nameAndLabels[:i]
+		}
+		for _, r := range name {
+			valid := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9')
+			if !valid {
+				t.Fatalf("invalid metric name character %q in %q", r, name)
+			}
+		}
+		series++
+	}
+	if series == 0 {
+		t.Fatal("no series in /metrics output")
+	}
+	for _, want := range []string{
+		`engine="wavm"`, `strategy="mprotect"`, `threads="4"`,
+		"leaps_run_iterations", "leaps_run_proc0_vmm_lock_contended",
+		"leaps_run_iter_wall_ns_bucket", `le="+Inf"`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	if !typed["leaps_run_iterations"] {
+		t.Error("no TYPE line for leaps_run_iterations")
+	}
+}
+
+func jsonNumber(s string) (float64, error) {
+	var f float64
+	err := json.Unmarshal([]byte(s), &f)
+	return f, err
+}
+
+// TestSnapshotEndpoint decodes the JSON snapshot and checks it is the
+// registry's contents, and that serving it does not drain the ring.
+func TestSnapshotEndpoint(t *testing.T) {
+	reg := testRegistry()
+	srv := httptest.NewServer(NewHandler(reg))
+	defer srv.Close()
+	for i := 0; i < 2; i++ { // non-draining: identical both times
+		code, body := get(t, srv, "/snapshot")
+		if code != http.StatusOK {
+			t.Fatalf("/snapshot status %d", code)
+		}
+		var snap obs.Snapshot
+		if err := json.Unmarshal([]byte(body), &snap); err != nil {
+			t.Fatalf("snapshot not valid JSON: %v", err)
+		}
+		key := "run[engine=wavm workload=gemm strategy=mprotect threads=4]/iterations"
+		if snap.Counters[key] != 42 {
+			t.Fatalf("snapshot counter %s = %d, want 42", key, snap.Counters[key])
+		}
+	}
+	if evs := reg.DrainEvents(0); len(evs) != 2 {
+		t.Fatalf("snapshot endpoint drained the ring: %d events left, want 2", len(evs))
+	}
+}
+
+// TestEventsEndpoint reads the SSE stream with a bounded event count
+// and checks framing and payload.
+func TestEventsEndpoint(t *testing.T) {
+	srv := httptest.NewServer(NewHandler(testRegistry()))
+	defer srv.Close()
+	code, body := get(t, srv, "/events?n=2&timeout=5s")
+	if code != http.StatusOK {
+		t.Fatalf("/events status %d", code)
+	}
+	var datas []string
+	for _, line := range strings.Split(body, "\n") {
+		if after, ok := strings.CutPrefix(line, "data: "); ok {
+			datas = append(datas, after)
+		}
+	}
+	if len(datas) != 2 {
+		t.Fatalf("got %d SSE data frames, want 2\n%s", len(datas), body)
+	}
+	var ev obs.EventRecord
+	if err := json.Unmarshal([]byte(datas[0]), &ev); err != nil {
+		t.Fatalf("SSE payload not an EventRecord: %v", err)
+	}
+	if ev.Kind != "lock_contended" || ev.A != 1234 {
+		t.Fatalf("unexpected first event %+v", ev)
+	}
+}
+
+// TestEventsEndpointTimeout ensures an empty stream terminates by
+// deadline rather than hanging.
+func TestEventsEndpointTimeout(t *testing.T) {
+	srv := httptest.NewServer(NewHandler(obs.NewRegistry()))
+	defer srv.Close()
+	code, body := get(t, srv, "/events?timeout=100ms")
+	if code != http.StatusOK {
+		t.Fatalf("/events status %d", code)
+	}
+	if strings.Contains(body, "data: ") {
+		t.Fatalf("expected no events, got %q", body)
+	}
+}
+
+// TestEventsEndpointBadParams checks parameter validation.
+func TestEventsEndpointBadParams(t *testing.T) {
+	srv := httptest.NewServer(NewHandler(obs.NewRegistry()))
+	defer srv.Close()
+	for _, path := range []string{"/events?n=-1", "/events?n=x", "/events?timeout=bogus", "/events?timeout=-1s"} {
+		if code, _ := get(t, srv, path); code != http.StatusBadRequest {
+			t.Errorf("GET %s status = %d, want 400", path, code)
+		}
+	}
+}
+
+// TestPprofEndpoints smoke-tests the profile index and one profile.
+func TestPprofEndpoints(t *testing.T) {
+	srv := httptest.NewServer(NewHandler(obs.NewRegistry()))
+	defer srv.Close()
+	code, body := get(t, srv, "/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ status %d", code)
+	}
+	code, _ = get(t, srv, "/debug/pprof/cmdline")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/pprof/cmdline status %d", code)
+	}
+}
+
+// TestIndex checks the root page and 404 behaviour.
+func TestIndex(t *testing.T) {
+	srv := httptest.NewServer(NewHandler(obs.NewRegistry()))
+	defer srv.Close()
+	if code, body := get(t, srv, "/"); code != http.StatusOK || !strings.Contains(body, "/metrics") {
+		t.Fatalf("index status %d", code)
+	}
+	if code, _ := get(t, srv, "/nope"); code != http.StatusNotFound {
+		t.Fatalf("missing path did not 404 (%d)", code)
+	}
+}
+
+// TestStartClose exercises the listener wrapper.
+func TestStartClose(t *testing.T) {
+	s, err := Start("127.0.0.1:0", testRegistry())
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	defer s.Close()
+	resp, err := http.Get("http://" + s.Addr() + "/metrics")
+	if err != nil {
+		t.Fatalf("GET via Start server: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+}

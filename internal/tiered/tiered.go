@@ -42,6 +42,11 @@ const (
 	sweepSlice = 40 * time.Microsecond
 	// sweepPoll is how often workers look for background work.
 	sweepPoll = 2 * time.Millisecond
+	// safepointWaitThreshold is the minimum world-lock wait an
+	// invocation retroactively reports as a safepoint_wait span —
+	// the same cutoff the vmm uses for mmap-lock contention, so the
+	// two lock-wait attributions are comparable.
+	safepointWaitThreshold = 500 * time.Nanosecond
 )
 
 // Engine is the tiered engine. It owns background workers and the
@@ -180,7 +185,9 @@ func (e *Engine) gcLoop() {
 			// The reported pause includes the safepoint wait: that is
 			// what executor threads lose, which is the quantity the
 			// paper's V8 tail-latency discussion cares about.
-			e.obsSc.Load().Emit(obs.EvGCPause, time.Since(t0).Nanoseconds(), 0)
+			sc := e.obsSc.Load()
+			sc.Emit(obs.EvGCPause, time.Since(t0).Nanoseconds(), 0)
+			sc.EndedSpan(obs.SpanGCPause, obs.SpanRef{}, time.Since(t0).Nanoseconds())
 		}
 	}
 }
@@ -235,6 +242,12 @@ func (e *Engine) Compile(m *wasm.Module) (core.CompiledModule, error) {
 			e.warmStarts.Add(1)
 			return
 		}
+		// The tier-up compile is a root span: it runs on a background
+		// worker with no causal tie to any one invocation, and its
+		// lane in the trace is exactly the CPU time the paper blames
+		// for V8's multithreaded pathologies.
+		sp := e.obsSc.Load().StartSpan(obs.SpanTierUp, obs.SpanRef{})
+		defer sp.End()
 		t0 := time.Now()
 		busySpin(time.Duration(ops) * compileCostPerOp)
 		top, err := e.topTier.CompileModule(m)
@@ -298,19 +311,35 @@ func (m *module) Instantiate(cfg core.Config, imports core.Imports) (core.Instan
 	if err != nil {
 		return nil, err
 	}
-	return &instance{engine: m.engine, inner: inner}, nil
+	return &instance{engine: m.engine, inner: inner, obs: cfg.Obs, span: cfg.Span}, nil
 }
 
 // instance wraps a tier instance with the GC safepoint protocol.
 type instance struct {
 	engine *Engine
 	inner  core.Instance
+	// obs/span carry the instantiation's trace context so the wait
+	// for the world lock — time this isolate lost to a stop-the-world
+	// pause — attributes to the iteration that paid it.
+	obs  *obs.Scope
+	span obs.SpanRef
 }
 
 // Invoke implements core.Instance, holding the world lock shared so
-// a GC pause blocks it (and it blocks GC until the safepoint).
+// a GC pause blocks it (and it blocks GC until the safepoint). When
+// tracing is on, a lock wait past the contention threshold is
+// retroactively recorded as a safepoint_wait span under the
+// instance's parent — the tiered-engine analog of vma_lock_wait.
 func (i *instance) Invoke(name string, args ...uint64) ([]uint64, error) {
-	i.engine.world.RLock()
+	if i.obs.TracingEnabled() {
+		t0 := time.Now()
+		i.engine.world.RLock()
+		if wait := time.Since(t0); wait > safepointWaitThreshold {
+			i.obs.EndedSpan(obs.SpanSafepointWait, i.span, wait.Nanoseconds())
+		}
+	} else {
+		i.engine.world.RLock()
+	}
 	i.engine.active.Add(1)
 	defer func() {
 		i.engine.active.Add(-1)

@@ -251,8 +251,11 @@ func (as *AddressSpace) RemoveThread() { as.threads.Add(-1) }
 func (as *AddressSpace) Threads() int64 { return as.threads.Load() }
 
 // lock acquires the mmap lock, recording wait time; the returned
-// release function records hold time.
-func (as *AddressSpace) lock() (release func()) {
+// release function records hold time. parent attributes the wait: a
+// contended acquisition retroactively emits a vma_lock_wait span
+// under it (zero ref = root), so lock-queue time shows up as a child
+// of the kernel operation that paid it.
+func (as *AddressSpace) lock(parent obs.SpanRef) (release func()) {
 	t0 := time.Now()
 	as.mu.Lock()
 	t1 := time.Now()
@@ -267,6 +270,7 @@ func (as *AddressSpace) lock() (release func()) {
 		contended = 1
 		as.stats.LockContended.Add(1)
 		as.obs.Emit(obs.EvLockContended, wait.Nanoseconds(), 0)
+		as.obs.EndedSpan(obs.SpanVMALockWait, parent, wait.Nanoseconds())
 	}
 	as.obs.Emit(obs.EvLockAcquired, wait.Nanoseconds(), contended)
 	return func() {
@@ -310,13 +314,35 @@ type Mapping struct {
 	thp     []atomic.Uint32 // per THP block of the reservation
 	uffd    atomic.Bool
 	dead    atomic.Bool
+	// spanParent is the span ID kernel operations on this mapping
+	// parent under (see SetSpanParent). Atomic because fault handlers
+	// (the uffd poll goroutine) read it from a different thread than
+	// the invoker that set it.
+	spanParent atomic.Int64
 }
+
+// SetSpanParent sets the span that subsequent kernel operations on
+// this mapping (mprotect, uffd copy/decommit, munmap) report as their
+// causal parent. Higher layers update it as context changes — the
+// memory layer points it at the current invoke or fault span. A zero
+// ref detaches (operations become root spans).
+func (m *Mapping) SetSpanParent(ref obs.SpanRef) { m.spanParent.Store(ref.ID) }
+
+// SpanParent returns the current causal parent for kernel operations.
+func (m *Mapping) SpanParent() obs.SpanRef { return obs.SpanRef{ID: m.spanParent.Load()} }
 
 // Mmap reserves reserve bytes of address space with backing bytes of
 // accessible prefix at the given initial protection. prot applies to
 // the backing prefix; the remainder of the reservation is PROT_NONE
 // guard space.
 func (as *AddressSpace) Mmap(reserve, backing uint64, prot Prot) (*Mapping, error) {
+	return as.MmapTraced(reserve, backing, prot, obs.SpanRef{})
+}
+
+// MmapTraced is Mmap with an explicit causal parent for the
+// kernel.mmap span (and any lock wait incurred acquiring the mmap
+// lock). The new mapping's span parent starts as the same ref.
+func (as *AddressSpace) MmapTraced(reserve, backing uint64, prot Prot, parent obs.SpanRef) (*Mapping, error) {
 	if backing > reserve || backing == 0 {
 		return nil, fmt.Errorf("vmm: bad mmap sizes: reserve=%d backing=%d", reserve, backing)
 	}
@@ -327,7 +353,9 @@ func (as *AddressSpace) Mmap(reserve, backing uint64, prot Prot) (*Mapping, erro
 	reserve = roundUp(reserve, ps)
 	backing = roundUp(backing, ps)
 
-	release := as.lock()
+	sp := as.obs.StartSpan(obs.SpanKernelMmap, parent)
+	defer sp.End()
+	release := as.lock(sp.Ref())
 	defer release()
 
 	spin(as.cfg.MmapBase)
@@ -346,6 +374,7 @@ func (as *AddressSpace) Mmap(reserve, backing uint64, prot Prot) (*Mapping, erro
 	if as.cfg.THPSize > 0 {
 		m.thp = make([]atomic.Uint32, (reserve+as.cfg.THPSize-1)/as.cfg.THPSize)
 	}
+	m.spanParent.Store(parent.ID)
 	if err := as.tree.insert(&vma{start: addr, end: addr + backing, prot: prot, mapping: m}); err != nil {
 		return nil, err
 	}
@@ -376,7 +405,9 @@ func (as *AddressSpace) Munmap(m *Mapping) error {
 	if m.dead.Swap(true) {
 		return ErrUnmapped
 	}
-	release := as.lock()
+	sp := as.obs.StartSpan(obs.SpanKernelMunmap, m.SpanParent())
+	defer sp.End()
+	release := as.lock(sp.Ref())
 	defer release()
 
 	spin(as.cfg.MmapBase)
@@ -461,7 +492,9 @@ func (m *Mapping) Mprotect(off, length uint64, prot Prot) error {
 		return err
 	}
 
-	release := as.lock()
+	sp := as.obs.StartSpan(obs.SpanKernelMprotect, m.SpanParent())
+	defer sp.End()
+	release := as.lock(sp.Ref())
 	defer release()
 
 	as.stats.MprotectCalls.Add(1)
@@ -576,7 +609,7 @@ func (m *Mapping) RegisterUffd() error {
 	if m.dead.Load() {
 		return ErrUnmapped
 	}
-	release := m.as.lock()
+	release := m.as.lock(m.SpanParent())
 	spin(m.as.cfg.MmapBase)
 	release()
 	m.uffd.Store(true)
@@ -605,6 +638,8 @@ func (m *Mapping) UffdZeroPages(off, length uint64) error {
 	if err := inj.Fail(faultinject.SiteUffdZero); err != nil {
 		return err
 	}
+	sp := m.as.obs.StartSpan(obs.SpanUffdCopy, m.SpanParent())
+	defer sp.End()
 	first := off / ps
 	for p := first; p < first+length/ps; p++ {
 		for {
@@ -642,6 +677,8 @@ func (m *Mapping) UffdDecommitPages(off, length uint64) error {
 	if err := m.as.inj.Load().Fail(faultinject.SiteUffdZero); err != nil {
 		return err
 	}
+	sp := m.as.obs.StartSpan(obs.SpanUffdDecommit, m.SpanParent())
+	defer sp.End()
 	thp := m.as.cfg.THPSize
 	first := off / ps
 	for p := first; p < first+length/ps; p++ {

@@ -17,15 +17,17 @@ echo "== go test ./..."
 go test ./...
 
 # The packages where a data race would silently corrupt the paper's
-# measurements: the metrics registry and trace ring, the simulated
-# kernel's lock/fault accounting, linear memory and the arena pool,
-# the fault injector, the hazard-pointer domain behind arena
-# recycling, the module cache's singleflight compile path, the sweep
-# scheduler, and the compiled engines (the elision pass's unchecked
+# measurements: the metrics registry, trace ring and span tracing,
+# the simulated kernel's lock/fault accounting, linear memory and the
+# arena pool, the fault injector, the hazard-pointer domain behind
+# arena recycling, the module cache's singleflight compile path, the
+# sweep scheduler, the compiled engines (the elision pass's unchecked
 # closures read the raw backing pointer; the race pass must cover
-# them).
-echo "== go test -race (obs, vmm, mem, faultinject, hazard, modcache, harness, compiled)"
-go test -race -count=1 ./internal/obs/ ./internal/vmm/ ./internal/mem/ ./internal/faultinject/ ./internal/hazard/ ./internal/modcache/ ./internal/harness/ ./internal/compiled/
+# them), the tiered engine (background compile workers and the GC
+# controller emit spans from their own goroutines), and the telemetry
+# server (which streams from the same ring the workers push into).
+echo "== go test -race (obs, vmm, mem, faultinject, hazard, modcache, harness, compiled, tiered, telemetry)"
+go test -race -count=1 ./internal/obs/ ./internal/vmm/ ./internal/mem/ ./internal/faultinject/ ./internal/hazard/ ./internal/modcache/ ./internal/harness/ ./internal/compiled/ ./internal/tiered/ ./internal/telemetry/
 
 # Quick elide differential: the bounds-check elision pass must be
 # observationally equivalent to per-access checks — same digests,
