@@ -15,19 +15,21 @@ test:
 # registry and span tracing, the simulated VM subsystem, linear
 # memory and the arena pool, the fault injector, the hazard-pointer
 # domain, the module cache's singleflight path, the sweep scheduler,
-# the compiled engines' unchecked fast paths, the tiered engine's
-# background workers and GC controller, and the live telemetry
-# server streaming from the trace ring).
+# the compiled engines' unchecked fast paths, the register-IR
+# lowering's process-wide counters, the tiered engine's background
+# workers and GC controller, and the live telemetry server streaming
+# from the trace ring).
 race:
-	$(GO) test -race -count=1 ./internal/obs/ ./internal/vmm/ ./internal/mem/ ./internal/faultinject/ ./internal/hazard/ ./internal/modcache/ ./internal/harness/ ./internal/compiled/ ./internal/tiered/ ./internal/telemetry/
+	$(GO) test -race -count=1 ./internal/obs/ ./internal/vmm/ ./internal/mem/ ./internal/faultinject/ ./internal/hazard/ ./internal/modcache/ ./internal/harness/ ./internal/compiled/ ./internal/rir/ ./internal/tiered/ ./internal/telemetry/
 
 # Short coverage-guided fuzz pass over the binary decoder, the
-# validator, and the elide on/off differential (~10s each);
-# regressions land in testdata/fuzz/.
+# validator, the elide on/off differential, and the register-IR
+# on/off differential (~10s each); regressions land in testdata/fuzz/.
 fuzz-smoke:
 	$(GO) test ./internal/wasm/ -run '^$$' -fuzz FuzzDecode -fuzztime 10s
 	$(GO) test ./internal/validate/ -run '^$$' -fuzz FuzzValidate -fuzztime 10s
 	$(GO) test ./internal/compiled/ -run '^$$' -fuzz FuzzElideDiff -fuzztime 10s
+	$(GO) test ./internal/compiled/ -run '^$$' -fuzz FuzzRIRDiff -fuzztime 10s
 
 # The full tier-1 gate: build + vet + tests + race pass.
 verify:

@@ -227,28 +227,34 @@ func BenchmarkUffdArenaPool(b *testing.B) {
 	}
 }
 
-// benchElideKernel measures the bounds-check elision pass on the
-// optimizing engine: the same kernel under the trap strategy (the
-// paper's expensive software check) with the pass off and on. The
-// engine is detached from the module cache so each variant pays —
-// and demonstrates — its own compile, and the two variants' results
-// must agree, so the benchmark doubles as an equivalence check.
-func benchElideKernel(b *testing.B, workload string) {
+// benchCodegenKernel measures the optimizing engine's codegen passes
+// on one kernel under the trap strategy (the paper's expensive
+// software check): baseline, elision alone, and elision plus the
+// register-IR recompile tier. The engine is detached from the module
+// cache so each variant pays — and demonstrates — its own compile,
+// and every variant's result must agree with the baseline, so the
+// benchmark doubles as an equivalence check.
+func benchCodegenKernel(b *testing.B, workload string) {
 	wl, err := leaps.WorkloadByName(workload)
 	if err != nil {
 		b.Fatal(err)
 	}
 	module, _ := wl.Build(leaps.SizeTest)
-	var sums [2][]uint64
-	for i, elide := range []bool{false, true} {
-		name := "elide=off"
-		if elide {
-			name = "elide=on"
-		}
-		b.Run(name, func(b *testing.B) {
+	variants := []struct {
+		name string
+		cg   core.Codegen
+	}{
+		{"elide=off/rir=off", core.Codegen{}},
+		{"elide=on/rir=off", core.Codegen{BoundsElision: true}},
+		{"elide=off/rir=on", core.Codegen{RegisterIR: true}},
+		{"elide=on/rir=on", core.Codegen{BoundsElision: true, RegisterIR: true}},
+	}
+	sums := make([][]uint64, len(variants))
+	for i, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
 			eng := compiled.NewWAVM()
 			eng.SetCache(nil)
-			eng.SetCodegen(core.Codegen{BoundsElision: elide})
+			eng.SetCodegen(v.cg)
 			cm, err := eng.CompileModule(module)
 			if err != nil {
 				b.Fatal(err)
@@ -268,16 +274,20 @@ func benchElideKernel(b *testing.B, workload string) {
 			}
 		})
 	}
-	if sums[0] != nil && sums[1] != nil && fmt.Sprint(sums[0]) != fmt.Sprint(sums[1]) {
-		b.Fatalf("elide changed the result: off=%v on=%v", sums[0], sums[1])
+	for i := 1; i < len(variants); i++ {
+		if sums[0] != nil && sums[i] != nil && fmt.Sprint(sums[0]) != fmt.Sprint(sums[i]) {
+			b.Fatalf("%s changed the result: baseline=%v got=%v",
+				variants[i].name, sums[0], sums[i])
+		}
 	}
 }
 
 // BenchmarkGemmCompiled and BenchmarkAtaxCompiled are the headline
-// hot-path benches of the elision pass (see BENCH_bce.json for the
-// committed full-size numbers from cmd/leapsbench -benchbce).
-func BenchmarkGemmCompiled(b *testing.B) { benchElideKernel(b, "gemm") }
-func BenchmarkAtaxCompiled(b *testing.B) { benchElideKernel(b, "atax") }
+// hot-path benches of the codegen passes (see BENCH_bce.json and the
+// rir_runs section of BENCH_sweep.json for the committed full-size
+// numbers from cmd/leapsbench -benchbce / -benchsweep).
+func BenchmarkGemmCompiled(b *testing.B) { benchCodegenKernel(b, "gemm") }
+func BenchmarkAtaxCompiled(b *testing.B) { benchCodegenKernel(b, "atax") }
 
 // BenchmarkObsOverhead compares a gemm isolate-churn run with the
 // observability plumbing disabled (NewProcess: traceless private

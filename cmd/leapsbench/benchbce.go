@@ -10,9 +10,11 @@ import (
 	"time"
 
 	"leapsandbounds/internal/compiled"
+	"leapsandbounds/internal/core"
 	"leapsandbounds/internal/harness"
 	"leapsandbounds/internal/isa"
 	"leapsandbounds/internal/mem"
+	"leapsandbounds/internal/modcache"
 	"leapsandbounds/internal/vmm"
 	"leapsandbounds/internal/workloads"
 )
@@ -50,6 +52,7 @@ type benchBCEReport struct {
 	GitSHA     string `json:"git_sha"`
 	Class      string `json:"class"`
 	Engine     string `json:"engine"`
+	RIR        bool   `json:"rir"` // register-IR lowering active in both elide arms
 
 	// MicroLoadNsPerOp["trap"]["u32"] is the per-load cost of the
 	// checked fast path (watermark compare + bounds-checked slice
@@ -138,6 +141,12 @@ func runBenchBCE(path string, quick bool) error {
 // collectBenchBCE measures the elision benchmark and returns its
 // report (shared by -benchbce and the -benchgate regression gate).
 func collectBenchBCE(quick bool) (*benchBCEReport, error) {
+	// The elision counters below are compile-time deltas: a module
+	// warm-started from the process-wide cache never re-runs the elide
+	// pass, so a prior collector in the same process (the gate runs the
+	// sweep, whose register-IR arm compiles these same workloads, before
+	// this) would leave the deltas at zero. Purge so every arm compiles.
+	modcache.Shared().Purge()
 	rep := benchBCEReport{
 		HostCPUs:         runtime.NumCPU(),
 		GOMAXPROCS:       runtime.GOMAXPROCS(0),
@@ -145,6 +154,15 @@ func collectBenchBCE(quick bool) (*benchBCEReport, error) {
 		Class:            "bench",
 		Engine:           harness.EngineWAVM,
 		MicroLoadNsPerOp: map[string]map[string]float64{},
+	}
+
+	// Provenance: the ablation only moves elision; record whether the
+	// register-IR lowering was active in both arms (the engine default).
+	if eng, cleanup, err := harness.NewEngine(harness.EngineWAVM); err == nil {
+		if g, ok := eng.(core.CodegenGetter); ok {
+			rep.RIR = g.Codegen().RegisterIR
+		}
+		cleanup()
 	}
 
 	for _, s := range mem.Strategies() {

@@ -117,6 +117,9 @@ func runBenchGate(path string, quick bool) error {
 		{Name: "sweep_cache_hit_rate", OK: sweep.CacheHitRate >= baseSweep.CacheHitRate-0.05,
 			Got: sweep.CacheHitRate, Want: baseSweep.CacheHitRate - 0.05},
 		{Name: "sweep_speedup", OK: sweep.Speedup >= 0.9, Got: sweep.Speedup, Want: 0.9},
+		{Name: "sweep_rir_checksums_match", OK: sweep.RIRChecksumsMatch, Got: b2f(sweep.RIRChecksumsMatch), Want: 1},
+		{Name: "sweep_rir_mean_improvement_pct", OK: meanRIRImprovement(sweep.RIRRuns) >= meanRIRImprovement(baseSweep.RIRRuns)-15,
+			Got: meanRIRImprovement(sweep.RIRRuns), Want: meanRIRImprovement(baseSweep.RIRRuns) - 15},
 		{Name: "bce_checksums_match", OK: bce.AllChecksumsMatch, Got: b2f(bce.AllChecksumsMatch), Want: 1},
 		{Name: "bce_checks_elided", OK: bce.Elision.ChecksElided > 0,
 			Got: float64(bce.Elision.ChecksElided), Want: 1},

@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"time"
 
+	"leapsandbounds/internal/core"
 	"leapsandbounds/internal/harness"
 	"leapsandbounds/internal/isa"
 	"leapsandbounds/internal/mem"
@@ -17,12 +19,16 @@ import (
 
 // benchSweepReport is the JSON artifact of -benchsweep: the same
 // sweep run twice, serial with a cold disabled cache versus parallel
-// with a prewarmed one, with the cache counters that explain the gap.
+// with a prewarmed one, with the cache counters that explain the gap,
+// plus the register-IR on/off throughput matrix on the compiled
+// engine.
 type benchSweepReport struct {
 	HostCPUs   int      `json:"host_cpus"`
 	GOMAXPROCS int      `json:"gomaxprocs"`
 	GitSHA     string   `json:"git_sha"`
 	Class      string   `json:"class"`
+	Elide      bool     `json:"elide"` // compiled-engine default codegen during the sweep
+	RIR        bool     `json:"rir"`
 	Configs    []string `json:"configs"`
 
 	ColdSerialWallNs   int64   `json:"cold_serial_wall_ns"`
@@ -37,6 +43,35 @@ type benchSweepReport struct {
 	PrewarmNs      int64   `json:"prewarm_ns"`
 
 	ChecksumsMatch bool `json:"checksums_match"`
+
+	RIRRuns           []benchRIRRun `json:"rir_runs"`
+	RIRChecksumsMatch bool          `json:"rir_checksums_match"`
+}
+
+// benchRIRRun is one workload × strategy cell of the register-IR
+// ablation: the same configuration with lowering off and on (elision
+// at the engine default in both arms, so only the lowering moves).
+type benchRIRRun struct {
+	Workload       string  `json:"workload"`
+	Strategy       string  `json:"strategy"`
+	RIROffWallNs   int64   `json:"rir_off_wall_ns"`
+	RIROnWallNs    int64   `json:"rir_on_wall_ns"`
+	Speedup        float64 `json:"speedup"`
+	ImprovementPct float64 `json:"improvement_pct"`
+	ChecksumsMatch bool    `json:"checksums_match"`
+}
+
+// meanRIRImprovement averages the lowering-on improvement over the
+// ablation runs (percentage points).
+func meanRIRImprovement(runs []benchRIRRun) float64 {
+	if len(runs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, r := range runs {
+		sum += r.ImprovementPct
+	}
+	return sum / float64(len(runs))
 }
 
 // benchSweepConfigs is the fixed configuration set of the cache
@@ -130,6 +165,13 @@ func runBenchSweep(path string, quick bool) error {
 		len(rep.Configs), rep.HostCPUs, time.Duration(rep.ColdSerialWallNs).Round(time.Millisecond),
 		time.Duration(rep.WarmParallelWallNs).Round(time.Millisecond), rep.Speedup,
 		rep.CacheHitRate*100, time.Duration(rep.CompileNsSaved).Round(time.Millisecond), rep.ChecksumsMatch)
+	for _, r := range rep.RIRRuns {
+		fmt.Fprintf(os.Stderr, "benchsweep: rir %-6s %-9s off %8v on %8v (%.1f%% faster), checksums match: %v\n",
+			r.Workload, r.Strategy,
+			time.Duration(r.RIROffWallNs).Round(time.Microsecond),
+			time.Duration(r.RIROnWallNs).Round(time.Microsecond),
+			r.ImprovementPct, r.ChecksumsMatch)
+	}
 	return nil
 }
 
@@ -182,7 +224,7 @@ func collectBenchSweep(quick bool) (*benchSweepReport, error) {
 		}
 	}
 
-	return &benchSweepReport{
+	rep := &benchSweepReport{
 		HostCPUs:           runtime.NumCPU(),
 		GOMAXPROCS:         runtime.GOMAXPROCS(0),
 		GitSHA:             gitSHA(),
@@ -198,5 +240,88 @@ func collectBenchSweep(quick bool) (*benchSweepReport, error) {
 		CompileNsSaved:     after.CompileNsSaved - before.CompileNsSaved,
 		PrewarmNs:          prewarmDur.Nanoseconds(),
 		ChecksumsMatch:     match,
-	}, nil
+	}
+
+	// Provenance: the codegen the compiled engine defaulted to during
+	// the sweep, read from a fresh engine rather than hardcoded so the
+	// artifact tracks the defaults.
+	if eng, cleanup, err := harness.NewEngine(harness.EngineWAVM); err == nil {
+		if g, ok := eng.(core.CodegenGetter); ok {
+			cg := g.Codegen()
+			rep.Elide = cg.BoundsElision
+			rep.RIR = cg.RegisterIR
+		}
+		cleanup()
+	}
+
+	if err := collectRIRRuns(rep, quick); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// collectRIRRuns measures the register-IR ablation matrix on the
+// compiled engine: gemm and atax under the trap and mprotect
+// strategies, lowering off versus on, at bench size. The two arms
+// are interleaved across several passes, each pass yields one
+// paired off/on ratio, and the cell reports the median ratio: on a
+// shared host the noise is slow drift, which hits the adjacent arms
+// of a pass equally and cancels in its ratio, where one long
+// back-to-back run per arm would bake the drift into whichever arm
+// ran second. The wall fields are each arm's median across passes.
+func collectRIRRuns(rep *benchSweepReport, quick bool) error {
+	warmup, measure, passes := 2, 7, 7
+	if quick {
+		warmup, measure, passes = 1, 5, 5
+	}
+	rep.RIRChecksumsMatch = true
+	for _, name := range []string{"gemm", "atax"} {
+		wl, err := workloads.ByName(name)
+		if err != nil {
+			return err
+		}
+		for _, s := range []mem.Strategy{mem.Trap, mem.Mprotect} {
+			walls := [2][]time.Duration{}
+			var ratios []float64
+			var sums [2]uint64
+			for p := 0; p < passes; p++ {
+				var pair [2]time.Duration
+				for i, noRIR := range []bool{true, false} {
+					res, err := harness.Run(harness.Options{
+						Engine: harness.EngineWAVM, Workload: wl,
+						Class: workloads.Bench, Strategy: s,
+						Profile: isa.X86_64(), Threads: 1,
+						Warmup: warmup, Measure: measure,
+						NoRIR: noRIR,
+					})
+					if err != nil {
+						return err
+					}
+					pair[i] = res.MedianWall
+					walls[i] = append(walls[i], res.MedianWall)
+					sums[i] = res.Checksum
+				}
+				ratios = append(ratios, float64(pair[0])/float64(pair[1]))
+			}
+			var wall [2]time.Duration
+			for i := range walls {
+				sort.Slice(walls[i], func(a, b int) bool { return walls[i][a] < walls[i][b] })
+				wall[i] = walls[i][len(walls[i])/2]
+			}
+			sort.Float64s(ratios)
+			speedup := ratios[len(ratios)/2]
+			match := sums[0] == sums[1]
+			rep.RIRChecksumsMatch = rep.RIRChecksumsMatch && match
+			rep.RIRRuns = append(rep.RIRRuns, benchRIRRun{
+				Workload:       name,
+				Strategy:       s.String(),
+				RIROffWallNs:   wall[0].Nanoseconds(),
+				RIROnWallNs:    wall[1].Nanoseconds(),
+				Speedup:        speedup,
+				ImprovementPct: 100 * (1 - 1/speedup),
+				ChecksumsMatch: match,
+			})
+		}
+	}
+	return nil
 }

@@ -26,11 +26,13 @@ import (
 
 	"leapsandbounds/internal/compiled"
 	"leapsandbounds/internal/figures"
+	"leapsandbounds/internal/flatten"
 	"leapsandbounds/internal/harness"
 	"leapsandbounds/internal/isa"
 	"leapsandbounds/internal/mem"
 	"leapsandbounds/internal/modcache"
 	"leapsandbounds/internal/obs"
+	"leapsandbounds/internal/rir"
 	"leapsandbounds/internal/telemetry"
 	"leapsandbounds/internal/workloads"
 )
@@ -57,6 +59,8 @@ func main() {
 		parallel = flag.Bool("parallel", true, "figure mode: schedule configurations through the sweep scheduler (single-isolate runs pack onto a worker pool; thread-scaling runs stay exclusive)")
 		nocache  = flag.Bool("nocache", false, "disable the compiled-module cache (every run pays the full compile)")
 		elide    = flag.Bool("elide", true, "single-run mode: bounds-check elision in engines that support it (wavm); -elide=false compiles with per-access checks")
+		rirOn    = flag.Bool("rir", true, "single-run mode: register-IR lowering in engines that support it (wavm, v8 top tier); -rir=false keeps the stack-machine emit")
+		dumpIR   = flag.Bool("dump-ir", false, "single-run mode: print the workload entry function's stack ops next to its lowered register IR instead of running it")
 		bsweep   = flag.String("benchsweep", "", "run the cold-vs-warm cache benchmark and write its JSON report to this file (\"-\" for stdout)")
 		bbce     = flag.String("benchbce", "", "run the bounds-check elision benchmark and write its JSON report to this file (\"-\" for stdout)")
 		chaos    = flag.Int64("chaos", 0, "run the deterministic fault-injection sweep with this seed (twice, verifying the replay reproduces it exactly)")
@@ -74,6 +78,7 @@ func main() {
 		reg = obs.NewRegistry()
 		modcache.Shared().AttachObs(reg.Scope("modcache"))
 		compiled.AttachBCEObs(reg.Scope("bce"))
+		rir.AttachObs(reg.Scope("rir"))
 		if *trace != "" {
 			reg.EnableTracing(true)
 		}
@@ -163,6 +168,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "leapsbench:", err)
 		os.Exit(1)
 	}
+	if *dumpIR {
+		if err := dumpWorkloadIR(os.Stdout, wl, cls); err != nil {
+			fmt.Fprintln(os.Stderr, "leapsbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	strat, err := mem.ParseStrategy(*strategy)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "leapsbench:", err)
@@ -196,6 +208,7 @@ func main() {
 		CountCycles: *cycles,
 		NoCache:     *nocache,
 		NoElide:     !*elide,
+		NoRIR:       !*rirOn,
 		Obs:         reg,
 	})
 	if err != nil {
@@ -371,6 +384,38 @@ func printOps(workload, engine string, prof *isa.Profile, counts *isa.Counts) {
 	fmt.Printf("loads+stores: %.1f%% of executed operations (paper §2.3 cites ~40%% for x86_64 binaries)\n",
 		float64(memOps)/float64(total)*100)
 	fmt.Printf("modelled time on %s: %v\n", prof.Name, prof.Time(counts))
+}
+
+// dumpWorkloadIR prints the workload entry function's flattened stack
+// ops in one column and the register IR the compiled tier lowers them
+// to in the other, so the effect of dead push/pop elimination and
+// superinstruction fusion is visible per instruction.
+func dumpWorkloadIR(w *os.File, wl workloads.Spec, cls workloads.Class) error {
+	m, _, err := wl.BuildChecked(cls)
+	if err != nil {
+		return err
+	}
+	fi, ok := m.ExportedFunc(workloads.Entry)
+	if !ok {
+		return fmt.Errorf("workload %s exports no %q function", wl.Name, workloads.Entry)
+	}
+	imported := uint32(m.NumImportedFuncs())
+	ff, err := flatten.Flatten(m, fi, &m.Code[fi-imported])
+	if err != nil {
+		return err
+	}
+	before, err := rir.Build(ff)
+	if err != nil {
+		return err
+	}
+	after := rir.Optimize(before, ff.NumLocals)
+	after = rir.Compact(after)
+	after, regs := rir.Lower(after, ff.NumLocals)
+	after, fused := rir.FuseMem(after)
+	fmt.Fprintf(w, "%s %q: %d stack ops -> %d register ops, %d locals, %d regs, %d mem fusions\n\n",
+		wl.Name, workloads.Entry, len(before), len(after), ff.NumLocals, regs, fused)
+	rir.DumpSideBySide(w, before, after, ff.NumLocals)
+	return nil
 }
 
 func listAll() {

@@ -1,7 +1,8 @@
 // Command wasmdump inspects a WebAssembly binary: section summary,
-// imports/exports, and optionally a disassembly of function bodies.
+// imports/exports, and optionally a disassembly of function bodies or
+// the register IR the compiled tier lowers each body to.
 //
-//	wasmdump [-d] [-validate] program.wasm
+//	wasmdump [-d] [-ir] [-validate] program.wasm
 package main
 
 import (
@@ -10,6 +11,8 @@ import (
 	"os"
 	"strings"
 
+	"leapsandbounds/internal/flatten"
+	"leapsandbounds/internal/rir"
 	"leapsandbounds/internal/validate"
 	"leapsandbounds/internal/wasm"
 )
@@ -17,6 +20,7 @@ import (
 func main() {
 	var (
 		disasm = flag.Bool("d", false, "disassemble function bodies")
+		dumpIR = flag.Bool("ir", false, "print each function's stack ops next to its lowered register IR")
 		check  = flag.Bool("validate", true, "type-check the module")
 	)
 	flag.Parse()
@@ -24,13 +28,13 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *disasm, *check); err != nil {
+	if err := run(flag.Arg(0), *disasm, *dumpIR, *check); err != nil {
 		fmt.Fprintln(os.Stderr, "wasmdump:", err)
 		os.Exit(1)
 	}
 }
 
-func run(path string, disasm, check bool) error {
+func run(path string, disasm, dumpIR, check bool) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -70,7 +74,7 @@ func run(path string, disasm, check bool) error {
 		fmt.Println()
 	}
 
-	if !disasm {
+	if !disasm && !dumpIR {
 		return nil
 	}
 	imported := m.NumImportedFuncs()
@@ -85,21 +89,49 @@ func run(path string, disasm, check bool) error {
 			name = fmt.Sprintf("func[%d]", idx)
 		}
 		fmt.Printf("\n%s %s  (%d locals)\n", name, ft, len(m.Code[i].Locals))
-		depth := 1
-		for _, in := range m.Code[i].Body {
-			switch in.Op {
-			case wasm.OpEnd, wasm.OpElse:
-				depth--
+		if disasm {
+			depth := 1
+			for _, in := range m.Code[i].Body {
+				switch in.Op {
+				case wasm.OpEnd, wasm.OpElse:
+					depth--
+				}
+				if depth < 0 {
+					depth = 0
+				}
+				fmt.Printf("  %s%s\n", strings.Repeat("  ", depth), in)
+				switch in.Op {
+				case wasm.OpBlock, wasm.OpLoop, wasm.OpIf, wasm.OpElse:
+					depth++
+				}
 			}
-			if depth < 0 {
-				depth = 0
-			}
-			fmt.Printf("  %s%s\n", strings.Repeat("  ", depth), in)
-			switch in.Op {
-			case wasm.OpBlock, wasm.OpLoop, wasm.OpIf, wasm.OpElse:
-				depth++
+		}
+		if dumpIR {
+			if err := dumpFuncIR(m, idx, &m.Code[i]); err != nil {
+				return err
 			}
 		}
 	}
+	return nil
+}
+
+// dumpFuncIR lowers one function body through the compiled tier's
+// register pipeline and prints the stack ops next to the register IR.
+func dumpFuncIR(m *wasm.Module, idx uint32, code *wasm.Code) error {
+	ff, err := flatten.Flatten(m, idx, code)
+	if err != nil {
+		return err
+	}
+	before, err := rir.Build(ff)
+	if err != nil {
+		return err
+	}
+	after := rir.Optimize(before, ff.NumLocals)
+	after = rir.Compact(after)
+	after, regs := rir.Lower(after, ff.NumLocals)
+	after, fused := rir.FuseMem(after)
+	fmt.Printf("  %d stack ops -> %d register ops (%d regs, %d mem fusions)\n",
+		len(before), len(after), regs, fused)
+	rir.DumpSideBySide(os.Stdout, before, after, ff.NumLocals)
 	return nil
 }

@@ -29,11 +29,14 @@ func writeWorkload(t *testing.T, name string) string {
 
 func TestRunSummaryAndDisassembly(t *testing.T) {
 	path := writeWorkload(t, "gemm")
-	if err := run(path, false, true); err != nil {
+	if err := run(path, false, false, true); err != nil {
 		t.Fatalf("summary: %v", err)
 	}
-	if err := run(path, true, true); err != nil {
+	if err := run(path, true, false, true); err != nil {
 		t.Fatalf("disassembly: %v", err)
+	}
+	if err := run(path, false, true, true); err != nil {
+		t.Fatalf("register IR dump: %v", err)
 	}
 }
 
@@ -42,10 +45,10 @@ func TestRunRejectsGarbage(t *testing.T) {
 	if err := os.WriteFile(path, []byte("not wasm"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(path, false, true); err == nil {
+	if err := run(path, false, false, true); err == nil {
 		t.Error("garbage accepted")
 	}
-	if err := run(filepath.Join(t.TempDir(), "missing.wasm"), false, true); err == nil {
+	if err := run(filepath.Join(t.TempDir(), "missing.wasm"), false, false, true); err == nil {
 		t.Error("missing file accepted")
 	}
 }

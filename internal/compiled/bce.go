@@ -7,6 +7,7 @@ import (
 	"leapsandbounds/internal/flatten"
 	"leapsandbounds/internal/isa"
 	"leapsandbounds/internal/obs"
+	"leapsandbounds/internal/rir"
 	"leapsandbounds/internal/wasm"
 )
 
@@ -17,7 +18,7 @@ import (
 //
 //  1. Loop versioning: an innermost counted loop whose accesses have
 //     addresses affine in the induction local is cloned. A preheader
-//     shRangeCheck evaluates each access's address at the first and
+//     rir.ShRangeCheck evaluates each access's address at the first and
 //     last iteration, proves the whole sequence in bounds via
 //     mem.CheckRange, and dispatches to a fast copy (accesses
 //     unchecked) or the untouched slow copy. Calls and memory.grow in
@@ -40,38 +41,10 @@ import (
 // addresses a partially-executed region would touch is invisible:
 // committed pages read as zero either way.
 
-// checkPlan is the payload of a shRangeCheck sop.
-type checkPlan struct {
-	reval bool // revalidation copy of a loop check (obs accounting)
-
-	// EBB plan: one range relative to a base slot (-1 = absolute).
-	baseSlot int
-	lo       uint64
-	n        uint64
-	write    bool
-
-	// Loop plan (ranges non-nil): induction and bound description
-	// plus one evaluated range per hoisted access.
-	indSlot    int
-	limitSlot  int
-	limitImm   uint64
-	limitIsImm bool
-	step       int32
-	ranges     []loopRange
-}
-
-// loopRange is one hoisted access: expr evaluates the access's
-// address-slot value as a function of the induction value.
-type loopRange struct {
-	expr  evalFn
-	off   uint64
-	width uint64
-	write bool
-}
-
-// evalFn evaluates a pure address expression against the frame,
-// substituting cv for the induction local.
-type evalFn func(st []uint64, base int, cv uint64) uint64
+// The rir.CheckPlan/rir.LoopRange/rir.EvalFn types that carry the
+// pass's output live in internal/rir with the instruction they
+// decorate; the passes themselves stay here because the emitters
+// below consume their plans directly.
 
 // Process-wide elision statistics, attached to obs like modcache's.
 var (
@@ -138,14 +111,14 @@ func bceCount(c *atomic.Int64, pick func(*bceObsHandles) *obs.Counter, n int64) 
 	}
 }
 
-// elide is the pass entry point, run after optimize+compact.
-func elide(ir []sop, numLocals int) []sop {
+// elide is the pass entry point, run after optimize+rir.Compact.
+func elide(ir []rir.Inst, numLocals int) []rir.Inst {
 	ir = hoistLoops(ir, numLocals)
 	ir = coalesceEBB(ir, numLocals)
 	ir = fuseAddrs(ir, numLocals)
 	checked := int64(0)
 	for i := range ir {
-		if (ir[i].shape == shLoad || ir[i].shape == shStore) && !ir[i].unchecked {
+		if (ir[i].Shape == rir.ShLoad || ir[i].Shape == rir.ShStore) && !ir[i].Unchecked {
 			checked++
 		}
 	}
@@ -170,69 +143,6 @@ func accWidth(op wasm.Opcode) uint64 {
 	}
 }
 
-// sopWrites calls f for every frame slot s may write. Calls clobber
-// the callee frame, i.e. everything at or above argBase; that is
-// reported separately through clob (the smallest such base, or -1).
-func sopWrites(s *sop, f func(slot int)) (clob int) {
-	clob = -1
-	switch s.shape {
-	case shConst, shMove, shUn, shBin, shSelect, shLoad, shGlobalGet,
-		shMemSize, shMemGrow, shTruncSat:
-		f(s.dst)
-	case shJump, shBranchIf:
-		if s.carrySrc >= 0 {
-			f(s.carryDst)
-		}
-	case shBrTable:
-		for _, bt := range s.table {
-			if bt.Arity > 0 {
-				f(int(bt.PopTo))
-			}
-		}
-	case shCall, shCallInd:
-		clob = s.argBase
-	}
-	return clob
-}
-
-// sopReads calls f for every frame slot s reads, for the straight-line
-// shapes fuseAddrs treats as transparent (branch and call shapes track
-// their reads elsewhere and never participate in chain sinking).
-func sopReads(s *sop, f func(slot int)) {
-	switch s.shape {
-	case shMove, shUn, shTruncSat, shGlobalSet:
-		f(s.a)
-	case shBin:
-		if !s.aImm {
-			f(s.a)
-		}
-		if !s.bImm {
-			f(s.b)
-		}
-	case shSelect:
-		f(s.a)
-		f(s.b)
-		f(s.c)
-	case shLoad:
-		if !s.aImm {
-			f(s.a)
-		}
-	case shStore:
-		if !s.aImm {
-			f(s.a)
-		}
-		if !s.bImm {
-			f(s.b)
-		}
-	case shMemGrow:
-		f(s.a)
-	case shMemCopy, shMemFill:
-		f(s.a)
-		f(s.b)
-		f(s.c)
-	}
-}
-
 // trappingBin lists binary ops that may trap and therefore must not
 // be evaluated speculatively at a loop preheader.
 var trappingBin = map[wasm.Opcode]bool{
@@ -248,23 +158,23 @@ var trappingBin = map[wasm.Opcode]bool{
 
 type loopVer struct {
 	L, E    int
-	plan    *checkPlan
+	plan    *rir.CheckPlan
 	planned map[int]bool // rel offsets of accesses lowered to unchecked
 	revals  []int        // rel offsets of calls/grows needing revalidation
 }
 
 // hoistLoops finds analyzable innermost counted loops and versions
 // them: [check][fast copy (+revalidations)][slow copy].
-func hoistLoops(ir []sop, numLocals int) []sop {
-	labels := findLabels(ir)
+func hoistLoops(ir []rir.Inst, numLocals int) []rir.Inst {
+	labels := rir.FindLabels(ir)
 	loops := map[int]*loopVer{}
 	claimed := -1 // highest pc already inside a chosen loop
 	for E := 0; E < len(ir); E++ {
 		s := &ir[E]
-		if s.shape != shJump || int(s.tgt) > E {
+		if s.Shape != rir.ShJump || int(s.Tgt) > E {
 			continue
 		}
-		L := int(s.tgt)
+		L := int(s.Tgt)
 		if L <= claimed {
 			continue
 		}
@@ -325,7 +235,7 @@ func hoistLoops(ir []sop, numLocals int) []sop {
 	remap[len(ir)] = newPC
 
 	// Phase B: emit.
-	out := make([]sop, 0, newPC)
+	out := make([]rir.Inst, 0, newPC)
 	pi := 0
 	hoisted, elided := int64(0), int64(0)
 	for i := 0; i < len(ir); {
@@ -341,12 +251,12 @@ func hoistLoops(ir []sop, numLocals int) []sop {
 		pi++
 		n := lv.E - lv.L + 1
 		plan := *lv.plan
-		out = append(out, sop{
-			shape:  shRangeCheck,
-			tgt:    int32(p.slowStart),
-			chk:    &plan,
-			class:  isa.ClassBranch,
-			memAcc: true,
+		out = append(out, rir.Inst{
+			Shape:  rir.ShRangeCheck,
+			Tgt:    int32(p.slowStart),
+			Chk:    &plan,
+			Class:  isa.ClassBranch,
+			MemAcc: true,
 		})
 		mapLoopTgt := func(hdr int32) func(int32) int32 {
 			return func(t int32) int32 {
@@ -363,20 +273,20 @@ func hoistLoops(ir []sop, numLocals int) []sop {
 			s := ir[lv.L+k]
 			rewriteTargets(&s, mapLoopTgt(p.fastPos[0]))
 			if lv.planned[k] {
-				s.unchecked = true
-				s.memAcc = false
+				s.Unchecked = true
+				s.MemAcc = false
 				elided++
 			}
 			out = append(out, s)
 			if ri < len(lv.revals) && lv.revals[ri] == k {
 				rp := plan
-				rp.reval = true
-				out = append(out, sop{
-					shape:  shRangeCheck,
-					tgt:    int32(p.slowStart + k + 1),
-					chk:    &rp,
-					class:  isa.ClassBranch,
-					memAcc: true,
+				rp.Reval = true
+				out = append(out, rir.Inst{
+					Shape:  rir.ShRangeCheck,
+					Tgt:    int32(p.slowStart + k + 1),
+					Chk:    &rp,
+					Class:  isa.ClassBranch,
+					MemAcc: true,
 				})
 				ri++
 			}
@@ -387,7 +297,7 @@ func hoistLoops(ir []sop, numLocals int) []sop {
 			rewriteTargets(&s, mapLoopTgt(int32(p.slowStart)))
 			out = append(out, s)
 		}
-		hoisted += int64(len(lv.plan.ranges))
+		hoisted += int64(len(lv.plan.Ranges))
 		i = lv.E + 1
 	}
 	bceCount(&bceHoisted, func(h *bceObsHandles) *obs.Counter { return h.hoisted }, hoisted)
@@ -397,7 +307,7 @@ func hoistLoops(ir []sop, numLocals int) []sop {
 
 // analyzeLoop decides whether [L..E] is a versionable counted loop
 // and builds its preheader plan.
-func analyzeLoop(ir []sop, labels []bool, L, E, numLocals int) *loopVer {
+func analyzeLoop(ir []rir.Inst, labels []bool, L, E, numLocals int) *loopVer {
 	// Innermost and single-entry: no labels past the header.
 	for pc := L + 1; pc <= E; pc++ {
 		if labels[pc] {
@@ -408,13 +318,13 @@ func analyzeLoop(ir []sop, labels []bool, L, E, numLocals int) *loopVer {
 	// the increment.
 	for pc := L; pc < E; pc++ {
 		s := &ir[pc]
-		switch s.shape {
-		case shJump, shIfFalse, shBranchIf, shCmpBranch:
-			if int(s.tgt) == L {
+		switch s.Shape {
+		case rir.ShJump, rir.ShIfFalse, rir.ShBranchIf, rir.ShCmpBranch:
+			if int(s.Tgt) == L {
 				return nil
 			}
-		case shBrTable:
-			for _, bt := range s.table {
+		case rir.ShBrTable:
+			for _, bt := range s.Table {
 				if int(bt.Tgt) == L {
 					return nil
 				}
@@ -424,19 +334,19 @@ func analyzeLoop(ir []sop, labels []bool, L, E, numLocals int) *loopVer {
 	// Header: fused compare exiting the loop while the induction
 	// local stays below an invariant bound.
 	hdr := &ir[L]
-	if hdr.shape != shCmpBranch || hdr.aImm {
+	if hdr.Shape != rir.ShCmpBranch || hdr.AImm {
 		return nil
 	}
 	switch {
-	case hdr.cmpOp == wasm.OpI32GeS && hdr.brOnTrue:
-	case hdr.cmpOp == wasm.OpI32LtS && !hdr.brOnTrue:
+	case hdr.CmpOp == wasm.OpI32GeS && hdr.BrOnTrue:
+	case hdr.CmpOp == wasm.OpI32LtS && !hdr.BrOnTrue:
 	default:
 		return nil
 	}
-	if t := int(hdr.tgt); t >= L && t <= E {
+	if t := int(hdr.Tgt); t >= L && t <= E {
 		return nil
 	}
-	c := hdr.a
+	c := hdr.A
 	if c >= numLocals {
 		return nil
 	}
@@ -448,7 +358,7 @@ func analyzeLoop(ir []sop, labels []bool, L, E, numLocals int) *loopVer {
 	incPC := -1
 	for pc := L; pc <= E; pc++ {
 		s := &ir[pc]
-		clob := sopWrites(s, func(slot int) {
+		clob := rir.InstWrites(s, func(slot int) {
 			written[slot] = true
 			if slot == c {
 				cWrites++
@@ -463,16 +373,16 @@ func analyzeLoop(ir []sop, labels []bool, L, E, numLocals int) *loopVer {
 	// The increment is either a retargeted binop writing the local
 	// directly, or the common local.set of a temp holding c + step.
 	inc := &ir[incPC]
-	if inc.shape == shMove {
+	if inc.Shape == rir.ShMove {
 		src := -1
 		for p := incPC - 1; p > L; p-- {
 			hit := false
-			clob := sopWrites(&ir[p], func(w int) {
-				if w == inc.a {
+			clob := rir.InstWrites(&ir[p], func(w int) {
+				if w == inc.A {
 					hit = true
 				}
 			})
-			if hit || (clob >= 0 && inc.a >= clob) {
+			if hit || (clob >= 0 && inc.A >= clob) {
 				src = p
 				break
 			}
@@ -482,56 +392,56 @@ func analyzeLoop(ir []sop, labels []bool, L, E, numLocals int) *loopVer {
 		}
 		inc = &ir[src]
 	}
-	if inc.shape != shBin || inc.op != wasm.OpI32Add || inc.a != c || !inc.bImm {
+	if inc.Shape != rir.ShBin || inc.Op != wasm.OpI32Add || inc.A != c || !inc.BImm {
 		return nil
 	}
-	step := int32(uint32(inc.immB))
+	step := int32(uint32(inc.ImmB))
 	if step <= 0 {
 		return nil
 	}
 	invariant := func(slot int) bool { return !written[slot] }
-	if !hdr.bImm && !invariant(hdr.b) {
+	if !hdr.BImm && !invariant(hdr.B) {
 		return nil
 	}
 
 	lv := &loopVer{L: L, E: E, planned: map[int]bool{}}
-	plan := &checkPlan{
-		baseSlot:   -1,
-		indSlot:    c,
-		limitSlot:  hdr.b,
-		limitImm:   hdr.immB,
-		limitIsImm: hdr.bImm,
-		step:       step,
+	plan := &rir.CheckPlan{
+		BaseSlot:   -1,
+		IndSlot:    c,
+		LimitSlot:  hdr.B,
+		LimitImm:   hdr.ImmB,
+		LimitIsImm: hdr.BImm,
+		Step:       step,
 	}
-	an := &affineAnalyzer{ir: ir, L: L, c: c, incPC: incPC, step: step, invariant: invariant}
+	an := &affineAnalyzer{ir: ir, L: L, C: c, incPC: incPC, Step: step, invariant: invariant}
 	for pc := L + 1; pc < E; pc++ {
 		s := &ir[pc]
-		switch s.shape {
-		case shCall, shCallInd, shMemGrow:
+		switch s.Shape {
+		case rir.ShCall, rir.ShCallInd, rir.ShMemGrow:
 			lv.revals = append(lv.revals, pc-L)
-		case shLoad, shStore:
-			if s.unchecked || (!s.pure && !s.aImm) {
+		case rir.ShLoad, rir.ShStore:
+			if s.Unchecked || (!s.Pure && !s.AImm) {
 				continue
 			}
 			var ex *aexpr
-			if s.aImm {
+			if s.AImm {
 				ex = constExpr(0)
 			} else {
-				ex = an.build(s.a, pc, 0)
+				ex = an.build(s.A, pc, 0)
 			}
 			if ex == nil || !ex.affine {
 				continue
 			}
-			plan.ranges = append(plan.ranges, loopRange{
-				expr:  ex.eval,
-				off:   s.off,
-				width: accWidth(s.op),
-				write: s.shape == shStore,
+			plan.Ranges = append(plan.Ranges, rir.LoopRange{
+				Expr:  ex.eval,
+				Off:   s.Off,
+				Width: accWidth(s.Op),
+				Write: s.Shape == rir.ShStore,
 			})
 			lv.planned[pc-L] = true
 		}
 	}
-	if len(plan.ranges) == 0 {
+	if len(plan.Ranges) == 0 {
 		return nil
 	}
 	lv.plan = plan
@@ -543,7 +453,7 @@ func analyzeLoop(ir []sop, labels []bool, L, E, numLocals int) *loopVer {
 // so only arithmetic sequences are hoisted. Invariant expressions are
 // trivially affine (coefficient zero).
 type aexpr struct {
-	eval   evalFn
+	eval   rir.EvalFn
 	depC   bool
 	affine bool
 }
@@ -556,11 +466,11 @@ func constExpr(k uint64) *aexpr {
 }
 
 type affineAnalyzer struct {
-	ir        []sop
+	ir        []rir.Inst
 	L         int
-	c         int
+	C         int
 	incPC     int
-	step      int32
+	Step      int32
 	invariant func(int) bool
 }
 
@@ -575,7 +485,7 @@ func (an *affineAnalyzer) build(slot, pc, depth int) *aexpr {
 	def := -1
 	for p := pc - 1; p > an.L; p-- {
 		hit := false
-		clob := sopWrites(&an.ir[p], func(w int) {
+		clob := rir.InstWrites(&an.ir[p], func(w int) {
 			if w == slot {
 				hit = true
 			}
@@ -590,7 +500,7 @@ func (an *affineAnalyzer) build(slot, pc, depth int) *aexpr {
 		// reads as the iteration value; anything else must be loop
 		// invariant so the preheader sees the same value every
 		// iteration.
-		if slot == an.c {
+		if slot == an.C {
 			return &aexpr{
 				eval:   func(st []uint64, base int, cv uint64) uint64 { return cv },
 				depC:   true,
@@ -606,9 +516,9 @@ func (an *affineAnalyzer) build(slot, pc, depth int) *aexpr {
 			affine: true,
 		}
 	}
-	if def == an.incPC && slot == an.c {
+	if def == an.incPC && slot == an.C {
 		// c read after its increment: iteration value + step.
-		step := uint32(an.step)
+		step := uint32(an.Step)
 		return &aexpr{
 			eval: func(st []uint64, base int, cv uint64) uint64 {
 				return uint64(uint32(cv) + step)
@@ -618,33 +528,33 @@ func (an *affineAnalyzer) build(slot, pc, depth int) *aexpr {
 		}
 	}
 	d := &an.ir[def]
-	switch d.shape {
-	case shConst:
-		return constExpr(d.immA)
-	case shMove:
+	switch d.Shape {
+	case rir.ShConst:
+		return constExpr(d.ImmA)
+	case rir.ShMove:
 		// Reading through a copy: the source's value at the def site.
-		return an.build(d.a, def, depth+1)
-	case shBin:
-		if trappingBin[d.op] {
+		return an.build(d.A, def, depth+1)
+	case rir.ShBin:
+		if trappingBin[d.Op] {
 			return nil
 		}
-		fn := binOps[d.op]
+		fn := rir.BinOps[d.Op]
 		if fn == nil {
 			return nil
 		}
 		var ea, eb *aexpr
-		if d.aImm {
-			ea = constExpr(d.immA)
+		if d.AImm {
+			ea = constExpr(d.ImmA)
 		} else {
-			ea = an.build(d.a, def, depth+1)
+			ea = an.build(d.A, def, depth+1)
 		}
 		if ea == nil {
 			return nil
 		}
-		if d.bImm {
-			eb = constExpr(d.immB)
+		if d.BImm {
+			eb = constExpr(d.ImmB)
 		} else {
-			eb = an.build(d.b, def, depth+1)
+			eb = an.build(d.B, def, depth+1)
 		}
 		if eb == nil {
 			return nil
@@ -653,12 +563,12 @@ func (an *affineAnalyzer) build(slot, pc, depth int) *aexpr {
 		switch {
 		case !r.depC:
 			r.affine = true
-		case d.op == wasm.OpI32Add || d.op == wasm.OpI32Sub:
+		case d.Op == wasm.OpI32Add || d.Op == wasm.OpI32Sub:
 			r.affine = ea.affine && eb.affine
-		case d.op == wasm.OpI32Mul:
+		case d.Op == wasm.OpI32Mul:
 			// k*x is linear mod 2^32 when one side is invariant.
 			r.affine = ea.affine && eb.affine && !(ea.depC && eb.depC)
-		case d.op == wasm.OpI32Shl:
+		case d.Op == wasm.OpI32Shl:
 			// x<<k multiplies by a power of two; the shift amount
 			// itself must not vary with the induction.
 			r.affine = ea.affine && !eb.depC
@@ -673,17 +583,17 @@ func (an *affineAnalyzer) build(slot, pc, depth int) *aexpr {
 			return fn(fa(st, base, cv), fb(st, base, cv))
 		}
 		return r
-	case shUn:
+	case rir.ShUn:
 		// Pure non-trapping unary ops are evaluable but not linear:
 		// only invariant subtrees pass.
-		if unOps[d.op] == nil || !safeUnFold(d.op) {
+		if rir.UnOps[d.Op] == nil || !rir.SafeUnFold(d.Op) {
 			return nil
 		}
-		ea := an.build(d.a, def, depth+1)
+		ea := an.build(d.A, def, depth+1)
 		if ea == nil || ea.depC {
 			return nil
 		}
-		fn, fa := unOps[d.op], ea.eval
+		fn, fa := rir.UnOps[d.Op], ea.eval
 		return &aexpr{
 			eval: func(st []uint64, base int, cv uint64) uint64 {
 				return fn(fa(st, base, cv))
@@ -701,20 +611,20 @@ func (an *affineAnalyzer) build(slot, pc, depth int) *aexpr {
 
 type ebbMember struct {
 	pc    int
-	off   uint64
-	width uint64
-	write bool
+	Off   uint64
+	Width uint64
+	Write bool
 }
 
 type ebbGroup struct {
-	baseSlot int // -1 for constant-address members
+	BaseSlot int // -1 for constant-address members
 	members  []ebbMember
 }
 
 // coalesceEBB groups same-base accesses inside straight-line runs and
 // versions each group region on one range check.
-func coalesceEBB(ir []sop, numLocals int) []sop {
-	labels := findLabels(ir)
+func coalesceEBB(ir []rir.Inst, numLocals int) []rir.Inst {
+	labels := rir.FindLabels(ir)
 	groups := collectGroups(ir, labels)
 	if len(groups) == 0 {
 		return ir
@@ -763,7 +673,7 @@ func coalesceEBB(ir []sop, numLocals int) []sop {
 	remap[len(ir)] = newPC
 
 	// Phase B: emit.
-	out := make([]sop, 0, newPC)
+	out := make([]rir.Inst, 0, newPC)
 	ri = 0
 	coalesced, elided := int64(0), int64(0)
 	for i := 0; i < len(ir); {
@@ -782,40 +692,40 @@ func coalesceEBB(ir []sop, numLocals int) []sop {
 		member := map[int]bool{}
 		for _, m := range r.g.members {
 			member[m.pc] = true
-			if m.off < lo {
-				lo = m.off
+			if m.Off < lo {
+				lo = m.Off
 			}
-			if m.off+m.width > hi {
-				hi = m.off + m.width
+			if m.Off+m.Width > hi {
+				hi = m.Off + m.Width
 			}
-			write = write || m.write
+			write = write || m.Write
 		}
 		checkPos := remap[i]
 		slowStart := checkPos + 1 + int32(n) + 1
 		merge := remap[r.last+1]
-		out = append(out, sop{
-			shape: shRangeCheck,
-			tgt:   slowStart,
-			chk: &checkPlan{
-				baseSlot: r.g.baseSlot,
-				lo:       lo,
-				n:        hi - lo,
-				write:    write,
+		out = append(out, rir.Inst{
+			Shape: rir.ShRangeCheck,
+			Tgt:   slowStart,
+			Chk: &rir.CheckPlan{
+				BaseSlot: r.g.BaseSlot,
+				Lo:       lo,
+				N:        hi - lo,
+				Write:    write,
 			},
-			class:  isa.ClassBranch,
-			memAcc: true,
+			Class:  isa.ClassBranch,
+			MemAcc: true,
 		})
 		for k := 0; k < n; k++ {
 			s := ir[r.first+k]
 			rewriteTargets(&s, func(t int32) int32 { return remap[t] })
 			if member[r.first+k] {
-				s.unchecked = true
-				s.memAcc = false
+				s.Unchecked = true
+				s.MemAcc = false
 				elided++
 			}
 			out = append(out, s)
 		}
-		out = append(out, sop{shape: shJump, tgt: merge, carrySrc: -1, class: isa.ClassBranch})
+		out = append(out, rir.Inst{Shape: rir.ShJump, Tgt: merge, CarrySrc: -1, Class: isa.ClassBranch})
 		for k := 0; k < n; k++ {
 			s := ir[r.first+k]
 			rewriteTargets(&s, func(t int32) int32 { return remap[t] })
@@ -831,11 +741,11 @@ func coalesceEBB(ir []sop, numLocals int) []sop {
 
 // collectGroups value-numbers each straight-line run and returns the
 // ≥2-member same-base access groups in program order of first member.
-func collectGroups(ir []sop, labels []bool) []ebbGroup {
+func collectGroups(ir []rir.Inst, labels []bool) []ebbGroup {
 	var groups []ebbGroup
 
 	type bucket struct {
-		baseSlot int
+		BaseSlot int
 		members  []ebbMember
 	}
 	var (
@@ -856,7 +766,7 @@ func collectGroups(ir []sop, labels []bool) []ebbGroup {
 		for _, vn := range order {
 			b := buckets[vn]
 			if len(b.members) >= 2 {
-				groups = append(groups, ebbGroup{baseSlot: b.baseSlot, members: b.members})
+				groups = append(groups, ebbGroup{BaseSlot: b.BaseSlot, members: b.members})
 			}
 		}
 		reset()
@@ -888,73 +798,73 @@ func collectGroups(ir []sop, labels []bool) []ebbGroup {
 			flush()
 		}
 		s := &ir[pc]
-		switch s.shape {
-		case shCall, shCallInd, shMemGrow:
+		switch s.Shape {
+		case rir.ShCall, rir.ShCallInd, rir.ShMemGrow:
 			flush()
-			sopWrites(s, func(slot int) { delete(vnOf, slot) })
+			rir.InstWrites(s, func(slot int) { delete(vnOf, slot) })
 			continue
-		case shConst:
-			vnOf[s.dst] = hash(1, s.immA, 0)
+		case rir.ShConst:
+			vnOf[s.Dst] = hash(1, s.ImmA, 0)
 			continue
-		case shMove:
-			vnOf[s.dst] = vnGet(s.a)
+		case rir.ShMove:
+			vnOf[s.Dst] = vnGet(s.A)
 			continue
-		case shBin:
+		case rir.ShBin:
 			va := uint64(0)
-			if s.aImm {
-				va = hash(1, s.immA, 0)
+			if s.AImm {
+				va = hash(1, s.ImmA, 0)
 			} else {
-				va = vnGet(s.a)
+				va = vnGet(s.A)
 			}
 			vb := uint64(0)
-			if s.bImm {
-				vb = hash(1, s.immB, 0)
+			if s.BImm {
+				vb = hash(1, s.ImmB, 0)
 			} else {
-				vb = vnGet(s.b)
+				vb = vnGet(s.B)
 			}
-			vnOf[s.dst] = hash(2+uint64(s.op), va, vb)
+			vnOf[s.Dst] = hash(2+uint64(s.Op), va, vb)
 			continue
-		case shLoad, shStore:
-			if !s.unchecked {
+		case rir.ShLoad, rir.ShStore:
+			if !s.Unchecked {
 				vn := vnImmBase
 				baseSlot := -1
-				if !s.aImm {
-					vn = vnGet(s.a)
-					baseSlot = s.a
+				if !s.AImm {
+					vn = vnGet(s.A)
+					baseSlot = s.A
 				}
 				b := buckets[vn]
 				if b == nil {
-					b = &bucket{baseSlot: baseSlot}
+					b = &bucket{BaseSlot: baseSlot}
 					buckets[vn] = b
 					order = append(order, vn)
 				}
 				b.members = append(b.members, ebbMember{
 					pc:    pc,
-					off:   s.off,
-					width: accWidth(s.op),
-					write: s.shape == shStore,
+					Off:   s.Off,
+					Width: accWidth(s.Op),
+					Write: s.Shape == rir.ShStore,
 				})
 			}
-			if s.shape == shLoad {
-				vnOf[s.dst] = fresh()
+			if s.Shape == rir.ShLoad {
+				vnOf[s.Dst] = fresh()
 			}
 			continue
 		}
 		// Everything else: new values are opaque; branch carries and
 		// table pops invalidate their destinations.
-		sopWrites(s, func(slot int) { vnOf[slot] = fresh() })
+		rir.InstWrites(s, func(slot int) { vnOf[slot] = fresh() })
 	}
 	flush()
 	return groups
 }
 
-// emitRangeCheck compiles a shRangeCheck sop: fall through on
+// emitRangeCheck compiles a rir.ShRangeCheck rir.Inst: fall through on
 // success, branch to the checked clone on failure.
-func emitRangeCheck(s *sop) (cop, error) {
-	p := s.chk
-	tgt := int(s.tgt)
-	if p.ranges == nil {
-		baseSlot, lo, n, write := p.baseSlot, p.lo, p.n, p.write
+func emitRangeCheck(s *rir.Inst) (cop, error) {
+	p := s.Chk
+	tgt := int(s.Tgt)
+	if p.Ranges == nil {
+		baseSlot, lo, n, write := p.BaseSlot, p.Lo, p.N, p.Write
 		if baseSlot < 0 {
 			return func(inst *Instance, base, pc int) int {
 				if _, ok := inst.base.Mem.CheckRange(lo, n, write); ok {
@@ -971,11 +881,11 @@ func emitRangeCheck(s *sop) (cop, error) {
 			return tgt
 		}, nil
 	}
-	ind := p.indSlot
-	step := int64(p.step)
-	limitSlot, limitImm, limitIsImm := p.limitSlot, p.limitImm, p.limitIsImm
-	reval := p.reval
-	ranges := p.ranges
+	ind := p.IndSlot
+	step := int64(p.Step)
+	limitSlot, limitImm, limitIsImm := p.LimitSlot, p.LimitImm, p.LimitIsImm
+	reval := p.Reval
+	ranges := p.Ranges
 	return func(inst *Instance, base, pc int) int {
 		m := inst.base.Mem
 		if !m.ElisionCapable() {
@@ -1013,8 +923,8 @@ func emitRangeCheck(s *sop) (cop, error) {
 		}
 		for i := range ranges {
 			r := &ranges[i]
-			a0 := uint32(r.expr(st, base, uint64(lo)))
-			stride := uint32(r.expr(st, base, uint64(lo+step))) - a0
+			a0 := uint32(r.Expr(st, base, uint64(lo)))
+			stride := uint32(r.Expr(st, base, uint64(lo+step))) - a0
 			// The analyzer only admits expressions affine in the
 			// induction value mod 2^32, so the visited addresses are
 			// exactly a0 + k*stride (mod 2^32) for k in [0, iters); a
@@ -1024,11 +934,11 @@ func emitRangeCheck(s *sop) (cop, error) {
 			if total >= 1<<32 {
 				return tgt
 			}
-			first := uint64(a0) + r.off
-			if first+total+r.width > 1<<32 {
+			first := uint64(a0) + r.Off
+			if first+total+r.Width > 1<<32 {
 				return tgt
 			}
-			if _, ok := m.CheckRange(first, total+r.width, r.write); !ok {
+			if _, ok := m.CheckRange(first, total+r.Width, r.Write); !ok {
 				return tgt
 			}
 		}
@@ -1037,17 +947,17 @@ func emitRangeCheck(s *sop) (cop, error) {
 }
 
 // rewriteTargets applies f to every branch target in s.
-func rewriteTargets(s *sop, f func(int32) int32) {
-	switch s.shape {
-	case shJump, shIfFalse, shBranchIf, shCmpBranch, shRangeCheck:
-		s.tgt = f(s.tgt)
-	case shBrTable:
-		tbl := make([]flatten.BranchTarget, len(s.table))
-		for k, bt := range s.table {
+func rewriteTargets(s *rir.Inst, f func(int32) int32) {
+	switch s.Shape {
+	case rir.ShJump, rir.ShIfFalse, rir.ShBranchIf, rir.ShCmpBranch, rir.ShRangeCheck:
+		s.Tgt = f(s.Tgt)
+	case rir.ShBrTable:
+		tbl := make([]flatten.BranchTarget, len(s.Table))
+		for k, bt := range s.Table {
 			bt.Tgt = f(bt.Tgt)
 			tbl[k] = bt
 		}
-		s.table = tbl
+		s.Table = tbl
 	}
 }
 
@@ -1067,14 +977,14 @@ func rewriteTargets(s *sop, f func(int32) int32) {
 // access by sops that touch neither the address slot nor the chain's
 // sources (typically the value computation of a store) fuses the same
 // way. A branch to the head of a chain can land on the next remaining
-// sop; a branch anywhere between head and access (which would rely on
+// rir.Inst; a branch anywhere between head and access (which would rely on
 // a partially computed address slot or skip the sources' defs)
 // disables fusion.
 //
 // Only unchecked accesses fuse: a checked access keeps its original
-// sop sequence so check failures, trap pcs and clamp redirects stay
+// rir.Inst sequence so check failures, trap pcs and clamp redirects stay
 // byte-identical to the unelided build.
-func fuseAddrs(ir []sop, numLocals int) []sop {
+func fuseAddrs(ir []rir.Inst, numLocals int) []rir.Inst {
 	isTgt := make([]bool, len(ir))
 	for i := range ir {
 		rewriteTargets(&ir[i], func(t int32) int32 {
@@ -1082,23 +992,23 @@ func fuseAddrs(ir []sop, numLocals int) []sop {
 			return t
 		})
 	}
-	fusableOp := func(d *sop) bool {
-		if d.shape != shBin {
+	fusableOp := func(d *rir.Inst) bool {
+		if d.Shape != rir.ShBin {
 			return false
 		}
-		switch d.op {
+		switch d.Op {
 		case wasm.OpI32Add, wasm.OpI32Sub, wasm.OpI32Mul, wasm.OpI32Shl:
 			return true
 		}
 		return false
 	}
-	// transparent reports whether a sop between chain and access can
+	// transparent reports whether a rir.Inst between chain and access can
 	// stay in place: straight-line, no calls (which clobber temps) and
 	// no control flow.
-	transparent := func(d *sop) bool {
-		switch d.shape {
-		case shConst, shMove, shUn, shBin, shSelect, shLoad, shStore,
-			shGlobalGet, shGlobalSet, shTruncSat, shMemSize:
+	transparent := func(d *rir.Inst) bool {
+		switch d.Shape {
+		case rir.ShConst, rir.ShMove, rir.ShUn, rir.ShBin, rir.ShSelect, rir.ShLoad, rir.ShStore,
+			rir.ShGlobalGet, rir.ShGlobalSet, rir.ShTruncSat, rir.ShMemSize:
 			return true
 		}
 		return false
@@ -1108,15 +1018,15 @@ func fuseAddrs(ir []sop, numLocals int) []sop {
 	fusedOps := int64(0)
 	for pc := range ir {
 		s := &ir[pc]
-		if (s.shape != shLoad && s.shape != shStore) || !s.unchecked || s.aImm {
+		if (s.Shape != rir.ShLoad && s.Shape != rir.ShStore) || !s.Unchecked || s.AImm {
 			continue
 		}
-		a := s.a
+		a := s.A
 		if a < numLocals {
 			// Locals are not single-use temporaries; their defs stay.
 			continue
 		}
-		if s.shape == shStore && !s.bImm && s.b == a {
+		if s.Shape == rir.ShStore && !s.BImm && s.B == a {
 			continue
 		}
 		// Walk back over transparent sops to the reaching def of the
@@ -1129,7 +1039,7 @@ func fuseAddrs(ir []sop, numLocals int) []sop {
 				break // already consumed by an earlier fusion
 			}
 			wrotesA := false
-			clob := sopWrites(d, func(w int) {
+			clob := rir.InstWrites(d, func(w int) {
 				if w == a {
 					wrotesA = true
 				}
@@ -1145,7 +1055,7 @@ func fuseAddrs(ir []sop, numLocals int) []sop {
 				break
 			}
 			readsA := false
-			sopReads(d, func(r int) {
+			rir.InstReads(d, func(r int) {
 				if r == a {
 					readsA = true
 				}
@@ -1153,7 +1063,7 @@ func fuseAddrs(ir []sop, numLocals int) []sop {
 			if readsA {
 				break // the chain value has a second consumer
 			}
-			sopWrites(d, func(w int) { betweenWrites = append(betweenWrites, w) })
+			rir.InstWrites(d, func(w int) { betweenWrites = append(betweenWrites, w) })
 		}
 		if end < 0 {
 			continue
@@ -1168,7 +1078,7 @@ func fuseAddrs(ir []sop, numLocals int) []sop {
 				break
 			}
 			d := &ir[q]
-			if !fusableOp(d) || d.dst != a {
+			if !fusableOp(d) || d.Dst != a {
 				break
 			}
 			n++
@@ -1181,7 +1091,7 @@ func fuseAddrs(ir []sop, numLocals int) []sop {
 		// slots unmodified by the in-between region.
 		ok := true
 		for q := head; q <= end; q++ {
-			sopReads(&ir[q], func(r int) {
+			rir.InstReads(&ir[q], func(r int) {
 				if r == a {
 					return // chain register, carried internally
 				}
@@ -1203,9 +1113,9 @@ func fuseAddrs(ir []sop, numLocals int) []sop {
 		if !ok {
 			continue
 		}
-		chain := make([]sop, n)
+		chain := make([]rir.Inst, n)
 		copy(chain, ir[head:end+1])
-		s.fuse = chain
+		s.Fuse = chain
 		for q := head; q <= end; q++ {
 			drop[q] = true
 		}
@@ -1214,7 +1124,7 @@ func fuseAddrs(ir []sop, numLocals int) []sop {
 	if fusedOps == 0 {
 		return ir
 	}
-	out := make([]sop, 0, len(ir))
+	out := make([]rir.Inst, 0, len(ir))
 	remap := make([]int32, len(ir))
 	for pc := range ir {
 		remap[pc] = int32(len(out))
@@ -1229,43 +1139,43 @@ func fuseAddrs(ir []sop, numLocals int) []sop {
 	return out
 }
 
-// fusedAddrFn compiles an access's fused chain (s.fuse) into one
+// fusedAddrFn compiles an access's fused chain (s.Fuse) into one
 // effective-address callable (offset included), specializing the
 // row-major indexing pattern (x*K + y) << k that dominates the kernel
 // workloads.
-func fusedAddrFn(s *sop) func(st []uint64, base int) uint64 {
-	if len(s.fuse) == 0 {
+func fusedAddrFn(s *rir.Inst) func(st []uint64, base int) uint64 {
+	if len(s.Fuse) == 0 {
 		return nil
 	}
-	off := s.off
-	a := s.a
+	off := s.Off
+	a := s.A
 	if fn := fusedRowMajor(s); fn != nil {
 		return fn
 	}
-	if len(s.fuse) == 1 {
-		d := &s.fuse[0]
+	if len(s.Fuse) == 1 {
+		d := &s.Fuse[0]
 		// Single op: no chain register involved, read slots directly
 		// (a read of the address slot sees the incoming frame value,
-		// exactly as the original sop did).
-		x := d.a
+		// exactly as the original rir.Inst did).
+		x := d.A
 		switch {
-		case d.op == wasm.OpI32Add && !d.aImm && d.bImm:
-			k := uint32(d.immB)
+		case d.Op == wasm.OpI32Add && !d.AImm && d.BImm:
+			k := uint32(d.ImmB)
 			return func(st []uint64, base int) uint64 {
 				return uint64(uint32(st[base+x])+k) + off
 			}
-		case d.op == wasm.OpI32Add && !d.aImm && !d.bImm:
-			y := d.b
+		case d.Op == wasm.OpI32Add && !d.AImm && !d.BImm:
+			y := d.B
 			return func(st []uint64, base int) uint64 {
 				return uint64(uint32(st[base+x])+uint32(st[base+y])) + off
 			}
-		case d.op == wasm.OpI32Shl && !d.aImm && d.bImm:
-			k := uint32(d.immB) & 31
+		case d.Op == wasm.OpI32Shl && !d.AImm && d.BImm:
+			k := uint32(d.ImmB) & 31
 			return func(st []uint64, base int) uint64 {
 				return uint64(uint32(st[base+x])<<k) + off
 			}
-		case d.op == wasm.OpI32Mul && !d.aImm && d.bImm:
-			k := uint32(d.immB)
+		case d.Op == wasm.OpI32Mul && !d.AImm && d.BImm:
+			k := uint32(d.ImmB)
 			return func(st []uint64, base int) uint64 {
 				return uint64(uint32(st[base+x])*k) + off
 			}
@@ -1275,10 +1185,10 @@ func fusedAddrFn(s *sop) func(st []uint64, base int) uint64 {
 	// chain value v (reads of the address slot after the first write
 	// see v; everything else reads the frame).
 	type stepFn func(st []uint64, base int, v uint64) uint64
-	steps := make([]stepFn, len(s.fuse))
-	for i := range s.fuse {
-		d := &s.fuse[i]
-		fn := binOps[d.op]
+	steps := make([]stepFn, len(s.Fuse))
+	for i := range s.Fuse {
+		d := &s.Fuse[i]
+		fn := rir.BinOps[d.Op]
 		sel := func(imm bool, iv uint64, slot int) func(st []uint64, base int, v uint64) uint64 {
 			switch {
 			case imm:
@@ -1289,8 +1199,8 @@ func fusedAddrFn(s *sop) func(st []uint64, base int) uint64 {
 				return func(st []uint64, base int, _ uint64) uint64 { return st[base+slot] }
 			}
 		}
-		ax := sel(d.aImm, d.immA, d.a)
-		bx := sel(d.bImm, d.immB, d.b)
+		ax := sel(d.AImm, d.ImmA, d.A)
+		bx := sel(d.BImm, d.ImmB, d.B)
 		steps[i] = func(st []uint64, base int, v uint64) uint64 {
 			return fn(ax(st, base, v), bx(st, base, v))
 		}
@@ -1307,33 +1217,33 @@ func fusedAddrFn(s *sop) func(st []uint64, base int) uint64 {
 // fusedRowMajor matches the three-op row-major address chain
 // mul(x, K); add(·, y); shl(·, k) and compiles it to straight-line
 // uint32 arithmetic.
-func fusedRowMajor(s *sop) func(st []uint64, base int) uint64 {
-	if len(s.fuse) != 3 {
+func fusedRowMajor(s *rir.Inst) func(st []uint64, base int) uint64 {
+	if len(s.Fuse) != 3 {
 		return nil
 	}
-	a := s.a
-	f0, f1, f2 := &s.fuse[0], &s.fuse[1], &s.fuse[2]
-	if f0.op != wasm.OpI32Mul || f0.aImm || f0.a == a || !f0.bImm {
+	a := s.A
+	f0, f1, f2 := &s.Fuse[0], &s.Fuse[1], &s.Fuse[2]
+	if f0.Op != wasm.OpI32Mul || f0.AImm || f0.A == a || !f0.BImm {
 		return nil
 	}
-	if f1.op != wasm.OpI32Add || f2.op != wasm.OpI32Shl {
+	if f1.Op != wasm.OpI32Add || f2.Op != wasm.OpI32Shl {
 		return nil
 	}
 	var y int
 	switch {
-	case !f1.aImm && f1.a == a && !f1.bImm && f1.b != a:
-		y = f1.b
-	case !f1.bImm && f1.b == a && !f1.aImm && f1.a != a:
-		y = f1.a
+	case !f1.AImm && f1.A == a && !f1.BImm && f1.B != a:
+		y = f1.B
+	case !f1.BImm && f1.B == a && !f1.AImm && f1.A != a:
+		y = f1.A
 	default:
 		return nil
 	}
-	if f2.aImm || f2.a != a || !f2.bImm {
+	if f2.AImm || f2.A != a || !f2.BImm {
 		return nil
 	}
-	x, mk := f0.a, uint32(f0.immB)
-	sk := uint32(f2.immB) & 31
-	off := s.off
+	x, mk := f0.A, uint32(f0.ImmB)
+	sk := uint32(f2.ImmB) & 31
+	off := s.Off
 	return func(st []uint64, base int) uint64 {
 		return uint64((uint32(st[base+x])*mk+uint32(st[base+y]))<<sk) + off
 	}

@@ -8,8 +8,8 @@ import (
 	"leapsandbounds/internal/isa"
 	"leapsandbounds/internal/mem"
 	"leapsandbounds/internal/wasm"
-	"leapsandbounds/internal/workloads"
 	g "leapsandbounds/internal/wasmgen"
+	"leapsandbounds/internal/workloads"
 )
 
 // The tests in this file pin that each elision mechanism actually

@@ -2,12 +2,14 @@ package compiled
 
 import (
 	"fmt"
+	"time"
 
 	"leapsandbounds/internal/core"
 	"leapsandbounds/internal/flatten"
 	"leapsandbounds/internal/isa"
 	"leapsandbounds/internal/mem"
 	"leapsandbounds/internal/modcache"
+	"leapsandbounds/internal/rir"
 	"leapsandbounds/internal/trap"
 	"leapsandbounds/internal/validate"
 	"leapsandbounds/internal/wasm"
@@ -27,15 +29,15 @@ type Engine struct {
 
 // NewWAVM returns the WAVM analog: ahead-of-time compilation with
 // the optimizer enabled (the closure-level stand-in for LLVM's
-// optimizing backend). Bounds-check elision is on by default, as it
-// is in the real engine's LLVM pipeline; SetCodegen turns it off for
-// ablations.
+// optimizing backend). Bounds-check elision and the register-IR
+// tier are on by default, as their analogs are in the real engine's
+// LLVM pipeline; SetCodegen turns them off for ablations.
 func NewWAVM() *Engine {
 	return &Engine{
 		name:     "wavm",
 		desc:     "optimizing closure-compiling AOT engine (WAVM/LLVM analog)",
 		optimize: true,
-		codegen:  core.Codegen{BoundsElision: true},
+		codegen:  core.Codegen{BoundsElision: true, RegisterIR: true},
 		cache:    modcache.Shared(),
 	}
 }
@@ -61,23 +63,40 @@ func (e *Engine) SetCache(c core.ModuleCache) { e.cache = c }
 // compiled under different codegen never alias.
 func (e *Engine) SetCodegen(cg core.Codegen) { e.codegen = cg }
 
+// Codegen implements core.CodegenGetter.
+func (e *Engine) Codegen() core.Codegen { return e.codegen }
+
 // elision reports whether the elision pass runs: it rewrites the
 // optimizer's canonical IR shapes, so the single-pass engine (which
 // models a baseline with no mid-end) never elides.
 func (e *Engine) elision() bool { return e.optimize && e.codegen.BoundsElision }
 
+// registerIR reports whether the register-IR tier runs. Unlike
+// elision it is not gated on the constructor's optimize flag: the
+// stack-discipline optimizer is a prerequisite of lowering (deleting
+// push/pop traffic is what frees the slots to renumber), so turning
+// the tier on pulls the optimizer in with it. That is what lets the
+// tiered engine keep its single-pass top tier and still recompile to
+// register IR.
+func (e *Engine) registerIR() bool { return e.codegen.RegisterIR }
+
 // cacheOpts fingerprints the engine's codegen-affecting options for
-// the cache key (redundant with the engine name today, but the key
-// must stay sound if more constructors appear).
+// the cache key. The codegen half goes through Codegen.CacheKey so
+// every knob — present and future — is hashed by one canonical
+// encoding; only the engine-constructor optimize flag is appended
+// separately, since it is not a Codegen field. Knobs that cannot take
+// effect (elision under the single-pass engine) are canonicalized to
+// false so equivalent artifacts share a cache entry.
 func (e *Engine) cacheOpts() string {
-	opts := "optimize=0 elide=0"
-	switch {
-	case e.optimize && e.elision():
-		opts = "optimize=1 elide=1"
-	case e.optimize:
-		opts = "optimize=1 elide=0"
+	effective := core.Codegen{
+		BoundsElision: e.elision(),
+		RegisterIR:    e.registerIR(),
 	}
-	return opts
+	opt := 0
+	if e.optimize {
+		opt = 1
+	}
+	return fmt.Sprintf("optimize=%d %s", opt, effective.CacheKey())
 }
 
 // CachedModule returns the already-compiled artifact for m from the
@@ -143,28 +162,54 @@ func (e *Engine) CompileModule(m *wasm.Module) (*Module, error) {
 	return cm.(*Module), nil
 }
 
-// compileModule is the uncached compile pipeline.
+// compileModule is the uncached compile pipeline:
+//
+//	flatten → rir.Build → rir.Optimize → rir.Compact
+//	        → rir.Lower (register tier)
+//	        → elide (bounds-check elision)
+//	        → rir.FuseMem (memory superinstructions) → emit
+//
+// Lower must precede elide — the elision passes capture raw register
+// indices inside CheckPlan closures and address-mode chains — and
+// FuseMem runs last so it can fuse the unchecked accesses elision
+// produced. When the register tier is on the frame shrinks from
+// locals+maxStack to locals+registers (plus the same scratch pad
+// flatten reserves above MaxStack).
 func (e *Engine) compileModule(m *wasm.Module) (*Module, error) {
 	if err := validate.Module(m); err != nil {
 		return nil, err
 	}
 	cm := &Module{engine: e, wasm: m}
 	imported := uint32(m.NumImportedFuncs())
+	lowering := e.registerIR()
 	for i := range m.Code {
+		start := time.Now()
 		ff, err := flatten.Flatten(m, imported+uint32(i), &m.Code[i])
 		if err != nil {
 			return nil, fmt.Errorf("compiled: function %d: %w", i, err)
 		}
-		ir, err := buildIR(ff)
+		ir, err := rir.Build(ff)
 		if err != nil {
 			return nil, fmt.Errorf("compiled: function %d: %w", i, err)
 		}
-		if e.optimize {
-			ir = optimize(ir, ff.NumLocals)
+		opsIn := len(ir)
+		if e.optimize || lowering {
+			ir = rir.Optimize(ir, ff.NumLocals)
 		}
-		ir = compact(ir)
+		ir = rir.Compact(ir)
+		frameSize := ff.NumLocals + ff.MaxStack
+		regs := 0
+		if lowering {
+			ir, regs = rir.Lower(ir, ff.NumLocals)
+			// Mirror flatten's MaxStack = maxH+8 scratch margin.
+			frameSize = ff.NumLocals + regs + 8
+		}
 		if e.elision() {
 			ir = elide(ir, ff.NumLocals)
+		}
+		if lowering {
+			ir, _ = rir.FuseMem(ir)
+			rir.RecordLowering(opsIn, len(ir), regs, time.Since(start).Nanoseconds())
 		}
 		code, classes, memAcc, err := emit(ir)
 		if err != nil {
@@ -175,7 +220,7 @@ func (e *Engine) compileModule(m *wasm.Module) (*Module, error) {
 			typ:       ff.Type,
 			numParams: ff.NumParams,
 			numLocals: ff.NumLocals,
-			frameSize: ff.NumLocals + ff.MaxStack,
+			frameSize: frameSize,
 			code:      code,
 			classes:   classes,
 			memAcc:    memAcc,

@@ -1,0 +1,56 @@
+package core_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"leapsandbounds/internal/core"
+)
+
+// TestCodegenCacheKeyCoversEveryField flips each Codegen field in turn
+// (reflectively, so a field added later is covered automatically) and
+// requires the cache key to change. A knob that doesn't move the key
+// would let artifacts compiled under different codegen alias in the
+// module cache.
+func TestCodegenCacheKeyCoversEveryField(t *testing.T) {
+	base := core.Codegen{}
+	baseKey := base.CacheKey()
+	v := reflect.ValueOf(&base).Elem()
+	t.Logf("zero-value key: %q", baseKey)
+	for i := 0; i < v.NumField(); i++ {
+		cg := core.Codegen{}
+		fv := reflect.ValueOf(&cg).Elem().Field(i)
+		name := v.Type().Field(i).Name
+		switch fv.Kind() {
+		case reflect.Bool:
+			fv.SetBool(true)
+		case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+			fv.SetInt(1)
+		case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+			fv.SetUint(1)
+		case reflect.String:
+			fv.SetString("x")
+		default:
+			t.Fatalf("field %s: unhandled kind %v — extend this test and CacheKey", name, fv.Kind())
+		}
+		if got := cg.CacheKey(); got == baseKey {
+			t.Errorf("flipping %s does not change the cache key %q", name, got)
+		}
+		if !strings.Contains(cg.CacheKey(), name+"=") {
+			t.Errorf("cache key %q does not name field %s", cg.CacheKey(), name)
+		}
+	}
+}
+
+// TestCodegenCacheKeyStable pins the canonical encoding: the key is
+// the fields in declaration order as name=value pairs. Engines embed
+// this string in their module-cache keys, so a silent format change
+// invalidates warm caches.
+func TestCodegenCacheKeyStable(t *testing.T) {
+	cg := core.Codegen{BoundsElision: true, RegisterIR: true}
+	want := "BoundsElision=true RegisterIR=true"
+	if got := cg.CacheKey(); got != want {
+		t.Errorf("CacheKey() = %q, want %q", got, want)
+	}
+}

@@ -14,6 +14,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"reflect"
+	"strings"
 	"time"
 
 	"leapsandbounds/internal/faultinject"
@@ -126,12 +128,47 @@ type Codegen struct {
 	// emitted code stays strategy-agnostic — elision is a codegen
 	// property, the strategy remains instantiation-time.
 	BoundsElision bool
+
+	// RegisterIR enables the register-IR recompile tier in engines
+	// that support it: after the stack-discipline optimizer deletes
+	// push/pop traffic, surviving operand slots are renumbered into a
+	// dense virtual-register file and adjacent dependent pairs
+	// (compare+branch, load+op, op+store) fuse into superinstructions
+	// dispatched once. Like BoundsElision it changes only dispatch
+	// count and frame size, never observable behavior.
+	RegisterIR bool
+}
+
+// CacheKey renders the codegen knobs as a canonical options string
+// for module-cache keys. It iterates every field reflectively so a
+// knob added to Codegen can never be silently dropped from the key —
+// artifacts built under different knobs must never alias. All engines
+// must build their cache-options strings through this one function.
+func (cg Codegen) CacheKey() string {
+	var sb strings.Builder
+	v := reflect.ValueOf(cg)
+	t := v.Type()
+	for i := 0; i < t.NumField(); i++ {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "%s=%v", t.Field(i).Name, v.Field(i).Interface())
+	}
+	return sb.String()
 }
 
 // CodegenSetter is implemented by engines whose code generation can
 // be reconfigured. Call it before the engine's first Compile.
 type CodegenSetter interface {
 	SetCodegen(Codegen)
+}
+
+// CodegenGetter is the read side: callers that want to flip one knob
+// (the harness's ablation switches) read the current configuration,
+// modify it, and SetCodegen the result instead of clobbering the
+// engine's other defaults.
+type CodegenGetter interface {
+	Codegen() Codegen
 }
 
 // ModuleCache is a process-wide cache of compiled modules, keyed by

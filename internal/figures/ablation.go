@@ -42,7 +42,47 @@ func Ablation(c Config) error {
 	if err := ablateTHP(c); err != nil {
 		return err
 	}
-	return ablateElision(c)
+	if err := ablateElision(c); err != nil {
+		return err
+	}
+	return ablateRegisterIR(c)
+}
+
+// ablateRegisterIR measures the stack→register lowering on the
+// optimizing engine: the same kernels with the recompile tier's
+// register IR off and on, per strategy, with elision at the engine
+// default in both arms so only the lowering moves. The win is
+// dispatch-count driven — dead push/pop elimination and compare+
+// branch / load+op fusion shrink the op stream — so unlike elision
+// it shows up under every strategy.
+func ablateRegisterIR(c Config) error {
+	fmt.Fprintf(c.Out, "\nAblation 8: register-IR lowering (wavm, 1 thread)\n")
+	fmt.Fprintf(c.Out, "%-10s %-10s %12s %12s %9s\n",
+		"benchmark", "strategy", "rir=off", "rir=on", "speedup")
+	for _, name := range []string{"gemm", "atax"} {
+		wl, err := workloads.ByName(name)
+		if err != nil {
+			return err
+		}
+		for _, s := range []mem.Strategy{mem.Trap, mem.Mprotect} {
+			var wall [2]time.Duration
+			for i, noRIR := range []bool{true, false} {
+				res, err := c.run(harness.Options{
+					Engine: harness.EngineWAVM, Workload: wl,
+					Strategy: s, Profile: isa.X86_64(), NoRIR: noRIR,
+				})
+				if err != nil {
+					return err
+				}
+				wall[i] = res.MedianWall
+			}
+			fmt.Fprintf(c.Out, "%-10s %-10s %12v %12v %8.2fx\n",
+				name, s,
+				wall[0].Round(time.Microsecond), wall[1].Round(time.Microsecond),
+				float64(wall[0])/float64(wall[1]))
+		}
+	}
+	return nil
 }
 
 // ablateElision measures the bounds-check elision pass on the

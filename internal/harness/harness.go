@@ -92,6 +92,11 @@ type Options struct {
 	// into the module-cache key, so elided and unelided compiles of
 	// the same module never alias.
 	NoElide bool
+	// NoRIR disables the register-IR recompile tier in engines that
+	// support it (wavm and the tiered engine's top tier), for the
+	// lowering ablation. Like NoElide it folds into the module-cache
+	// key.
+	NoRIR bool
 	// Processes splits the workers across this many simulated
 	// processes (separate address spaces, separate mmap locks) —
 	// the paper's §4.2.1 alternative mitigation: "limit the number
@@ -123,12 +128,15 @@ func (o Options) RunLabel() string {
 	if threads <= 0 {
 		threads = 1
 	}
-	elide := ""
+	flags := ""
 	if o.NoElide {
-		elide = " elide=off"
+		flags += " elide=off"
+	}
+	if o.NoRIR {
+		flags += " rir=off"
 	}
 	return fmt.Sprintf("run[engine=%s workload=%s strategy=%s threads=%d%s]",
-		o.Engine, o.Workload.Name, o.Strategy, threads, elide)
+		o.Engine, o.Workload.Name, o.Strategy, threads, flags)
 }
 
 // Result is one benchmark measurement.
@@ -284,9 +292,21 @@ func Run(opts Options) (*Result, error) {
 				cs.SetCache(nil)
 			}
 		}
-		if opts.NoElide {
+		if opts.NoElide || opts.NoRIR {
 			if cs, ok := eng.(core.CodegenSetter); ok {
-				cs.SetCodegen(core.Codegen{BoundsElision: false})
+				// Read the engine's current defaults and clear only the
+				// ablated knobs, so one ablation never resets the other.
+				var cg core.Codegen
+				if cgGet, ok := eng.(core.CodegenGetter); ok {
+					cg = cgGet.Codegen()
+				}
+				if opts.NoElide {
+					cg.BoundsElision = false
+				}
+				if opts.NoRIR {
+					cg.RegisterIR = false
+				}
+				cs.SetCodegen(cg)
 			}
 		}
 		if te, ok := eng.(*tiered.Engine); ok {

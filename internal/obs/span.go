@@ -74,6 +74,10 @@ const (
 	// SpanPoolDrain covers ArenaPool.Drain teardown (kernel.munmap
 	// children for every pooled arena).
 	SpanPoolDrain
+	// SpanRIRLower covers one function body's trip through the
+	// register-IR lowering pipeline (build, optimize, lower, fuse);
+	// emitted retroactively once the pipeline finishes.
+	SpanRIRLower
 	numSpanKinds
 )
 
@@ -83,7 +87,7 @@ var spanKindNames = [numSpanKinds]string{
 	"vma_lock_wait", "uffd.copy", "uffd.decommit",
 	"pool.get", "pool.put",
 	"tier_up", "gc_pause", "safepoint_wait",
-	"hazard.reclaim", "pool.drain",
+	"hazard.reclaim", "pool.drain", "rir.lower",
 }
 
 func (k SpanKind) String() string {

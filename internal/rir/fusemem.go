@@ -1,0 +1,88 @@
+package rir
+
+// FuseMem fuses adjacent dependent memory/ALU pairs into
+// superinstructions executed in one dispatch:
+//
+//   - ShLoadOp: a load immediately followed by a binary or unary op
+//     that consumes the loaded value;
+//   - ShOpStore: a binary or unary op immediately followed by a store
+//     whose value operand is the op's result.
+//
+// The fused instruction carries both originals in Pair and the
+// emitter runs them back to back, including the intermediate register
+// write, so fusion is observationally identical to the unfused pair —
+// no liveness analysis is needed, only adjacency and the guarantee
+// that no branch lands between the two (the second pc must not be a
+// label; FindLabels includes range-check failure edges). Traps inside
+// either half surface exactly as they would unfused.
+//
+// FuseMem runs last, after bounds-check elision, so it fuses the
+// unchecked access closures the elision passes produce; the pair's
+// Unchecked/Fuse state rides along inside Pair. Returns the compacted
+// IR and the number of pairs fused.
+func FuseMem(ir []Inst) ([]Inst, int) {
+	labels := FindLabels(ir)
+	fused := 0
+	for i := 0; i+1 < len(ir); i++ {
+		s, t := &ir[i], &ir[i+1]
+		if s.Dead || t.Dead || labels[i+1] {
+			continue
+		}
+		switch {
+		case s.Shape == ShLoad && aluReads(t, s.Dst):
+			*s = fusePair(ShLoadOp, *s, *t, s)
+			t.Dead = true
+			fused++
+		case isALU(s) && t.Shape == ShStore && !t.BImm && t.B == s.Dst:
+			*s = fusePair(ShOpStore, *s, *t, t)
+			t.Dead = true
+			fused++
+		}
+	}
+	if fused == 0 {
+		return ir, 0
+	}
+	CountFusedLdOp(int64(fused))
+	return Compact(ir), fused
+}
+
+// isALU reports whether s is a pure-register ALU op eligible for
+// fusion (no branches, no memory side effects of its own).
+func isALU(s *Inst) bool {
+	switch s.Shape {
+	case ShBin:
+		return BinOps[s.Op] != nil
+	case ShUn:
+		return UnOps[s.Op] != nil
+	default:
+		return false
+	}
+}
+
+// aluReads reports whether t is an ALU op with reg among its register
+// operands.
+func aluReads(t *Inst, reg int) bool {
+	switch t.Shape {
+	case ShBin:
+		return BinOps[t.Op] != nil &&
+			((!t.AImm && t.A == reg) || (!t.BImm && t.B == reg))
+	case ShUn:
+		return UnOps[t.Op] != nil && t.A == reg
+	default:
+		return false
+	}
+}
+
+// fusePair builds the superinstruction for first;second. The counting
+// arrays (op class, bounds-check charge) take the memory half's
+// values: the fused instruction models one memory-class operation,
+// which is exactly the superinstruction's dispatch-reduction claim.
+func fusePair(sh Shape, first, second Inst, access *Inst) Inst {
+	return Inst{
+		Shape:  sh,
+		Op:     access.Op,
+		Class:  access.Class,
+		MemAcc: access.MemAcc,
+		Pair:   []Inst{first, second},
+	}
+}

@@ -1,0 +1,63 @@
+package rir
+
+import (
+	"sync"
+	"testing"
+
+	"leapsandbounds/internal/obs"
+)
+
+// TestRecordLoweringConcurrent hammers the process-wide lowering
+// counters from many goroutines while an observer attaches and
+// detaches — the shape of concurrent background compiles in the
+// tiered engine with a telemetry registry coming and going. Run
+// under -race this is the test backing the package's entry in the
+// race list; the delta assertions catch lost updates either way.
+func TestRecordLoweringConcurrent(t *testing.T) {
+	const workers, rounds = 8, 200
+	before := Stats()
+
+	reg := obs.NewRegistrySized(1 << 12)
+	var wg sync.WaitGroup
+	wg.Add(workers + 1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			AttachObs(reg.Scope("rir"))
+			AttachObs(nil)
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				RecordLowering(10, 7, 3, 1)
+				CountFusedCmpBr(1)
+				CountFusedLdOp(2)
+			}
+		}()
+	}
+	wg.Wait()
+	AttachObs(nil)
+
+	after := Stats()
+	const n = workers * rounds
+	if got := after.OpsIn - before.OpsIn; got != 10*n {
+		t.Errorf("ops_in delta %d, want %d", got, 10*n)
+	}
+	if got := after.OpsOut - before.OpsOut; got != 7*n {
+		t.Errorf("ops_out delta %d, want %d", got, 7*n)
+	}
+	if got := after.RegsAllocated - before.RegsAllocated; got != 3*n {
+		t.Errorf("regs_allocated delta %d, want %d", got, 3*n)
+	}
+	if got := after.FusedCmpBr - before.FusedCmpBr; got != n {
+		t.Errorf("fused_cmpbr delta %d, want %d", got, n)
+	}
+	if got := after.FusedLdOp - before.FusedLdOp; got != 2*n {
+		t.Errorf("fused_ldop delta %d, want %d", got, 2*n)
+	}
+	if after.OpsOut-before.OpsOut >= after.OpsIn-before.OpsIn {
+		t.Error("lowering stats cannot show ops_out >= ops_in here")
+	}
+}

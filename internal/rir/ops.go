@@ -1,4 +1,4 @@
-package compiled
+package rir
 
 import (
 	"math"
@@ -8,11 +8,11 @@ import (
 	"leapsandbounds/internal/wasm"
 )
 
-// binFn operates on raw 64-bit values with wasm semantics (i32
+// BinFn operates on raw 64-bit values with wasm semantics (i32
 // results zero-extended).
-type binFn func(a, b uint64) uint64
+type BinFn func(a, b uint64) uint64
 
-type unFn func(a uint64) uint64
+type UnFn func(a uint64) uint64
 
 func bu(b bool) uint64 {
 	if b {
@@ -26,8 +26,8 @@ func g64(v uint64) float64 { return math.Float64frombits(v) }
 func p32(f float32) uint64 { return uint64(math.Float32bits(f)) }
 func p64(f float64) uint64 { return math.Float64bits(f) }
 
-// binOps maps every binary numeric opcode to its implementation.
-var binOps = map[wasm.Opcode]binFn{
+// BinOps maps every binary numeric opcode to its implementation.
+var BinOps = map[wasm.Opcode]BinFn{
 	wasm.OpI32Eq:  func(a, b uint64) uint64 { return bu(uint32(a) == uint32(b)) },
 	wasm.OpI32Ne:  func(a, b uint64) uint64 { return bu(uint32(a) != uint32(b)) },
 	wasm.OpI32LtS: func(a, b uint64) uint64 { return bu(int32(a) < int32(b)) },
@@ -123,9 +123,9 @@ var binOps = map[wasm.Opcode]binFn{
 	wasm.OpF64Copysign: func(a, b uint64) uint64 { return p64(math.Copysign(g64(a), g64(b))) },
 }
 
-// foldableBin lists binary ops that are safe to constant-fold at
+// FoldableBin lists binary ops that are safe to constant-fold at
 // compile time (no traps, bit-exact evaluation).
-var foldableBin = map[wasm.Opcode]bool{
+var FoldableBin = map[wasm.Opcode]bool{
 	wasm.OpI32Add: true, wasm.OpI32Sub: true, wasm.OpI32Mul: true,
 	wasm.OpI32And: true, wasm.OpI32Or: true, wasm.OpI32Xor: true,
 	wasm.OpI32Shl: true, wasm.OpI32ShrS: true, wasm.OpI32ShrU: true,
@@ -140,9 +140,9 @@ var foldableBin = map[wasm.Opcode]bool{
 	wasm.OpF64Add: true, wasm.OpF64Sub: true, wasm.OpF64Mul: true,
 }
 
-// cmpBranchOps lists compare opcodes eligible for compare+branch
+// CmpBranchOps lists compare opcodes eligible for compare+branch
 // fusion.
-var cmpBranchOps = map[wasm.Opcode]bool{
+var CmpBranchOps = map[wasm.Opcode]bool{
 	wasm.OpI32Eq: true, wasm.OpI32Ne: true,
 	wasm.OpI32LtS: true, wasm.OpI32LtU: true,
 	wasm.OpI32GtS: true, wasm.OpI32GtU: true,
@@ -157,9 +157,9 @@ var cmpBranchOps = map[wasm.Opcode]bool{
 	wasm.OpF64Ge: true, wasm.OpF64Eq: true, wasm.OpF64Ne: true,
 }
 
-// unOps maps every unary numeric opcode (including conversions) to
+// UnOps maps every unary numeric opcode (including conversions) to
 // its implementation.
-var unOps = map[wasm.Opcode]unFn{
+var UnOps = map[wasm.Opcode]UnFn{
 	wasm.OpI32Eqz:    func(a uint64) uint64 { return bu(uint32(a) == 0) },
 	wasm.OpI64Eqz:    func(a uint64) uint64 { return bu(a == 0) },
 	wasm.OpI32Clz:    func(a uint64) uint64 { return uint64(bits.LeadingZeros32(uint32(a))) },
@@ -219,8 +219,8 @@ var unOps = map[wasm.Opcode]unFn{
 	wasm.OpI64Extend32S: func(a uint64) uint64 { return uint64(int64(int32(a))) },
 }
 
-// truncSatOps maps the 0xFC saturating truncations.
-var truncSatOps = map[wasm.SubOpcode]unFn{
+// TruncSatOps maps the 0xFC saturating truncations.
+var TruncSatOps = map[wasm.SubOpcode]UnFn{
 	wasm.SubI32TruncSatF32S: func(a uint64) uint64 { return uint64(uint32(numeric.TruncSatF32ToI32(g32(a)))) },
 	wasm.SubI32TruncSatF32U: func(a uint64) uint64 { return uint64(numeric.TruncSatF32ToU32(g32(a))) },
 	wasm.SubI32TruncSatF64S: func(a uint64) uint64 { return uint64(uint32(numeric.TruncSatF64ToI32(g64(a)))) },

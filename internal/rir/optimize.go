@@ -1,0 +1,373 @@
+package rir
+
+import (
+	"leapsandbounds/internal/flatten"
+	"leapsandbounds/internal/wasm"
+)
+
+// Optimize runs the WAVM-analog optimization passes over the slot
+// IR: constant folding, copy propagation of locals/constants into
+// consumers, binop→local.set forwarding, and compare+branch fusion.
+// It relies on the stack discipline invariant that every operand
+// slot is written once and read once between two labels.
+//
+// Windows are delimited by labels (branch targets): inside a window
+// execution is strictly linear, so a def always dominates its use.
+func Optimize(ir []Inst, numLocals int) []Inst {
+	labels := FindLabels(ir)
+
+	// pending maps an operand slot to the index of the Inst that
+	// defines it, when that Inst is a candidate for substitution or
+	// retargeting.
+	pending := make(map[int]int)
+	// localVer invalidates local copies on reassignment.
+	localVer := make(map[int]int)
+	verAt := make(map[int]int) // def index -> version of its source local
+
+	clear := func() {
+		for k := range pending {
+			delete(pending, k)
+		}
+	}
+
+	// use resolves a read of slot s. If the pending def is a const,
+	// it returns (imm, true, defIdx). If it is a still-valid local
+	// copy, it returns the local slot via retarget. Otherwise the
+	// def is simply kept.
+	type resolved struct {
+		isImm bool
+		imm   uint64
+		slot  int
+		def   int // def index to delete when the substitution is used, -1 otherwise
+	}
+	use := func(s int) resolved {
+		di, ok := pending[s]
+		if !ok {
+			return resolved{slot: s, def: -1}
+		}
+		delete(pending, s)
+		d := &ir[di]
+		switch {
+		case d.Shape == ShConst:
+			return resolved{isImm: true, imm: d.ImmA, def: di}
+		case d.Shape == ShMove && d.A < numLocals && localVer[d.A] == verAt[di]:
+			return resolved{slot: d.A, def: di}
+		default:
+			return resolved{slot: s, def: -1}
+		}
+	}
+	// forceKeep drops pending status without substitution.
+	forceKeep := func(s int) { delete(pending, s) }
+
+	lastAlive := -1
+
+	for i := range ir {
+		if labels[i] {
+			clear()
+		}
+		s := &ir[i]
+		switch s.Shape {
+		case ShConst:
+			if s.Dst >= numLocals {
+				pending[s.Dst] = i
+			}
+		case ShMove:
+			if s.Op == wasm.OpLocalSet && s.Dst < numLocals {
+				// Try binop→local forwarding: retarget an adjacent
+				// producer to write the local directly.
+				if di, ok := pending[s.A]; ok && di == lastAlive {
+					d := &ir[di]
+					if retargetable(d.Shape) {
+						delete(pending, s.A)
+						d.Dst = s.Dst
+						s.Dead = true
+						s.Shape = ShNop
+						localVer[s.Dst]++
+						continue
+					}
+				}
+				r := use(s.A)
+				if r.isImm {
+					s.Shape = ShConst
+					s.ImmA = r.imm
+					MarkDead(ir, r.def)
+				} else {
+					s.A = r.slot
+					if r.def >= 0 {
+						MarkDead(ir, r.def)
+					}
+				}
+				localVer[s.Dst]++
+			} else if s.Op == wasm.OpLocalTee {
+				// Tee writes the local and leaves the operand live;
+				// the operand slot equals s.A, so nothing to track.
+				forceKeep(s.A)
+				localVer[s.Dst]++
+			} else {
+				// local.get: candidate copy.
+				if s.Dst >= numLocals && s.A < numLocals {
+					pending[s.Dst] = i
+					verAt[i] = localVer[s.A]
+				}
+			}
+		case ShUn, ShTruncSat:
+			r := use(s.A)
+			if r.isImm && s.Shape == ShUn && UnOps[s.Op] != nil && SafeUnFold(s.Op) {
+				s.Shape = ShConst
+				s.ImmA = UnOps[s.Op](r.imm)
+				MarkDead(ir, r.def)
+				if s.Dst >= numLocals {
+					pending[s.Dst] = i
+				}
+				continue
+			}
+			if r.def >= 0 && !r.isImm {
+				MarkDead(ir, r.def)
+			}
+			if !r.isImm {
+				s.A = r.slot
+			}
+			// When r.isImm the const def stays alive (never marked
+			// dead): unops cannot take an immediate operand, so the
+			// consumer keeps reading the slot the const writes.
+		case ShBin:
+			rb := use(s.B)
+			ra := use(s.A)
+			if ra.isImm && rb.isImm && FoldableBin[s.Op] {
+				s.Shape = ShConst
+				s.ImmA = BinOps[s.Op](ra.imm, rb.imm)
+				MarkDead(ir, ra.def)
+				MarkDead(ir, rb.def)
+				if s.Dst >= numLocals {
+					pending[s.Dst] = i
+				}
+				continue
+			}
+			if ra.isImm {
+				s.AImm = true
+				s.ImmA = ra.imm
+				MarkDead(ir, ra.def)
+			} else {
+				s.A = ra.slot
+				if ra.def >= 0 {
+					MarkDead(ir, ra.def)
+				}
+			}
+			if rb.isImm {
+				s.BImm = true
+				s.ImmB = rb.imm
+				MarkDead(ir, rb.def)
+			} else {
+				s.B = rb.slot
+				if rb.def >= 0 {
+					MarkDead(ir, rb.def)
+				}
+			}
+			if s.Dst >= numLocals && CmpBranchOps[s.Op] {
+				pending[s.Dst] = i // eligible for compare+branch fusion
+			}
+		case ShLoad:
+			r := use(s.A)
+			if r.isImm {
+				// Fold the constant address into the static offset.
+				s.Off += uint64(uint32(r.imm))
+				s.AImm = true
+				MarkDead(ir, r.def)
+			} else {
+				s.A = r.slot
+				if r.def >= 0 {
+					MarkDead(ir, r.def)
+				}
+			}
+			if s.Dst >= numLocals {
+				// Loads are retargetable producers (for local.set).
+				pending[s.Dst] = i
+			}
+		case ShStore:
+			rb := use(s.B)
+			ra := use(s.A)
+			if ra.isImm {
+				s.Off += uint64(uint32(ra.imm))
+				s.AImm = true
+				MarkDead(ir, ra.def)
+			} else {
+				s.A = ra.slot
+				if ra.def >= 0 {
+					MarkDead(ir, ra.def)
+				}
+			}
+			if rb.isImm {
+				s.BImm = true
+				s.ImmB = rb.imm
+				MarkDead(ir, rb.def)
+			} else {
+				s.B = rb.slot
+				if rb.def >= 0 {
+					MarkDead(ir, rb.def)
+				}
+			}
+		case ShIfFalse, ShBranchIf:
+			if s.CarrySrc >= 0 {
+				forceKeep(s.CarrySrc)
+			}
+			if di, ok := pending[s.A]; ok && di == lastAlive {
+				d := &ir[di]
+				if d.Shape == ShBin && CmpBranchOps[d.Op] && s.CarrySrc < 0 {
+					delete(pending, s.A)
+					s.Shape = ShCmpBranch
+					s.CmpOp = d.Op
+					s.BrOnTrue = ir[i].Op != flatten.OpIfFalse
+					s.A, s.AImm, s.ImmA = d.A, d.AImm, d.ImmA
+					s.B, s.BImm, s.ImmB = d.B, d.BImm, d.ImmB
+					MarkDead(ir, di)
+					CountFusedCmpBr(1)
+					lastAlive = i
+					continue
+				}
+			}
+			r := use(s.A)
+			if !r.isImm {
+				s.A = r.slot
+				if r.def >= 0 {
+					MarkDead(ir, r.def)
+				}
+			}
+			// Immediate conditions keep their const def alive (the
+			// branch reads the slot it writes).
+		case ShJump:
+			if s.CarrySrc >= 0 {
+				forceKeep(s.CarrySrc)
+			}
+		case ShReturn:
+			if s.CarrySrc >= 0 {
+				forceKeep(s.CarrySrc)
+			}
+		case ShBrTable:
+			forceKeep(s.A)
+			forceKeep(s.CarrySrc)
+		case ShCall, ShCallInd:
+			// Arguments are read in place by the callee: every
+			// pending def at or above argBase must materialize.
+			for slot := range pending {
+				if slot >= s.ArgBase {
+					forceKeep(slot)
+				}
+			}
+			if s.Shape == ShCallInd {
+				forceKeep(s.A)
+			}
+		case ShSelect:
+			forceKeep(s.A)
+			forceKeep(s.B)
+			r := use(s.C)
+			if !r.isImm {
+				s.C = r.slot
+				if r.def >= 0 {
+					MarkDead(ir, r.def)
+				}
+			}
+			// Immediate conditions keep their const def alive.
+		case ShGlobalSet, ShMemGrow:
+			forceKeep(s.A)
+		case ShMemCopy, ShMemFill:
+			forceKeep(s.A)
+			forceKeep(s.B)
+			forceKeep(s.C)
+		case ShGlobalGet:
+			if s.Dst >= numLocals {
+				pending[s.Dst] = i
+			}
+		}
+		if !s.Dead {
+			lastAlive = i
+		}
+	}
+	return ir
+}
+
+// retargetable reports whether a producer's dst can be redirected to
+// a local slot (binop→local.set forwarding).
+func retargetable(sh Shape) bool {
+	switch sh {
+	case ShBin, ShUn, ShLoad, ShSelect, ShGlobalGet, ShTruncSat, ShMemSize:
+		return true
+	default:
+		return false
+	}
+}
+
+// SafeUnFold lists unary ops safe to constant-fold (no traps).
+func SafeUnFold(op wasm.Opcode) bool {
+	switch op {
+	case wasm.OpI32TruncF32S, wasm.OpI32TruncF32U, wasm.OpI32TruncF64S,
+		wasm.OpI32TruncF64U, wasm.OpI64TruncF32S, wasm.OpI64TruncF32U,
+		wasm.OpI64TruncF64S, wasm.OpI64TruncF64U:
+		return false
+	default:
+		return true
+	}
+}
+
+// MarkDead marks a def for deletion (no-op for def == -1).
+func MarkDead(ir []Inst, def int) {
+	if def >= 0 {
+		ir[def].Dead = true
+		ir[def].Shape = ShNop
+	}
+}
+
+// FindLabels returns the set of pcs that are branch targets. Range
+// checks count: their failure edge enters the slow clone, so any pass
+// that requires label-free straight-line runs (EBB coalescing, memory
+// superinstruction fusion) must flush at a check's target exactly as
+// it would at a branch target.
+func FindLabels(ir []Inst) []bool {
+	labels := make([]bool, len(ir)+1)
+	for i := range ir {
+		s := &ir[i]
+		switch s.Shape {
+		case ShJump, ShIfFalse, ShBranchIf, ShCmpBranch, ShRangeCheck:
+			labels[s.Tgt] = true
+		case ShBrTable:
+			for _, bt := range s.Table {
+				labels[bt.Tgt] = true
+			}
+		}
+	}
+	return labels[:len(ir)]
+}
+
+// Compact removes dead instructions, remapping branch targets. Both
+// engines run it (the baseline engine only accumulates dead drops).
+func Compact(ir []Inst) []Inst {
+	remap := make([]int32, len(ir)+1)
+	n := int32(0)
+	for i := range ir {
+		remap[i] = n
+		if !ir[i].Dead {
+			n++
+		}
+	}
+	remap[len(ir)] = n
+
+	out := make([]Inst, 0, n)
+	for i := range ir {
+		if ir[i].Dead {
+			continue
+		}
+		s := ir[i]
+		switch s.Shape {
+		case ShJump, ShIfFalse, ShBranchIf, ShCmpBranch, ShRangeCheck:
+			s.Tgt = remap[s.Tgt]
+		case ShBrTable:
+			tbl := make([]flatten.BranchTarget, len(s.Table))
+			for k, bt := range s.Table {
+				bt.Tgt = remap[bt.Tgt]
+				tbl[k] = bt
+			}
+			s.Table = tbl
+		}
+		out = append(out, s)
+	}
+	return out
+}

@@ -15,8 +15,11 @@ cd "$(dirname "$0")/.."
 echo "== checked-load micro benchmarks (per strategy)"
 go test -run '^$' -bench 'BenchmarkLoadU(8|32|64)PerStrategy' -benchtime 100ms ./internal/mem
 
-echo "== elide on/off macro benchmarks (gemm, atax; trap strategy)"
+echo "== codegen macro benchmarks (gemm, atax; trap strategy; elide x rir matrix)"
 go test -run '^$' -bench 'Benchmark(Gemm|Atax)Compiled' -benchtime 1s .
+
+echo "== register-IR on/off (gemm; trap strategy)"
+go test -run '^$' -bench 'BenchmarkGemmCompiled/elide=on' -benchtime 1s .
 
 echo "== BENCH_bce.json"
 go run ./cmd/leapsbench -benchbce BENCH_bce.json

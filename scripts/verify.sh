@@ -23,11 +23,13 @@ go test ./...
 # arena recycling, the module cache's singleflight compile path, the
 # sweep scheduler, the compiled engines (the elision pass's unchecked
 # closures read the raw backing pointer; the race pass must cover
-# them), the tiered engine (background compile workers and the GC
-# controller emit spans from their own goroutines), and the telemetry
-# server (which streams from the same ring the workers push into).
-echo "== go test -race (obs, vmm, mem, faultinject, hazard, modcache, harness, compiled, tiered, telemetry)"
-go test -race -count=1 ./internal/obs/ ./internal/vmm/ ./internal/mem/ ./internal/faultinject/ ./internal/hazard/ ./internal/modcache/ ./internal/harness/ ./internal/compiled/ ./internal/tiered/ ./internal/telemetry/
+# them), the register-IR lowering (its process-wide counters are hit
+# from concurrent compiles), the tiered engine (background compile
+# workers and the GC controller emit spans from their own
+# goroutines), and the telemetry server (which streams from the same
+# ring the workers push into).
+echo "== go test -race (obs, vmm, mem, faultinject, hazard, modcache, harness, compiled, rir, tiered, telemetry)"
+go test -race -count=1 ./internal/obs/ ./internal/vmm/ ./internal/mem/ ./internal/faultinject/ ./internal/hazard/ ./internal/modcache/ ./internal/harness/ ./internal/compiled/ ./internal/rir/ ./internal/tiered/ ./internal/telemetry/
 
 # Quick elide differential: the bounds-check elision pass must be
 # observationally equivalent to per-access checks — same digests,
@@ -35,5 +37,12 @@ go test -race -count=1 ./internal/obs/ ./internal/vmm/ ./internal/mem/ ./interna
 # with the race detector watching the unchecked fast paths.
 echo "== elide-diff (elide=on vs elide=off differential, -race)"
 go test -race -count=1 -run 'TestDifferentialElide' -short ./internal/compiled/
+
+# Quick register-IR differential: the stack→register lowering and its
+# superinstruction fusion must be observationally equivalent to the
+# stack-machine emit — same digests, same trap kinds and offsets —
+# under all five strategies.
+echo "== rir-diff (rir=on vs rir=off differential, -race)"
+go test -race -count=1 -run 'TestDifferentialRIR' -short ./internal/compiled/
 
 echo "verify: OK"
