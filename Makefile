@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify check bench bench-quick bench-hot bench-gate figures fuzz-smoke
+.PHONY: build test vet race verify check bench bench-quick bench-hot bench-serve bench-gate figures fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -17,10 +17,11 @@ test:
 # domain, the module cache's singleflight path, the sweep scheduler,
 # the compiled engines' unchecked fast paths, the register-IR
 # lowering's process-wide counters, the tiered engine's background
-# workers and GC controller, and the live telemetry server streaming
-# from the trace ring).
+# workers and GC controller, the live telemetry server streaming
+# from the trace ring, and the template/fork paths: concurrent CoW
+# forks in core and the vmm page-duplication machinery behind them).
 race:
-	$(GO) test -race -count=1 ./internal/obs/ ./internal/vmm/ ./internal/mem/ ./internal/faultinject/ ./internal/hazard/ ./internal/modcache/ ./internal/harness/ ./internal/compiled/ ./internal/rir/ ./internal/tiered/ ./internal/telemetry/
+	$(GO) test -race -count=1 ./internal/obs/ ./internal/vmm/ ./internal/mem/ ./internal/faultinject/ ./internal/hazard/ ./internal/modcache/ ./internal/harness/ ./internal/compiled/ ./internal/rir/ ./internal/tiered/ ./internal/telemetry/ ./internal/core/
 
 # Short coverage-guided fuzz pass over the binary decoder, the
 # validator, the elide on/off differential, and the register-IR
@@ -62,6 +63,13 @@ bench-quick:
 # benches, and the machine-readable BENCH_bce.json artifact.
 bench-hot:
 	./scripts/bench_hot.sh
+
+# Serverless serving benchmark: open-loop Poisson arrivals against
+# the cold/warm/fork provisioning arms over all five strategies;
+# exact p50/p95/p99 time-to-ready percentiles and CoW traffic land in
+# BENCH_serve.json.
+bench-serve:
+	$(GO) run ./cmd/leapsbench -benchserve BENCH_serve.json
 
 figures:
 	$(GO) run ./cmd/leapsbench -fig all

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"leapsandbounds/internal/harness"
+	"leapsandbounds/internal/isa"
+	"leapsandbounds/internal/mem"
+)
+
+// benchServeReport is the JSON artifact of -benchserve
+// (BENCH_serve.json): the serverless serving benchmark over all five
+// bounds strategies — per strategy, the cold/warm/fork provisioning
+// arms with exact p50/p95/p99 time-to-ready, compile-cache hit
+// ratios, and the CoW traffic behind the fork arm.
+type benchServeReport struct {
+	HostCPUs   int     `json:"host_cpus"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	GitSHA     string  `json:"git_sha"`
+	Engine     string  `json:"engine"`
+	Requests   int     `json:"requests"`
+	RatePerSec float64 `json:"rate_per_sec"`
+	WorkKiB    int     `json:"work_kib"`
+
+	Results []*harness.ServeResult `json:"results"`
+
+	// AllDigestsMatch: every strategy's three arms agreed on the
+	// handler digest, and all strategies agreed with each other.
+	AllDigestsMatch bool   `json:"all_digests_match"`
+	Checksum        uint64 `json:"checksum"`
+}
+
+// serveResultFor returns the report's result for one strategy (nil
+// when absent — e.g. a truncated artifact).
+func (r *benchServeReport) resultFor(strategy string) *harness.ServeResult {
+	for _, sr := range r.Results {
+		if sr.Strategy == strategy {
+			return sr
+		}
+	}
+	return nil
+}
+
+// collectBenchServe measures the serving benchmark across all five
+// strategies (shared by -benchserve and the -benchgate gate).
+func collectBenchServe(quick bool) (*benchServeReport, error) {
+	rep := &benchServeReport{
+		HostCPUs:   runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GitSHA:     gitSHA(),
+		Engine:     harness.EngineWasmtime,
+		Requests:   60,
+		RatePerSec: 250,
+		WorkKiB:    192,
+	}
+	if quick {
+		// Fewer, faster-arriving requests; the working set stays at
+		// the full size so the per-request digest (and therefore the
+		// report checksum the gate compares) is identical to the
+		// committed full-mode artifact.
+		rep.Requests, rep.RatePerSec = 25, 400
+	}
+	rep.AllDigestsMatch = true
+	for _, s := range mem.Strategies() {
+		res, err := harness.RunServe(harness.ServeOptions{
+			Engine:     rep.Engine,
+			Strategy:   s,
+			Profile:    isa.X86_64(),
+			Requests:   rep.Requests,
+			RatePerSec: rep.RatePerSec,
+			WorkKiB:    rep.WorkKiB,
+			Seed:       42,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rep.Results = append(rep.Results, res)
+		rep.AllDigestsMatch = rep.AllDigestsMatch && res.DigestsMatch
+		if rep.Checksum == 0 {
+			rep.Checksum = res.Fork.Checksum
+		} else if res.Fork.Checksum != rep.Checksum {
+			rep.AllDigestsMatch = false
+		}
+	}
+	return rep, nil
+}
+
+// runBenchServe executes the serving benchmark and writes the JSON
+// report to path ("-" for stdout).
+func runBenchServe(path string, quick bool) error {
+	out := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	rep, err := collectBenchServe(quick)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+	for _, r := range rep.Results {
+		fmt.Fprintf(os.Stderr,
+			"benchserve: %-8s cold p99 %9v  warm p99 %9v  fork p99 %9v  (%5.1fx vs cold, %4.1fx vs warm)  cow pages %d\n",
+			r.Strategy,
+			time.Duration(r.Cold.P99Ns).Round(time.Microsecond),
+			time.Duration(r.Warm.P99Ns).Round(time.Microsecond),
+			time.Duration(r.Fork.P99Ns).Round(time.Microsecond),
+			r.ForkSpeedupP99, r.WarmSpeedupP99, r.Fork.CowPagesCopied)
+	}
+	fmt.Fprintf(os.Stderr, "benchserve: %d requests/arm, digests match: %v\n",
+		rep.Requests, rep.AllDigestsMatch)
+	return nil
+}

@@ -63,6 +63,7 @@ func main() {
 		dumpIR   = flag.Bool("dump-ir", false, "single-run mode: print the workload entry function's stack ops next to its lowered register IR instead of running it")
 		bsweep   = flag.String("benchsweep", "", "run the cold-vs-warm cache benchmark and write its JSON report to this file (\"-\" for stdout)")
 		bbce     = flag.String("benchbce", "", "run the bounds-check elision benchmark and write its JSON report to this file (\"-\" for stdout)")
+		bserve   = flag.String("benchserve", "", "run the serverless serving benchmark (cold/warm/fork arms per strategy) and write its JSON report to this file (\"-\" for stdout)")
 		chaos    = flag.Int64("chaos", 0, "run the deterministic fault-injection sweep with this seed (twice, verifying the replay reproduces it exactly)")
 		list     = flag.Bool("list", false, "list workloads and engines")
 	)
@@ -114,6 +115,14 @@ func main() {
 
 	if *bbce != "" {
 		if err := runBenchBCE(*bbce, *quick); err != nil {
+			fmt.Fprintln(os.Stderr, "leapsbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *bserve != "" {
+		if err := runBenchServe(*bserve, *quick); err != nil {
 			fmt.Fprintln(os.Stderr, "leapsbench:", err)
 			os.Exit(1)
 		}

@@ -1,13 +1,16 @@
 // Serverless: the paper's motivating multithreaded scenario —
 // quickly scaling up short-lived isolates for a single function
 // without spawning processes (§1, §4.2.1). A burst of requests is
-// served by worker threads, each instantiating a fresh isolate per
-// request. With the default mprotect-based memory management every
-// isolate's memory setup serializes on the kernel's process-wide
-// mmap lock; the userfaultfd strategy with pooled arenas removes
-// that bottleneck.
+// served by worker threads. The "isolate" arm instantiates a fresh
+// isolate per request and runs its init invoke — the cold-start path
+// whose memory setup serializes on the kernel's process-wide mmap
+// lock. The "fork" arm serves the same requests from copy-on-write
+// forks of one warmed template: no re-init, page duplication deferred
+// to first write.
 //
-// Run it and compare the throughput and lock-wait columns.
+// Per-request instantiate latency lands in an obs histogram, so the
+// table reports p50/p99 percentiles (tail latency is what a serving
+// fleet provisions for — means hide the pile-ups).
 package main
 
 import (
@@ -34,26 +37,49 @@ func main() {
 	workers := max(4, runtime.NumCPU())
 	fmt.Printf("serving %d bursts of %d requests on %d workers, %d KiB per isolate\n\n",
 		bursts, requestsPerBurst, workers, workBytes/1024)
-	fmt.Printf("%-10s %12s %14s %14s %10s\n",
-		"strategy", "total", "req/s", "lock wait", "mmaps")
+	fmt.Printf("%-10s %-8s %10s %12s %12s %12s %12s %8s\n",
+		"strategy", "arm", "total", "req/s", "inst p50", "inst p99", "lock wait", "mmaps")
 
 	before := leaps.CompileCache().Stats()
 	for _, strategy := range []leaps.Strategy{leaps.Mprotect, leaps.Uffd} {
-		elapsed, vm, err := serveBursts(module, strategy, workers)
-		if err != nil {
-			log.Fatal(err)
+		for _, arm := range []string{"isolate", "fork"} {
+			metrics := leaps.NewMetrics()
+			elapsed, vm, err := serveBursts(module, strategy, arm, workers, metrics)
+			if err != nil {
+				log.Fatal(err)
+			}
+			p50, p99 := instantiatePercentiles(metrics, strategy, arm)
+			fmt.Printf("%-10v %-8s %10v %12.0f %12v %12v %12v %8d\n",
+				strategy, arm,
+				elapsed.Round(time.Millisecond),
+				float64(bursts*requestsPerBurst)/elapsed.Seconds(),
+				time.Duration(p50).Round(time.Microsecond),
+				time.Duration(p99).Round(time.Microsecond),
+				time.Duration(vm.LockWaitNs).Round(time.Microsecond),
+				vm.MmapCalls)
 		}
-		fmt.Printf("%-10v %12v %14.0f %14v %10d\n",
-			strategy,
-			elapsed.Round(time.Millisecond),
-			float64(bursts*requestsPerBurst)/elapsed.Seconds(),
-			time.Duration(vm.LockWaitNs).Round(time.Microsecond),
-			vm.MmapCalls)
 	}
 	after := leaps.CompileCache().Stats()
 	fmt.Printf("\ncompile cache over %d cold starts: %d compile(s), %d hit(s), %v of compilation avoided\n",
-		bursts*2, after.Compiles-before.Compiles, after.Hits-before.Hits,
+		bursts*4, after.Compiles-before.Compiles, after.Hits-before.Hits,
 		time.Duration(after.CompileNsSaved-before.CompileNsSaved).Round(time.Microsecond))
+}
+
+// histScope names the obs scope one strategy × arm records under.
+func histScope(strategy leaps.Strategy, arm string) string {
+	return fmt.Sprintf("serve[strategy=%s arm=%s]", strategy, arm)
+}
+
+// instantiatePercentiles reads p50/p99 instantiate latency from the
+// recorded histogram — percentiles, not means: a burst's pile-up
+// lives entirely in the tail.
+func instantiatePercentiles(metrics *leaps.Metrics, strategy leaps.Strategy, arm string) (p50, p99 int64) {
+	snap := metrics.Snapshot(false)
+	h, ok := snap.Histograms[histScope(strategy, arm)+"/instantiate_ns"]
+	if !ok {
+		return 0, 0
+	}
+	return h.Quantile(0.50), h.Quantile(0.99)
 }
 
 // serveBursts serves a sequence of request bursts. Each burst is one
@@ -61,11 +87,12 @@ func main() {
 // cold-start path) and compiles the function — but because every
 // engine shares the process-wide compile cache, only the first burst
 // pays the compile; the rest adopt the cached artifact and go
-// straight to instantiation.
-func serveBursts(module *leaps.Module, strategy leaps.Strategy, workers int) (time.Duration, leaps.VMStats, error) {
+// straight to instantiation (or forking).
+func serveBursts(module *leaps.Module, strategy leaps.Strategy, arm string, workers int, metrics *leaps.Metrics) (time.Duration, leaps.VMStats, error) {
 	proc := leaps.NewProcess(leaps.ProfileX86())
 	defer proc.Close()
 	cfg := proc.Config(strategy)
+	hist := metrics.Scope(histScope(strategy, arm)).Histogram("instantiate_ns")
 
 	var total time.Duration
 	for b := 0; b < bursts; b++ {
@@ -78,7 +105,12 @@ func serveBursts(module *leaps.Module, strategy leaps.Strategy, workers int) (ti
 			closeEngine()
 			return 0, leaps.VMStats{}, err
 		}
-		dt, err := serveBurst(compiled, cfg, workers)
+		var dt time.Duration
+		if arm == "fork" {
+			dt, err = serveForkBurst(compiled, cfg, workers, hist)
+		} else {
+			dt, err = serveBurst(compiled, cfg, workers, hist)
+		}
 		closeEngine()
 		if err != nil {
 			return 0, leaps.VMStats{}, err
@@ -89,10 +121,55 @@ func serveBursts(module *leaps.Module, strategy leaps.Strategy, workers int) (ti
 }
 
 // serveBurst drains a queue of requests across worker goroutines,
-// one fresh isolate per request — the serverless cold-start path.
+// one fresh isolate per request — the serverless cold-start path:
+// instantiate, run init (which faults in the working set), handle.
+// The histogram records time-to-ready (instantiate + init).
+func serveBurst(compiled leaps.CompiledModule, cfg leaps.Config, workers int, hist *leaps.Histogram) (time.Duration, error) {
+	return drainQueue(workers, func() error {
+		t := time.Now()
+		inst, err := compiled.Instantiate(cfg, nil)
+		if err != nil {
+			return err
+		}
+		if _, err := inst.Invoke("init"); err != nil {
+			inst.Close()
+			return err
+		}
+		hist.Observe(time.Since(t).Nanoseconds())
+		_, err = inst.Invoke("handle", 7)
+		inst.Close()
+		return err
+	})
+}
+
+// serveForkBurst serves the same queue from copy-on-write forks of
+// one warmed template. The template pays instantiate + init once; the
+// histogram records per-request Fork time — the fleet's warm path.
+func serveForkBurst(compiled leaps.CompiledModule, cfg leaps.Config, workers int, hist *leaps.Histogram) (time.Duration, error) {
+	tpl, err := leaps.NewTemplate(compiled, cfg, nil, func(inst leaps.Instance) error {
+		_, err := inst.Invoke("init")
+		return err
+	})
+	if err != nil {
+		return 0, err
+	}
+	return drainQueue(workers, func() error {
+		t := time.Now()
+		inst, err := tpl.Fork()
+		if err != nil {
+			return err
+		}
+		hist.Observe(time.Since(t).Nanoseconds())
+		_, err = inst.Invoke("handle", 7)
+		inst.Close()
+		return err
+	})
+}
+
+// drainQueue runs requestsPerBurst requests across worker goroutines.
 // All isolates share one simulated process; that sharing is what the
 // strategies differ on.
-func serveBurst(compiled leaps.CompiledModule, cfg leaps.Config, workers int) (time.Duration, error) {
+func drainQueue(workers int, serve func() error) (time.Duration, error) {
 	var queue atomic.Int64
 	queue.Store(requestsPerBurst)
 	var wg sync.WaitGroup
@@ -105,17 +182,10 @@ func serveBurst(compiled leaps.CompiledModule, cfg leaps.Config, workers int) (t
 		go func() {
 			defer wg.Done()
 			for queue.Add(-1) >= 0 {
-				inst, err := compiled.Instantiate(cfg, nil)
-				if err != nil {
+				if err := serve(); err != nil {
 					fail(err)
 					return
 				}
-				if _, err := inst.Invoke("handle", 7); err != nil {
-					inst.Close()
-					fail(err)
-					return
-				}
-				inst.Close()
 			}
 		}()
 	}
@@ -126,28 +196,38 @@ func serveBurst(compiled leaps.CompiledModule, cfg leaps.Config, workers int) (t
 	return time.Since(t0), nil
 }
 
-// buildHandler authors the "function": it touches a working set and
-// computes a small digest, like a JSON-transform handler would.
+// buildHandler authors the "function": init grows memory and fills
+// the working set (the expensive warm-up a template amortizes);
+// handle computes a digest over it and dirties a couple of cells,
+// like a JSON-transform handler would.
 func buildHandler() *leaps.Module {
 	mb := gen.NewModule()
 	mb.Memory(1, 64)
 	buf := gen.ArrI64(0)
-
-	f := mb.Func("handle", gen.I64Type)
-	seed := f.ParamI32("seed")
-	i := f.LocalI32("i")
-	acc := f.LocalI64("acc")
 	n := int32(workBytes / 8)
-	f.Body(
+
+	init := mb.Func("init")
+	i := init.LocalI32("i")
+	init.Body(
 		gen.Drop(gen.MemGrow(gen.I32(int32(workBytes/65536)))),
 		gen.For(i, gen.I32(0), gen.I32(n),
 			buf.Store(gen.Get(i),
-				gen.Mul(gen.I64FromI32(gen.Add(gen.Get(i), gen.Get(seed))),
+				gen.Mul(gen.I64FromI32(gen.Add(gen.Get(i), gen.I32(3))),
 					gen.I64(-0x61c8864680b583eb))),
 		),
-		gen.For(i, gen.I32(0), gen.I32(n),
-			gen.Set(acc, gen.Xor(gen.Get(acc), buf.Load(gen.Get(i)))),
+	)
+	mb.Export("init", init)
+
+	f := mb.Func("handle", gen.I64Type)
+	seed := f.ParamI32("seed")
+	j := f.LocalI32("j")
+	acc := f.LocalI64("acc")
+	f.Body(
+		gen.Set(acc, gen.I64FromI32(gen.Get(seed))),
+		gen.For(j, gen.I32(0), gen.I32(n),
+			gen.Set(acc, gen.Xor(gen.Get(acc), buf.Load(gen.Get(j)))),
 		),
+		buf.Store(gen.I32(0), gen.Get(acc)),
 		gen.Return(gen.Get(acc)),
 	)
 	mb.Export("handle", f)

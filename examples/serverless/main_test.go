@@ -42,7 +42,7 @@ func TestBurstsCompileOnce(t *testing.T) {
 			t.Fatal(err)
 		}
 		proc := leaps.NewProcess(leaps.ProfileX86())
-		if _, err := serveBurst(compiled, proc.Config(leaps.Uffd), 4); err != nil {
+		if _, err := serveBurst(compiled, proc.Config(leaps.Uffd), 4, nil); err != nil {
 			t.Fatal(err)
 		}
 		proc.Close()
@@ -58,5 +58,58 @@ func TestBurstsCompileOnce(t *testing.T) {
 	}
 	if saved := after.CompileNsSaved - before.CompileNsSaved; saved <= 0 {
 		t.Errorf("compile ns saved = %d, want > 0", saved)
+	}
+}
+
+// TestBurstP99InstantiateLatency pins the burst's tail-latency
+// reporting: percentiles come from the obs histogram (not a mean),
+// both arms record every request, and the fork arm's p99
+// time-to-ready beats the per-request isolate arm's — the whole
+// point of serving from a template.
+func TestBurstP99InstantiateLatency(t *testing.T) {
+	module := buildHandler()
+	engine, closeEngine, err := leaps.NewEngine(leaps.EngineWasmtime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeEngine()
+	compiled, err := engine.Compile(module)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	metrics := leaps.NewMetrics()
+	strategy := leaps.Mprotect
+	proc := leaps.NewProcess(leaps.ProfileX86())
+	defer proc.Close()
+	cfg := proc.Config(strategy)
+
+	isoHist := metrics.Scope(histScope(strategy, "isolate")).Histogram("instantiate_ns")
+	if _, err := serveBurst(compiled, cfg, 4, isoHist); err != nil {
+		t.Fatal(err)
+	}
+	forkHist := metrics.Scope(histScope(strategy, "fork")).Histogram("instantiate_ns")
+	if _, err := serveForkBurst(compiled, cfg, 4, forkHist); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := metrics.Snapshot(false)
+	var arms [2]leaps.HistogramSnapshot
+	for i, arm := range []string{"isolate", "fork"} {
+		h, ok := snap.Histograms[histScope(strategy, arm)+"/instantiate_ns"]
+		if !ok {
+			t.Fatalf("%s arm recorded no instantiate histogram", arm)
+		}
+		if h.Count != requestsPerBurst {
+			t.Errorf("%s arm recorded %d samples, want %d", arm, h.Count, requestsPerBurst)
+		}
+		if p50, p99 := h.Quantile(0.50), h.Quantile(0.99); p50 <= 0 || p99 < p50 {
+			t.Errorf("%s arm: implausible percentiles p50=%d p99=%d", arm, p50, p99)
+		}
+		arms[i] = h
+	}
+	isoP99, forkP99 := arms[0].Quantile(0.99), arms[1].Quantile(0.99)
+	if forkP99 >= isoP99 {
+		t.Errorf("fork p99 %d >= isolate p99 %d: template serving lost its latency win", forkP99, isoP99)
 	}
 }

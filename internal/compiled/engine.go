@@ -255,6 +255,24 @@ func (cm *Module) InstantiateCompiled(cfg core.Config, imports core.Imports) (*I
 	return inst, nil
 }
 
+// InstantiateSnapshot implements core.SnapshotInstantiator: the
+// instance starts from a template's frozen state instead of running
+// segment initialization and the start function (their effects are in
+// the snapshot). Compiled code is shared with every other instance of
+// this module — forks never recompile.
+func (cm *Module) InstantiateSnapshot(cfg core.Config, imports core.Imports, snap *core.StateSnapshot) (core.Instance, error) {
+	base, err := core.NewInstanceBaseFromSnapshot(cm.wasm, cfg, imports, snap)
+	if err != nil {
+		return nil, err
+	}
+	return &Instance{
+		base:  base,
+		mod:   cm,
+		stack: make([]uint64, 4096),
+		count: cfg.CountCycles,
+	}, nil
+}
+
 // Instance is one compiled-engine isolate.
 type Instance struct {
 	base  *core.InstanceBase
@@ -274,6 +292,9 @@ func (inst *Instance) Counts() *isa.Counts { return inst.base.Counts() }
 
 // Close implements core.Instance.
 func (inst *Instance) Close() error { return inst.base.Close() }
+
+// Snapshot implements core.Snapshotter.
+func (inst *Instance) Snapshot() (*core.StateSnapshot, error) { return inst.base.Snapshot() }
 
 // Invoke implements core.Instance.
 func (inst *Instance) Invoke(name string, args ...uint64) ([]uint64, error) {

@@ -1,0 +1,237 @@
+// Template instances: instantiate once, warm, snapshot, fork.
+//
+// A serverless host instantiates the same module millions of times;
+// the paper's worst case is exactly that churn serializing on the
+// mmap lock. A Template amortizes it: one donor instance runs the
+// warm-up invoke, its full state (linear memory image, globals,
+// table) is frozen into a StateSnapshot, and every subsequent request
+// is served by Fork — a copy-on-write re-map of the template's pages
+// through internal/vmm, with compiled code reused via the module
+// cache so forks never recompile.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"slices"
+
+	"leapsandbounds/internal/mem"
+	"leapsandbounds/internal/obs"
+	"leapsandbounds/internal/wasm"
+)
+
+// StateSnapshot is the frozen state of one warmed instance: the
+// memory image (nil when the module declares no memory) plus globals
+// and table. It is immutable and safe to share across any number of
+// concurrent forks, independent of the donor's lifetime.
+type StateSnapshot struct {
+	Mem     *mem.Snapshot
+	Globals []uint64
+	Table   []uint32
+	Filled  []bool
+}
+
+// Snapshotter is implemented by instances whose state can be frozen
+// into a StateSnapshot (both closure-compiled and interpreted
+// instances, via InstanceBase).
+type Snapshotter interface {
+	Snapshot() (*StateSnapshot, error)
+}
+
+// SnapshotInstantiator is implemented by compiled modules that can
+// instantiate directly from a snapshot, skipping data segments and
+// the start function (their effects are baked into the image).
+type SnapshotInstantiator interface {
+	InstantiateSnapshot(cfg Config, imports Imports, snap *StateSnapshot) (Instance, error)
+}
+
+// Snapshot freezes the base's state. The memory image is copied, so
+// the donor may keep running (or close) without affecting forks.
+func (b *InstanceBase) Snapshot() (*StateSnapshot, error) {
+	sp := b.Cfg.Obs.StartSpan(obs.SpanSnapshot, b.Cfg.Span)
+	defer sp.End()
+	snap := &StateSnapshot{
+		Globals: slices.Clone(b.Globals),
+		Table:   slices.Clone(b.Table),
+		Filled:  slices.Clone(b.Filled),
+	}
+	if b.Mem != nil {
+		ms, err := b.Mem.Snapshot()
+		if err != nil {
+			return nil, err
+		}
+		snap.Mem = ms
+	}
+	return snap, nil
+}
+
+// NewInstanceBaseFromSnapshot is the fork-side counterpart of
+// NewInstanceBase: imports are re-resolved (host functions are
+// per-instance), the memory forks from the snapshot through the
+// strategy's copy-on-write machinery, and globals/table are restored
+// by value. Data segments, element segments and the start function
+// are deliberately skipped — the snapshot already contains their
+// effects plus whatever the warm-up invoke did on top.
+func NewInstanceBaseFromSnapshot(m *wasm.Module, cfg Config, imports Imports, snap *StateSnapshot) (*InstanceBase, error) {
+	if snap == nil {
+		return nil, errors.New("core: nil state snapshot")
+	}
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	b := &InstanceBase{
+		Module:      m,
+		Cfg:         cfg,
+		obsInvokes:  cfg.Obs.Counter("invokes"),
+		obsTraps:    cfg.Obs.Counter("traps"),
+		obsInjected: cfg.Obs.Counter("injected_traps"),
+	}
+	forkSpan := cfg.Obs.StartSpan(obs.SpanFork, cfg.Span)
+	defer forkSpan.End()
+
+	for _, im := range m.Imports {
+		switch im.Kind {
+		case wasm.ExternFunc:
+			ft := m.Types[im.Func]
+			hf, err := imports.Resolve(im.Module, im.Name, ft)
+			if err != nil {
+				return nil, err
+			}
+			b.HostFuncs = append(b.HostFuncs, hf)
+		case wasm.ExternMemory, wasm.ExternTable, wasm.ExternGlobal:
+			return nil, fmt.Errorf("core: %v imports are not supported (import %q.%q)",
+				im.Kind, im.Module, im.Name)
+		}
+	}
+
+	if _, hasMem := m.MemoryLimits(); hasMem != (snap.Mem != nil) {
+		return nil, errors.New("core: snapshot memory does not match module declaration")
+	}
+	if snap.Mem != nil {
+		memParent := cfg.Span
+		if forkSpan.Ref().Valid() {
+			memParent = forkSpan.Ref()
+		}
+		mm, err := mem.NewFromSnapshot(mem.Config{
+			Strategy:    cfg.Strategy,
+			AS:          cfg.AS,
+			Pool:        cfg.Pool,
+			DisablePool: cfg.UffdNoPool,
+			UffdPoll:    cfg.UffdPoll,
+			EagerCommit: cfg.EagerCommit,
+			Span:        memParent,
+		}, snap.Mem)
+		if err != nil {
+			return nil, err
+		}
+		b.Mem = mm
+	}
+	b.HostCtx = HostContext{Mem: b.Mem}
+	b.Globals = slices.Clone(snap.Globals)
+	b.Table = slices.Clone(snap.Table)
+	b.Filled = slices.Clone(snap.Filled)
+	if b.Mem != nil {
+		b.Mem.SetSpanParent(cfg.Span)
+	}
+	return b, nil
+}
+
+// Template is a warmed, frozen instance of a compiled module that
+// serves forks. Safe for concurrent Fork calls: all state is
+// immutable after NewTemplate returns.
+type Template struct {
+	mod     CompiledModule
+	cfg     Config
+	imports Imports
+	snap    *StateSnapshot
+	warm    func(Instance) error
+}
+
+// NewTemplate instantiates cm once under cfg, runs the warm function
+// on the donor (typically an init invoke that faults in the working
+// set), snapshots its state, and closes the donor. The config is
+// normalized once here so every fork shares the template's address
+// space and arena pool.
+//
+// A nil warm function snapshots the freshly-instantiated state (data
+// segments applied, start function run) — still useful, as forks
+// skip instantiation's segment writes and, for the virtual-memory
+// strategies, defer page duplication to first access.
+func NewTemplate(cm CompiledModule, cfg Config, imports Imports, warm func(Instance) error) (*Template, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	t := &Template{mod: cm, cfg: cfg, imports: imports, warm: warm}
+	inst, err := InstantiateWithRetry(cm, cfg, imports)
+	if err != nil {
+		return nil, fmt.Errorf("core: template instantiation: %w", err)
+	}
+	defer inst.Close()
+	if warm != nil {
+		if err := warm(inst); err != nil {
+			return nil, fmt.Errorf("core: template warm-up: %w", err)
+		}
+	}
+	if s, ok := inst.(Snapshotter); ok {
+		snap, err := s.Snapshot()
+		if err != nil {
+			return nil, fmt.Errorf("core: template snapshot: %w", err)
+		}
+		t.snap = snap
+	}
+	return t, nil
+}
+
+// CanFork reports whether forks take the snapshot fast path. False
+// means the engine cannot snapshot or restore, and Fork degrades to
+// fresh instantiation plus a re-run of the warm function.
+func (t *Template) CanFork() bool {
+	if t.snap == nil {
+		return false
+	}
+	_, ok := t.mod.(SnapshotInstantiator)
+	return ok
+}
+
+// Snapshot exposes the frozen state (nil when the engine could not
+// snapshot).
+func (t *Template) Snapshot() *StateSnapshot { return t.snap }
+
+// Config returns the template's normalized configuration.
+func (t *Template) Config() Config { return t.cfg }
+
+// Fork creates one instance from the template under its own
+// configuration — the common serving path.
+func (t *Template) Fork() (Instance, error) { return t.ForkWith(t.cfg) }
+
+// ForkWith creates one instance from the template under cfg (callers
+// typically repoint Config.Span per request, or fork into a different
+// strategy for ablations). A nil Profile or AS inherits the
+// template's, so forks land in the same simulated process by default.
+func (t *Template) ForkWith(cfg Config) (Instance, error) {
+	if cfg.Profile == nil {
+		cfg.Profile = t.cfg.Profile
+	}
+	if cfg.AS == nil {
+		cfg.AS = t.cfg.AS
+	}
+	if si, ok := t.mod.(SnapshotInstantiator); ok && t.snap != nil {
+		return si.InstantiateSnapshot(cfg, t.imports, t.snap)
+	}
+	// Degraded path: engines without snapshot support serve cold
+	// instances, re-running the warm-up per fork. Semantically
+	// identical, none of the latency win.
+	inst, err := InstantiateWithRetry(t.mod, cfg, t.imports)
+	if err != nil {
+		return nil, err
+	}
+	if t.warm != nil {
+		if err := t.warm(inst); err != nil {
+			_ = inst.Close()
+			return nil, err
+		}
+	}
+	return inst, nil
+}

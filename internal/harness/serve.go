@@ -1,0 +1,444 @@
+// Serverless fleet serving: the load driver behind `leapsbench
+// -benchserve`. Where Run measures steady-state execution throughput
+// (the paper's §3.5 methodology), RunServe measures the instantiate
+// path itself under serving load — open-loop Poisson arrivals served
+// by three provisioning arms:
+//
+//	cold  every request pays the full cold start: a cache-detached
+//	      engine compiles the module, instantiates, and runs the
+//	      init invoke before handling.
+//	warm  the compile is a cache hit (the fleet has seen the module
+//	      before) but each request still instantiates fresh and runs
+//	      init — the paper's instantiate/teardown churn.
+//	fork  requests are served by copy-on-write forks of one warmed
+//	      template: no compile, no init, page duplication deferred
+//	      to first write.
+//
+// The measured latency is time-to-ready: from request dispatch until
+// an instance is ready to invoke the handler. Percentiles are exact
+// (computed from the sorted sample set, not histogram buckets); the
+// same samples also feed an obs histogram so live telemetry shows the
+// distributions.
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"leapsandbounds/internal/core"
+	"leapsandbounds/internal/isa"
+	"leapsandbounds/internal/mem"
+	"leapsandbounds/internal/modcache"
+	"leapsandbounds/internal/obs"
+	"leapsandbounds/internal/vmm"
+	"leapsandbounds/internal/wasm"
+	g "leapsandbounds/internal/wasmgen"
+)
+
+// ServeOptions configures one serving benchmark (one strategy, three
+// arms).
+type ServeOptions struct {
+	Engine   string
+	Strategy mem.Strategy
+	Profile  *isa.Profile
+	// Requests per arm; defaults to 60.
+	Requests int
+	// RatePerSec is the open-loop Poisson arrival rate. 0 dispatches
+	// all requests immediately (a burst).
+	RatePerSec float64
+	// Workers bounds in-flight requests (the host's worker fleet);
+	// defaults to GOMAXPROCS. Arrivals stay open-loop — a request
+	// whose arrival beats a free worker queues, and the measured
+	// time-to-ready starts when a worker accepts it.
+	Workers int
+	// Seed drives the arrival process; equal seeds give equal arrival
+	// schedules across arms and strategies.
+	Seed int64
+	// WorkKiB is the handler's working set (init writes it, handle
+	// reads it); defaults to 192.
+	WorkKiB int
+	// Obs receives per-arm scopes "serve[...]" with instantiate
+	// histograms. Nil leaves the run unobserved.
+	Obs *obs.Registry
+
+	UffdNoPool, UffdPoll, EagerCommit bool
+}
+
+func (o ServeOptions) label(arm string) string {
+	return fmt.Sprintf("serve[engine=%s strategy=%s arm=%s]", o.Engine, o.Strategy, arm)
+}
+
+// ServeArm is one provisioning arm's measurements.
+type ServeArm struct {
+	Name     string `json:"name"`
+	Requests int    `json:"requests"`
+	Errors   int    `json:"errors"`
+
+	// Exact time-to-ready percentiles over all requests.
+	P50Ns  int64 `json:"p50_ns"`
+	P95Ns  int64 `json:"p95_ns"`
+	P99Ns  int64 `json:"p99_ns"`
+	MeanNs int64 `json:"mean_ns"`
+	MaxNs  int64 `json:"max_ns"`
+
+	// Wall and throughput of the whole arm (arrival of first request
+	// to completion of last).
+	WallNs        int64   `json:"wall_ns"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+
+	// CacheHitRatio is the compile-cache hit ratio over the arm's
+	// lookups (0 for the cold arm, which detaches from the cache).
+	CacheHitRatio float64 `json:"cache_hit_ratio"`
+
+	// Checksum is the handler digest; identical across arms by
+	// construction (verified in DigestsMatch).
+	Checksum uint64 `json:"checksum"`
+
+	// Simulated-kernel traffic attributable to the arm.
+	MmapCalls      int64 `json:"mmap_calls"`
+	LockWaitNs     int64 `json:"lock_wait_ns"`
+	CowForks       int64 `json:"cow_forks"`
+	CowPagesCopied int64 `json:"cow_pages_copied"`
+}
+
+// ServeResult is one strategy's serving benchmark: the three arms
+// plus the cross-arm invariants the bench gate holds.
+type ServeResult struct {
+	Engine   string `json:"engine"`
+	Strategy string `json:"strategy"`
+
+	Cold ServeArm `json:"cold"`
+	Warm ServeArm `json:"warm"`
+	Fork ServeArm `json:"fork"`
+
+	// DigestsMatch: all three arms computed the same handler digest.
+	DigestsMatch bool `json:"digests_match"`
+	// ForkSpeedupP99 is cold p99 / fork p99 — the headline number.
+	ForkSpeedupP99 float64 `json:"fork_speedup_p99"`
+	// WarmSpeedupP99 is warm p99 / fork p99 — the template's win over
+	// plain cached instantiation.
+	WarmSpeedupP99 float64 `json:"warm_speedup_p99"`
+}
+
+// serveHandler authors the serverless "function": init faults in a
+// working set of workKiB (growing memory to fit), handle mixes the
+// working set into a digest and writes a few scratch cells — the
+// usual read-mostly request against warmed state.
+func serveHandler(workKiB int) (*wasm.Module, error) {
+	mb := g.NewModule()
+	mb.Memory(1, 64)
+	ready := mb.GlobalI64(0)
+	buf := g.ArrI64(0)
+	n := int32(workKiB * 1024 / 8)
+	growPages := int32((workKiB*1024 + 65535) / 65536)
+
+	init := mb.Func("init")
+	i := init.LocalI32("i")
+	init.Body(
+		g.Drop(g.MemGrow(g.I32(growPages))),
+		g.For(i, g.I32(0), g.I32(n),
+			buf.Store(g.Get(i),
+				g.Mul(g.I64FromI32(g.Add(g.Get(i), g.I32(1))), g.I64(-0x61c8864680b583eb))),
+		),
+		g.SetG(ready, g.I64(1)),
+	)
+	mb.Export("init", init)
+
+	h := mb.Func("handle", wasm.I64)
+	seed := h.ParamI32("seed")
+	j := h.LocalI32("j")
+	acc := h.LocalI64("acc")
+	h.Body(
+		// A fork that lost the warm-up would return the seed alone.
+		g.If(g.Eq(g.GetG(ready), g.I64(0)),
+			g.Return(g.I64FromI32(g.Get(seed)))),
+		g.Set(acc, g.I64FromI32(g.Get(seed))),
+		g.For(j, g.I32(0), g.I32(n),
+			g.Set(acc, g.Xor(g.Get(acc), buf.Load(g.Get(j)))),
+		),
+		// Dirty a handful of pages so forks exercise the CoW path.
+		buf.Store(g.I32(0), g.Get(acc)),
+		buf.Store(g.I32(n-1), g.Get(acc)),
+		g.Return(g.Get(acc)),
+	)
+	mb.Export("handle", h)
+	return mb.Module()
+}
+
+// RunServe measures one strategy's three serving arms under identical
+// arrival schedules and returns the per-arm latency distributions.
+func RunServe(opts ServeOptions) (*ServeResult, error) {
+	if opts.Profile == nil {
+		return nil, errors.New("harness: ServeOptions.Profile is required")
+	}
+	if opts.Engine == "" {
+		opts.Engine = EngineWasmtime
+	}
+	if opts.Requests <= 0 {
+		opts.Requests = 60
+	}
+	if opts.WorkKiB <= 0 {
+		opts.WorkKiB = 192
+	}
+	module, err := serveHandler(opts.WorkKiB)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &ServeResult{Engine: opts.Engine, Strategy: opts.Strategy.String()}
+	warmInvoke := func(inst core.Instance) error {
+		_, err := inst.Invoke("init")
+		return err
+	}
+
+	// cold: engine + compile + instantiate + init, all per request,
+	// cache-detached so every request pays the full compile.
+	cold, err := serveArm(opts, "cold", func(core.Config) (serveSetup, func(), error) {
+		return func(cfg core.Config) (core.Instance, error) {
+			eng, cleanup, err := NewEngine(opts.Engine)
+			if err != nil {
+				return nil, err
+			}
+			defer cleanup()
+			if cs, ok := eng.(core.CacheSetter); ok {
+				cs.SetCache(nil)
+			}
+			cm, err := eng.Compile(module)
+			if err != nil {
+				return nil, err
+			}
+			inst, err := core.InstantiateWithRetry(cm, cfg, nil)
+			if err != nil {
+				return nil, err
+			}
+			if err := warmInvoke(inst); err != nil {
+				_ = inst.Close()
+				return nil, err
+			}
+			return inst, nil
+		}, func() {}, nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("harness: serve cold arm: %w", err)
+	}
+
+	// warm: the compile is a shared-cache hit, but instantiate + init
+	// still run per request.
+	warm, err := serveArm(opts, "warm", func(core.Config) (serveSetup, func(), error) {
+		// Prewarm the cache so the arm measures hits, not the first miss.
+		eng, cleanup, err := NewEngine(opts.Engine)
+		if err != nil {
+			return nil, nil, err
+		}
+		if _, err := eng.Compile(module); err != nil {
+			cleanup()
+			return nil, nil, err
+		}
+		cleanup()
+		return func(cfg core.Config) (core.Instance, error) {
+			eng, cleanup, err := NewEngine(opts.Engine)
+			if err != nil {
+				return nil, err
+			}
+			defer cleanup()
+			cm, err := eng.Compile(module)
+			if err != nil {
+				return nil, err
+			}
+			inst, err := core.InstantiateWithRetry(cm, cfg, nil)
+			if err != nil {
+				return nil, err
+			}
+			if err := warmInvoke(inst); err != nil {
+				_ = inst.Close()
+				return nil, err
+			}
+			return inst, nil
+		}, func() {}, nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("harness: serve warm arm: %w", err)
+	}
+
+	// fork: one template per arm, built and warmed before the
+	// measured window (the fleet's standing template); every request
+	// is a CoW fork.
+	fork, err := serveArm(opts, "fork", func(cfg core.Config) (serveSetup, func(), error) {
+		eng, cleanup, err := NewEngine(opts.Engine)
+		if err != nil {
+			return nil, nil, err
+		}
+		cm, err := eng.Compile(module)
+		if err != nil {
+			cleanup()
+			return nil, nil, err
+		}
+		tpl, err := core.NewTemplate(cm, cfg, nil, warmInvoke)
+		if err != nil {
+			cleanup()
+			return nil, nil, err
+		}
+		return func(cfg core.Config) (core.Instance, error) {
+			return tpl.ForkWith(cfg)
+		}, cleanup, nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("harness: serve fork arm: %w", err)
+	}
+
+	res.Cold, res.Warm, res.Fork = *cold, *warm, *fork
+	res.DigestsMatch = cold.Checksum == warm.Checksum && warm.Checksum == fork.Checksum
+	if fork.P99Ns > 0 {
+		res.ForkSpeedupP99 = float64(cold.P99Ns) / float64(fork.P99Ns)
+		res.WarmSpeedupP99 = float64(warm.P99Ns) / float64(fork.P99Ns)
+	}
+	return res, nil
+}
+
+// serveSetup provisions one ready-to-invoke instance under cfg; the
+// time it takes is the measured quantity.
+type serveSetup func(cfg core.Config) (core.Instance, error)
+
+// serveArm drives one arm: Poisson arrivals dispatch requests that
+// each provision an instance (timed), invoke the handler, and tear
+// down. Each arm runs in its own simulated process so kernel traffic
+// is attributable per arm.
+func serveArm(opts ServeOptions, name string, build func(core.Config) (serveSetup, func(), error)) (*ServeArm, error) {
+	scope := opts.Obs.Scope(opts.label(name))
+	hist := scope.Histogram("instantiate_ns")
+	as := vmm.NewObserved(opts.Profile.VM, scope.Child("vmm"))
+	cfg := core.Config{
+		Strategy:    opts.Strategy,
+		Profile:     opts.Profile,
+		AS:          as,
+		UffdNoPool:  opts.UffdNoPool,
+		UffdPoll:    opts.UffdPoll,
+		EagerCommit: opts.EagerCommit,
+		Obs:         scope.Child("engine"),
+	}
+
+	vmBefore := as.Snapshot()
+	// One-time provisioning (the warm arm's cache prewarm, the fork
+	// arm's template build) happens here: attributed to the arm's
+	// kernel counters but outside the per-request latency
+	// distribution and cache-hit window, which describe steady-state
+	// serving.
+	setup, cleanup, err := build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
+	cacheBefore := modcache.Shared().Stats()
+
+	type reqOut struct {
+		ready time.Duration
+		sum   uint64
+		err   error
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	slots := make(chan struct{}, workers)
+	outs := make([]reqOut, opts.Requests)
+	rng := rand.New(rand.NewSource(opts.Seed))
+	var wg sync.WaitGroup
+	next := time.Now()
+	t0 := next
+	for r := 0; r < opts.Requests; r++ {
+		if opts.RatePerSec > 0 {
+			next = next.Add(time.Duration(rng.ExpFloat64() / opts.RatePerSec * 1e9))
+			time.Sleep(time.Until(next))
+		}
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			o := &outs[r]
+			slots <- struct{}{}
+			defer func() { <-slots }()
+			t := time.Now()
+			inst, err := setup(cfg)
+			o.ready = time.Since(t)
+			if err != nil {
+				o.err = err
+				return
+			}
+			res, err := inst.Invoke("handle", 7)
+			if cerr := inst.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				o.err = err
+				return
+			}
+			o.sum = res[0]
+		}(r)
+	}
+	wg.Wait()
+	wall := time.Since(t0)
+
+	arm := &ServeArm{Name: name, Requests: opts.Requests, WallNs: wall.Nanoseconds()}
+	var readies []time.Duration
+	var meanNs float64
+	for r := range outs {
+		if outs[r].err != nil {
+			arm.Errors++
+			err = outs[r].err
+			continue
+		}
+		if arm.Checksum == 0 {
+			arm.Checksum = outs[r].sum
+		} else if outs[r].sum != arm.Checksum {
+			return nil, fmt.Errorf("nondeterministic handler digest: %#x vs %#x", outs[r].sum, arm.Checksum)
+		}
+		readies = append(readies, outs[r].ready)
+		hist.Observe(outs[r].ready.Nanoseconds())
+		meanNs += float64(outs[r].ready)
+	}
+	if arm.Errors > 0 {
+		return nil, fmt.Errorf("%d/%d requests failed, first: %w", arm.Errors, opts.Requests, err)
+	}
+	sort.Slice(readies, func(i, j int) bool { return readies[i] < readies[j] })
+	arm.P50Ns = exactQuantile(readies, 0.50).Nanoseconds()
+	arm.P95Ns = exactQuantile(readies, 0.95).Nanoseconds()
+	arm.P99Ns = exactQuantile(readies, 0.99).Nanoseconds()
+	arm.MaxNs = readies[len(readies)-1].Nanoseconds()
+	arm.MeanNs = int64(meanNs / float64(len(readies)))
+	if wall > 0 {
+		arm.ThroughputRPS = float64(len(readies)) / wall.Seconds()
+	}
+
+	cacheAfter := modcache.Shared().Stats()
+	if lookups := (cacheAfter.Hits - cacheBefore.Hits) + (cacheAfter.Misses - cacheBefore.Misses); lookups > 0 {
+		arm.CacheHitRatio = float64(cacheAfter.Hits-cacheBefore.Hits) / float64(lookups)
+	}
+	vmAfter := as.Snapshot()
+	arm.MmapCalls = vmAfter.MmapCalls - vmBefore.MmapCalls
+	arm.LockWaitNs = vmAfter.LockWaitNs - vmBefore.LockWaitNs
+	arm.CowForks = vmAfter.CowForks - vmBefore.CowForks
+	arm.CowPagesCopied = vmAfter.CowPagesCopied - vmBefore.CowPagesCopied
+
+	scope.Gauge("p99_instantiate_ns").Set(arm.P99Ns)
+	scope.Counter("requests").Add(int64(len(readies)))
+
+	mem.SharedPool(as).Drain()
+	return arm, nil
+}
+
+// exactQuantile reads the q-quantile from an ascending sample set
+// (nearest-rank).
+func exactQuantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted)) + 0.5)
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

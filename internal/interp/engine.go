@@ -139,6 +139,27 @@ func (cm *Module) InstantiateInterp(cfg core.Config, imports core.Imports) (*Ins
 	return inst, nil
 }
 
+// InstantiateSnapshot implements core.SnapshotInstantiator: the
+// instance restores a template's frozen state, skipping segment
+// initialization and the start function. The wasm3 analog's forced
+// trap checking applies to forks exactly as it does to fresh
+// instances.
+func (cm *Module) InstantiateSnapshot(cfg core.Config, imports core.Imports, snap *core.StateSnapshot) (core.Instance, error) {
+	if cm.engine.forceTrap {
+		cfg.Strategy = mem.Trap
+	}
+	base, err := core.NewInstanceBaseFromSnapshot(cm.wasm, cfg, imports, snap)
+	if err != nil {
+		return nil, err
+	}
+	return &Instance{
+		base:  base,
+		mod:   cm,
+		stack: make([]uint64, 4096),
+		count: cfg.CountCycles,
+	}, nil
+}
+
 // Instance is one interpreter isolate.
 type Instance struct {
 	base  *core.InstanceBase
@@ -155,6 +176,9 @@ func (inst *Instance) Counts() *isa.Counts { return inst.base.Counts() }
 
 // Close implements core.Instance.
 func (inst *Instance) Close() error { return inst.base.Close() }
+
+// Snapshot implements core.Snapshotter.
+func (inst *Instance) Snapshot() (*core.StateSnapshot, error) { return inst.base.Snapshot() }
 
 // Invoke implements core.Instance.
 func (inst *Instance) Invoke(name string, args ...uint64) (res []uint64, err error) {

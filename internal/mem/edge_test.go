@@ -24,9 +24,9 @@ func injectedAS(plan faultinject.Plan) *vmm.AddressSpace {
 // behave per spec.
 func TestGrowExactlyToMax(t *testing.T) {
 	cases := []struct{ min, max, delta uint32 }{
-		{1, 4, 3},  // multi-page jump to the limit
-		{3, 4, 1},  // single-page step to the limit
-		{2, 2, 0},  // already at the limit; grow(0) reports it
+		{1, 4, 3}, // multi-page jump to the limit
+		{3, 4, 1}, // single-page step to the limit
+		{2, 2, 0}, // already at the limit; grow(0) reports it
 	}
 	for _, s := range Strategies() {
 		for _, c := range cases {

@@ -1,0 +1,289 @@
+package mem
+
+import (
+	"testing"
+
+	"leapsandbounds/internal/vmm"
+	"leapsandbounds/internal/wasm"
+)
+
+// forkCfg builds a fork Config matching the template's strategy on a
+// given address space.
+func forkCfg(s Strategy, as *vmm.AddressSpace, pool *ArenaPool) Config {
+	cfg := Config{Strategy: s, AS: as}
+	if s == Uffd {
+		cfg.Pool = pool
+	}
+	return cfg
+}
+
+func TestForkPreservesContentsAndGrowState(t *testing.T) {
+	for _, s := range Strategies() {
+		t.Run(s.String(), func(t *testing.T) {
+			as := testAS()
+			var pool *ArenaPool
+			cfg := Config{Strategy: s, AS: as, MinPages: 2, MaxPages: 16}
+			if s == Uffd {
+				pool = NewArenaPool()
+				cfg.Pool = pool
+			}
+			tmpl, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Warm the template: write a pattern, grow, write past the
+			// original limit so the snapshot captures grow state too.
+			for a := uint64(0); a < 256; a += 8 {
+				tmpl.StoreU64(a, a^0xdeadbeef)
+			}
+			if tmpl.Grow(3) < 0 {
+				t.Fatal("grow failed")
+			}
+			grownAddr := uint64(4 * wasm.PageSize)
+			tmpl.StoreU64(grownAddr, 0x1234)
+
+			snap, err := tmpl.Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Template keeps running after the snapshot; later writes
+			// must not leak into forks.
+			tmpl.StoreU64(0, 0xffff)
+			if err := tmpl.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			fork, err := NewFromSnapshot(forkCfg(s, as, pool), snap)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer fork.Close()
+			if fork.SizePages() != 5 {
+				t.Errorf("fork size %d pages, want 5 (grown template)", fork.SizePages())
+			}
+			if got := fork.LoadU64(0); got != 0^0xdeadbeef {
+				t.Errorf("fork[0] = %#x, want %#x (pre-snapshot value)", got, uint64(0xdeadbeef))
+			}
+			for a := uint64(8); a < 256; a += 8 {
+				if got := fork.LoadU64(a); got != a^0xdeadbeef {
+					t.Fatalf("fork[%d] = %#x, want %#x", a, got, a^0xdeadbeef)
+				}
+			}
+			if got := fork.LoadU64(grownAddr); got != 0x1234 {
+				t.Errorf("fork[grown] = %#x, want 0x1234", got)
+			}
+			// The fork can keep growing from the template's size.
+			if fork.Grow(2) != 5 {
+				t.Error("fork grow returned wrong previous size")
+			}
+			if got := fork.LoadU64(uint64(6 * wasm.PageSize)); got != 0 {
+				t.Errorf("fresh fork page = %#x, want 0", got)
+			}
+
+			// Forks are independent of each other.
+			fork2, err := NewFromSnapshot(forkCfg(s, as, pool), snap)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer fork2.Close()
+			fork.StoreU64(16, 0x42)
+			if got := fork2.LoadU64(16); got != 16^0xdeadbeef {
+				t.Errorf("fork write visible in sibling: %#x", got)
+			}
+		})
+	}
+}
+
+func TestForkSnapshotOfForkChains(t *testing.T) {
+	as := testAS()
+	cfg := Config{Strategy: Trap, AS: as, MinPages: 1, MaxPages: 8}
+	tmpl, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tmpl.Close()
+	tmpl.StoreU64(0, 1)
+	snap, err := tmpl.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, err := NewFromSnapshot(Config{Strategy: Trap, AS: as}, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f1.Close()
+	f1.StoreU64(8, 2)
+	snap2, err := f1.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := NewFromSnapshot(Config{Strategy: Trap, AS: as}, snap2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	if f2.LoadU64(0) != 1 || f2.LoadU64(8) != 2 {
+		t.Error("re-snapshotted fork lost state")
+	}
+}
+
+func TestForkCrossStrategy(t *testing.T) {
+	// A snapshot is strategy-agnostic: a trap template can seed an
+	// mprotect fork and vice versa (the serve driver relies on this
+	// being impossible to get wrong, not on using it).
+	as := testAS()
+	tmpl, err := New(Config{Strategy: Mprotect, AS: as, MinPages: 1, MaxPages: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tmpl.Close()
+	tmpl.StoreU32(100, 7)
+	snap, err := tmpl.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fork, err := NewFromSnapshot(Config{Strategy: Trap, AS: as}, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fork.Close()
+	if fork.Strategy() != Trap || fork.LoadU32(100) != 7 {
+		t.Error("cross-strategy fork wrong")
+	}
+}
+
+func TestForkOutOfBoundsMatchesFresh(t *testing.T) {
+	for _, s := range Strategies() {
+		t.Run(s.String(), func(t *testing.T) {
+			as := testAS()
+			var pool *ArenaPool
+			cfg := Config{Strategy: s, AS: as, MinPages: 1, MaxPages: 2}
+			if s == Uffd {
+				pool = NewArenaPool()
+				cfg.Pool = pool
+			}
+			tmpl, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer tmpl.Close()
+			snap, err := tmpl.Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			fork, err := NewFromSnapshot(forkCfg(s, as, pool), snap)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer fork.Close()
+			oob := uint64(wasm.PageSize) // one past the 1-page size
+			fresh := catchTrap(func() { tmpl.LoadU64(oob) })
+			forked := catchTrap(func() { fork.LoadU64(oob) })
+			if (fresh == nil) != (forked == nil) {
+				t.Fatalf("trap mismatch: fresh=%v fork=%v", fresh, forked)
+			}
+			if fresh != nil && fresh.Kind != forked.Kind {
+				t.Errorf("trap kind mismatch: fresh=%v fork=%v", fresh.Kind, forked.Kind)
+			}
+		})
+	}
+}
+
+// TestForkSharesPoolPollServer is the forked-mapping companion of the
+// PR 1 one-pool regression test: a pooled uffd fork in poll mode must
+// register with the process pool's existing handler thread, never
+// spawn a second poller.
+func TestForkSharesPoolPollServer(t *testing.T) {
+	as := testAS()
+	pool := NewArenaPool()
+	defer pool.Drain()
+	tmpl, err := New(Config{Strategy: Uffd, AS: as, MinPages: 1, MaxPages: 4, Pool: pool, UffdPoll: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmpl.StoreU64(0, 9)
+	if tmpl.poll != pool.pollServer {
+		t.Fatal("template did not adopt the pool's poll server")
+	}
+	snap, err := tmpl.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tmpl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		fork, err := NewFromSnapshot(Config{Strategy: Uffd, AS: as, Pool: pool, UffdPoll: true}, snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fork.poll != pool.pollServer {
+			t.Fatalf("fork %d spawned its own poll server", i)
+		}
+		// The fault must round-trip through the shared poller and
+		// still install template content.
+		if got := fork.LoadU64(0); got != 9 {
+			t.Fatalf("fork %d poll-mode fault returned %#x, want 9", i, got)
+		}
+		if err := fork.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestPoolPutClearsForkSource(t *testing.T) {
+	as := testAS()
+	pool := NewArenaPool()
+	defer pool.Drain()
+	tmpl, err := New(Config{Strategy: Uffd, AS: as, MinPages: 1, MaxPages: 4, Pool: pool})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmpl.StoreU64(0, 0x77)
+	snap, err := tmpl.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tmpl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fork, err := NewFromSnapshot(Config{Strategy: Uffd, AS: as, Pool: pool}, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fork.mapping.Source() == nil {
+		t.Fatal("fork arena has no source")
+	}
+	if got := fork.LoadU64(0); got != 0x77 {
+		t.Fatalf("fork content %#x, want 0x77", got)
+	}
+	if err := fork.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The recycled arena must be detached from the template image and
+	// hand out zeros again.
+	fresh, err := New(Config{Strategy: Uffd, AS: as, MinPages: 1, MaxPages: 4, Pool: pool})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fresh.Close()
+	if fresh.mapping.Source() != nil {
+		t.Error("recycled arena still carries the fork's source")
+	}
+	if got := fresh.LoadU64(0); got != 0 {
+		t.Errorf("recycled arena leaked template content: %#x", got)
+	}
+	if st := pool.Stats(); st.Reused == 0 {
+		t.Error("fresh instance did not reuse the fork's arena")
+	}
+}
+
+func TestForkSnapshotClosedMemoryFails(t *testing.T) {
+	m := newMem(t, Trap, 1, 2)
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Snapshot(); err == nil {
+		t.Error("snapshot of closed memory succeeded")
+	}
+}

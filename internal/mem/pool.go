@@ -136,6 +136,10 @@ func (p *ArenaPool) put(a *arena, usedBytes uint64) error {
 	if a.pooled.Swap(true) {
 		return ErrArenaDoubleRelease
 	}
+	// A fork's arena carries a copy-on-write source; detach it before
+	// the arena is parked so the next borrower observes zero-filled
+	// pages, not the template image.
+	a.mapping.SetSource(nil)
 	// Recycling work (decommit) parents under a pool.put span, itself
 	// under whatever the closing instance last pointed the mapping at;
 	// once parked the arena is detached from that instance's tree.

@@ -78,6 +78,12 @@ const (
 	// register-IR lowering pipeline (build, optimize, lower, fuse);
 	// emitted retroactively once the pipeline finishes.
 	SpanRIRLower
+	// SpanSnapshot covers freezing a template instance's state (the
+	// memory-image copy plus globals/table capture).
+	SpanSnapshot
+	// SpanFork covers instantiating one instance from a template
+	// snapshot (copy-on-write mapping setup, state restore).
+	SpanFork
 	numSpanKinds
 )
 
@@ -88,6 +94,7 @@ var spanKindNames = [numSpanKinds]string{
 	"pool.get", "pool.put",
 	"tier_up", "gc_pause", "safepoint_wait",
 	"hazard.reclaim", "pool.drain", "rir.lower",
+	"snapshot", "fork",
 }
 
 func (k SpanKind) String() string {

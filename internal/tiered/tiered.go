@@ -327,6 +327,34 @@ func (m *module) Instantiate(cfg core.Config, imports core.Imports) (core.Instan
 	return &instance{engine: m.engine, inner: inner, obs: cfg.Obs, span: cfg.Span}, nil
 }
 
+// InstantiateSnapshot implements core.SnapshotInstantiator: forks
+// adopt the best tier available at fork time — in the serving steady
+// state that is the optimized tier, even when the template's donor
+// instance ran on the baseline before tier-up finished. The same
+// transient-failure degradation as Instantiate applies.
+func (m *module) InstantiateSnapshot(cfg core.Config, imports core.Imports, snap *core.StateSnapshot) (core.Instance, error) {
+	var inner core.Instance
+	var err error
+	if top := m.top.Load(); top != nil {
+		inner, err = top.InstantiateSnapshot(cfg, imports, snap)
+		if err != nil && cfg.AS != nil {
+			if site, ok := faultinject.IsTransient(err); ok {
+				inner, err = m.baseline.InstantiateSnapshot(cfg, imports, snap)
+				if err == nil {
+					m.engine.tierFallbacks.Add(1)
+					cfg.AS.Injector().Recovered(site)
+				}
+			}
+		}
+	} else {
+		inner, err = m.baseline.InstantiateSnapshot(cfg, imports, snap)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &instance{engine: m.engine, inner: inner, obs: cfg.Obs, span: cfg.Span}, nil
+}
+
 // instance wraps a tier instance with the GC safepoint protocol.
 type instance struct {
 	engine *Engine
@@ -369,6 +397,17 @@ func (i *instance) Counts() *isa.Counts { return i.inner.Counts() }
 
 // Close implements core.Instance.
 func (i *instance) Close() error { return i.inner.Close() }
+
+// Snapshot implements core.Snapshotter by freezing the inner tier's
+// state. Snapshots are tier-independent — memory image, globals,
+// table — so a baseline donor's snapshot restores into an optimized
+// fork once tier-up completes.
+func (i *instance) Snapshot() (*core.StateSnapshot, error) {
+	if s, ok := i.inner.(core.Snapshotter); ok {
+		return s.Snapshot()
+	}
+	return nil, fmt.Errorf("tiered: inner tier %T cannot snapshot", i.inner)
+}
 
 // Tier reports which tier the instance runs on ("baseline" or
 // "optimized"), for tests.

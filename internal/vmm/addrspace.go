@@ -143,25 +143,31 @@ type Stats struct {
 	LockContended *obs.Counter // acquisitions that had to wait
 	// LockWait is the wait-time distribution behind LockWaitNs.
 	LockWait *obs.Histogram
+	// CowForks counts mappings attached to a copy-on-write template
+	// source; CowPagesCopied counts pages duplicated from one.
+	CowForks       *obs.Counter
+	CowPagesCopied *obs.Counter
 }
 
 // newStats registers the counters under sc.
 func newStats(sc *obs.Scope) Stats {
 	return Stats{
-		MmapCalls:     sc.Counter("mmap_calls"),
-		MunmapCalls:   sc.Counter("munmap_calls"),
-		MprotectCalls: sc.Counter("mprotect_calls"),
-		MinorFaults:   sc.Counter("minor_faults"),
-		UffdFaults:    sc.Counter("uffd_faults"),
-		SegvFaults:    sc.Counter("segv_faults"),
-		DroppedFaults: sc.Counter("dropped_faults"),
-		Shootdowns:    sc.Counter("shootdowns"),
-		VMAsTouched:   sc.Counter("vmas_touched"),
-		THPPromotions: sc.Counter("thp_promotions"),
-		LockWaitNs:    sc.Counter("lock_wait_ns"),
-		LockHoldNs:    sc.Counter("lock_hold_ns"),
-		LockContended: sc.Counter("lock_contended"),
-		LockWait:      sc.Histogram("lock_wait_hist_ns"),
+		MmapCalls:      sc.Counter("mmap_calls"),
+		MunmapCalls:    sc.Counter("munmap_calls"),
+		MprotectCalls:  sc.Counter("mprotect_calls"),
+		MinorFaults:    sc.Counter("minor_faults"),
+		UffdFaults:     sc.Counter("uffd_faults"),
+		SegvFaults:     sc.Counter("segv_faults"),
+		DroppedFaults:  sc.Counter("dropped_faults"),
+		Shootdowns:     sc.Counter("shootdowns"),
+		VMAsTouched:    sc.Counter("vmas_touched"),
+		THPPromotions:  sc.Counter("thp_promotions"),
+		LockWaitNs:     sc.Counter("lock_wait_ns"),
+		LockHoldNs:     sc.Counter("lock_hold_ns"),
+		LockContended:  sc.Counter("lock_contended"),
+		LockWait:       sc.Histogram("lock_wait_hist_ns"),
+		CowForks:       sc.Counter("cow_forks"),
+		CowPagesCopied: sc.Counter("cow_pages_copied"),
 	}
 }
 
@@ -173,6 +179,7 @@ type StatsSnapshot struct {
 	Shootdowns, VMAsTouched               int64
 	THPPromotions                         int64
 	LockWaitNs, LockHoldNs, LockContended int64
+	CowForks, CowPagesCopied              int64
 	ResidentBytes                         int64
 	VMACount                              int
 }
@@ -314,6 +321,12 @@ type Mapping struct {
 	thp     []atomic.Uint32 // per THP block of the reservation
 	uffd    atomic.Bool
 	dead    atomic.Bool
+	// src, when non-nil, is the copy-on-write origin: pages populate
+	// from this frozen template image as they commit instead of from
+	// the zero page (see cow.go). Atomic because pooled arenas have it
+	// set/cleared across instance lifetimes while fault handlers read
+	// it lock-free.
+	src atomic.Pointer[PageSource]
 	// spanParent is the span ID kernel operations on this mapping
 	// parent under (see SetSpanParent). Atomic because fault handlers
 	// (the uffd poll goroutine) read it from a different thread than
@@ -514,6 +527,12 @@ func (m *Mapping) Mprotect(off, length uint64, prot Prot) error {
 		if prot&ProtWrite != 0 || old&pageCommitted != 0 {
 			state |= pageCommitted
 		}
+		if old&pageCommitted == 0 && state&pageCommitted != 0 {
+			// CoW break: duplicate the template page before the commit
+			// becomes visible (we hold the mmap lock here, as the real
+			// wp-fault path holds the PTE lock).
+			m.populateFromSource(p)
+		}
 		m.pages[p].Store(state)
 		if old&pageCommitted == 0 && state&pageCommitted != 0 {
 			m.accountCommit(p)
@@ -647,6 +666,11 @@ func (m *Mapping) UffdZeroPages(off, length uint64) error {
 			if old&pageCommitted != 0 {
 				break // another handler populated it
 			}
+			// Install content before publishing the committed bit —
+			// UFFDIO_COPY's order. For template forks this copies the
+			// source page; plain arenas install the (already zeroed)
+			// zero page for free.
+			m.populateFromSource(p)
 			if m.pages[p].CompareAndSwap(old, uint32(ProtRW)|pageCommitted) {
 				m.accountCommit(p)
 				break
@@ -746,6 +770,7 @@ func (m *Mapping) Touch(off, length uint64) error {
 			if old&uint32(ProtWrite) == 0 {
 				return fmt.Errorf("%w: touch of non-writable page %d", ErrBadRange, p)
 			}
+			m.populateFromSource(p)
 			if m.pages[p].CompareAndSwap(old, old|pageCommitted) {
 				m.as.stats.MinorFaults.Add(1)
 				touched++
@@ -848,21 +873,23 @@ func (as *AddressSpace) Snapshot() StatsSnapshot {
 	vmaCount := as.tree.count
 	as.mu.Unlock()
 	return StatsSnapshot{
-		MmapCalls:     as.stats.MmapCalls.Load(),
-		MunmapCalls:   as.stats.MunmapCalls.Load(),
-		MprotectCalls: as.stats.MprotectCalls.Load(),
-		MinorFaults:   as.stats.MinorFaults.Load(),
-		UffdFaults:    as.stats.UffdFaults.Load(),
-		SegvFaults:    as.stats.SegvFaults.Load(),
-		DroppedFaults: as.stats.DroppedFaults.Load(),
-		Shootdowns:    as.stats.Shootdowns.Load(),
-		VMAsTouched:   as.stats.VMAsTouched.Load(),
-		THPPromotions: as.stats.THPPromotions.Load(),
-		LockWaitNs:    as.stats.LockWaitNs.Load(),
-		LockHoldNs:    as.stats.LockHoldNs.Load(),
-		LockContended: as.stats.LockContended.Load(),
-		ResidentBytes: as.resident.Load(),
-		VMACount:      vmaCount,
+		MmapCalls:      as.stats.MmapCalls.Load(),
+		MunmapCalls:    as.stats.MunmapCalls.Load(),
+		MprotectCalls:  as.stats.MprotectCalls.Load(),
+		MinorFaults:    as.stats.MinorFaults.Load(),
+		UffdFaults:     as.stats.UffdFaults.Load(),
+		SegvFaults:     as.stats.SegvFaults.Load(),
+		DroppedFaults:  as.stats.DroppedFaults.Load(),
+		Shootdowns:     as.stats.Shootdowns.Load(),
+		VMAsTouched:    as.stats.VMAsTouched.Load(),
+		THPPromotions:  as.stats.THPPromotions.Load(),
+		LockWaitNs:     as.stats.LockWaitNs.Load(),
+		LockHoldNs:     as.stats.LockHoldNs.Load(),
+		LockContended:  as.stats.LockContended.Load(),
+		CowForks:       as.stats.CowForks.Load(),
+		CowPagesCopied: as.stats.CowPagesCopied.Load(),
+		ResidentBytes:  as.resident.Load(),
+		VMACount:       vmaCount,
 	}
 }
 

@@ -107,6 +107,26 @@ type HostFunc = core.HostFunc
 // HostContext is passed to host functions.
 type HostContext = core.HostContext
 
+// Template is a warmed, frozen instance that serves copy-on-write
+// forks — the serverless fleet's standing image of one function. See
+// NewTemplate.
+type Template = core.Template
+
+// StateSnapshot is the frozen state a Template serves forks from.
+type StateSnapshot = core.StateSnapshot
+
+// NewTemplate instantiates cm once, runs warm on the donor (nil to
+// snapshot the freshly-instantiated state), freezes its full state —
+// linear memory, globals, table — and closes the donor. Template.Fork
+// then mints instances from the frozen image via copy-on-write
+// mappings: no recompile (the compiled artifact is shared), no
+// re-init, page duplication deferred to first write. Engines that
+// cannot snapshot degrade to fresh instantiation plus a re-run of
+// warm per fork (Template.CanFork reports which path forks take).
+func NewTemplate(cm CompiledModule, cfg Config, imports Imports, warm func(Instance) error) (*Template, error) {
+	return core.NewTemplate(cm, cfg, imports, warm)
+}
+
 // Engine names, matching the paper's runtimes.
 const (
 	EngineNative   = harness.EngineNative
@@ -231,6 +251,15 @@ type Metrics = obs.Registry
 
 // MetricsSnapshot is a point-in-time copy of a Metrics registry.
 type MetricsSnapshot = obs.Snapshot
+
+// Histogram is a fixed-bucket latency histogram registered under a
+// metrics scope; read percentiles from the registry snapshot's
+// HistogramSnapshot.Quantile.
+type Histogram = obs.Histogram
+
+// HistogramSnapshot is a point-in-time histogram copy with quantile
+// estimation.
+type HistogramSnapshot = obs.HistogramSnapshot
 
 // NewMetrics creates an empty metrics registry with the default
 // trace-ring capacity.

@@ -28,8 +28,8 @@ go test ./...
 # workers and the GC controller emit spans from their own
 # goroutines), and the telemetry server (which streams from the same
 # ring the workers push into).
-echo "== go test -race (obs, vmm, mem, faultinject, hazard, modcache, harness, compiled, rir, tiered, telemetry)"
-go test -race -count=1 ./internal/obs/ ./internal/vmm/ ./internal/mem/ ./internal/faultinject/ ./internal/hazard/ ./internal/modcache/ ./internal/harness/ ./internal/compiled/ ./internal/rir/ ./internal/tiered/ ./internal/telemetry/
+echo "== go test -race (obs, vmm, mem, faultinject, hazard, modcache, harness, compiled, rir, tiered, telemetry, core)"
+go test -race -count=1 ./internal/obs/ ./internal/vmm/ ./internal/mem/ ./internal/faultinject/ ./internal/hazard/ ./internal/modcache/ ./internal/harness/ ./internal/compiled/ ./internal/rir/ ./internal/tiered/ ./internal/telemetry/ ./internal/core/
 
 # Quick elide differential: the bounds-check elision pass must be
 # observationally equivalent to per-access checks — same digests,
@@ -44,5 +44,11 @@ go test -race -count=1 -run 'TestDifferentialElide' -short ./internal/compiled/
 # under all five strategies.
 echo "== rir-diff (rir=on vs rir=off differential, -race)"
 go test -race -count=1 -run 'TestDifferentialRIR' -short ./internal/compiled/
+
+# Quick fork differential: a copy-on-write fork of a warmed template
+# must be observationally identical to a fresh instantiation — same
+# digests, same trap kinds and offsets — under all five strategies.
+echo "== fork-diff (fork vs fresh instantiation differential, -race)"
+go test -race -count=1 -run 'TestDifferentialFork' -short ./internal/compiled/
 
 echo "verify: OK"
