@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify check bench bench-quick bench-hot bench-serve bench-gate figures fuzz-smoke
+.PHONY: build test vet race verify check bench bench-quick bench-hot bench-serve bench-wasi bench-gate figures fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -18,19 +18,23 @@ test:
 # the compiled engines' unchecked fast paths, the register-IR
 # lowering's process-wide counters, the tiered engine's background
 # workers and GC controller, the live telemetry server streaming
-# from the trace ring, and the template/fork paths: concurrent CoW
-# forks in core and the vmm page-duplication machinery behind them).
+# from the trace ring, the template/fork paths: concurrent CoW
+# forks in core and the vmm page-duplication machinery behind them,
+# and the WASI layer, whose Env serves hostcalls from every worker
+# of a multithreaded guest).
 race:
-	$(GO) test -race -count=1 ./internal/obs/ ./internal/vmm/ ./internal/mem/ ./internal/faultinject/ ./internal/hazard/ ./internal/modcache/ ./internal/harness/ ./internal/compiled/ ./internal/rir/ ./internal/tiered/ ./internal/telemetry/ ./internal/core/
+	$(GO) test -race -count=1 ./internal/obs/ ./internal/vmm/ ./internal/mem/ ./internal/faultinject/ ./internal/hazard/ ./internal/modcache/ ./internal/harness/ ./internal/compiled/ ./internal/rir/ ./internal/tiered/ ./internal/telemetry/ ./internal/core/ ./internal/wasi/
 
 # Short coverage-guided fuzz pass over the binary decoder, the
-# validator, the elide on/off differential, and the register-IR
-# on/off differential (~10s each); regressions land in testdata/fuzz/.
+# validator, the elide on/off differential, the register-IR on/off
+# differential, and the WASI host-boundary cross-strategy
+# differential (~10s each); regressions land in testdata/fuzz/.
 fuzz-smoke:
 	$(GO) test ./internal/wasm/ -run '^$$' -fuzz FuzzDecode -fuzztime 10s
 	$(GO) test ./internal/validate/ -run '^$$' -fuzz FuzzValidate -fuzztime 10s
 	$(GO) test ./internal/compiled/ -run '^$$' -fuzz FuzzElideDiff -fuzztime 10s
 	$(GO) test ./internal/compiled/ -run '^$$' -fuzz FuzzRIRDiff -fuzztime 10s
+	$(GO) test ./internal/wasi/ -run '^$$' -fuzz FuzzWASIDiff -fuzztime 10s
 
 # The full tier-1 gate: build + vet + tests + race pass.
 verify:
@@ -70,6 +74,13 @@ bench-hot:
 # BENCH_serve.json.
 bench-serve:
 	$(GO) run ./cmd/leapsbench -benchserve BENCH_serve.json
+
+# Hostcall-boundary benchmark: the syscall-heavy wasi workloads
+# (logscan, kvstore, echo) across all five strategies, with
+# per-strategy hostcall-bucket attribution from the causal trace;
+# results land in BENCH_wasi.json.
+bench-wasi:
+	$(GO) run ./cmd/leapsbench -benchwasi BENCH_wasi.json
 
 figures:
 	$(GO) run ./cmd/leapsbench -fig all

@@ -26,6 +26,7 @@ type benchGateReport struct {
 	BaselineSweepSHA string    `json:"baseline_sweep_sha"`
 	BaselineBCESHA   string    `json:"baseline_bce_sha"`
 	BaselineServeSHA string    `json:"baseline_serve_sha"`
+	BaselineWasiSHA  string    `json:"baseline_wasi_sha"`
 	Quick            bool      `json:"quick"`
 	When             time.Time `json:"when"`
 
@@ -36,6 +37,7 @@ type benchGateReport struct {
 		Sweep *benchSweepReport `json:"sweep"`
 		BCE   *benchBCEReport   `json:"bce"`
 		Serve *benchServeReport `json:"serve"`
+		Wasi  *benchWasiReport  `json:"wasi"`
 	} `json:"fresh"`
 }
 
@@ -95,12 +97,17 @@ func runBenchGate(path string, quick bool) error {
 	if err := loadBaseline("BENCH_serve.json", &baseServe); err != nil {
 		return err
 	}
+	var baseWasi benchWasiReport
+	if err := loadBaseline("BENCH_wasi.json", &baseWasi); err != nil {
+		return err
+	}
 
 	rep := benchGateReport{
 		GitSHA:           gitSHA(),
 		BaselineSweepSHA: baseSweep.GitSHA,
 		BaselineBCESHA:   baseBCE.GitSHA,
 		BaselineServeSHA: baseServe.GitSHA,
+		BaselineWasiSHA:  baseWasi.GitSHA,
 		Quick:            quick,
 		When:             time.Now().UTC(),
 	}
@@ -117,9 +124,14 @@ func runBenchGate(path string, quick bool) error {
 	if err != nil {
 		return err
 	}
+	wasi, err := collectBenchWasi(quick)
+	if err != nil {
+		return err
+	}
 	rep.Fresh.Sweep = sweep
 	rep.Fresh.BCE = bce
 	rep.Fresh.Serve = serve
+	rep.Fresh.Wasi = wasi
 
 	b2f := func(b bool) float64 {
 		if b {
@@ -144,6 +156,16 @@ func runBenchGate(path string, quick bool) error {
 		{Name: "serve_digests_match", OK: serve.AllDigestsMatch, Got: b2f(serve.AllDigestsMatch), Want: 1},
 		{Name: "serve_checksum_stable", OK: serve.Checksum == baseServe.Checksum,
 			Got: b2f(serve.Checksum == baseServe.Checksum), Want: 1},
+		// The hostcall boundary: the wasi workloads must keep producing
+		// identical results under every strategy (the boundary moves
+		// cost, never bytes), the combined digest must match the
+		// committed artifact, and the attribution must actually see the
+		// boundary (nonzero hostcall-bucket time on every row).
+		{Name: "wasi_digests_match", OK: wasi.DigestsMatch, Got: b2f(wasi.DigestsMatch), Want: 1},
+		{Name: "wasi_checksum_stable", OK: wasi.Checksum == baseWasi.Checksum,
+			Got: b2f(wasi.Checksum == baseWasi.Checksum), Want: 1},
+		{Name: "wasi_hostcall_bucket_present", OK: wasi.HostcallBucketPresent,
+			Got: b2f(wasi.HostcallBucketPresent), Want: 1},
 	}
 	// The fork arm's reason to exist: on the strategies whose
 	// instantiate path the paper indicts (trap's eager copy, mprotect's

@@ -1,0 +1,174 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"leapsandbounds/internal/harness"
+	"leapsandbounds/internal/isa"
+	"leapsandbounds/internal/mem"
+	"leapsandbounds/internal/obs"
+	"leapsandbounds/internal/workloads"
+)
+
+// benchWasiRow is one workload × strategy measurement of the hostcall
+// boundary: wall time, hostcall count, and the critical-path split
+// between guest execution and the host boundary (exclusive span time
+// from the causal trace, so "hostcall" is pure boundary cost — faults
+// taken while a view is open keep their own buckets).
+type benchWasiRow struct {
+	Workload      string  `json:"workload"`
+	Strategy      string  `json:"strategy"`
+	Checksum      uint64  `json:"checksum"`
+	MedianWallNs  int64   `json:"median_wall_ns"`
+	Hostcalls     int64   `json:"hostcalls"`
+	ExecNs        int64   `json:"exec_ns"`
+	HostcallNs    int64   `json:"hostcall_ns"`
+	TotalNs       int64   `json:"total_ns"`
+	HostcallShare float64 `json:"hostcall_share"`
+}
+
+// benchWasiReport is the JSON artifact of -benchwasi
+// (BENCH_wasi.json): the syscall-heavy workload family (logscan,
+// kvstore, echo) across all five bounds strategies, with per-strategy
+// hostcall-bucket attribution. The per-workload checksums must be
+// identical across strategies — the host boundary may move cost, never
+// results.
+type benchWasiReport struct {
+	HostCPUs   int    `json:"host_cpus"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	GitSHA     string `json:"git_sha"`
+	Engine     string `json:"engine"`
+	Class      string `json:"class"`
+	Measure    int    `json:"measure"`
+	Warmup     int    `json:"warmup"`
+
+	Rows []benchWasiRow `json:"rows"`
+
+	// DigestsMatch: for every workload, all five strategies produced
+	// the same checksum.
+	DigestsMatch bool `json:"digests_match"`
+	// HostcallBucketPresent: every row attributed nonzero exclusive
+	// time to the hostcall bucket (the boundary is actually being
+	// measured, not folded into exec).
+	HostcallBucketPresent bool `json:"hostcall_bucket_present"`
+	// Checksum folds the per-workload digests (order-stable) so the
+	// gate can pin result stability against the committed artifact.
+	Checksum uint64 `json:"checksum"`
+}
+
+// rowFor returns the report's row for one workload/strategy pair (nil
+// when absent).
+func (r *benchWasiReport) rowFor(workload, strategy string) *benchWasiRow {
+	for i := range r.Rows {
+		if r.Rows[i].Workload == workload && r.Rows[i].Strategy == strategy {
+			return &r.Rows[i]
+		}
+	}
+	return nil
+}
+
+// collectBenchWasi measures the wasi workload family across all five
+// strategies (shared by -benchwasi and the -benchgate gate). Each
+// configuration runs under a private tracing registry so the hostcall
+// attribution is computed from exactly that run's spans.
+func collectBenchWasi(quick bool) (*benchWasiReport, error) {
+	rep := &benchWasiReport{
+		HostCPUs:   runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GitSHA:     gitSHA(),
+		Engine:     harness.EngineWAVM,
+		Class:      "bench",
+		Measure:    6,
+		Warmup:     2,
+	}
+	if quick {
+		// Fewer iterations; the class (and therefore the checksums the
+		// gate compares) stays identical to the committed artifact.
+		rep.Measure, rep.Warmup = 3, 1
+	}
+	rep.DigestsMatch = true
+	rep.HostcallBucketPresent = true
+	for _, spec := range workloads.Suite("wasi") {
+		var wantSum uint64
+		first := true
+		for _, s := range mem.Strategies() {
+			reg := obs.NewRegistry()
+			reg.EnableTracing(true)
+			res, err := harness.Run(harness.Options{
+				Engine:   rep.Engine,
+				Workload: spec,
+				Class:    workloads.Bench,
+				Strategy: s,
+				Profile:  isa.X86_64(),
+				Measure:  rep.Measure,
+				Warmup:   rep.Warmup,
+				Obs:      reg,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("benchwasi: %s/%v: %w", spec.Name, s, err)
+			}
+			att := obs.Attribute(reg.Snapshot(true)).Row(s.String())
+			row := benchWasiRow{
+				Workload:     spec.Name,
+				Strategy:     s.String(),
+				Checksum:     res.Checksum,
+				MedianWallNs: res.MedianWall.Nanoseconds(),
+				Hostcalls:    res.VM.Hostcalls,
+				ExecNs:       att.NsByBucket["exec"],
+				HostcallNs:   att.NsByBucket["hostcall"],
+				TotalNs:      att.TotalNs,
+			}
+			if row.TotalNs > 0 {
+				row.HostcallShare = float64(row.HostcallNs) / float64(row.TotalNs)
+			}
+			rep.Rows = append(rep.Rows, row)
+			if first {
+				wantSum, first = res.Checksum, false
+			} else if res.Checksum != wantSum {
+				rep.DigestsMatch = false
+			}
+			if row.HostcallNs <= 0 || row.Hostcalls <= 0 {
+				rep.HostcallBucketPresent = false
+			}
+		}
+		rep.Checksum = rep.Checksum*1000003 + wantSum
+	}
+	return rep, nil
+}
+
+// runBenchWasi executes the hostcall-boundary benchmark and writes
+// the JSON report to path ("-" for stdout).
+func runBenchWasi(path string, quick bool) error {
+	out := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	rep, err := collectBenchWasi(quick)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+	for _, r := range rep.Rows {
+		fmt.Fprintf(os.Stderr,
+			"benchwasi: %-8s %-8s median %9v  hostcalls %6d  hostcall share %5.1f%%\n",
+			r.Workload, r.Strategy,
+			time.Duration(r.MedianWallNs).Round(time.Microsecond),
+			r.Hostcalls, r.HostcallShare*100)
+	}
+	fmt.Fprintf(os.Stderr, "benchwasi: digests match: %v, hostcall bucket present: %v\n",
+		rep.DigestsMatch, rep.HostcallBucketPresent)
+	return nil
+}

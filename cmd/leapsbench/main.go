@@ -64,6 +64,7 @@ func main() {
 		bsweep   = flag.String("benchsweep", "", "run the cold-vs-warm cache benchmark and write its JSON report to this file (\"-\" for stdout)")
 		bbce     = flag.String("benchbce", "", "run the bounds-check elision benchmark and write its JSON report to this file (\"-\" for stdout)")
 		bserve   = flag.String("benchserve", "", "run the serverless serving benchmark (cold/warm/fork arms per strategy) and write its JSON report to this file (\"-\" for stdout)")
+		bwasi    = flag.String("benchwasi", "", "run the hostcall-boundary benchmark (wasi workloads per strategy, hostcall attribution) and write its JSON report to this file (\"-\" for stdout)")
 		chaos    = flag.Int64("chaos", 0, "run the deterministic fault-injection sweep with this seed (twice, verifying the replay reproduces it exactly)")
 		list     = flag.Bool("list", false, "list workloads and engines")
 	)
@@ -123,6 +124,14 @@ func main() {
 
 	if *bserve != "" {
 		if err := runBenchServe(*bserve, *quick); err != nil {
+			fmt.Fprintln(os.Stderr, "leapsbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *bwasi != "" {
+		if err := runBenchWasi(*bwasi, *quick); err != nil {
 			fmt.Fprintln(os.Stderr, "leapsbench:", err)
 			os.Exit(1)
 		}

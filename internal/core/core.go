@@ -235,6 +235,12 @@ type HostContext struct {
 	Mem *mem.Memory
 	// Env carries host-module state (e.g. the WASI environment).
 	Env any
+
+	// views/revals count HostMemView acquisitions and post-grow
+	// revalidations (cached metric handles; nil in hand-built
+	// contexts, which View tolerates).
+	views  *obs.Counter
+	revals *obs.Counter
 }
 
 // HostFunc is a function provided by the embedder.
@@ -290,10 +296,17 @@ type InstanceBase struct {
 	// cost is one atomic add; obsFlushed guards the one-time cycle
 	// flush in Close. obsInjected counts the subset of traps caused
 	// by injected faults that exhausted the retry budget.
-	obsInvokes  *obs.Counter
-	obsTraps    *obs.Counter
-	obsInjected *obs.Counter
-	obsFlushed  bool
+	// obsHostcalls counts guest→host boundary crossings.
+	obsInvokes   *obs.Counter
+	obsTraps     *obs.Counter
+	obsInjected  *obs.Counter
+	obsHostcalls *obs.Counter
+	obsFlushed   bool
+
+	// invokeRef is the live invoke span (set by BeginInvoke, cleared
+	// by EndInvoke) so hostcall spans nest under the call they
+	// interrupt. Zero when tracing is off.
+	invokeRef obs.SpanRef
 }
 
 // NewInstanceBase performs the engine-independent instantiation
@@ -305,11 +318,12 @@ func NewInstanceBase(m *wasm.Module, cfg Config, imports Imports) (*InstanceBase
 		return nil, err
 	}
 	b := &InstanceBase{
-		Module:      m,
-		Cfg:         cfg,
-		obsInvokes:  cfg.Obs.Counter("invokes"),
-		obsTraps:    cfg.Obs.Counter("traps"),
-		obsInjected: cfg.Obs.Counter("injected_traps"),
+		Module:       m,
+		Cfg:          cfg,
+		obsInvokes:   cfg.Obs.Counter("invokes"),
+		obsTraps:     cfg.Obs.Counter("traps"),
+		obsInjected:  cfg.Obs.Counter("injected_traps"),
+		obsHostcalls: cfg.Obs.Counter("hostcalls"),
 	}
 	instSpan := cfg.Obs.StartSpan(obs.SpanInstantiate, cfg.Span)
 	defer instSpan.End()
@@ -360,7 +374,11 @@ func NewInstanceBase(m *wasm.Module, cfg Config, imports Imports) (*InstanceBase
 		}
 		b.Mem = mm
 	}
-	b.HostCtx = HostContext{Mem: b.Mem}
+	b.HostCtx = HostContext{
+		Mem:    b.Mem,
+		views:  cfg.Obs.Counter("hostview_acquires"),
+		revals: cfg.Obs.Counter("hostview_revalidations"),
+	}
 
 	// Globals.
 	numImported := m.NumImportedGlobals()
@@ -473,8 +491,11 @@ func (b *InstanceBase) Close() error {
 // tracing is off, leaving only the counter cost of ObsInvoke.
 func (b *InstanceBase) BeginInvoke() obs.Span {
 	sp := b.Cfg.Obs.StartSpan(obs.SpanInvoke, b.Cfg.Span)
-	if sp.Ref().Valid() && b.Mem != nil {
-		b.Mem.SetSpanParent(sp.Ref())
+	if sp.Ref().Valid() {
+		b.invokeRef = sp.Ref()
+		if b.Mem != nil {
+			b.Mem.SetSpanParent(sp.Ref())
+		}
 	}
 	return sp
 }
@@ -482,8 +503,11 @@ func (b *InstanceBase) BeginInvoke() obs.Span {
 // EndInvoke closes what BeginInvoke opened, restores the memory's
 // span parent, and records the invocation outcome.
 func (b *InstanceBase) EndInvoke(sp obs.Span, err error) {
-	if sp.Ref().Valid() && b.Mem != nil {
-		b.Mem.SetSpanParent(b.Cfg.Span)
+	if sp.Ref().Valid() {
+		b.invokeRef = obs.SpanRef{}
+		if b.Mem != nil {
+			b.Mem.SetSpanParent(b.Cfg.Span)
+		}
 	}
 	sp.End()
 	b.ObsInvoke(err)
@@ -561,7 +585,24 @@ func (b *InstanceBase) CheckClass() (isa.OpClass, bool) {
 }
 
 // CallHost invokes host function i with the given raw arguments.
+// This is the single guest→host funnel for every engine: the
+// boundary crossing is counted (instance scope and address-space
+// stats) and, under tracing, spanned under the live invoke so
+// attribution separates boundary time from guest execution. The span
+// closes by defer because host functions trap by panicking (an OOB
+// iovec through Mem.Bytes) and the panic unwinds to the engine's
+// Invoke recovery.
 func (b *InstanceBase) CallHost(i int, args []uint64) (uint64, error) {
+	b.obsHostcalls.Inc()
+	if b.Cfg.AS != nil {
+		b.Cfg.AS.CountHostcall()
+	}
+	parent := b.invokeRef
+	if !parent.Valid() {
+		parent = b.Cfg.Span
+	}
+	sp := b.Cfg.Obs.StartSpan(obs.SpanHostcall, parent)
+	defer sp.End()
 	hf := b.HostFuncs[i]
 	return hf.Fn(&b.HostCtx, args)
 }

@@ -81,11 +81,12 @@ func NewInstanceBaseFromSnapshot(m *wasm.Module, cfg Config, imports Imports, sn
 		return nil, err
 	}
 	b := &InstanceBase{
-		Module:      m,
-		Cfg:         cfg,
-		obsInvokes:  cfg.Obs.Counter("invokes"),
-		obsTraps:    cfg.Obs.Counter("traps"),
-		obsInjected: cfg.Obs.Counter("injected_traps"),
+		Module:       m,
+		Cfg:          cfg,
+		obsInvokes:   cfg.Obs.Counter("invokes"),
+		obsTraps:     cfg.Obs.Counter("traps"),
+		obsInjected:  cfg.Obs.Counter("injected_traps"),
+		obsHostcalls: cfg.Obs.Counter("hostcalls"),
 	}
 	forkSpan := cfg.Obs.StartSpan(obs.SpanFork, cfg.Span)
 	defer forkSpan.End()
@@ -127,7 +128,11 @@ func NewInstanceBaseFromSnapshot(m *wasm.Module, cfg Config, imports Imports, sn
 		}
 		b.Mem = mm
 	}
-	b.HostCtx = HostContext{Mem: b.Mem}
+	b.HostCtx = HostContext{
+		Mem:    b.Mem,
+		views:  cfg.Obs.Counter("hostview_acquires"),
+		revals: cfg.Obs.Counter("hostview_revalidations"),
+	}
 	b.Globals = slices.Clone(snap.Globals)
 	b.Table = slices.Clone(snap.Table)
 	b.Filled = slices.Clone(snap.Filled)

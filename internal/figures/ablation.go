@@ -45,7 +45,37 @@ func Ablation(c Config) error {
 	if err := ablateElision(c); err != nil {
 		return err
 	}
-	return ablateRegisterIR(c)
+	if err := ablateRegisterIR(c); err != nil {
+		return err
+	}
+	return ablateHostcall(c)
+}
+
+// ablateHostcall measures the host boundary: the syscall-heavy wasi
+// workloads per strategy, with the hostcall count from the simulated
+// process's counters. The checksum column proves the boundary is
+// strategy-transparent (identical results while the eager-copy
+// strategies pay per-view copies and the virtual-memory strategies
+// fault pages in under the view's bulk check).
+func ablateHostcall(c Config) error {
+	fmt.Fprintf(c.Out, "\nAblation 9: hostcall boundary (wasi workloads, wavm, 1 thread)\n")
+	fmt.Fprintf(c.Out, "%-10s %-10s %12s %10s %18s\n",
+		"benchmark", "strategy", "median", "hostcalls", "checksum")
+	for _, wl := range workloads.Suite("wasi") {
+		for _, s := range mem.Strategies() {
+			res, err := c.run(harness.Options{
+				Engine: harness.EngineWAVM, Workload: wl,
+				Strategy: s, Profile: isa.X86_64(),
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(c.Out, "%-10s %-10s %12v %10d %#18x\n",
+				wl.Name, s, res.MedianWall.Round(time.Microsecond),
+				res.VM.Hostcalls, res.Checksum)
+		}
+	}
+	return nil
 }
 
 // ablateRegisterIR measures the stack→register lowering on the

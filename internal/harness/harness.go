@@ -331,7 +331,15 @@ func Run(opts Options) (*Result, error) {
 			iterators[p] = func(parent obs.SpanRef) (time.Duration, uint64, time.Duration, error) {
 				c := cfg
 				c.Span = parent
-				inst, err := core.InstantiateWithRetry(cm, c, nil)
+				// Hostcall workloads get a fresh environment per
+				// iteration: the env owns the in-memory filesystem the
+				// workload mutates, and iteration checksums must be
+				// stable.
+				var im core.Imports
+				if opts.Workload.NewEnv != nil {
+					im = opts.Workload.NewEnv(opts.Class).Imports()
+				}
+				inst, err := core.InstantiateWithRetry(cm, c, im)
 				if err != nil {
 					return 0, 0, 0, err
 				}
@@ -641,11 +649,15 @@ func OpHistogram(engine string, wl workloads.Spec, cls workloads.Class,
 	if err != nil {
 		return nil, err
 	}
+	var im core.Imports
+	if wl.NewEnv != nil {
+		im = wl.NewEnv(cls).Imports()
+	}
 	inst, err := cm.Instantiate(core.Config{
 		Strategy:    strategy,
 		Profile:     profile,
 		CountCycles: true,
-	}, nil)
+	}, im)
 	if err != nil {
 		return nil, err
 	}
@@ -675,6 +687,7 @@ func sumSnapshots(procs []*vmm.AddressSpace) vmm.StatsSnapshot {
 		sum.LockWaitNs += s.LockWaitNs
 		sum.LockHoldNs += s.LockHoldNs
 		sum.LockContended += s.LockContended
+		sum.Hostcalls += s.Hostcalls
 		sum.ResidentBytes += s.ResidentBytes
 		sum.VMACount += s.VMACount
 	}
@@ -696,6 +709,7 @@ func deltaSnapshot(a, b vmm.StatsSnapshot) vmm.StatsSnapshot {
 		LockWaitNs:    b.LockWaitNs - a.LockWaitNs,
 		LockHoldNs:    b.LockHoldNs - a.LockHoldNs,
 		LockContended: b.LockContended - a.LockContended,
+		Hostcalls:     b.Hostcalls - a.Hostcalls,
 		ResidentBytes: b.ResidentBytes,
 		VMACount:      b.VMACount,
 	}

@@ -148,7 +148,13 @@ type Memory struct {
 	committedEnd uint64
 	maxBytes     uint64
 	minBytes     uint64
-	mapping      *vmm.Mapping
+	// gen counts grows. A HostMemView handed to the embedder records
+	// the generation it was validated against; a mismatch after a
+	// mid-hostcall memory.grow tells the view its window may be stale
+	// (the backing array can move or extend) and it must revalidate
+	// before further use.
+	gen     uint64
+	mapping *vmm.Mapping
 	pool         *ArenaPool
 	arena        *arena // non-nil when pooled (uffd)
 	poll         *uffdServer
@@ -355,6 +361,12 @@ func (m *Memory) SizeBytes() uint64 { return m.sizeBytes }
 // SizePages returns the current size in wasm pages.
 func (m *Memory) SizePages() uint32 { return uint32(m.sizeBytes / wasm.PageSize) }
 
+// Generation returns the grow generation: it advances on every
+// successful Grow. Host-boundary code captures it when validating a
+// memory window and compares on re-entry — an unchanged generation
+// proves the window's range check still holds.
+func (m *Memory) Generation() uint64 { return m.gen }
+
 // Grow grows the memory by delta pages, returning the previous size
 // in pages, or -1 if the limit would be exceeded. The management
 // cost is strategy-specific: the flat strategies commit eagerly,
@@ -376,6 +388,7 @@ func (m *Memory) Grow(delta uint32) int32 {
 	}
 	prev := m.sizeBytes
 	m.sizeBytes = newBytes
+	m.gen++
 	m.growCalls.Inc()
 	m.obs.Emit(obs.EvGrow, int64(delta), int64(m.strategy))
 	switch m.strategy {

@@ -84,6 +84,11 @@ const (
 	// SpanFork covers instantiating one instance from a template
 	// snapshot (copy-on-write mapping setup, state restore).
 	SpanFork
+	// SpanHostcall covers one host (WASI) function call made by the
+	// guest: from the engine handing control to the embedder until
+	// the host function returns. Nested under the invoke span, so
+	// attribution can split guest execution from boundary time.
+	SpanHostcall
 	numSpanKinds
 )
 
@@ -94,7 +99,7 @@ var spanKindNames = [numSpanKinds]string{
 	"pool.get", "pool.put",
 	"tier_up", "gc_pause", "safepoint_wait",
 	"hazard.reclaim", "pool.drain", "rir.lower",
-	"snapshot", "fork",
+	"snapshot", "fork", "hostcall",
 }
 
 func (k SpanKind) String() string {

@@ -163,7 +163,7 @@ func WriteChromeTrace(w io.Writer, snap *Snapshot) error {
 // exclusive span nanoseconds; bounds_check is special-cased (see
 // AttributionRow.BoundsCheckOps).
 var AttributionBuckets = []string{
-	"exec", "fault_handle", "vma_lock_wait", "page_populate", "other",
+	"exec", "hostcall", "fault_handle", "vma_lock_wait", "page_populate", "other",
 }
 
 // bucketOf maps a span kind to its attribution bucket.
@@ -171,6 +171,11 @@ func bucketOf(k SpanKind) string {
 	switch k {
 	case SpanInvoke:
 		return "exec"
+	case SpanHostcall:
+		// Exclusive time only: faults taken while the host holds a
+		// memory view open span-nest under the hostcall and keep
+		// their own buckets, so "hostcall" is pure boundary cost.
+		return "hostcall"
 	case SpanFault:
 		return "fault_handle"
 	case SpanVMALockWait:

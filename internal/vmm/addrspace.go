@@ -147,6 +147,11 @@ type Stats struct {
 	// source; CowPagesCopied counts pages duplicated from one.
 	CowForks       *obs.Counter
 	CowPagesCopied *obs.Counter
+	// Hostcalls counts guest→host boundary crossings (WASI calls).
+	// The host boundary is the simulated process's syscall surface,
+	// so the count lives with the other per-process kernel-interface
+	// counters and flows through the same snapshot plumbing.
+	Hostcalls *obs.Counter
 }
 
 // newStats registers the counters under sc.
@@ -168,6 +173,7 @@ func newStats(sc *obs.Scope) Stats {
 		LockWait:       sc.Histogram("lock_wait_hist_ns"),
 		CowForks:       sc.Counter("cow_forks"),
 		CowPagesCopied: sc.Counter("cow_pages_copied"),
+		Hostcalls:      sc.Counter("hostcalls"),
 	}
 }
 
@@ -180,6 +186,7 @@ type StatsSnapshot struct {
 	THPPromotions                         int64
 	LockWaitNs, LockHoldNs, LockContended int64
 	CowForks, CowPagesCopied              int64
+	Hostcalls                             int64
 	ResidentBytes                         int64
 	VMACount                              int
 }
@@ -888,10 +895,15 @@ func (as *AddressSpace) Snapshot() StatsSnapshot {
 		LockContended:  as.stats.LockContended.Load(),
 		CowForks:       as.stats.CowForks.Load(),
 		CowPagesCopied: as.stats.CowPagesCopied.Load(),
+		Hostcalls:      as.stats.Hostcalls.Load(),
 		ResidentBytes:  as.resident.Load(),
 		VMACount:       vmaCount,
 	}
 }
+
+// CountHostcall records one guest→host boundary crossing; core's
+// host dispatch calls it on every imported-function invocation.
+func (as *AddressSpace) CountHostcall() { as.stats.Hostcalls.Inc() }
 
 // CheckInvariants validates the VMA tree; used by tests.
 func (as *AddressSpace) CheckInvariants() error {

@@ -1,0 +1,482 @@
+package wasi_test
+
+import (
+	"bytes"
+	"errors"
+	"hash/fnv"
+	"testing"
+
+	"leapsandbounds/internal/compiled"
+	"leapsandbounds/internal/core"
+	"leapsandbounds/internal/interp"
+	"leapsandbounds/internal/isa"
+	"leapsandbounds/internal/mem"
+	"leapsandbounds/internal/trap"
+	"leapsandbounds/internal/wasi"
+	"leapsandbounds/internal/wasm"
+	g "leapsandbounds/internal/wasmgen"
+)
+
+// iovSpec is one guest iovec entry baked into a generated module.
+type iovSpec struct {
+	ptr uint32
+	len uint32
+}
+
+// hostCase is one host-boundary scenario: a set of iovecs, the iovec
+// array pointer actually passed to fd_write/fd_read (possibly
+// out-of-bounds), and whether the environment grows memory
+// mid-hostcall through the MidHostcall hook.
+type hostCase struct {
+	name string
+	// iovs are written into guest memory at iovsBase.
+	iovs []iovSpec
+	// iovsPtr is the array pointer the guest passes; usually
+	// iovsBase, out-of-bounds for the trap scenarios.
+	iovsPtr uint32
+	// iovCount is the entry count passed (may exceed len(iovs) to
+	// make the array range overrun memory).
+	iovCount uint32
+	// grow makes the env grow memory by one page inside the hostcall,
+	// after views are acquired and before they are used.
+	grow bool
+}
+
+const (
+	diffFDAddr   = 8   // opened fd
+	diffPathAddr = 16  // file name bytes
+	diffResAddr  = 40  // nwritten / nread / seek results
+	diffIovsBase = 96  // in-bounds iovec array
+	diffReadBuf  = 512 // read-back buffer
+	diffReadLen  = 256
+)
+
+// buildHostCase generates the scenario module: open "f", gather-write
+// the iovecs to it, seek back, read the file into an in-bounds buffer
+// (so the file content lands in guest memory and the memory hash pins
+// it), folding every errno and count into an i64 digest.
+func buildHostCase(c hostCase) (*wasm.Module, error) {
+	mb := g.NewModule()
+	pathOpen := mb.ImportFunc("wasi_snapshot_preview1", "path_open",
+		[]wasm.ValueType{wasm.I32, wasm.I32, wasm.I32, wasm.I32, wasm.I32, wasm.I64, wasm.I64, wasm.I32, wasm.I32},
+		[]wasm.ValueType{wasm.I32})
+	fdWrite := mb.ImportFunc("wasi_snapshot_preview1", "fd_write",
+		[]wasm.ValueType{wasm.I32, wasm.I32, wasm.I32, wasm.I32}, []wasm.ValueType{wasm.I32})
+	fdRead := mb.ImportFunc("wasi_snapshot_preview1", "fd_read",
+		[]wasm.ValueType{wasm.I32, wasm.I32, wasm.I32, wasm.I32}, []wasm.ValueType{wasm.I32})
+	fdSeek := mb.ImportFunc("wasi_snapshot_preview1", "fd_seek",
+		[]wasm.ValueType{wasm.I32, wasm.I64, wasm.I32, wasm.I32}, []wasm.ValueType{wasm.I32})
+	mb.Memory(1, 4)
+	mb.Data(diffPathAddr, []byte("f"))
+
+	f := mb.Func("run", wasm.I64)
+	fd := f.LocalI32("fd")
+	d := f.LocalI64("d")
+	var body []g.Stmt
+	// Seed a recognizable pattern so written bytes are non-zero even
+	// when an iovec points at untouched memory.
+	for i := 0; i < 64; i += 4 {
+		body = append(body, g.StoreI32(g.U32(uint32(diffIovsBase+256+i)), 0,
+			g.I32(int32(0x01010101*(i/4+1)))))
+	}
+	for i, iov := range c.iovs {
+		body = append(body,
+			g.StoreI32(g.U32(uint32(diffIovsBase+8*i)), 0, g.I32(int32(iov.ptr))),
+			g.StoreI32(g.U32(uint32(diffIovsBase+8*i+4)), 0, g.I32(int32(iov.len))),
+		)
+	}
+	fold := func(e g.Expr) g.Stmt {
+		return g.Set(d, g.Add(g.Mul(g.Get(d), g.I64(1000003)), e))
+	}
+	body = append(body,
+		// open "f" with O_CREAT.
+		fold(g.I64FromI32U(g.Call(pathOpen,
+			g.I32(3), g.I32(0), g.U32(diffPathAddr), g.I32(1),
+			g.I32(1), g.I64(0), g.I64(0), g.I32(0), g.U32(diffFDAddr)))),
+		g.Set(fd, g.LoadI32(g.U32(diffFDAddr), 0)),
+		// gather-write the iovecs.
+		fold(g.I64FromI32U(g.Call(fdWrite,
+			g.Get(fd), g.U32(c.iovsPtr), g.U32(c.iovCount), g.U32(diffResAddr)))),
+		fold(g.I64FromI32U(g.LoadI32(g.U32(diffResAddr), 0))), // nwritten
+		// rewind and read the file back into guest memory.
+		fold(g.I64FromI32U(g.Call(fdSeek,
+			g.Get(fd), g.I64(0), g.I32(0), g.U32(diffResAddr)))),
+		g.StoreI32(g.U32(diffIovsBase), 0, g.U32(diffReadBuf)),
+		g.StoreI32(g.U32(diffIovsBase+4), 0, g.U32(diffReadLen)),
+		fold(g.I64FromI32U(g.Call(fdRead,
+			g.Get(fd), g.U32(diffIovsBase), g.I32(1), g.U32(diffResAddr)))),
+		fold(g.I64FromI32U(g.LoadI32(g.U32(diffResAddr), 0))), // nread
+		g.Return(g.Get(d)),
+	)
+	f.Body(body...)
+	mb.Export("run", f)
+	return mb.Module()
+}
+
+// hostOutcome is everything the host boundary must keep identical
+// across strategies and engines: the digest of every errno and count,
+// the exact trap cause when a view faults, and hashes of the final
+// guest memory and of what the host observed (the file content).
+type hostOutcome struct {
+	trapped  bool
+	kind     trap.Kind
+	detail   string
+	digest   uint64
+	memHash  uint64
+	fileHash uint64
+	grown    bool
+}
+
+// runHostCase executes the scenario on one engine under one strategy.
+func runHostCase(tb testing.TB, eng core.Engine, m *wasm.Module, c hostCase, s mem.Strategy) hostOutcome {
+	tb.Helper()
+	cm, err := eng.Compile(m)
+	if err != nil {
+		tb.Fatalf("compile: %v", err)
+	}
+	env := wasi.NewEnv(nil, nil).WithFS(map[string][]byte{})
+	if c.grow {
+		env.MidHostcall = func(hc *core.HostContext) {
+			// One page, once: the grow invalidates every open view.
+			if hc.Mem.SizePages() < 2 {
+				hc.Mem.Grow(1)
+			}
+		}
+	}
+	inst, err := cm.Instantiate(core.Config{Profile: isa.X86_64(), Strategy: s}, env.Imports())
+	if err != nil {
+		tb.Fatalf("%v: instantiate: %v", s, err)
+	}
+	defer inst.Close()
+	res, err := inst.Invoke("run")
+	var o hostOutcome
+	if err != nil {
+		var tr *trap.Trap
+		if !errors.As(err, &tr) {
+			tb.Fatalf("%v: non-trap failure: %v", s, err)
+		}
+		o = hostOutcome{trapped: true, kind: tr.Kind, detail: tr.Detail}
+	} else {
+		o = hostOutcome{digest: res[0]}
+	}
+	if mm := inst.Memory(); mm != nil {
+		h := fnv.New64a()
+		h.Write(mm.Bytes(0, mm.SizeBytes(), false))
+		o.memHash = h.Sum64()
+		o.grown = mm.SizePages() > 1
+	}
+	if data, ok := env.FS.ReadFile("f"); ok {
+		h := fnv.New64a()
+		h.Write(data)
+		o.fileHash = h.Sum64()
+	}
+	return o
+}
+
+// checkHostEquivalence runs the scenario under every strategy on both
+// the optimizing and the interpreting engine and requires bit-for-bit
+// identical outcomes, anchored at wavm/none.
+func checkHostEquivalence(tb testing.TB, c hostCase) {
+	tb.Helper()
+	m, err := buildHostCase(c)
+	if err != nil {
+		tb.Fatalf("scenario module invalid: %v", err)
+	}
+	engines := []struct {
+		name string
+		eng  core.Engine
+	}{
+		{"wavm", compiled.NewWAVM()},
+		{"wasm3", interp.NewWasm3()},
+	}
+	var ref hostOutcome
+	first := true
+	for _, e := range engines {
+		for _, s := range mem.Strategies() {
+			got := runHostCase(tb, e.eng, m, c, s)
+			if first {
+				ref, first = got, false
+				continue
+			}
+			if got != ref {
+				tb.Errorf("%s/%v: %+v, want %+v (wavm/none)", e.name, s, got, ref)
+			}
+		}
+	}
+}
+
+// TestDifferentialHostcall pins the host-boundary semantics across
+// all five bounds strategies and both engines: in-bounds gathers,
+// data buffers clamped by the memory size (partial counts, no trap),
+// out-of-bounds iovec arrays (uniform trap kind and faulting range),
+// and a memory.grow landing mid-hostcall while views are open.
+func TestDifferentialHostcall(t *testing.T) {
+	const pageSize = 65536
+	cases := []hostCase{
+		{
+			name:     "in-bounds",
+			iovs:     []iovSpec{{diffIovsBase + 256, 24}, {diffIovsBase + 288, 9}},
+			iovsPtr:  diffIovsBase,
+			iovCount: 2,
+		},
+		{
+			name: "data-buffer-straddles-end",
+			// Second entry starts in bounds and overruns the page:
+			// clamped to the memory size, partial count, no trap.
+			iovs:     []iovSpec{{diffIovsBase + 256, 16}, {pageSize - 7, 64}},
+			iovsPtr:  diffIovsBase,
+			iovCount: 2,
+		},
+		{
+			name:     "data-buffer-fully-oob",
+			iovs:     []iovSpec{{pageSize + 100, 32}, {diffIovsBase + 256, 8}},
+			iovsPtr:  diffIovsBase,
+			iovCount: 2,
+		},
+		{
+			name: "iovec-array-oob",
+			// The array itself is outside memory: the bulk check on
+			// the array view must trap under every strategy.
+			iovsPtr:  pageSize - 4,
+			iovCount: 2,
+		},
+		{
+			name:     "iovec-array-far-oob",
+			iovsPtr:  0x7fffff00,
+			iovCount: 4,
+		},
+		{
+			name:     "grow-mid-hostcall",
+			iovs:     []iovSpec{{diffIovsBase + 256, 24}, {diffIovsBase + 288, 9}},
+			iovsPtr:  diffIovsBase,
+			iovCount: 2,
+			grow:     true,
+		},
+		{
+			name: "grow-with-clamped-buffer",
+			// The buffer clamps against the pre-grow size; the grow
+			// lands after planning, so the partial count must not
+			// change (the clamp is part of the call's semantics).
+			iovs:     []iovSpec{{pageSize - 12, 40}},
+			iovsPtr:  diffIovsBase,
+			iovCount: 1,
+			grow:     true,
+		},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			checkHostEquivalence(t, c)
+		})
+	}
+}
+
+// FuzzWASIDiff derives random iovec layouts and grow points from the
+// fuzz input and requires cross-strategy, cross-engine equivalence
+// for each (wired into make fuzz-smoke).
+func FuzzWASIDiff(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{0xff, 0xff, 0x80, 0x00, 0x10})
+	f.Add([]byte{0x00})
+	f.Add([]byte{0xfe, 0x01, 0xff, 0xfe, 0x40, 0x00, 0x7f, 0x30, 0x21})
+	f.Fuzz(func(t *testing.T, seed []byte) {
+		if len(seed) == 0 {
+			t.Skip()
+		}
+		at := 0
+		next := func() uint32 {
+			if at >= len(seed) {
+				return 0
+			}
+			b := seed[at]
+			at++
+			return uint32(b)
+		}
+		const pageSize = 65536
+		c := hostCase{iovsPtr: diffIovsBase, grow: next()&1 == 1}
+		n := int(next()%3) + 1
+		for i := 0; i < n; i++ {
+			// Spread pointers across the page, including the last
+			// bytes so clamping paths get exercised.
+			ptr := (next()*257 + next()) % (pageSize + 512)
+			length := next() % 300
+			c.iovs = append(c.iovs, iovSpec{ptr: ptr, len: length})
+		}
+		c.iovCount = uint32(len(c.iovs))
+		if next()&7 == 0 {
+			// Occasionally pass an out-of-bounds array pointer.
+			c.iovsPtr = pageSize - next()%32
+			c.iovs = nil
+		}
+		checkHostEquivalence(t, c)
+	})
+}
+
+// TestRandConcurrent is the race regression for the shared PRNG: one
+// Env serves hostcalls from several instances at once (the
+// multithreaded-guest shape), all drawing from random_get. Run under
+// -race this flags any unguarded use of math/rand.Rand.
+func TestRandConcurrent(t *testing.T) {
+	mb := g.NewModule()
+	random := mb.ImportFunc("wasi_snapshot_preview1", "random_get",
+		[]wasm.ValueType{wasm.I32, wasm.I32}, []wasm.ValueType{wasm.I32})
+	mb.Memory(1, 1)
+	f := mb.Func("run", wasm.I64)
+	i := f.LocalI32("i")
+	f.Body(
+		g.For(i, g.I32(0), g.I32(200),
+			g.Drop(g.Call(random, g.I32(0), g.I32(64)))),
+		g.Return(g.LoadI64(g.I32(0), 0)),
+	)
+	mb.Export("run", f)
+	m, err := mb.Module()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, err := compiled.NewWAVM().Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := wasi.NewEnv(nil, nil)
+	const workers = 4
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			inst, err := cm.Instantiate(core.Config{Profile: isa.X86_64()}, env.Imports())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer inst.Close()
+			_, err = inst.Invoke("run")
+			errs <- err
+		}()
+	}
+	for w := 0; w < workers; w++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestFSSurface exercises the fd surface end to end from the guest:
+// prestat discovery, path_open with create+trunc, filestat, seek
+// semantics, and partial reads at EOF.
+func TestFSSurface(t *testing.T) {
+	mb := g.NewModule()
+	prestatGet := mb.ImportFunc("wasi_snapshot_preview1", "fd_prestat_get",
+		[]wasm.ValueType{wasm.I32, wasm.I32}, []wasm.ValueType{wasm.I32})
+	prestatName := mb.ImportFunc("wasi_snapshot_preview1", "fd_prestat_dir_name",
+		[]wasm.ValueType{wasm.I32, wasm.I32, wasm.I32}, []wasm.ValueType{wasm.I32})
+	pathOpen := mb.ImportFunc("wasi_snapshot_preview1", "path_open",
+		[]wasm.ValueType{wasm.I32, wasm.I32, wasm.I32, wasm.I32, wasm.I32, wasm.I64, wasm.I64, wasm.I32, wasm.I32},
+		[]wasm.ValueType{wasm.I32})
+	fdWrite := mb.ImportFunc("wasi_snapshot_preview1", "fd_write",
+		[]wasm.ValueType{wasm.I32, wasm.I32, wasm.I32, wasm.I32}, []wasm.ValueType{wasm.I32})
+	fdRead := mb.ImportFunc("wasi_snapshot_preview1", "fd_read",
+		[]wasm.ValueType{wasm.I32, wasm.I32, wasm.I32, wasm.I32}, []wasm.ValueType{wasm.I32})
+	fdSeek := mb.ImportFunc("wasi_snapshot_preview1", "fd_seek",
+		[]wasm.ValueType{wasm.I32, wasm.I64, wasm.I32, wasm.I32}, []wasm.ValueType{wasm.I32})
+	filestatGet := mb.ImportFunc("wasi_snapshot_preview1", "fd_filestat_get",
+		[]wasm.ValueType{wasm.I32, wasm.I32}, []wasm.ValueType{wasm.I32})
+	fdClose := mb.ImportFunc("wasi_snapshot_preview1", "fd_close",
+		[]wasm.ValueType{wasm.I32}, []wasm.ValueType{wasm.I32})
+	mb.Memory(1, 2)
+	mb.Data(16, []byte("out.bin"))
+	mb.Data(32, []byte("0123456789abcdef"))
+
+	f := mb.Func("run", wasm.I64)
+	fd := f.LocalI32("fd")
+	d := f.LocalI64("d")
+	fold := func(e g.Expr) g.Stmt {
+		return g.Set(d, g.Add(g.Mul(g.Get(d), g.I64(1000003)), e))
+	}
+	f.Body(
+		// prestat: fd 3 is a preopen named "/".
+		fold(g.I64FromI32U(g.Call(prestatGet, g.I32(3), g.I32(64)))),
+		fold(g.I64FromI32U(g.LoadI32(g.I32(64), 0))), // tag 0
+		fold(g.I64FromI32U(g.LoadI32(g.I32(68), 0))), // name len 1
+		fold(g.I64FromI32U(g.Call(prestatName, g.I32(3), g.I32(72), g.I32(1)))),
+		fold(g.I64FromI32U(g.LoadU8(g.I32(72), 0))), // '/'
+		// prestat on a non-preopen fd: badf.
+		fold(g.I64FromI32U(g.Call(prestatGet, g.I32(9), g.I32(64)))),
+		// open with CREAT|TRUNC, write 16 bytes.
+		fold(g.I64FromI32U(g.Call(pathOpen,
+			g.I32(3), g.I32(0), g.I32(16), g.I32(7),
+			g.I32(9), g.I64(0), g.I64(0), g.I32(0), g.I32(80)))),
+		g.Set(fd, g.LoadI32(g.I32(80), 0)),
+		g.StoreI32(g.I32(96), 0, g.I32(32)),
+		g.StoreI32(g.I32(100), 0, g.I32(16)),
+		fold(g.I64FromI32U(g.Call(fdWrite, g.Get(fd), g.I32(96), g.I32(1), g.I32(104)))),
+		fold(g.I64FromI32U(g.LoadI32(g.I32(104), 0))), // nwritten 16
+		// filestat: size 16 at offset 32 of the 64-byte struct.
+		fold(g.I64FromI32U(g.Call(filestatGet, g.Get(fd), g.I32(128)))),
+		fold(g.I64FromI32U(g.LoadI32(g.I32(128+32), 0))),
+		fold(g.I64FromI32U(g.LoadU8(g.I32(128+16), 0))), // filetype 4
+		// seek END-4, read far past EOF: 4 bytes delivered.
+		fold(g.I64FromI32U(g.Call(fdSeek, g.Get(fd), g.I64(-4), g.I32(2), g.I32(104)))),
+		g.StoreI32(g.I32(96), 0, g.I32(200)),
+		g.StoreI32(g.I32(100), 0, g.I32(50)),
+		fold(g.I64FromI32U(g.Call(fdRead, g.Get(fd), g.I32(96), g.I32(1), g.I32(104)))),
+		fold(g.I64FromI32U(g.LoadI32(g.I32(104), 0))), // nread 4
+		fold(g.I64FromI32U(g.LoadI32(g.I32(200), 0))), // "cdef"
+		// negative seek: inval, position unchanged.
+		fold(g.I64FromI32U(g.Call(fdSeek, g.Get(fd), g.I64(-99), g.I32(0), g.I32(104)))),
+		fold(g.I64FromI32U(g.Call(fdClose, g.Get(fd)))),
+		fold(g.I64FromI32U(g.Call(fdClose, g.Get(fd)))), // double close: badf
+		g.Return(g.Get(d)),
+	)
+	mb.Export("run", f)
+	m, err := mb.Module()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Expected digest, folded the same way the guest folds it.
+	want := uint64(0)
+	foldN := func(v uint64) { want = want*1000003 + v }
+	foldN(0)                  // prestat_get errno
+	foldN(0)                  // tag
+	foldN(1)                  // name len
+	foldN(0)                  // prestat_dir_name errno
+	foldN(uint64('/'))        // name byte
+	foldN(8)                  // badf
+	foldN(0)                  // path_open errno
+	foldN(0)                  // fd_write errno
+	foldN(16)                 // nwritten
+	foldN(0)                  // filestat errno
+	foldN(16)                 // size
+	foldN(4)                  // filetype
+	foldN(0)                  // seek errno
+	foldN(0)                  // fd_read errno
+	foldN(4)                  // nread
+	foldN(uint64(0x66656463)) // "cdef" little-endian
+	foldN(28)                 // inval
+	foldN(0)                  // close
+	foldN(8)                  // double close: badf
+
+	var out bytes.Buffer
+	for _, s := range mem.Strategies() {
+		cm, err := compiled.NewWAVM().Compile(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		env := wasi.NewEnv(&out, nil).WithFS(map[string][]byte{})
+		inst, err := cm.Instantiate(core.Config{Profile: isa.X86_64(), Strategy: s}, env.Imports())
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		res, err := inst.Invoke("run")
+		inst.Close()
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if res[0] != want {
+			t.Errorf("%v: digest %#x, want %#x", s, res[0], want)
+		}
+		if data, ok := env.FS.ReadFile("out.bin"); !ok || string(data) != "0123456789abcdef" {
+			t.Errorf("%v: file content %q", s, data)
+		}
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"sync"
 
 	"leapsandbounds/internal/validate"
+	"leapsandbounds/internal/wasi"
 	"leapsandbounds/internal/wasm"
 )
 
@@ -45,7 +46,7 @@ type Spec struct {
 	// Name is the benchmark name as it appears in the paper's
 	// figures (e.g. "gemm", "505.mcf").
 	Name string
-	// Suite is "polybench" or "spec".
+	// Suite is "polybench", "spec" or "wasi".
 	Suite string
 	// Desc summarizes the kernel.
 	Desc string
@@ -54,6 +55,13 @@ type Spec struct {
 	// which memoize the (deterministic) construction and validate the
 	// module exactly once per (workload, class).
 	BuildFn func(c Class) (*wasm.Module, func() uint64)
+	// NewEnv, when non-nil, marks a hostcall workload: the module
+	// imports wasi_snapshot_preview1, and every isolate must be
+	// instantiated with the imports of a fresh environment (the env
+	// owns the in-memory filesystem the workload reads and mutates,
+	// so reuse across iterations would change checksums). Harness and
+	// tests call NewEnv(class).Imports() per instantiation.
+	NewEnv func(c Class) *wasi.Env
 }
 
 // buildKey identifies one memoized build: the registered builder

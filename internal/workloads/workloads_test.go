@@ -12,6 +12,17 @@ import (
 	"leapsandbounds/internal/workloads"
 )
 
+// specImports builds the import set for one instantiation: nil for
+// pure-compute workloads, a fresh environment's imports for hostcall
+// workloads (the env owns the filesystem the workload mutates, so
+// every isolate needs its own).
+func specImports(spec workloads.Spec) core.Imports {
+	if spec.NewEnv == nil {
+		return nil
+	}
+	return spec.NewEnv(workloads.Test).Imports()
+}
+
 // TestWasmMatchesNative is the central cross-validation: every
 // workload's wasm module must produce exactly the checksum its
 // native twin computes, on every engine.
@@ -35,7 +46,7 @@ func TestWasmMatchesNative(t *testing.T) {
 				if err != nil {
 					t.Fatalf("%s: compile: %v", name, err)
 				}
-				inst, err := cm.Instantiate(core.Config{Profile: isa.X86_64()}, nil)
+				inst, err := cm.Instantiate(core.Config{Profile: isa.X86_64()}, specImports(spec))
 				if err != nil {
 					t.Fatalf("%s: instantiate: %v", name, err)
 				}
@@ -57,7 +68,7 @@ func TestWasmMatchesNative(t *testing.T) {
 // TestStrategiesMatchOnWorkloads runs a subset of workloads across
 // every bounds-checking strategy on the optimizing engine.
 func TestStrategiesMatchOnWorkloads(t *testing.T) {
-	names := []string{"gemm", "cholesky", "jacobi-2d", "atax"}
+	names := []string{"gemm", "cholesky", "jacobi-2d", "atax", "logscan", "kvstore", "echo"}
 	for _, name := range names {
 		name := name
 		t.Run(name, func(t *testing.T) {
@@ -73,7 +84,7 @@ func TestStrategiesMatchOnWorkloads(t *testing.T) {
 				t.Fatal(err)
 			}
 			for _, s := range mem.Strategies() {
-				inst, err := cm.Instantiate(core.Config{Profile: isa.X86_64(), Strategy: s}, nil)
+				inst, err := cm.Instantiate(core.Config{Profile: isa.X86_64(), Strategy: s}, specImports(spec))
 				if err != nil {
 					t.Fatalf("%v: %v", s, err)
 				}
@@ -101,8 +112,11 @@ func TestRegistryIntegrity(t *testing.T) {
 			t.Errorf("duplicate workload %q", s.Name)
 		}
 		seen[s.Name] = true
-		if s.Suite != "polybench" && s.Suite != "spec" {
+		if s.Suite != "polybench" && s.Suite != "spec" && s.Suite != "wasi" {
 			t.Errorf("%s: unknown suite %q", s.Name, s.Suite)
+		}
+		if s.Suite == "wasi" && s.NewEnv == nil {
+			t.Errorf("%s: wasi workload without NewEnv", s.Name)
 		}
 	}
 	if len(workloads.Suite("polybench")) < 15 {

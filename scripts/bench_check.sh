@@ -1,11 +1,12 @@
 #!/bin/sh
 # bench_check.sh — the benchmark regression gate. Re-runs the cache
-# sweep, the bounds-check-elision suite and the template-fork serving
-# benchmark in quick mode and holds them against the committed
-# BENCH_sweep.json / BENCH_bce.json / BENCH_serve.json with explicit
-# tolerances (wall clocks are never compared directly — only
-# checksums, cache behaviour, hit ratios and improvement/speedup
-# ratios). The verdict, with the baselines' git SHAs, lands in
+# sweep, the bounds-check-elision suite, the template-fork serving
+# benchmark and the hostcall-boundary suite in quick mode and holds
+# them against the committed BENCH_sweep.json / BENCH_bce.json /
+# BENCH_serve.json / BENCH_wasi.json with explicit tolerances (wall
+# clocks are never compared directly — only checksums, cache
+# behaviour, hit ratios, improvement/speedup ratios and
+# hostcall-bucket presence). The verdict, with the baselines' git SHAs, lands in
 # BENCH_gate.json; a regression exits nonzero.
 #
 #     ./scripts/bench_check.sh        # or: make bench-gate

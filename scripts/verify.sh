@@ -26,10 +26,13 @@ go test ./...
 # them), the register-IR lowering (its process-wide counters are hit
 # from concurrent compiles), the tiered engine (background compile
 # workers and the GC controller emit spans from their own
-# goroutines), and the telemetry server (which streams from the same
-# ring the workers push into).
-echo "== go test -race (obs, vmm, mem, faultinject, hazard, modcache, harness, compiled, rir, tiered, telemetry, core)"
-go test -race -count=1 ./internal/obs/ ./internal/vmm/ ./internal/mem/ ./internal/faultinject/ ./internal/hazard/ ./internal/modcache/ ./internal/harness/ ./internal/compiled/ ./internal/rir/ ./internal/tiered/ ./internal/telemetry/ ./internal/core/
+# goroutines), the telemetry server (which streams from the same
+# ring the workers push into), and the WASI layer (one Env serves
+# hostcalls from every worker of a multithreaded guest: the shared
+# PRNG, the fd table and the in-memory filesystem are all hit
+# concurrently).
+echo "== go test -race (obs, vmm, mem, faultinject, hazard, modcache, harness, compiled, rir, tiered, telemetry, core, wasi)"
+go test -race -count=1 ./internal/obs/ ./internal/vmm/ ./internal/mem/ ./internal/faultinject/ ./internal/hazard/ ./internal/modcache/ ./internal/harness/ ./internal/compiled/ ./internal/rir/ ./internal/tiered/ ./internal/telemetry/ ./internal/core/ ./internal/wasi/
 
 # Quick elide differential: the bounds-check elision pass must be
 # observationally equivalent to per-access checks — same digests,
@@ -50,5 +53,13 @@ go test -race -count=1 -run 'TestDifferentialRIR' -short ./internal/compiled/
 # digests, same trap kinds and offsets — under all five strategies.
 echo "== fork-diff (fork vs fresh instantiation differential, -race)"
 go test -race -count=1 -run 'TestDifferentialFork' -short ./internal/compiled/
+
+# Quick hostcall differential: the WASI host boundary must behave
+# identically under all five strategies and both engines — same
+# errnos and partial counts, same trap kinds for out-of-bounds iovec
+# arrays, same final memory and file bytes, including when the guest
+# grows memory mid-hostcall while views are open.
+echo "== wasi-diff (host-boundary differential across strategies and engines, -race)"
+go test -race -count=1 -run 'TestDifferentialHostcall' ./internal/wasi/
 
 echo "verify: OK"
