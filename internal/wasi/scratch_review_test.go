@@ -1,0 +1,61 @@
+package wasi
+
+import (
+	"testing"
+
+	"leapsandbounds/internal/core"
+	"leapsandbounds/internal/isa"
+	"leapsandbounds/internal/mem"
+	"leapsandbounds/internal/wasm"
+	g "leapsandbounds/internal/wasmgen"
+)
+
+// Review scratch: seek past EOF then read — expect EOF (0 bytes), got?
+func TestReviewSeekPastEOFRead(t *testing.T) {
+	mb := g.NewModule()
+	i32, i64 := wasm.I32, wasm.I64
+	pathOpen := mb.ImportFunc("wasi_snapshot_preview1", "path_open",
+		[]wasm.ValueType{i32, i32, i32, i32, i32, i64, i64, i32, i32}, []wasm.ValueType{i32})
+	fdRead := mb.ImportFunc("wasi_snapshot_preview1", "fd_read",
+		[]wasm.ValueType{i32, i32, i32, i32}, []wasm.ValueType{i32})
+	fdSeek := mb.ImportFunc("wasi_snapshot_preview1", "fd_seek",
+		[]wasm.ValueType{i32, i64, i32, i32}, []wasm.ValueType{i32})
+	mb.Memory(1, 4)
+	mb.Data(48, []byte("f"))
+	f := mb.Func("run", wasm.I64)
+	fd := f.LocalI32("fd")
+	f.Body(
+		g.Drop(g.Call(pathOpen, g.I32(3), g.I32(0), g.U32(48), g.U32(1),
+			g.U32(0), g.I64(0), g.I64(0), g.I32(0), g.U32(8))),
+		g.Set(fd, g.LoadI32(g.U32(8), 0)),
+		// seek to 100 (file is 4 bytes) — allowed by fdSeek
+		g.Drop(g.Call(fdSeek, g.Get(fd), g.I64(100), g.I32(0), g.U32(32))),
+		// iovec: ptr=1024 len=16
+		g.StoreI32(g.U32(96), 0, g.U32(1024)),
+		g.StoreI32(g.U32(96), 4, g.I32(16)),
+		g.Drop(g.Call(fdRead, g.Get(fd), g.U32(96), g.I32(1), g.U32(24))),
+		g.Return(g.I64FromI32U(g.LoadI32(g.U32(24), 0))),
+	)
+	mb.Export("run", f)
+	m, err := mb.Module()
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := NewEnv(nil, nil).WithFS(map[string][]byte{"f": []byte("abcd")})
+	cm, err := core.Compile(m, core.CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := cm.Instantiate(core.Config{Strategy: mem.NoBounds, Profile: isa.X86_64()}, env.Imports())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := inst.Invoke("run")
+	t.Logf("invoke result=%d err=%v", got, err)
+	if err != nil {
+		t.Fatalf("expected EOF semantics (nread=0), got error: %v", err)
+	}
+	if got != 0 {
+		t.Fatalf("expected nread=0 at EOF, got %d", got)
+	}
+}
