@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify check bench bench-quick bench-hot bench-serve bench-wasi bench-gate figures fuzz-smoke
+.PHONY: build test vet race verify check bench bench-quick bench-hot bench-serve bench-wasi bench-threads bench-gate figures fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -20,21 +20,26 @@ test:
 # workers and GC controller, the live telemetry server streaming
 # from the trace ring, the template/fork paths: concurrent CoW
 # forks in core and the vmm page-duplication machinery behind them,
-# and the WASI layer, whose Env serves hostcalls from every worker
-# of a multithreaded guest).
+# the WASI layer, whose Env serves hostcalls from every worker of a
+# multithreaded guest, and the shared-memory paths: atomic accessors
+# and the grow-under-traffic protocol in mem, cross-instance
+# attachment in core, and the RunShared contention driver in
+# harness).
 race:
 	$(GO) test -race -count=1 ./internal/obs/ ./internal/vmm/ ./internal/mem/ ./internal/faultinject/ ./internal/hazard/ ./internal/modcache/ ./internal/harness/ ./internal/compiled/ ./internal/rir/ ./internal/tiered/ ./internal/telemetry/ ./internal/core/ ./internal/wasi/
 
 # Short coverage-guided fuzz pass over the binary decoder, the
 # validator, the elide on/off differential, the register-IR on/off
-# differential, and the WASI host-boundary cross-strategy
-# differential (~10s each); regressions land in testdata/fuzz/.
+# differential, the WASI host-boundary cross-strategy differential,
+# and the shared-memory grow-under-traffic differential (~10s each);
+# regressions land in testdata/fuzz/.
 fuzz-smoke:
 	$(GO) test ./internal/wasm/ -run '^$$' -fuzz FuzzDecode -fuzztime 10s
 	$(GO) test ./internal/validate/ -run '^$$' -fuzz FuzzValidate -fuzztime 10s
 	$(GO) test ./internal/compiled/ -run '^$$' -fuzz FuzzElideDiff -fuzztime 10s
 	$(GO) test ./internal/compiled/ -run '^$$' -fuzz FuzzRIRDiff -fuzztime 10s
 	$(GO) test ./internal/wasi/ -run '^$$' -fuzz FuzzWASIDiff -fuzztime 10s
+	$(GO) test ./internal/harness/ -run '^$$' -fuzz FuzzSharedGrowDiff -fuzztime 10s
 
 # The full tier-1 gate: build + vet + tests + race pass.
 verify:
@@ -81,6 +86,14 @@ bench-serve:
 # results land in BENCH_wasi.json.
 bench-wasi:
 	$(GO) run ./cmd/leapsbench -benchwasi BENCH_wasi.json
+
+# Shared-memory grow-under-traffic benchmark: worker threads invoking
+# into one shared linear memory while a grower expands it, across all
+# five strategies; per-strategy grow-stall vs clean p99, mmap-lock
+# waits, and the disk-tier second-process provenance check land in
+# BENCH_threads.json.
+bench-threads:
+	$(GO) run ./cmd/leapsbench -benchthreads BENCH_threads.json
 
 figures:
 	$(GO) run ./cmd/leapsbench -fig all

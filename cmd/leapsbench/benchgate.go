@@ -22,22 +22,24 @@ type gateCheck struct {
 // BENCH_bce.json, with enough provenance (both SHAs) to reconstruct
 // what was compared to what.
 type benchGateReport struct {
-	GitSHA           string    `json:"git_sha"`
-	BaselineSweepSHA string    `json:"baseline_sweep_sha"`
-	BaselineBCESHA   string    `json:"baseline_bce_sha"`
-	BaselineServeSHA string    `json:"baseline_serve_sha"`
-	BaselineWasiSHA  string    `json:"baseline_wasi_sha"`
-	Quick            bool      `json:"quick"`
-	When             time.Time `json:"when"`
+	GitSHA             string    `json:"git_sha"`
+	BaselineSweepSHA   string    `json:"baseline_sweep_sha"`
+	BaselineBCESHA     string    `json:"baseline_bce_sha"`
+	BaselineServeSHA   string    `json:"baseline_serve_sha"`
+	BaselineWasiSHA    string    `json:"baseline_wasi_sha"`
+	BaselineThreadsSHA string    `json:"baseline_threads_sha"`
+	Quick              bool      `json:"quick"`
+	When               time.Time `json:"when"`
 
 	Checks []gateCheck `json:"checks"`
 	Pass   bool        `json:"pass"`
 
 	Fresh struct {
-		Sweep *benchSweepReport `json:"sweep"`
-		BCE   *benchBCEReport   `json:"bce"`
-		Serve *benchServeReport `json:"serve"`
-		Wasi  *benchWasiReport  `json:"wasi"`
+		Sweep   *benchSweepReport   `json:"sweep"`
+		BCE     *benchBCEReport     `json:"bce"`
+		Serve   *benchServeReport   `json:"serve"`
+		Wasi    *benchWasiReport    `json:"wasi"`
+		Threads *benchThreadsReport `json:"threads"`
 	} `json:"fresh"`
 }
 
@@ -101,15 +103,20 @@ func runBenchGate(path string, quick bool) error {
 	if err := loadBaseline("BENCH_wasi.json", &baseWasi); err != nil {
 		return err
 	}
+	var baseThreads benchThreadsReport
+	if err := loadBaseline("BENCH_threads.json", &baseThreads); err != nil {
+		return err
+	}
 
 	rep := benchGateReport{
-		GitSHA:           gitSHA(),
-		BaselineSweepSHA: baseSweep.GitSHA,
-		BaselineBCESHA:   baseBCE.GitSHA,
-		BaselineServeSHA: baseServe.GitSHA,
-		BaselineWasiSHA:  baseWasi.GitSHA,
-		Quick:            quick,
-		When:             time.Now().UTC(),
+		GitSHA:             gitSHA(),
+		BaselineSweepSHA:   baseSweep.GitSHA,
+		BaselineBCESHA:     baseBCE.GitSHA,
+		BaselineServeSHA:   baseServe.GitSHA,
+		BaselineWasiSHA:    baseWasi.GitSHA,
+		BaselineThreadsSHA: baseThreads.GitSHA,
+		Quick:              quick,
+		When:               time.Now().UTC(),
 	}
 
 	sweep, err := collectBenchSweep(quick)
@@ -128,10 +135,15 @@ func runBenchGate(path string, quick bool) error {
 	if err != nil {
 		return err
 	}
+	thr, err := collectBenchThreads(quick)
+	if err != nil {
+		return err
+	}
 	rep.Fresh.Sweep = sweep
 	rep.Fresh.BCE = bce
 	rep.Fresh.Serve = serve
 	rep.Fresh.Wasi = wasi
+	rep.Fresh.Threads = thr
 
 	b2f := func(b bool) float64 {
 		if b {
@@ -166,6 +178,23 @@ func runBenchGate(path string, quick bool) error {
 			Got: b2f(wasi.Checksum == baseWasi.Checksum), Want: 1},
 		{Name: "wasi_hostcall_bucket_present", OK: wasi.HostcallBucketPresent,
 			Got: b2f(wasi.HostcallBucketPresent), Want: 1},
+		// The shared-memory scenario: every strategy must keep computing
+		// the same digest with a grower racing live workers (and it must
+		// be the digest the committed artifact pinned), mprotect must
+		// accumulate more mmap-lock wait than uffd (whose steady-state
+		// fault path never takes the lock), uffd's grow-stall p99 must
+		// come in under mprotect's, and a second cold process must serve
+		// the compile entirely from the disk tier.
+		{Name: "threads_digests_match", OK: thr.DigestsMatch, Got: b2f(thr.DigestsMatch), Want: 1},
+		{Name: "threads_digest_stable", OK: thr.Digest == baseThreads.Digest,
+			Got: b2f(thr.Digest == baseThreads.Digest), Want: 1},
+		{Name: "threads_mprotect_lockwait_over_uffd", OK: thr.LockWaitOrdered,
+			Got: b2f(thr.LockWaitOrdered), Want: 1},
+		{Name: "threads_uffd_stall_p99_under_mprotect", OK: thr.StallOrdered,
+			Got: b2f(thr.StallOrdered), Want: 1},
+		{Name: "threads_disk_hit_rate", OK: thr.DiskHitRate >= 0.99, Got: thr.DiskHitRate, Want: 0.99},
+		{Name: "threads_second_run_compiles_zero", OK: thr.SecondRunCompiles == 0,
+			Got: float64(thr.SecondRunCompiles), Want: 0},
 	}
 	// The fork arm's reason to exist: on the strategies whose
 	// instantiate path the paper indicts (trap's eager copy, mprotect's

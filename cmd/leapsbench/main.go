@@ -65,6 +65,8 @@ func main() {
 		bbce     = flag.String("benchbce", "", "run the bounds-check elision benchmark and write its JSON report to this file (\"-\" for stdout)")
 		bserve   = flag.String("benchserve", "", "run the serverless serving benchmark (cold/warm/fork arms per strategy) and write its JSON report to this file (\"-\" for stdout)")
 		bwasi    = flag.String("benchwasi", "", "run the hostcall-boundary benchmark (wasi workloads per strategy, hostcall attribution) and write its JSON report to this file (\"-\" for stdout)")
+		bthreads = flag.String("benchthreads", "", "run the shared-memory grow-under-traffic benchmark (worker threads on one shared memory per strategy, disk-cache provenance) and write its JSON report to this file (\"-\" for stdout)")
+		diskdir  = flag.String("diskcache", "", "attach an on-disk compiled-artifact tier at this directory (cross-process cache; artifacts are content-addressed and corruption-checked)")
 		chaos    = flag.Int64("chaos", 0, "run the deterministic fault-injection sweep with this seed (twice, verifying the replay reproduces it exactly)")
 		list     = flag.Bool("list", false, "list workloads and engines")
 	)
@@ -96,6 +98,17 @@ func main() {
 	}
 	if *nocache {
 		modcache.Shared().SetEnabled(false)
+	}
+	if *diskdir != "" {
+		tier, err := modcache.NewDiskTier(*diskdir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "leapsbench:", err)
+			os.Exit(1)
+		}
+		if reg != nil {
+			tier.AttachObs(reg.Scope("modcache").Child("disk"))
+		}
+		modcache.Shared().SetDiskTier(tier)
 	}
 
 	if *bgate != "" {
@@ -132,6 +145,14 @@ func main() {
 
 	if *bwasi != "" {
 		if err := runBenchWasi(*bwasi, *quick); err != nil {
+			fmt.Fprintln(os.Stderr, "leapsbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *bthreads != "" {
+		if err := runBenchThreads(*bthreads, *quick); err != nil {
 			fmt.Fprintln(os.Stderr, "leapsbench:", err)
 			os.Exit(1)
 		}

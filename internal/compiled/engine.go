@@ -2,6 +2,7 @@ package compiled
 
 import (
 	"fmt"
+	"slices"
 	"time"
 
 	"leapsandbounds/internal/core"
@@ -131,6 +132,10 @@ type cfunc struct {
 	code      []cop
 	classes   []isa.OpClass
 	memAcc    []bool
+	// preIR is the pre-elision IR retained for the disk artifact tier
+	// (artifact.go): the last all-plain-data pipeline stage, from which
+	// elide → FuseMem → emit reproduce this function exactly.
+	preIR []rir.Inst
 }
 
 // Module is the compiled form; exported so the tiered engine can
@@ -154,8 +159,17 @@ func (e *Engine) CompileModule(m *wasm.Module) (*Module, error) {
 	if e.cache == nil {
 		return e.compileModule(m)
 	}
-	cm, _, err := e.cache.GetOrCompile(m, e.name, e.cacheOpts(),
-		func() (core.CompiledModule, error) { return e.compileModule(m) })
+	compile := func() (core.CompiledModule, error) { return e.compileModule(m) }
+	if ac, ok := e.cache.(core.ArtifactCache); ok {
+		// A cache with a disk tier resolves memory → disk → compile; the
+		// engine itself is the codec that round-trips its artifacts.
+		cm, _, err := ac.GetOrCompileArtifact(m, e.name, e.cacheOpts(), e, compile)
+		if err != nil {
+			return nil, err
+		}
+		return cm.(*Module), nil
+	}
+	cm, _, err := e.cache.GetOrCompile(m, e.name, e.cacheOpts(), compile)
 	if err != nil {
 		return nil, err
 	}
@@ -204,6 +218,11 @@ func (e *Engine) compileModule(m *wasm.Module) (*Module, error) {
 			// Mirror flatten's MaxStack = maxH+8 scratch margin.
 			frameSize = ff.NumLocals + regs + 8
 		}
+		// Retain the last all-plain-data stage for the disk artifact
+		// tier (artifact.go) before elide/FuseMem attach closures. A
+		// shallow clone suffices: the elision passes assign fresh inner
+		// slices rather than mutating the ones they were handed.
+		preIR := slices.Clone(ir)
 		if e.elision() {
 			ir = elide(ir, ff.NumLocals)
 		}
@@ -224,6 +243,7 @@ func (e *Engine) compileModule(m *wasm.Module) (*Module, error) {
 			code:      code,
 			classes:   classes,
 			memAcc:    memAcc,
+			preIR:     preIR,
 		})
 	}
 	return cm, nil

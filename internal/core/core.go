@@ -68,6 +68,13 @@ type Config struct {
 	// what it injects. An injector already installed on AS wins, so
 	// harness-level wiring is not overwritten.
 	Fault *faultinject.Plan
+	// SharedMem attaches the instance to an existing wasm-threads-style
+	// shared linear memory (built with NewSharedMemory) instead of
+	// allocating a private one. All instances of a thread group pass
+	// the same *mem.Memory; the instance does not close it (the creator
+	// owns its lifetime), and data segments are (re)initialized by each
+	// instantiation, so attach all workers before mutating the memory.
+	SharedMem *mem.Memory
 	// Span is the causal parent for the instance's spans: the
 	// instantiate span opens under it, and kernel work between
 	// invokes (memory teardown, recycling) attributes to it. The
@@ -307,6 +314,12 @@ type InstanceBase struct {
 	// by EndInvoke) so hostcall spans nest under the call they
 	// interrupt. Zero when tracing is off.
 	invokeRef obs.SpanRef
+
+	// sharedMem marks Mem as attached (Config.SharedMem): the instance
+	// neither closes it nor repoints its span parent per invoke —
+	// sibling workers invoke concurrently, and a per-invoke repoint
+	// would race; the run driver sets one parent for the whole scenario.
+	sharedMem bool
 }
 
 // NewInstanceBase performs the engine-independent instantiation
@@ -344,35 +357,53 @@ func NewInstanceBase(m *wasm.Module, cfg Config, imports Imports) (*InstanceBase
 	}
 
 	if lim, ok := m.MemoryLimits(); ok {
-		maxPages := cfg.MaxPages
-		if lim.HasMax && lim.Max < maxPages {
-			maxPages = lim.Max
+		if cfg.SharedMem != nil {
+			if !cfg.SharedMem.Shared() {
+				return nil, errors.New("core: Config.SharedMem must be built with mem.Config.Shared")
+			}
+			if cfg.SharedMem.Strategy() != cfg.Strategy {
+				return nil, fmt.Errorf("core: shared memory strategy %v does not match config strategy %v",
+					cfg.SharedMem.Strategy(), cfg.Strategy)
+			}
+			if uint64(lim.Min)*wasm.PageSize > cfg.SharedMem.SizeBytes() {
+				return nil, fmt.Errorf("core: shared memory smaller than module minimum (%d pages < %d)",
+					cfg.SharedMem.SizePages(), lim.Min)
+			}
+			b.Mem = cfg.SharedMem
+			b.sharedMem = true
+		} else {
+			maxPages := cfg.MaxPages
+			if lim.HasMax && lim.Max < maxPages {
+				maxPages = lim.Max
+			}
+			if maxPages < lim.Min {
+				maxPages = lim.Min
+			}
+			if maxPages == 0 {
+				maxPages = 1
+			}
+			memParent := cfg.Span
+			if instSpan.Ref().Valid() {
+				memParent = instSpan.Ref()
+			}
+			mm, err := mem.New(mem.Config{
+				Strategy:    cfg.Strategy,
+				AS:          cfg.AS,
+				MinPages:    lim.Min,
+				MaxPages:    maxPages,
+				Pool:        cfg.Pool,
+				DisablePool: cfg.UffdNoPool,
+				UffdPoll:    cfg.UffdPoll,
+				EagerCommit: cfg.EagerCommit,
+				Span:        memParent,
+			})
+			if err != nil {
+				return nil, err
+			}
+			b.Mem = mm
 		}
-		if maxPages < lim.Min {
-			maxPages = lim.Min
-		}
-		if maxPages == 0 {
-			maxPages = 1
-		}
-		memParent := cfg.Span
-		if instSpan.Ref().Valid() {
-			memParent = instSpan.Ref()
-		}
-		mm, err := mem.New(mem.Config{
-			Strategy:    cfg.Strategy,
-			AS:          cfg.AS,
-			MinPages:    lim.Min,
-			MaxPages:    maxPages,
-			Pool:        cfg.Pool,
-			DisablePool: cfg.UffdNoPool,
-			UffdPoll:    cfg.UffdPoll,
-			EagerCommit: cfg.EagerCommit,
-			Span:        memParent,
-		})
-		if err != nil {
-			return nil, err
-		}
-		b.Mem = mm
+	} else if cfg.SharedMem != nil {
+		return nil, errors.New("core: Config.SharedMem set but module declares no memory")
 	}
 	b.HostCtx = HostContext{
 		Mem:    b.Mem,
@@ -441,8 +472,10 @@ func NewInstanceBase(m *wasm.Module, cfg Config, imports Imports) (*InstanceBase
 	}
 	// Instantiation is done: faults and kernel work from here on
 	// belong to whatever context owns the instance, not to the
-	// (about-to-end) instantiate span.
-	if b.Mem != nil {
+	// (about-to-end) instantiate span. Shared memories keep whatever
+	// parent their creator set — many instances attach to one mapping
+	// and must not fight over its attribution.
+	if b.Mem != nil && !b.sharedMem {
 		b.Mem.SetSpanParent(cfg.Span)
 	}
 	return b, nil
@@ -469,16 +502,17 @@ func (b *InstanceBase) evalConst(e wasm.ConstExpr) (uint64, error) {
 }
 
 func (b *InstanceBase) close() {
-	if b.Mem != nil {
+	if b.Mem != nil && !b.sharedMem {
 		_ = b.Mem.Close()
 	}
 }
 
 // Close releases the base's resources and flushes accumulated cycle
-// counts into the instance's obs scope (once).
+// counts into the instance's obs scope (once). An attached shared
+// memory is left open: its creator owns the lifetime.
 func (b *InstanceBase) Close() error {
 	b.flushCycles()
-	if b.Mem != nil {
+	if b.Mem != nil && !b.sharedMem {
 		return b.Mem.Close()
 	}
 	return nil
@@ -493,7 +527,9 @@ func (b *InstanceBase) BeginInvoke() obs.Span {
 	sp := b.Cfg.Obs.StartSpan(obs.SpanInvoke, b.Cfg.Span)
 	if sp.Ref().Valid() {
 		b.invokeRef = sp.Ref()
-		if b.Mem != nil {
+		if b.Mem != nil && !b.sharedMem {
+			// A shared memory's span parent is a scenario-wide setting
+			// (concurrent workers would race a per-invoke repoint).
 			b.Mem.SetSpanParent(sp.Ref())
 		}
 	}
@@ -505,7 +541,7 @@ func (b *InstanceBase) BeginInvoke() obs.Span {
 func (b *InstanceBase) EndInvoke(sp obs.Span, err error) {
 	if sp.Ref().Valid() {
 		b.invokeRef = obs.SpanRef{}
-		if b.Mem != nil {
+		if b.Mem != nil && !b.sharedMem {
 			b.Mem.SetSpanParent(b.Cfg.Span)
 		}
 	}

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"leapsandbounds/internal/mem"
+	"leapsandbounds/internal/wasm"
+)
+
+// NewSharedMemory builds a wasm-threads-style shared linear memory
+// sized for module m under cfg, for attaching to many instances via
+// Config.SharedMem. The limits computation matches what a private
+// instantiation of m would produce (module min, module max clamped by
+// cfg.MaxPages), so a thread group sees the same geometry a lone
+// instance would. The caller owns the memory's lifetime: instances
+// attached to it do not close it.
+func NewSharedMemory(m *wasm.Module, cfg Config) (*mem.Memory, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	lim, ok := m.MemoryLimits()
+	if !ok {
+		return nil, errors.New("core: module declares no memory")
+	}
+	maxPages := cfg.MaxPages
+	if lim.HasMax && lim.Max < maxPages {
+		maxPages = lim.Max
+	}
+	if maxPages < lim.Min {
+		maxPages = lim.Min
+	}
+	if maxPages == 0 {
+		maxPages = 1
+	}
+	mm, err := mem.New(mem.Config{
+		Strategy:    cfg.Strategy,
+		AS:          cfg.AS,
+		MinPages:    lim.Min,
+		MaxPages:    maxPages,
+		Pool:        cfg.Pool,
+		DisablePool: cfg.UffdNoPool,
+		UffdPoll:    cfg.UffdPoll,
+		EagerCommit: cfg.EagerCommit,
+		Shared:      true,
+		Span:        cfg.Span,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: shared memory: %w", err)
+	}
+	return mm, nil
+}

@@ -168,6 +168,14 @@ func NewTemplate(cm CompiledModule, cfg Config, imports Imports, warm func(Insta
 	if err != nil {
 		return nil, err
 	}
+	if cfg.SharedMem != nil {
+		// A shared memory has racing writers; freezing it mid-traffic
+		// would tear, and a fork of one thread of a thread group is not
+		// a meaningful isolate. Refuse up front — even for engines
+		// without snapshot support, whose degraded fork path would
+		// otherwise hand every "fork" the same live memory.
+		return nil, errors.New("core: cannot build a template from a shared-memory instance")
+	}
 	t := &Template{mod: cm, cfg: cfg, imports: imports, warm: warm}
 	inst, err := InstantiateWithRetry(cm, cfg, imports)
 	if err != nil {

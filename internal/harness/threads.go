@@ -1,0 +1,364 @@
+// Shared-memory grow-under-traffic: the load driver behind
+// `leapsbench -benchthreads`. Where Run measures isolate-per-thread
+// execution (each worker owns a private memory), RunShared measures
+// the wasm-threads topology the paper's §4.2 contention analysis
+// points at: one shared linear memory, N worker threads invoking into
+// it concurrently, and a grower thread expanding it on a cadence.
+//
+// Every grow moves the memory end, and the workload's tail writes
+// chase it onto the youngest page, so each strategy's grow protocol
+// runs under live traffic: mprotect remaps under the address space's
+// mmap lock while sibling faults queue behind it (the vma_lock_wait
+// the span tracer attributes), uffd registers the new pages and
+// populates lock-free, and the flat strategies commit before the new
+// length is published.
+//
+// The headline statistic is the grow-stall p99: the p99 invoke
+// latency over invokes that overlapped a grow window, against the p99
+// of invokes that ran clean. The gap is the per-request cost of
+// growing under traffic, per strategy.
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"leapsandbounds/internal/core"
+	"leapsandbounds/internal/isa"
+	"leapsandbounds/internal/mem"
+	"leapsandbounds/internal/obs"
+	"leapsandbounds/internal/vmm"
+	"leapsandbounds/internal/workloads"
+)
+
+// ThreadsOptions configures one shared-memory contention run (one
+// strategy).
+type ThreadsOptions struct {
+	Engine   string
+	Strategy mem.Strategy
+	Profile  *isa.Profile
+	Class    workloads.Class
+	// Workers overrides the workload geometry's lane count; 0 uses
+	// SharedShape(Class).Workers. The module is built for the
+	// geometry's lanes, so Workers must not exceed it.
+	Workers int
+	// Rounds per work() invocation; 0 uses the geometry's Rounds.
+	Rounds int
+	// Invokes per worker; defaults to 32.
+	Invokes int
+	// GrowEvery is the grower thread's cadence; defaults to 200µs.
+	// The grower stops when the memory reaches its max or the workers
+	// finish.
+	GrowEvery time.Duration
+	// Obs receives the run's telemetry under one "threads[...]"
+	// scope. Nil leaves the run unobserved.
+	Obs *obs.Registry
+
+	UffdNoPool, UffdPoll, EagerCommit bool
+}
+
+func (o ThreadsOptions) label() string {
+	return fmt.Sprintf("threads[engine=%s workload=shared-grow strategy=%s workers=%d]",
+		o.Engine, o.Strategy, o.Workers)
+}
+
+// ThreadsResult is one strategy's contention measurements.
+type ThreadsResult struct {
+	Engine   string `json:"engine"`
+	Strategy string `json:"strategy"`
+	Workers  int    `json:"workers"`
+	Invokes  int    `json:"invokes_per_worker"`
+	Rounds   int    `json:"rounds"`
+
+	// Grows the grower landed; GrowDenied counts grows refused at the
+	// memory's max (the cadence outliving the headroom is expected).
+	Grows      int `json:"grows"`
+	GrowDenied int `json:"grow_denied"`
+
+	// Digest is the cross-lane checksum (sum of per-lane work()
+	// results); DigestOK pins it against the native twin. Engines and
+	// strategies must all agree byte-for-byte — the bench gate holds
+	// this across all five strategies.
+	Digest   uint64 `json:"digest"`
+	DigestOK bool   `json:"digest_ok"`
+
+	// Exact invoke-latency percentiles over all workers.
+	P50Ns int64 `json:"p50_ns"`
+	P99Ns int64 `json:"p99_ns"`
+
+	// The headline split: p99 over invokes whose execution window
+	// overlapped a grow window, vs invokes that ran clean. Stalled is
+	// the overlapping count.
+	GrowStallP99Ns int64 `json:"grow_stall_p99_ns"`
+	CleanP99Ns     int64 `json:"clean_p99_ns"`
+	Stalled        int   `json:"stalled_invokes"`
+
+	// GrowP99Ns is the p99 of the grower's own Grow() calls.
+	GrowP99Ns int64 `json:"grow_p99_ns"`
+
+	WallNs int64 `json:"wall_ns"`
+
+	// Simulated-kernel traffic over the run (deltas).
+	MmapCalls     int64 `json:"mmap_calls"`
+	MprotectCalls int64 `json:"mprotect_calls"`
+	MinorFaults   int64 `json:"minor_faults"`
+	UffdFaults    int64 `json:"uffd_faults"`
+	SegvFaults    int64 `json:"segv_faults"`
+	LockWaitNs    int64 `json:"lock_wait_ns"`
+	LockContended int64 `json:"lock_contended"`
+}
+
+// span is one timestamped interval (invoke execution or grow window),
+// in nanoseconds since the run start.
+type tspan struct {
+	start, end int64
+}
+
+func (a tspan) overlaps(b tspan) bool { return a.start < b.end && b.start < a.end }
+
+// RunShared executes one shared-memory contention configuration.
+func RunShared(opts ThreadsOptions) (*ThreadsResult, error) {
+	if opts.Profile == nil {
+		return nil, fmt.Errorf("harness: ThreadsOptions.Profile is required")
+	}
+	geo := workloads.SharedShape(opts.Class)
+	if opts.Workers <= 0 {
+		opts.Workers = geo.Workers
+	}
+	if opts.Workers > geo.Workers {
+		return nil, fmt.Errorf("harness: %d workers exceed the workload's %d lanes", opts.Workers, geo.Workers)
+	}
+	if opts.Rounds <= 0 {
+		opts.Rounds = geo.Rounds
+	}
+	if opts.Invokes <= 0 {
+		opts.Invokes = 32
+	}
+	if opts.GrowEvery <= 0 {
+		opts.GrowEvery = 200 * time.Microsecond
+	}
+
+	spec := workloads.SharedSpec()
+	module, _, err := spec.BuildChecked(opts.Class)
+	if err != nil {
+		return nil, err
+	}
+
+	runScope := opts.Obs.Scope(opts.label())
+	invokeHist := runScope.Histogram("invoke_wall_ns")
+	runSpan := runScope.StartSpan(obs.SpanRun, obs.SpanRef{})
+	defer runSpan.End()
+
+	as := vmm.NewObserved(opts.Profile.VM, runScope.Child("vmm"))
+	var pool *mem.ArenaPool
+	if opts.Strategy == mem.Uffd && !opts.UffdNoPool {
+		pool = mem.NewArenaPool()
+		defer pool.Drain()
+	}
+
+	eng, cleanup, err := NewEngine(opts.Engine)
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
+	cm, err := eng.Compile(module)
+	if err != nil {
+		return nil, fmt.Errorf("harness: compile shared-grow on %s: %w", opts.Engine, err)
+	}
+
+	cfg := core.Config{
+		Strategy:    opts.Strategy,
+		Profile:     opts.Profile,
+		AS:          as,
+		Pool:        pool,
+		UffdNoPool:  opts.UffdNoPool,
+		UffdPoll:    opts.UffdPoll,
+		EagerCommit: opts.EagerCommit,
+		Obs:         runScope.Child("engine"),
+		Span:        runSpan.Ref(),
+	}
+	shm, err := core.NewSharedMemory(module, cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer shm.Close()
+	// Grow and fault work on the shared memory attributes to the run
+	// span (instances never re-parent an attached shared memory).
+	shm.SetSpanParent(runSpan.Ref())
+	cfg.SharedMem = shm
+
+	// Attach every worker before any traffic: instantiation
+	// (re)initializes data segments on the shared memory.
+	insts := make([]core.Instance, opts.Workers)
+	for w := range insts {
+		inst, err := core.InstantiateWithRetry(cm, cfg, nil)
+		if err != nil {
+			for _, prev := range insts[:w] {
+				prev.Close()
+			}
+			return nil, err
+		}
+		insts[w] = inst
+	}
+	defer func() {
+		for _, inst := range insts {
+			inst.Close()
+		}
+	}()
+
+	type lane struct {
+		sum     uint64
+		invokes []tspan
+		lats    []time.Duration
+		err     error
+	}
+	lanes := make([]lane, opts.Workers)
+
+	before := as.Snapshot()
+	epoch := time.Now()
+	var (
+		start    = make(chan struct{})
+		done     = make(chan struct{})
+		finished sync.WaitGroup
+	)
+
+	// Grower: expand the shared memory on a cadence until the workers
+	// finish or the memory tops out, recording each grow's window.
+	var (
+		growWindows []tspan
+		growLats    []time.Duration
+		growDenied  int
+		growerDone  = make(chan struct{})
+	)
+	go func() {
+		defer close(growerDone)
+		ticker := time.NewTicker(opts.GrowEvery)
+		defer ticker.Stop()
+		<-start
+		for {
+			select {
+			case <-done:
+				return
+			case <-ticker.C:
+				t0 := time.Now()
+				r := shm.Grow(1)
+				t1 := time.Now()
+				if r < 0 {
+					growDenied++
+					continue
+				}
+				growWindows = append(growWindows, tspan{t0.Sub(epoch).Nanoseconds(), t1.Sub(epoch).Nanoseconds()})
+				growLats = append(growLats, t1.Sub(t0))
+			}
+		}
+	}()
+
+	wantLane := make([]uint64, opts.Workers)
+	for w := range wantLane {
+		wantLane[w] = workloads.SharedWorkNative(opts.Class, w, opts.Rounds)
+	}
+
+	finished.Add(opts.Workers)
+	for w := 0; w < opts.Workers; w++ {
+		go func(w int) {
+			defer finished.Done()
+			l := &lanes[w]
+			<-start
+			for k := 0; k < opts.Invokes; k++ {
+				t0 := time.Now()
+				out, err := insts[w].Invoke("work", uint64(w), uint64(opts.Rounds))
+				t1 := time.Now()
+				if err != nil {
+					l.err = fmt.Errorf("worker %d invoke %d: %w", w, k, err)
+					return
+				}
+				if len(out) == 0 || out[0] != wantLane[w] {
+					l.err = fmt.Errorf("worker %d invoke %d: lane checksum %#x, want %#x", w, k, out[0], wantLane[w])
+					return
+				}
+				l.sum = out[0]
+				dt := t1.Sub(t0)
+				l.invokes = append(l.invokes, tspan{t0.Sub(epoch).Nanoseconds(), t1.Sub(epoch).Nanoseconds()})
+				l.lats = append(l.lats, dt)
+				invokeHist.Observe(dt.Nanoseconds())
+			}
+		}(w)
+	}
+
+	close(start)
+	finished.Wait()
+	wall := time.Since(epoch)
+	close(done)
+	<-growerDone
+	after := as.Snapshot()
+
+	for w := range lanes {
+		if lanes[w].err != nil {
+			return nil, lanes[w].err
+		}
+	}
+
+	var digest uint64
+	var all, stalled, clean []time.Duration
+	stalledN := 0
+	for w := range lanes {
+		digest += lanes[w].sum
+		for i, iv := range lanes[w].invokes {
+			lat := lanes[w].lats[i]
+			all = append(all, lat)
+			hit := false
+			for _, gw := range growWindows {
+				if iv.overlaps(gw) {
+					hit = true
+					break
+				}
+			}
+			if hit {
+				stalled = append(stalled, lat)
+				stalledN++
+			} else {
+				clean = append(clean, lat)
+			}
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	sort.Slice(stalled, func(i, j int) bool { return stalled[i] < stalled[j] })
+	sort.Slice(clean, func(i, j int) bool { return clean[i] < clean[j] })
+	sort.Slice(growLats, func(i, j int) bool { return growLats[i] < growLats[j] })
+
+	delta := deltaSnapshot(before, after)
+	res := &ThreadsResult{
+		Engine:         opts.Engine,
+		Strategy:       opts.Strategy.String(),
+		Workers:        opts.Workers,
+		Invokes:        opts.Invokes,
+		Rounds:         opts.Rounds,
+		Grows:          len(growWindows),
+		GrowDenied:     growDenied,
+		Digest:         digest,
+		DigestOK:       digest == workloads.SharedDigestNative(opts.Class, opts.Workers, opts.Rounds),
+		P50Ns:          exactQuantile(all, 0.50).Nanoseconds(),
+		P99Ns:          exactQuantile(all, 0.99).Nanoseconds(),
+		GrowStallP99Ns: exactQuantile(stalled, 0.99).Nanoseconds(),
+		CleanP99Ns:     exactQuantile(clean, 0.99).Nanoseconds(),
+		Stalled:        stalledN,
+		GrowP99Ns:      exactQuantile(growLats, 0.99).Nanoseconds(),
+		WallNs:         wall.Nanoseconds(),
+		MmapCalls:      delta.MmapCalls,
+		MprotectCalls:  delta.MprotectCalls,
+		MinorFaults:    delta.MinorFaults,
+		UffdFaults:     delta.UffdFaults,
+		SegvFaults:     delta.SegvFaults,
+		LockWaitNs:     delta.LockWaitNs,
+		LockContended:  delta.LockContended,
+	}
+	runScope.Gauge("grow_stall_p99_ns").Set(res.GrowStallP99Ns)
+	runScope.Gauge("clean_p99_ns").Set(res.CleanP99Ns)
+	runScope.Counter("grows").Add(int64(res.Grows))
+	if opts.Strategy == mem.Uffd {
+		mem.SharedPool(as).Drain()
+	}
+	return res, nil
+}

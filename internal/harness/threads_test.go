@@ -1,0 +1,177 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"leapsandbounds/internal/isa"
+	"leapsandbounds/internal/mem"
+	"leapsandbounds/internal/obs"
+	"leapsandbounds/internal/workloads"
+)
+
+// TestDifferentialShared is the cross-strategy differential of the
+// shared-memory scenario: all five strategies run the grow-under-
+// traffic workload with live worker threads and a racing grower, and
+// every digest must equal the native twin bit-for-bit — grow timing,
+// fault ordering, and lock contention must never leak into results.
+func TestDifferentialShared(t *testing.T) {
+	digests := map[mem.Strategy]uint64{}
+	for _, s := range mem.Strategies() {
+		t.Run(s.String(), func(t *testing.T) {
+			res, err := RunShared(ThreadsOptions{
+				Engine:    EngineWAVM,
+				Strategy:  s,
+				Profile:   isa.X86_64(),
+				Class:     workloads.Test,
+				Invokes:   8,
+				GrowEvery: 50 * time.Microsecond,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.DigestOK {
+				t.Fatalf("digest %#x does not match the native twin", res.Digest)
+			}
+			digests[s] = res.Digest
+		})
+	}
+	want := digests[mem.None]
+	for s, d := range digests {
+		if d != want {
+			t.Errorf("strategy %v digest %#x, want %#x", s, d, want)
+		}
+	}
+}
+
+// TestSharedLaneOverride: fewer workers than the module's lanes is a
+// valid configuration; more is refused.
+func TestSharedLaneOverride(t *testing.T) {
+	res, err := RunShared(ThreadsOptions{
+		Engine:   EngineWAVM,
+		Strategy: mem.Trap,
+		Profile:  isa.X86_64(),
+		Class:    workloads.Test,
+		Workers:  2,
+		Invokes:  2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Workers != 2 || !res.DigestOK {
+		t.Fatalf("workers=%d digestOK=%v", res.Workers, res.DigestOK)
+	}
+	geo := workloads.SharedShape(workloads.Test)
+	if _, err := RunShared(ThreadsOptions{
+		Engine:   EngineWAVM,
+		Strategy: mem.Trap,
+		Profile:  isa.X86_64(),
+		Class:    workloads.Test,
+		Workers:  geo.Workers + 1,
+	}); err == nil {
+		t.Fatal("oversubscribed workers accepted")
+	}
+}
+
+// sharedTracedPair runs the shared scenario under both paging
+// strategies into one tracing registry.
+func sharedTracedPair(t *testing.T) *obs.Snapshot {
+	t.Helper()
+	reg := obs.NewRegistrySized(1 << 18)
+	reg.EnableTracing(true)
+	for _, s := range []mem.Strategy{mem.Mprotect, mem.Uffd} {
+		// Bench geometry: the 64-page max keeps the grower supplied
+		// with fresh pages (the contention source) for the whole run;
+		// the Test shape tops out after 7 grows and goes quiet.
+		res, err := RunShared(ThreadsOptions{
+			Engine:    EngineWAVM,
+			Strategy:  s,
+			Profile:   isa.X86_64(),
+			Class:     workloads.Bench,
+			Invokes:   12,
+			GrowEvery: 20 * time.Microsecond,
+			Obs:       reg,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if !res.DigestOK {
+			t.Fatalf("%v: bad digest", s)
+		}
+	}
+	return reg.Snapshot(true)
+}
+
+// TestSharedTraceAttribution is the tentpole's observable claim: with
+// one shared memory growing under live traffic, the mprotect
+// strategy's critical path accumulates vma_lock_wait (sibling faults
+// serialize behind the remap on the address space's mmap lock) while
+// uffd — whose registration spans the whole arena up front — stays
+// below it. Same probabilistic retry as TestRunTraceAttribution: a
+// quiet host may timeslice so that no wait crosses the 500ns span
+// threshold.
+func TestSharedTraceAttribution(t *testing.T) {
+	var rep obs.AttributionReport
+	contended := int64(0)
+	for attempt := 0; attempt < 4; attempt++ {
+		snap := sharedTracedPair(t)
+		rep = obs.Attribute(snap)
+		contended = 0
+		for name, v := range snap.Counters {
+			if strings.Contains(name, "strategy=mprotect") && strings.HasSuffix(name, "/lock_contended") {
+				contended += v
+			}
+		}
+		if contended > 0 {
+			break
+		}
+	}
+	mp := rep.Row("mprotect")
+	uf := rep.Row("uffd")
+	if mp.Spans == 0 || uf.Spans == 0 {
+		t.Fatalf("attribution missing rows: mprotect=%d uffd=%d spans", mp.Spans, uf.Spans)
+	}
+	if contended == 0 {
+		t.Skip("no lock contention observable on this host after 4 attempts")
+	}
+	if mp.NsByBucket["vma_lock_wait"] == 0 {
+		t.Fatal("vmm counted contended lock acquisitions but attribution has no vma_lock_wait time")
+	}
+	if mp.Share("vma_lock_wait") <= uf.Share("vma_lock_wait") {
+		t.Errorf("vma_lock_wait share: mprotect %.4f not above uffd %.4f",
+			mp.Share("vma_lock_wait"), uf.Share("vma_lock_wait"))
+	}
+}
+
+// FuzzSharedGrowDiff drives the shared scenario through fuzzed
+// geometry (lanes, rounds, traffic, grow cadence, strategy) and holds
+// the digest invariant: whatever the interleaving, the parallel
+// result equals the native twin.
+func FuzzSharedGrowDiff(f *testing.F) {
+	f.Add(uint8(2), uint8(1), uint8(2), uint16(30), uint8(3))
+	f.Add(uint8(4), uint8(3), uint8(4), uint16(120), uint8(4))
+	f.Add(uint8(1), uint8(2), uint8(1), uint16(10), uint8(2))
+	strategies := mem.Strategies()
+	geo := workloads.SharedShape(workloads.Test)
+	f.Fuzz(func(t *testing.T, workers, rounds, invokes uint8, growMicros uint16, strat uint8) {
+		o := ThreadsOptions{
+			Engine:    EngineWAVM,
+			Strategy:  strategies[int(strat)%len(strategies)],
+			Profile:   isa.X86_64(),
+			Class:     workloads.Test,
+			Workers:   1 + int(workers)%geo.Workers,
+			Rounds:    1 + int(rounds)%4,
+			Invokes:   1 + int(invokes)%4,
+			GrowEvery: time.Duration(1+growMicros%500) * time.Microsecond,
+		}
+		res, err := RunShared(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.DigestOK {
+			t.Fatalf("%v workers=%d rounds=%d: digest %#x diverged from native",
+				o.Strategy, o.Workers, o.Rounds, res.Digest)
+		}
+	})
+}

@@ -66,15 +66,15 @@ func TestGrowPastMaxLeavesStateIntact(t *testing.T) {
 		t.Run(s.String(), func(t *testing.T) {
 			m := newMem(t, s, 2, 4)
 			m.StoreU64(0, 42)
-			limit := m.fastLimit
+			limit := m.fastLimit.Load()
 			if got := m.Grow(3); got != -1 {
 				t.Fatalf("grow(3) from 2/4: %d, want -1", got)
 			}
 			if m.SizePages() != 2 {
 				t.Errorf("size %d after failed grow, want 2", m.SizePages())
 			}
-			if m.fastLimit != limit {
-				t.Errorf("fastLimit moved %d -> %d on failed grow", limit, m.fastLimit)
+			if got := m.fastLimit.Load(); got != limit {
+				t.Errorf("fastLimit moved %d -> %d on failed grow", limit, got)
 			}
 			if m.LoadU64(0) != 42 {
 				t.Error("data lost on failed grow")

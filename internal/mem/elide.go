@@ -53,7 +53,7 @@ func (m *Memory) CheckRange(addr, n uint64, write bool) (uint64, bool) {
 	if end < addr {
 		return 0, false
 	}
-	if m.strategy != Clamp && end <= m.fastLimit {
+	if m.strategy != Clamp && end <= m.fastLimit.Load() {
 		return addr, true
 	}
 	switch m.strategy {
@@ -62,10 +62,15 @@ func (m *Memory) CheckRange(addr, n uint64, write bool) (uint64, bool) {
 		return 0, false
 	case None, Trap:
 		// fastLimit is the backing length (none) or the wasm-visible
-		// size (trap): past it the range is genuinely out of bounds.
+		// size (trap): past it the range is genuinely out of bounds —
+		// unless a shared grow published a larger size after the
+		// watermark read above.
+		if m.strategy == Trap && end <= m.sizeBytes.Load() {
+			return addr, true
+		}
 		return 0, false
 	case Mprotect, Uffd:
-		if end > m.sizeBytes {
+		if end > m.sizeBytes.Load() {
 			return 0, false
 		}
 		m.faultRange(addr, n, write)

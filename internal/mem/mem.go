@@ -21,6 +21,8 @@ package mem
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 	"unsafe"
 
@@ -123,6 +125,15 @@ type Config struct {
 	// latency the paper's footnote 2 cites as the reason to prefer
 	// SIGBUS delivery.
 	UffdPoll bool
+	// Shared marks the memory as a wasm-threads-style shared linear
+	// memory: many instances (one per worker thread) attach to it and
+	// access it concurrently. Grow serializes on an internal mutex and
+	// publishes the new length with release ordering per strategy (see
+	// Grow); plain accessors stay the single-watermark fast path and
+	// are safe for concurrent use at disjoint addresses, while racing
+	// same-address traffic must go through the Atomic* accessors.
+	// Shared memories refuse Snapshot (and therefore template forks).
+	Shared bool
 	// Span is the causal parent for spans emitted during
 	// instantiation (kernel.mmap, pool.get) and, until SetSpanParent
 	// repoints it, for subsequent kernel work on the mapping. Zero
@@ -130,22 +141,31 @@ type Config struct {
 	Span obs.SpanRef
 }
 
-// Memory is one instance's linear memory. Not safe for concurrent
-// use: each wasm instance owns one, as the paper's isolates do.
+// Memory is one instance's linear memory. A private memory (the
+// default) is not safe for concurrent use: each wasm instance owns
+// one, as the paper's isolates do. A memory created with
+// Config.Shared is attached to many instances at once; its size
+// bookkeeping is atomic, Grow serializes internally, and racing
+// same-address traffic must use the Atomic* accessors (shared.go).
 type Memory struct {
 	strategy Strategy
 	data     []byte
-	// sizeBytes is the wasm-visible memory size.
-	sizeBytes uint64
+	// sizeBytes is the wasm-visible memory size. Atomic because a
+	// shared memory's grower publishes it while sibling workers load
+	// it on their slow paths (and via SizeBytes/memory.size).
+	sizeBytes atomic.Uint64
 	// fastLimit is the fast-path watermark: accesses at or below it
 	// proceed with no further checks. Its meaning is per-strategy:
 	// backing length for none, sizeBytes for clamp/trap, committed
-	// contiguous prefix for mprotect/uffd.
-	fastLimit uint64
+	// contiguous prefix for mprotect/uffd. Atomic for the same reason
+	// as sizeBytes; on amd64/arm64 the Load compiles to a plain move,
+	// so the fast path stays a single compare.
+	fastLimit atomic.Uint64
 	// committedEnd tracks the highest byte this instance has caused
 	// to be committed (fault path), which may exceed fastLimit when
 	// commits are scattered; arena recycling clears up to it.
-	committedEnd uint64
+	// Advanced by CAS-max: concurrent fault handlers race to raise it.
+	committedEnd atomic.Uint64
 	maxBytes     uint64
 	minBytes     uint64
 	// gen counts grows. A HostMemView handed to the embedder records
@@ -153,13 +173,19 @@ type Memory struct {
 	// mid-hostcall memory.grow tells the view its window may be stale
 	// (the backing array can move or extend) and it must revalidate
 	// before further use.
-	gen     uint64
+	gen     atomic.Uint64
 	mapping *vmm.Mapping
-	pool         *ArenaPool
-	arena        *arena // non-nil when pooled (uffd)
-	poll         *uffdServer
-	eager        bool // mprotect strategy: commit at grow time
-	closed       bool
+	pool    *ArenaPool
+	arena   *arena // non-nil when pooled (uffd)
+	poll    *uffdServer
+	eager   bool // mprotect strategy: commit at grow time
+	closed  bool
+	// shared marks a wasm-threads-style shared memory (Config.Shared):
+	// growMu serializes Grow against concurrent growers, and Grow
+	// orders page commits before the length publication so a sibling
+	// that observes the new size finds its pages already backed.
+	shared bool
+	growMu sync.Mutex
 
 	// ptr caches the base of the backing array for the unchecked
 	// accessors: a raw-pointer load skips both the watermark compare
@@ -215,23 +241,25 @@ func New(cfg Config) (*Memory, error) {
 	sc := cfg.AS.Obs().Child("mem").Child(cfg.Strategy.String())
 	m := &Memory{
 		strategy:     cfg.Strategy,
-		sizeBytes:    uint64(cfg.MinPages) * wasm.PageSize,
 		minBytes:     uint64(cfg.MinPages) * wasm.PageSize,
 		maxBytes:     uint64(cfg.MaxPages) * wasm.PageSize,
+		shared:       cfg.Shared,
 		obs:          sc,
 		growCalls:    sc.Counter("grows"),
 		faultCommits: sc.Counter("fault_commits"),
 		faultPages:   sc.Counter("fault_pages"),
 		inj:          cfg.AS.Injector(),
 	}
+	m.sizeBytes.Store(uint64(cfg.MinPages) * wasm.PageSize)
+	size := m.sizeBytes.Load()
 	switch cfg.Strategy {
 	case None, Clamp, Trap:
 		mp, err := cfg.AS.MmapTraced(Reserve, m.maxBytes, vmm.ProtRW, cfg.Span)
 		if err != nil {
 			return nil, err
 		}
-		if m.sizeBytes > 0 {
-			if err := mp.Touch(0, m.sizeBytes); err != nil {
+		if size > 0 {
+			if err := mp.Touch(0, size); err != nil {
 				cleanup(cfg.AS, mp)
 				return nil, err
 			}
@@ -239,9 +267,9 @@ func New(cfg Config) (*Memory, error) {
 		m.mapping = mp
 		m.data = mp.Data()
 		if cfg.Strategy == None {
-			m.fastLimit = mp.Backing()
+			m.fastLimit.Store(mp.Backing())
 		} else {
-			m.fastLimit = m.sizeBytes
+			m.fastLimit.Store(size)
 		}
 	case Mprotect:
 		mp, err := cfg.AS.MmapTraced(Reserve, m.maxBytes, vmm.ProtNone, cfg.Span)
@@ -250,14 +278,13 @@ func New(cfg Config) (*Memory, error) {
 		}
 		m.mapping = mp
 		m.data = mp.Data()
-		m.fastLimit = 0
 		m.eager = cfg.EagerCommit
-		if m.eager && m.sizeBytes > 0 {
-			if err := m.mprotectRetry(mp, 0, m.sizeBytes); err != nil {
+		if m.eager && size > 0 {
+			if err := m.mprotectRetry(mp, 0, size); err != nil {
 				cleanup(cfg.AS, mp)
 				return nil, err
 			}
-			m.fastLimit = m.sizeBytes
+			m.fastLimit.Store(size)
 		}
 	case Uffd:
 		if cfg.DisablePool {
@@ -271,7 +298,6 @@ func New(cfg Config) (*Memory, error) {
 			}
 			m.mapping = mp
 			m.data = mp.Data()
-			m.fastLimit = 0
 			if cfg.UffdPoll {
 				m.poll = newUffdServer()
 			}
@@ -295,7 +321,6 @@ func New(cfg Config) (*Memory, error) {
 				m.strategy = Mprotect
 				m.mapping = mp
 				m.data = mp.Data()
-				m.fastLimit = 0
 				sc.Counter("uffd_fallbacks").Inc()
 				m.inj.Recovered(site)
 				break
@@ -306,7 +331,6 @@ func New(cfg Config) (*Memory, error) {
 		m.pool = cfg.Pool
 		m.mapping = a.mapping
 		m.data = a.mapping.Data()
-		m.fastLimit = 0
 		if cfg.UffdPoll {
 			m.poll = cfg.Pool.pollServer
 		}
@@ -331,7 +355,7 @@ func (m *Memory) Close() error {
 	}
 	m.closed = true
 	if m.arena != nil {
-		return m.pool.put(m.arena, max(m.fastLimit, m.committedEnd))
+		return m.pool.put(m.arena, max(m.fastLimit.Load(), m.committedEnd.Load()))
 	}
 	if m.poll != nil {
 		// Instance-owned handler thread (pool-less poll mode).
@@ -355,17 +379,34 @@ func (m *Memory) SetSpanParent(ref obs.SpanRef) {
 // Strategy returns the memory's bounds-checking strategy.
 func (m *Memory) Strategy() Strategy { return m.strategy }
 
+// Shared reports whether this is a wasm-threads-style shared memory.
+func (m *Memory) Shared() bool { return m.shared }
+
 // SizeBytes returns the current wasm-visible size in bytes.
-func (m *Memory) SizeBytes() uint64 { return m.sizeBytes }
+func (m *Memory) SizeBytes() uint64 { return m.sizeBytes.Load() }
 
 // SizePages returns the current size in wasm pages.
-func (m *Memory) SizePages() uint32 { return uint32(m.sizeBytes / wasm.PageSize) }
+func (m *Memory) SizePages() uint32 { return uint32(m.sizeBytes.Load() / wasm.PageSize) }
+
+// MaxPages returns the page limit the memory was created with.
+func (m *Memory) MaxPages() uint32 { return uint32(m.maxBytes / wasm.PageSize) }
 
 // Generation returns the grow generation: it advances on every
 // successful Grow. Host-boundary code captures it when validating a
 // memory window and compares on re-entry — an unchanged generation
 // proves the window's range check still holds.
-func (m *Memory) Generation() uint64 { return m.gen }
+func (m *Memory) Generation() uint64 { return m.gen.Load() }
+
+// storeMax raises a to at least v (CAS loop; concurrent raisers are
+// all monotone, so the maximum wins).
+func storeMax(a *atomic.Uint64, v uint64) {
+	for {
+		cur := a.Load()
+		if v <= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
 
 // Grow grows the memory by delta pages, returning the previous size
 // in pages, or -1 if the limit would be exceeded. The management
@@ -373,9 +414,32 @@ func (m *Memory) Generation() uint64 { return m.gen }
 // mprotect defers to faults (the paper's default runtimes resize
 // with mprotect, which the fault path performs under the process
 // lock), and uffd only moves the atomic size watermark.
+//
+// On a shared memory Grow serializes on an internal mutex and
+// publishes in commit-then-length order:
+//
+//	none/clamp/trap  touch-commit the new pages, raise fastLimit,
+//	                 then store sizeBytes — a sibling that observes
+//	                 the new size (memory.size, slow-path recheck)
+//	                 finds its pages already backed and its watermark
+//	                 already raised;
+//	mprotect         publish the length only; sibling accesses fault
+//	                 and remap under the real VMA lock (the paper's
+//	                 contention case), or one eager mprotect runs
+//	                 under that lock here when EagerCommit is set;
+//	uffd             publish the length only; the arena's userfaultfd
+//	                 registration spans the whole reservation, so no
+//	                 remap or reregistration happens — sibling faults
+//	                 populate lock-free (pool deployments keep
+//	                 resolving through the existing pollServer).
 func (m *Memory) Grow(delta uint32) int32 {
-	old := m.SizePages()
-	newBytes := m.sizeBytes + uint64(delta)*wasm.PageSize
+	if m.shared {
+		m.growMu.Lock()
+		defer m.growMu.Unlock()
+	}
+	prev := m.sizeBytes.Load()
+	old := uint32(prev / wasm.PageSize)
+	newBytes := prev + uint64(delta)*wasm.PageSize
 	if newBytes > m.maxBytes {
 		return -1
 	}
@@ -386,9 +450,6 @@ func (m *Memory) Grow(delta uint32) int32 {
 		// enabled by plans that opt into SiteGrow.
 		return -1
 	}
-	prev := m.sizeBytes
-	m.sizeBytes = newBytes
-	m.gen++
 	m.growCalls.Inc()
 	m.obs.Emit(obs.EvGrow, int64(delta), int64(m.strategy))
 	switch m.strategy {
@@ -400,22 +461,22 @@ func (m *Memory) Grow(delta uint32) int32 {
 		if err := m.mapping.Touch(prev, newBytes-prev); err != nil {
 			trap.Throwf(trap.MemoryLimit, "grow: %v", err)
 		}
-		m.fastLimit = newBytes
+		storeMax(&m.fastLimit, newBytes)
 	case Mprotect:
 		if m.eager {
 			if err := m.mprotectRetry(m.mapping, prev, newBytes-prev); err != nil {
 				trap.Throwf(trap.MemoryLimit, "grow: %v", err)
 			}
-			m.fastLimit = newBytes
-			if newBytes > m.committedEnd {
-				m.committedEnd = newBytes
-			}
+			storeMax(&m.fastLimit, newBytes)
+			storeMax(&m.committedEnd, newBytes)
 			break
 		}
 		// Lazy: pages commit on first fault.
 	case Uffd:
 		// Lazy: pages commit on first fault.
 	}
+	m.gen.Add(1)
+	m.sizeBytes.Store(newBytes)
 	return int32(old)
 }
 
@@ -425,7 +486,7 @@ func (m *Memory) Grow(delta uint32) int32 {
 
 // LoadU8 reads one byte.
 func (m *Memory) LoadU8(addr uint64) byte {
-	if addr+1 > m.fastLimit {
+	if addr+1 > m.fastLimit.Load() {
 		addr = m.slow(addr, 1, false)
 	}
 	return m.data[addr]
@@ -433,7 +494,7 @@ func (m *Memory) LoadU8(addr uint64) byte {
 
 // LoadU16 reads a little-endian uint16.
 func (m *Memory) LoadU16(addr uint64) uint16 {
-	if addr+2 > m.fastLimit {
+	if addr+2 > m.fastLimit.Load() {
 		addr = m.slow(addr, 2, false)
 	}
 	return binary.LittleEndian.Uint16(m.data[addr:])
@@ -441,7 +502,7 @@ func (m *Memory) LoadU16(addr uint64) uint16 {
 
 // LoadU32 reads a little-endian uint32.
 func (m *Memory) LoadU32(addr uint64) uint32 {
-	if addr+4 > m.fastLimit {
+	if addr+4 > m.fastLimit.Load() {
 		addr = m.slow(addr, 4, false)
 	}
 	return binary.LittleEndian.Uint32(m.data[addr:])
@@ -449,7 +510,7 @@ func (m *Memory) LoadU32(addr uint64) uint32 {
 
 // LoadU64 reads a little-endian uint64.
 func (m *Memory) LoadU64(addr uint64) uint64 {
-	if addr+8 > m.fastLimit {
+	if addr+8 > m.fastLimit.Load() {
 		addr = m.slow(addr, 8, false)
 	}
 	return binary.LittleEndian.Uint64(m.data[addr:])
@@ -457,7 +518,7 @@ func (m *Memory) LoadU64(addr uint64) uint64 {
 
 // StoreU8 writes one byte.
 func (m *Memory) StoreU8(addr uint64, v byte) {
-	if addr+1 > m.fastLimit {
+	if addr+1 > m.fastLimit.Load() {
 		addr = m.slow(addr, 1, true)
 	}
 	m.data[addr] = v
@@ -465,7 +526,7 @@ func (m *Memory) StoreU8(addr uint64, v byte) {
 
 // StoreU16 writes a little-endian uint16.
 func (m *Memory) StoreU16(addr uint64, v uint16) {
-	if addr+2 > m.fastLimit {
+	if addr+2 > m.fastLimit.Load() {
 		addr = m.slow(addr, 2, true)
 	}
 	binary.LittleEndian.PutUint16(m.data[addr:], v)
@@ -473,7 +534,7 @@ func (m *Memory) StoreU16(addr uint64, v uint16) {
 
 // StoreU32 writes a little-endian uint32.
 func (m *Memory) StoreU32(addr uint64, v uint32) {
-	if addr+4 > m.fastLimit {
+	if addr+4 > m.fastLimit.Load() {
 		addr = m.slow(addr, 4, true)
 	}
 	binary.LittleEndian.PutUint32(m.data[addr:], v)
@@ -481,7 +542,7 @@ func (m *Memory) StoreU32(addr uint64, v uint32) {
 
 // StoreU64 writes a little-endian uint64.
 func (m *Memory) StoreU64(addr uint64, v uint64) {
-	if addr+8 > m.fastLimit {
+	if addr+8 > m.fastLimit.Load() {
 		addr = m.slow(addr, 8, true)
 	}
 	binary.LittleEndian.PutUint64(m.data[addr:], v)
@@ -498,13 +559,27 @@ func (m *Memory) slow(addr, n uint64, write bool) uint64 {
 		// garbage inside the 8 GiB window; the simulator refuses.
 		trap.Throwf(trap.OutOfBounds, "none-strategy access at %#x beyond backing", addr)
 	case Clamp:
+		// A shared grow may have raised sizeBytes after this access read
+		// a stale fastLimit; re-check against the published length before
+		// redirecting, so racing accesses never clamp spuriously.
+		size := m.sizeBytes.Load()
+		if addr+n <= size && addr+n >= addr {
+			return addr
+		}
 		// Out-of-bounds accesses are redirected to the end of memory.
-		if m.sizeBytes < n {
+		if size < n {
 			trap.Throwf(trap.OutOfBounds, "clamp with empty memory")
 		}
-		return m.sizeBytes - n
+		return size - n
 	case Trap:
-		trap.Throwf(trap.OutOfBounds, "trap check failed at %#x+%d (size %d)", addr, n, m.sizeBytes)
+		// Same stale-watermark re-check as clamp: a racing shared grow
+		// publishes sizeBytes after committing pages, so an access that
+		// fits the published length is in bounds even when the cached
+		// fastLimit said otherwise.
+		if size := m.sizeBytes.Load(); addr+n <= size && addr+n >= addr {
+			return addr
+		}
+		trap.Throwf(trap.OutOfBounds, "trap check failed at %#x+%d (size %d)", addr, n, m.sizeBytes.Load())
 	case Mprotect, Uffd:
 		return m.fault(addr, n, write)
 	}
@@ -520,8 +595,8 @@ func (m *Memory) slow(addr, n uint64, write bool) uint64 {
 func (m *Memory) fault(addr, n uint64, write bool) uint64 {
 	// The runtime's handler knows the instance's true size; accesses
 	// beyond it are genuine bounds violations.
-	if addr+n > m.sizeBytes || addr+n < addr {
-		trap.Throwf(trap.OutOfBounds, "access at %#x+%d beyond size %d", addr, n, m.sizeBytes)
+	if size := m.sizeBytes.Load(); addr+n > size || addr+n < addr {
+		trap.Throwf(trap.OutOfBounds, "access at %#x+%d beyond size %d", addr, n, size)
 	}
 	// Open the fault span under the mapping's current parent (the
 	// invoke that triggered the access) and make it the parent of the
@@ -585,9 +660,7 @@ func (m *Memory) fault(addr, n uint64, write bool) uint64 {
 		if lastErr != nil {
 			m.inj.Recovered(lastSite)
 		}
-		if end > m.committedEnd {
-			m.committedEnd = end
-		}
+		storeMax(&m.committedEnd, end)
 		m.faultCommits.Inc()
 		if kind != vmm.FaultResolved {
 			// Pages spanned by this handler invocation's commit; a bulk
@@ -630,13 +703,11 @@ func (m *Memory) mprotectRetry(mp *vmm.Mapping, off, length uint64) error {
 // advanceWatermark extends the fast-path limit over the contiguous
 // committed prefix so subsequent accesses skip the fault path.
 func (m *Memory) advanceWatermark() {
-	w := m.mapping.CommittedPrefix(m.fastLimit)
-	if w > m.sizeBytes {
-		w = m.sizeBytes
+	w := m.mapping.CommittedPrefix(m.fastLimit.Load())
+	if size := m.sizeBytes.Load(); w > size {
+		w = size
 	}
-	if w > m.fastLimit {
-		m.fastLimit = w
-	}
+	storeMax(&m.fastLimit, w)
 }
 
 // Bytes returns a slice over [addr, addr+n) after ensuring the range
@@ -646,14 +717,15 @@ func (m *Memory) advanceWatermark() {
 // through one CheckRange call — bulk operations pay one check, not
 // one per page or per element.
 func (m *Memory) Bytes(addr, n uint64, write bool) []byte {
+	size := m.sizeBytes.Load()
 	if n == 0 {
-		if addr > m.sizeBytes {
+		if addr > size {
 			trap.Throwf(trap.OutOfBounds, "zero-length access at %#x beyond size", addr)
 		}
 		return nil
 	}
-	if addr+n > m.sizeBytes || addr+n < addr {
-		trap.Throwf(trap.OutOfBounds, "bulk access [%#x,%#x) beyond size %d", addr, addr+n, m.sizeBytes)
+	if addr+n > size || addr+n < addr {
+		trap.Throwf(trap.OutOfBounds, "bulk access [%#x,%#x) beyond size %d", addr, addr+n, size)
 	}
 	// Bulk operations trap on out-of-bounds under every strategy
 	// (wasm's memory.copy/fill semantics), so the clamp redirect does
@@ -662,7 +734,7 @@ func (m *Memory) Bytes(addr, n uint64, write bool) []byte {
 	// non-clamp strategies CheckRange cannot fail.
 	if m.strategy != Clamp {
 		if _, ok := m.CheckRange(addr, n, write); !ok {
-			trap.Throwf(trap.OutOfBounds, "bulk access [%#x,%#x) beyond size %d", addr, addr+n, m.sizeBytes)
+			trap.Throwf(trap.OutOfBounds, "bulk access [%#x,%#x) beyond size %d", addr, addr+n, size)
 		}
 	}
 	return m.data[addr : addr+n]
@@ -679,7 +751,7 @@ func (m *Memory) WriteAt(addr uint64, b []byte) {
 // Fill implements memory.fill.
 func (m *Memory) Fill(dst, val, n uint64) {
 	if n == 0 {
-		if dst > m.sizeBytes {
+		if dst > m.sizeBytes.Load() {
 			trap.Throw(trap.OutOfBounds)
 		}
 		return
@@ -693,7 +765,7 @@ func (m *Memory) Fill(dst, val, n uint64) {
 // Copy implements memory.copy (memmove semantics).
 func (m *Memory) Copy(dst, src, n uint64) {
 	if n == 0 {
-		if dst > m.sizeBytes || src > m.sizeBytes {
+		if size := m.sizeBytes.Load(); dst > size || src > size {
 			trap.Throw(trap.OutOfBounds)
 		}
 		return

@@ -1,0 +1,113 @@
+// Wasm-threads-style atomic accessors for shared linear memory.
+//
+// The threads proposal gives every thread of an agent the same linear
+// memory and adds atomic loads, stores, and read-modify-write ops
+// over it. This file implements that accessor family directly on the
+// backing mapping with Go's sync/atomic over the arena bytes:
+//
+//   - Atomic accesses trap on unaligned addresses (trap.UnalignedAtomic)
+//     instead of tearing, exactly as the proposal specifies — the
+//     alignment check happens before the bounds check, matching the
+//     validation order production engines use.
+//   - Bounds checking goes through the same fast-path watermark
+//     compare as the plain accessors, so each strategy's cost model
+//     (and clamp's per-access redirect) applies unchanged. Clamp
+//     redirects preserve the width's alignment because size and
+//     watermark are always page-multiples.
+//   - The accessors are safe under concurrent use from any number of
+//     instances attached to one shared Memory: the fast-path fields
+//     are atomics, grow publishes commit-then-length (see Grow), and
+//     the data access itself is a single aligned atomic instruction.
+//
+// Plain (non-atomic) LoadU*/StoreU* remain valid on shared memories
+// for addresses the guest program keeps thread-disjoint — the usual
+// data/race contract of shared-memory wasm.
+package mem
+
+import (
+	"sync/atomic"
+	"unsafe"
+
+	"leapsandbounds/internal/trap"
+)
+
+// checkAtomic validates alignment and bounds for a width-byte atomic
+// access and returns the effective address (clamp may redirect).
+func (m *Memory) checkAtomic(addr, width uint64) uint64 {
+	if addr&(width-1) != 0 {
+		trap.Throwf(trap.UnalignedAtomic, "atomic %d-byte access at %#x", width, addr)
+	}
+	if addr+width > m.fastLimit.Load() {
+		addr = m.slow(addr, width, true)
+	}
+	return addr
+}
+
+// AtomicLoadU32 performs an i32.atomic.load.
+func (m *Memory) AtomicLoadU32(addr uint64) uint32 {
+	addr = m.checkAtomic(addr, 4)
+	return (*atomic.Uint32)(unsafe.Add(m.ptr, uintptr(addr))).Load()
+}
+
+// AtomicStoreU32 performs an i32.atomic.store.
+func (m *Memory) AtomicStoreU32(addr uint64, v uint32) {
+	addr = m.checkAtomic(addr, 4)
+	(*atomic.Uint32)(unsafe.Add(m.ptr, uintptr(addr))).Store(v)
+}
+
+// AtomicAddU32 performs an i32.atomic.rmw.add, returning the old value.
+func (m *Memory) AtomicAddU32(addr uint64, delta uint32) uint32 {
+	addr = m.checkAtomic(addr, 4)
+	return (*atomic.Uint32)(unsafe.Add(m.ptr, uintptr(addr))).Add(delta) - delta
+}
+
+// AtomicCasU32 performs an i32.atomic.rmw.cmpxchg, returning the
+// value observed before the operation (the wasm semantics: old on
+// success, current on failure).
+func (m *Memory) AtomicCasU32(addr uint64, old, new uint32) uint32 {
+	addr = m.checkAtomic(addr, 4)
+	a := (*atomic.Uint32)(unsafe.Add(m.ptr, uintptr(addr)))
+	for {
+		cur := a.Load()
+		if cur != old {
+			return cur
+		}
+		if a.CompareAndSwap(old, new) {
+			return old
+		}
+	}
+}
+
+// AtomicLoadU64 performs an i64.atomic.load.
+func (m *Memory) AtomicLoadU64(addr uint64) uint64 {
+	addr = m.checkAtomic(addr, 8)
+	return (*atomic.Uint64)(unsafe.Add(m.ptr, uintptr(addr))).Load()
+}
+
+// AtomicStoreU64 performs an i64.atomic.store.
+func (m *Memory) AtomicStoreU64(addr uint64, v uint64) {
+	addr = m.checkAtomic(addr, 8)
+	(*atomic.Uint64)(unsafe.Add(m.ptr, uintptr(addr))).Store(v)
+}
+
+// AtomicAddU64 performs an i64.atomic.rmw.add, returning the old value.
+func (m *Memory) AtomicAddU64(addr uint64, delta uint64) uint64 {
+	addr = m.checkAtomic(addr, 8)
+	return (*atomic.Uint64)(unsafe.Add(m.ptr, uintptr(addr))).Add(delta) - delta
+}
+
+// AtomicCasU64 performs an i64.atomic.rmw.cmpxchg with the same
+// observed-value return contract as AtomicCasU32.
+func (m *Memory) AtomicCasU64(addr uint64, old, new uint64) uint64 {
+	addr = m.checkAtomic(addr, 8)
+	a := (*atomic.Uint64)(unsafe.Add(m.ptr, uintptr(addr)))
+	for {
+		cur := a.Load()
+		if cur != old {
+			return cur
+		}
+		if a.CompareAndSwap(old, new) {
+			return old
+		}
+	}
+}

@@ -58,12 +58,21 @@ func (m *Memory) Snapshot() (*Snapshot, error) {
 	if m.closed {
 		return nil, fmt.Errorf("mem: snapshot of closed memory")
 	}
+	if m.shared {
+		// A shared memory has racing writers by construction; a
+		// mid-traffic copy would tear, and the threads proposal gives a
+		// shared memory to every thread of the agent anyway — forking a
+		// private duplicate has no sound semantics. Callers (Template
+		// construction, Fork) must refuse.
+		return nil, fmt.Errorf("mem: cannot snapshot a shared memory")
+	}
 	// Uncommitted pages of the lazy strategies hold zeros in the
 	// backing slice — exactly their wasm-visible content — so one
 	// contiguous copy of [0, sizeBytes) is correct for every strategy.
+	size := m.sizeBytes.Load()
 	return &Snapshot{
-		src:       vmm.NewPageSource(m.mapping.PageSize(), m.data[:m.sizeBytes]),
-		sizeBytes: m.sizeBytes,
+		src:       vmm.NewPageSource(m.mapping.PageSize(), m.data[:size]),
+		sizeBytes: size,
 		minBytes:  m.minBytes,
 		maxBytes:  m.maxBytes,
 	}, nil
@@ -85,7 +94,6 @@ func NewFromSnapshot(cfg Config, snap *Snapshot) (*Memory, error) {
 	sc := cfg.AS.Obs().Child("mem").Child(cfg.Strategy.String())
 	m := &Memory{
 		strategy:     cfg.Strategy,
-		sizeBytes:    snap.sizeBytes,
 		minBytes:     snap.minBytes,
 		maxBytes:     snap.maxBytes,
 		obs:          sc,
@@ -94,6 +102,7 @@ func NewFromSnapshot(cfg Config, snap *Snapshot) (*Memory, error) {
 		faultPages:   sc.Counter("fault_pages"),
 		inj:          cfg.AS.Injector(),
 	}
+	m.sizeBytes.Store(snap.sizeBytes)
 	sc.Counter("forks").Inc()
 	switch cfg.Strategy {
 	case None, Clamp, Trap:
@@ -104,8 +113,8 @@ func NewFromSnapshot(cfg Config, snap *Snapshot) (*Memory, error) {
 		if err != nil {
 			return nil, err
 		}
-		if m.sizeBytes > 0 {
-			if err := mp.Touch(0, m.sizeBytes); err != nil {
+		if size := m.sizeBytes.Load(); size > 0 {
+			if err := mp.Touch(0, size); err != nil {
 				cleanup(cfg.AS, mp)
 				return nil, err
 			}
@@ -113,9 +122,9 @@ func NewFromSnapshot(cfg Config, snap *Snapshot) (*Memory, error) {
 		m.mapping = mp
 		m.data = mp.Data()
 		if cfg.Strategy == None {
-			m.fastLimit = mp.Backing()
+			m.fastLimit.Store(mp.Backing())
 		} else {
-			m.fastLimit = m.sizeBytes
+			m.fastLimit.Store(m.sizeBytes.Load())
 		}
 	case Mprotect:
 		mp, err := cfg.AS.MmapCoWTraced(Reserve, m.maxBytes, vmm.ProtNone, snap.src, cfg.Span)
@@ -124,15 +133,14 @@ func NewFromSnapshot(cfg Config, snap *Snapshot) (*Memory, error) {
 		}
 		m.mapping = mp
 		m.data = mp.Data()
-		m.fastLimit = 0
 		m.eager = cfg.EagerCommit
-		if m.eager && m.sizeBytes > 0 {
-			if err := m.mprotectRetry(mp, 0, m.sizeBytes); err != nil {
+		if size := m.sizeBytes.Load(); m.eager && size > 0 {
+			if err := m.mprotectRetry(mp, 0, size); err != nil {
 				cleanup(cfg.AS, mp)
 				return nil, err
 			}
-			m.fastLimit = m.sizeBytes
-			m.committedEnd = m.sizeBytes
+			m.fastLimit.Store(size)
+			m.committedEnd.Store(size)
 		}
 	case Uffd:
 		if cfg.DisablePool {
@@ -146,7 +154,6 @@ func NewFromSnapshot(cfg Config, snap *Snapshot) (*Memory, error) {
 			}
 			m.mapping = mp
 			m.data = mp.Data()
-			m.fastLimit = 0
 			if cfg.UffdPoll {
 				// Pool-less instances own their handler thread, forked
 				// or not; the shared-poller rule below applies to the
@@ -171,7 +178,6 @@ func NewFromSnapshot(cfg Config, snap *Snapshot) (*Memory, error) {
 				m.strategy = Mprotect
 				m.mapping = mp
 				m.data = mp.Data()
-				m.fastLimit = 0
 				sc.Counter("uffd_fallbacks").Inc()
 				m.inj.Recovered(site)
 				break
@@ -187,7 +193,6 @@ func NewFromSnapshot(cfg Config, snap *Snapshot) (*Memory, error) {
 		m.pool = cfg.Pool
 		m.mapping = a.mapping
 		m.data = a.mapping.Data()
-		m.fastLimit = 0
 		if cfg.UffdPoll {
 			// Forks register with the pool's one handler thread; a
 			// fork must never spawn a second poller for the process.

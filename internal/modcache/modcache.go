@@ -104,6 +104,10 @@ type Cache struct {
 	shards   [numShards]shard
 	enabled  atomic.Bool
 
+	// disk is the optional on-disk artifact tier (disk.go), consulted
+	// between the memory tier and compilation by GetOrCompileArtifact.
+	disk atomic.Pointer[DiskTier]
+
 	flightMu sync.Mutex
 	flights  map[Key]*flight
 
@@ -320,6 +324,14 @@ func (c *Cache) insert(k Key, cm core.CompiledModule, size, compileNs int64) {
 	}
 }
 
+// SetDiskTier attaches d as the on-disk artifact tier behind the
+// memory tier (nil detaches). Only GetOrCompileArtifact calls with a
+// codec consult it; GetOrCompile never touches disk.
+func (c *Cache) SetDiskTier(d *DiskTier) { c.disk.Store(d) }
+
+// DiskTier returns the attached disk tier, or nil.
+func (c *Cache) DiskTier() *DiskTier { return c.disk.Load() }
+
 // GetOrCompile implements core.ModuleCache. On a hit it returns the
 // cached artifact; on a miss it runs compile — deduplicated, so
 // concurrent misses on the same key run it exactly once — and caches
@@ -327,25 +339,41 @@ func (c *Cache) insert(k Key, cm core.CompiledModule, size, compileNs int64) {
 // be computed, falls through to a plain compile.
 func (c *Cache) GetOrCompile(m *wasm.Module, engine, opts string,
 	compile func() (core.CompiledModule, error)) (core.CompiledModule, bool, error) {
+	cm, prov, err := c.GetOrCompileArtifact(m, engine, opts, nil, compile)
+	return cm, prov != core.FromCompile, err
+}
+
+// GetOrCompileArtifact implements core.ArtifactCache: the resolution
+// chain is memory → disk → compile, with the whole miss path (disk
+// probe included) inside one singleflight so concurrent requesters of
+// an uncached key cost one disk read or one compile, never N.
+//
+// Accounting: exactly one miss is counted per flight — the owner's.
+// Waiters count as dedups and are served from the flight (provenance
+// FromMemory: no work of their own ran). A disk hit decodes without
+// touching the Compiles counter, which is what lets tests pin the
+// zero-recompile property of a warm disk tier.
+//
+// A disabled cache bypasses every tier, disk included: SetEnabled is
+// the "measure the compile" knob, and a benchmark that asked for
+// compile cost must not be served decode cost instead.
+func (c *Cache) GetOrCompileArtifact(m *wasm.Module, engine, opts string, codec core.ArtifactCodec,
+	compile func() (core.CompiledModule, error)) (core.CompiledModule, core.Provenance, error) {
 	if !c.enabled.Load() {
 		cm, err := c.timedCompile(compile)
-		return cm, false, err
+		return cm, core.FromCompile, err
 	}
 	hash, err := m.ContentHash()
 	if err != nil {
 		cm, cerr := c.timedCompile(compile)
-		return cm, false, cerr
+		return cm, core.FromCompile, cerr
 	}
 	k := Key{Module: hash, Engine: engine, Opts: opts}
 	if cm, ok := c.lookup(k); ok {
-		return cm, true, nil
-	}
-	c.misses.Add(1)
-	if h := c.obsH.Load(); h != nil {
-		h.misses.Inc()
+		return cm, core.FromMemory, nil
 	}
 
-	// Singleflight: first requester compiles, the rest wait.
+	// Singleflight: first requester owns the miss path, the rest wait.
 	c.flightMu.Lock()
 	if f, ok := c.flights[k]; ok {
 		c.flightMu.Unlock()
@@ -361,19 +389,57 @@ func (c *Cache) GetOrCompile(m *wasm.Module, engine, opts string,
 				h.nsSaved.Add(f.compileNs)
 			}
 		}
-		return f.cm, true, f.err
+		return f.cm, core.FromMemory, f.err
 	}
 	f := &flight{done: make(chan struct{})}
 	c.flights[k] = f
 	c.flightMu.Unlock()
 
-	t0 := time.Now()
-	f.cm, f.err = compile()
-	f.compileNs = time.Since(t0).Nanoseconds()
-	c.compiles.Add(1)
+	// Owner: the one true miss for this key (waiters above are dedups,
+	// not misses — they are served from this flight's result).
+	c.misses.Add(1)
 	if h := c.obsH.Load(); h != nil {
-		h.compiles.Inc()
+		h.misses.Inc()
 	}
+
+	prov := core.FromCompile
+	if d := c.disk.Load(); d != nil && codec != nil {
+		if payload, ok := d.load(k); ok {
+			if cm, derr := codec.DecodeArtifact(m, payload); derr == nil {
+				f.cm = cm
+				prov = core.FromDisk
+			} else {
+				// A payload that passed the footer but fails the codec is
+				// corruption all the same (e.g. a stale artifact layout):
+				// delete so the slot heals on the next store.
+				d.decodeCorrupt(k)
+			}
+		}
+	}
+	if f.cm == nil && f.err == nil {
+		t0 := time.Now()
+		f.cm, f.err = compile()
+		f.compileNs = time.Since(t0).Nanoseconds()
+		c.compiles.Add(1)
+		if h := c.obsH.Load(); h != nil {
+			h.compiles.Inc()
+		}
+		if f.err == nil {
+			if d := c.disk.Load(); d != nil && codec != nil {
+				if payload, eerr := codec.EncodeArtifact(f.cm); eerr == nil {
+					d.store(k, payload)
+				}
+			}
+		}
+	}
+	// Publish to the memory tier before un-flighting: with the flight
+	// deleted first there would be a window in which a new requester
+	// misses both the shard and the flight map and starts a redundant
+	// compile. The entry becomes visible only after f.cm is fully
+	// constructed, so an eviction racing this insert (mid-singleflight,
+	// under byte pressure) can only drop a complete artifact — waiters
+	// still get f.cm from the flight, and later requesters recompile;
+	// nobody can observe a half-built module.
 	if f.err == nil {
 		c.insert(k, f.cm, EstimateSize(m), f.compileNs)
 	}
@@ -381,7 +447,7 @@ func (c *Cache) GetOrCompile(m *wasm.Module, engine, opts string,
 	delete(c.flights, k)
 	c.flightMu.Unlock()
 	close(f.done)
-	return f.cm, false, f.err
+	return f.cm, prov, f.err
 }
 
 // Peek implements core.ModuleCache: it returns the cached artifact
@@ -411,4 +477,7 @@ func (c *Cache) timedCompile(compile func() (core.CompiledModule, error)) (core.
 }
 
 // Interface conformance.
-var _ core.ModuleCache = (*Cache)(nil)
+var (
+	_ core.ModuleCache   = (*Cache)(nil)
+	_ core.ArtifactCache = (*Cache)(nil)
+)

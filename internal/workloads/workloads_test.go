@@ -112,7 +112,7 @@ func TestRegistryIntegrity(t *testing.T) {
 			t.Errorf("duplicate workload %q", s.Name)
 		}
 		seen[s.Name] = true
-		if s.Suite != "polybench" && s.Suite != "spec" && s.Suite != "wasi" {
+		if s.Suite != "polybench" && s.Suite != "spec" && s.Suite != "wasi" && s.Suite != "shared" {
 			t.Errorf("%s: unknown suite %q", s.Name, s.Suite)
 		}
 		if s.Suite == "wasi" && s.NewEnv == nil {

@@ -62,4 +62,14 @@ go test -race -count=1 -run 'TestDifferentialFork' -short ./internal/compiled/
 echo "== wasi-diff (host-boundary differential across strategies and engines, -race)"
 go test -race -count=1 -run 'TestDifferentialHostcall' ./internal/wasi/
 
+# Quick shared-memory differential: N worker threads invoking into
+# one shared linear memory while a grower races them must produce the
+# native twin's digest bit-for-bit under all five strategies — grow
+# timing, fault ordering and lock contention must never leak into
+# results. The race detector watches the whole topology: atomic
+# accessors, the commit-then-publish grow protocol, and concurrent
+# fault resolution on one mapping.
+echo "== threads-diff (shared-memory grow-under-traffic differential, -race)"
+go test -race -count=1 -run 'TestDifferentialShared' ./internal/harness/
+
 echo "verify: OK"
