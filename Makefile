@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify check bench bench-quick bench-hot bench-serve bench-wasi bench-threads bench-gate figures fuzz-smoke
+.PHONY: build test vet race verify check bench bench-quick bench-hot bench-serve bench-wasi bench-threads bench-gate figures fuzz-smoke prof-smoke
 
 build:
 	$(GO) build ./...
@@ -26,7 +26,19 @@ test:
 # attachment in core, and the RunShared contention driver in
 # harness).
 race:
-	$(GO) test -race -count=1 ./internal/obs/ ./internal/vmm/ ./internal/mem/ ./internal/faultinject/ ./internal/hazard/ ./internal/modcache/ ./internal/harness/ ./internal/compiled/ ./internal/rir/ ./internal/tiered/ ./internal/telemetry/ ./internal/core/ ./internal/wasi/
+	$(GO) test -race -count=1 ./internal/obs/ ./internal/vmm/ ./internal/mem/ ./internal/faultinject/ ./internal/hazard/ ./internal/modcache/ ./internal/harness/ ./internal/compiled/ ./internal/rir/ ./internal/tiered/ ./internal/telemetry/ ./internal/core/ ./internal/wasi/ ./internal/prof/
+
+# Profiler smoke: sample a short gemm run through the harness and
+# assert the profile is non-empty and its pprof export parses
+# (TestProfSmoke), then exercise the single-run -profile/-perf path
+# end to end via the CLI.
+prof-smoke:
+	$(GO) test -count=1 -run 'TestProfSmoke' -v ./internal/prof/
+	$(GO) run ./cmd/leapsbench -workload gemm -class test -engine wavm -strategy trap -elide=false -measure 4 -profile /tmp/leaps-prof-smoke -perf > /dev/null
+	@test -s /tmp/leaps-prof-smoke.folded || { echo "prof-smoke: empty folded profile"; exit 1; }
+	@test -s /tmp/leaps-prof-smoke.pb.gz || { echo "prof-smoke: empty pprof profile"; exit 1; }
+	@rm -f /tmp/leaps-prof-smoke.folded /tmp/leaps-prof-smoke.pb.gz
+	@echo "prof-smoke: OK"
 
 # Short coverage-guided fuzz pass over the binary decoder, the
 # validator, the elide on/off differential, the register-IR on/off

@@ -160,6 +160,20 @@ func runBenchGate(path string, quick bool) error {
 		{Name: "sweep_rir_checksums_match", OK: sweep.RIRChecksumsMatch, Got: b2f(sweep.RIRChecksumsMatch), Want: 1},
 		{Name: "sweep_rir_mean_improvement_pct", OK: meanRIRImprovement(sweep.RIRRuns) >= meanRIRImprovement(baseSweep.RIRRuns)-15,
 			Got: meanRIRImprovement(sweep.RIRRuns), Want: meanRIRImprovement(baseSweep.RIRRuns) - 15},
+		// The disabled sampling profiler must stay free: a created-but-
+		// never-started profiler takes the identical unsampled loops, so
+		// its paired-ratio overhead is gated at 10% (noise margin), and
+		// both arms must still compute the same checksum. These rows
+		// reference only the fresh side, so committed baselines from
+		// before the profiler existed still gate cleanly.
+		{Name: "prof_disabled_overhead", OK: sweep.ProfOverheadRatio <= 1.10,
+			Got: sweep.ProfOverheadRatio, Want: 1.10},
+		{Name: "prof_checksums_match", OK: sweep.ProfChecksumsMatch, Got: b2f(sweep.ProfChecksumsMatch), Want: 1},
+		// Counter provenance must be present in the fresh artifact: at
+		// least one of the two halves (perf events are often forbidden
+		// in sandboxes; rusage nearly never is).
+		{Name: "sweep_hw_provenance", OK: sweep.Perf.PerfSupported || sweep.Perf.RusageSupported,
+			Got: b2f(sweep.Perf.PerfSupported || sweep.Perf.RusageSupported), Want: 1},
 		{Name: "bce_checksums_match", OK: bce.AllChecksumsMatch, Got: b2f(bce.AllChecksumsMatch), Want: 1},
 		{Name: "bce_checks_elided", OK: bce.Elision.ChecksElided > 0,
 			Got: float64(bce.Elision.ChecksElided), Want: 1},

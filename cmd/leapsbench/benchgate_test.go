@@ -1,0 +1,77 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestLoadBaselineAcceptsLegacySweep pins the gate's forward
+// compatibility: a committed BENCH_sweep.json written before the
+// profiler existed has no perf/prof_* fields, and loadBaseline must
+// decode it with those fields zero-valued rather than erroring —
+// which is why every profiler gate row references only the fresh
+// side.
+func TestLoadBaselineAcceptsLegacySweep(t *testing.T) {
+	legacy := `{
+		"host_cpus": 16,
+		"gomaxprocs": 16,
+		"git_sha": "0123abc",
+		"class": "test",
+		"elide": true,
+		"rir": true,
+		"configs": ["run[engine=wavm workload=gemm strategy=trap threads=1]"],
+		"cold_serial_wall_ns": 1000,
+		"warm_parallel_wall_ns": 500,
+		"speedup": 2.0,
+		"cache_hits": 10,
+		"cache_misses": 0,
+		"cache_dedups": 0,
+		"cache_hit_rate": 1.0,
+		"compile_ns_saved": 123,
+		"prewarm_ns": 456,
+		"checksums_match": true,
+		"rir_runs": [{
+			"workload": "gemm", "strategy": "trap",
+			"rir_off_wall_ns": 100, "rir_on_wall_ns": 80,
+			"speedup": 1.25, "improvement_pct": 20, "checksums_match": true
+		}],
+		"rir_checksums_match": true
+	}`
+	path := filepath.Join(t.TempDir(), "BENCH_sweep.json")
+	if err := os.WriteFile(path, []byte(legacy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var rep benchSweepReport
+	if err := loadBaseline(path, &rep); err != nil {
+		t.Fatalf("legacy baseline rejected: %v", err)
+	}
+	if rep.GitSHA != "0123abc" || !rep.ChecksumsMatch || len(rep.RIRRuns) != 1 {
+		t.Errorf("legacy fields mis-decoded: %+v", rep)
+	}
+	// The profiler-era fields must come back zero-valued, not error.
+	if rep.Perf.PerfSupported || rep.Perf.RusageSupported {
+		t.Errorf("legacy baseline grew counter support: %+v", rep.Perf)
+	}
+	if rep.ProfOverheadRatio != 0 || rep.ProfOffWallNs != 0 || rep.ProfDisabledWallNs != 0 {
+		t.Errorf("legacy baseline grew prof overhead fields: %+v", rep)
+	}
+}
+
+// TestLoadBaselineCurrentArtifact guards against the committed
+// artifact drifting out of decode compatibility with the report
+// struct (run from the repo root via the package's test working
+// directory two levels up).
+func TestLoadBaselineCurrentArtifact(t *testing.T) {
+	path := filepath.Join("..", "..", "BENCH_sweep.json")
+	if _, err := os.Stat(path); err != nil {
+		t.Skipf("no committed artifact: %v", err)
+	}
+	var rep benchSweepReport
+	if err := loadBaseline(path, &rep); err != nil {
+		t.Fatalf("committed BENCH_sweep.json does not decode: %v", err)
+	}
+	if rep.GitSHA == "" || len(rep.Configs) == 0 {
+		t.Errorf("committed artifact missing provenance: sha %q, %d configs", rep.GitSHA, len(rep.Configs))
+	}
+}

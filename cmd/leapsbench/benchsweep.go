@@ -13,6 +13,7 @@ import (
 	"leapsandbounds/internal/isa"
 	"leapsandbounds/internal/mem"
 	"leapsandbounds/internal/modcache"
+	"leapsandbounds/internal/prof"
 	"leapsandbounds/internal/tiered"
 	"leapsandbounds/internal/workloads"
 )
@@ -46,6 +47,22 @@ type benchSweepReport struct {
 
 	RIRRuns           []benchRIRRun `json:"rir_runs"`
 	RIRChecksumsMatch bool          `json:"rir_checksums_match"`
+
+	// Perf is hardware-counter and rusage provenance for the whole
+	// sweep (perf_event group on the sweep's coordinating thread plus
+	// process-wide rusage); both halves degrade independently to
+	// Supported=false on hosts that forbid them.
+	Perf prof.HWStats `json:"perf"`
+
+	// Disabled-profiler overhead: the same gemm configuration run with
+	// no profiler versus a created-but-never-started one (whose
+	// Register returns nil, so instances take the identical unsampled
+	// loops). The ratio is the median of per-pass disabled/off ratios
+	// from interleaved passes; the wall fields are per-arm medians.
+	ProfOffWallNs      int64   `json:"prof_off_wall_ns"`
+	ProfDisabledWallNs int64   `json:"prof_disabled_wall_ns"`
+	ProfOverheadRatio  float64 `json:"prof_overhead_ratio"`
+	ProfChecksumsMatch bool    `json:"prof_checksums_match"`
 }
 
 // benchRIRRun is one workload × strategy cell of the register-IR
@@ -178,6 +195,16 @@ func runBenchSweep(path string, quick bool) error {
 // collectBenchSweep measures the cache benchmark and returns its
 // report (shared by -benchsweep and the -benchgate regression gate).
 func collectBenchSweep(quick bool) (*benchSweepReport, error) {
+	// Counter provenance brackets the whole collection. The perf group
+	// has calling-goroutine-thread scope, so pin the coordinator; the
+	// worker threads' execution shows up through rusage regardless.
+	runtime.LockOSThread()
+	defer runtime.UnlockOSThread()
+	hwGroup := prof.OpenGroup()
+	defer hwGroup.Close()
+	ru0 := prof.ReadRusage()
+	hw0 := hwGroup.Read()
+
 	optss, err := benchSweepConfigs(quick)
 	if err != nil {
 		return nil, err
@@ -257,7 +284,64 @@ func collectBenchSweep(quick bool) (*benchSweepReport, error) {
 	if err := collectRIRRuns(rep, quick); err != nil {
 		return nil, err
 	}
+	if err := collectProfOverhead(rep, quick); err != nil {
+		return nil, err
+	}
+	rep.Perf.MergeCounters(hw0.Delta(hwGroup.Read()))
+	rep.Perf.MergeRusage(ru0.Delta(prof.ReadRusage()))
 	return rep, nil
+}
+
+// collectProfOverhead measures the cost of compiling the profiler in
+// but leaving it off — the tentpole's "free when disabled" claim. Arm
+// A runs with Options.Prof nil; arm B passes a profiler that was
+// never started, so Register hands every instance a nil cell and both
+// arms execute byte-identical hot loops. The arms are interleaved per
+// pass and the gate holds the median per-pass ratio (see
+// collectRIRRuns for why paired ratios beat back-to-back arms).
+func collectProfOverhead(rep *benchSweepReport, quick bool) error {
+	warmup, measure, passes := 2, 7, 7
+	if quick {
+		warmup, measure, passes = 1, 5, 5
+	}
+	wl, err := workloads.ByName("gemm")
+	if err != nil {
+		return err
+	}
+	idle := prof.New(prof.DefaultHz, nil) // never started
+	walls := [2][]time.Duration{}
+	var ratios []float64
+	var sums [2]uint64
+	for p := 0; p < passes; p++ {
+		var pair [2]time.Duration
+		for i, sampler := range []*prof.Profiler{nil, idle} {
+			res, err := harness.Run(harness.Options{
+				Engine: harness.EngineWAVM, Workload: wl,
+				Class: workloads.Bench, Strategy: mem.Trap,
+				Profile: isa.X86_64(), Threads: 1,
+				Warmup: warmup, Measure: measure,
+				Prof: sampler,
+			})
+			if err != nil {
+				return err
+			}
+			pair[i] = res.MedianWall
+			walls[i] = append(walls[i], res.MedianWall)
+			sums[i] = res.Checksum
+		}
+		ratios = append(ratios, float64(pair[1])/float64(pair[0]))
+	}
+	var wall [2]time.Duration
+	for i := range walls {
+		sort.Slice(walls[i], func(a, b int) bool { return walls[i][a] < walls[i][b] })
+		wall[i] = walls[i][len(walls[i])/2]
+	}
+	sort.Float64s(ratios)
+	rep.ProfOffWallNs = wall[0].Nanoseconds()
+	rep.ProfDisabledWallNs = wall[1].Nanoseconds()
+	rep.ProfOverheadRatio = ratios[len(ratios)/2]
+	rep.ProfChecksumsMatch = sums[0] == sums[1]
+	return nil
 }
 
 // collectRIRRuns measures the register-IR ablation matrix on the

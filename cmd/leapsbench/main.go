@@ -32,6 +32,7 @@ import (
 	"leapsandbounds/internal/mem"
 	"leapsandbounds/internal/modcache"
 	"leapsandbounds/internal/obs"
+	"leapsandbounds/internal/prof"
 	"leapsandbounds/internal/rir"
 	"leapsandbounds/internal/telemetry"
 	"leapsandbounds/internal/workloads"
@@ -45,7 +46,7 @@ func main() {
 		workload = flag.String("workload", "", "single-run mode: workload name")
 		engine   = flag.String("engine", "wavm", "single-run mode: engine (native, wavm, wasmtime, v8, wasm3)")
 		strategy = flag.String("strategy", "mprotect", "single-run mode: bounds strategy")
-		profileN = flag.String("profile", "x86_64", "hardware profile: x86_64, aarch64, riscv64")
+		profileN = flag.String("isa", "x86_64", "hardware profile: x86_64, aarch64, riscv64")
 		threads  = flag.Int("threads", 1, "worker threads")
 		measure  = flag.Int("measure", 0, "measured iterations per thread")
 		warmup   = flag.Int("warmup", 0, "warm-up iterations per thread")
@@ -69,6 +70,9 @@ func main() {
 		diskdir  = flag.String("diskcache", "", "attach an on-disk compiled-artifact tier at this directory (cross-process cache; artifacts are content-addressed and corruption-checked)")
 		chaos    = flag.Int64("chaos", 0, "run the deterministic fault-injection sweep with this seed (twice, verifying the replay reproduces it exactly)")
 		list     = flag.Bool("list", false, "list workloads and engines")
+		profOut  = flag.String("profile", "", "single-run mode: sample the guest while the run executes and write <prefix>.folded and <prefix>.pb.gz; also prints the self-time table and per-strategy check share")
+		profHz   = flag.Int("profhz", prof.DefaultHz, "guest sampling frequency in Hz")
+		perfHW   = flag.Bool("perf", false, "single-run mode: read a perf_event counter group per worker plus rusage deltas around the measurement window and print the table")
 	)
 	flag.Parse()
 
@@ -87,8 +91,33 @@ func main() {
 			reg.EnableTracing(true)
 		}
 	}
+	// The guest sampling profiler is created before the telemetry
+	// server so -serve exposes it live at /debug/pprof/wasm; -serve
+	// alone samples without writing files.
+	var sampler *prof.Profiler
+	if *profOut != "" || *serve != "" {
+		var scope *obs.Scope
+		if reg != nil {
+			scope = reg.Scope("prof")
+		}
+		sampler = prof.New(*profHz, scope)
+		sampler.Start()
+		defer sampler.Stop()
+	}
 	if *serve != "" {
-		srv, err := telemetry.Start(*serve, reg)
+		var strategies []string
+		for _, st := range mem.Strategies() {
+			strategies = append(strategies, st.String())
+		}
+		srv, err := telemetry.StartOptions(*serve, reg, telemetry.HandlerOptions{
+			Build: telemetry.BuildInfo{
+				GitSHA:     gitSHA(),
+				Strategies: strings.Join(strategies, ","),
+				Elide:      *elide,
+				RIR:        *rirOn,
+			},
+			Prof: sampler,
+		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "leapsbench:", err)
 			os.Exit(1)
@@ -185,11 +214,19 @@ func main() {
 			Measure:  *measure,
 			Warmup:   *warmup,
 			Metrics:  reg,
+			Prof:     sampler,
 			Parallel: *parallel,
 		}
 		if err := runFigures(*fig, cfg); err != nil {
 			fmt.Fprintln(os.Stderr, "leapsbench:", err)
 			os.Exit(1)
+		}
+		if sampler != nil && *profOut != "" {
+			sampler.Stop()
+			if err := writeGuestProfile(sampler, *profOut); err != nil {
+				fmt.Fprintln(os.Stderr, "leapsbench:", err)
+				os.Exit(1)
+			}
 		}
 		if err := finishObs(reg, *metrics, *trace); err != nil {
 			fmt.Fprintln(os.Stderr, "leapsbench:", err)
@@ -219,19 +256,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, "leapsbench:", err)
 		os.Exit(1)
 	}
-	prof := isa.ByName(*profileN)
-	if prof == nil {
+	hwProfile := isa.ByName(*profileN)
+	if hwProfile == nil {
 		fmt.Fprintf(os.Stderr, "leapsbench: unknown profile %q\n", *profileN)
 		os.Exit(1)
 	}
 
 	if *ops {
-		counts, err := harness.OpHistogram(*engine, wl, cls, strat, prof)
+		counts, err := harness.OpHistogram(*engine, wl, cls, strat, hwProfile)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "leapsbench:", err)
 			os.Exit(1)
 		}
-		printOps(wl.Name, *engine, prof, counts)
+		printOps(wl.Name, *engine, hwProfile, counts)
 		return
 	}
 
@@ -240,7 +277,7 @@ func main() {
 		Workload:    wl,
 		Class:       cls,
 		Strategy:    strat,
-		Profile:     prof,
+		Profile:     hwProfile,
 		Threads:     *threads,
 		Measure:     *measure,
 		Warmup:      *warmup,
@@ -249,14 +286,26 @@ func main() {
 		NoElide:     !*elide,
 		NoRIR:       !*rirOn,
 		Obs:         reg,
+		Prof:        sampler,
+		HWCounters:  *perfHW,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "leapsbench:", err)
 		os.Exit(1)
 	}
+	if sampler != nil && *profOut != "" {
+		sampler.Stop()
+		if err := writeGuestProfile(sampler, *profOut); err != nil {
+			fmt.Fprintln(os.Stderr, "leapsbench:", err)
+			os.Exit(1)
+		}
+	}
 	if err := finishObs(reg, *metrics, *trace); err != nil {
 		fmt.Fprintln(os.Stderr, "leapsbench:", err)
 		os.Exit(1)
+	}
+	if *perfHW {
+		printHW(res.HW)
 	}
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)

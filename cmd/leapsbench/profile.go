@@ -1,0 +1,92 @@
+// Guest-profile and hardware-counter output for single-run mode
+// (-profile / -perf).
+package main
+
+import (
+	"fmt"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"leapsandbounds/internal/prof"
+)
+
+// writeGuestProfile writes the sampler's final snapshot as folded
+// stacks (<prefix>.folded) and gzipped pprof protobuf (<prefix>.pb.gz)
+// and prints the self-time table plus the per-strategy bounds-check
+// share — the single-run view of the paper's check-vs-payload split.
+func writeGuestProfile(p *prof.Profiler, prefix string) error {
+	snap := p.Snapshot()
+
+	folded, err := os.Create(prefix + ".folded")
+	if err != nil {
+		return err
+	}
+	if err := snap.WriteFolded(folded); err != nil {
+		folded.Close()
+		return err
+	}
+	if err := folded.Close(); err != nil {
+		return err
+	}
+
+	pb, err := os.Create(prefix + ".pb.gz")
+	if err != nil {
+		return err
+	}
+	if err := snap.WritePprof(pb); err != nil {
+		pb.Close()
+		return err
+	}
+	if err := pb.Close(); err != nil {
+		return err
+	}
+
+	fmt.Printf("\nguest profile: %d samples at %d Hz (%d idle) -> %s.folded, %s.pb.gz\n",
+		snap.Samples, snap.Hz, snap.Idle, prefix, prefix)
+	if err := snap.WriteTable(os.Stdout, 20); err != nil {
+		return err
+	}
+	// Per-strategy check share: the fraction of each strategy's
+	// samples caught inside software bounds-check work.
+	seen := map[string]bool{}
+	for _, r := range snap.Rows {
+		if seen[r.Strategy] {
+			continue
+		}
+		seen[r.Strategy] = true
+		fmt.Printf("bounds-check share (%s): %.1f%% of %d samples\n",
+			r.Strategy, snap.CheckShare(r.Strategy)*100, snap.StrategySamples(r.Strategy))
+	}
+	return nil
+}
+
+// printHW renders the measurement-window counter table. Degraded
+// halves print as unavailable rather than as misleading zeros.
+func printHW(hw prof.HWStats) {
+	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "\nhardware counters (measurement window)")
+	if hw.PerfSupported {
+		fmt.Fprintf(w, "instructions\t%d\n", hw.Instructions)
+		fmt.Fprintf(w, "cycles\t%d\n", hw.Cycles)
+		if hw.Cycles > 0 {
+			fmt.Fprintf(w, "ipc\t%.2f\n", float64(hw.Instructions)/float64(hw.Cycles))
+		}
+		fmt.Fprintf(w, "branch misses\t%d\n", hw.BranchMisses)
+		fmt.Fprintf(w, "dTLB load misses\t%d\n", hw.DTLBLoadMisses)
+		fmt.Fprintf(w, "page faults (perf)\t%d\n", hw.PageFaults)
+	} else {
+		fmt.Fprintln(w, "perf events\tunavailable (perf_event_open denied or unsupported)")
+	}
+	if hw.RusageSupported {
+		fmt.Fprintf(w, "user / system time\t%v / %v\n",
+			time.Duration(hw.UserNs).Round(time.Microsecond),
+			time.Duration(hw.SystemNs).Round(time.Microsecond))
+		fmt.Fprintf(w, "max rss\t%d KB\n", hw.MaxRSSKB)
+		fmt.Fprintf(w, "faults minor/major\t%d / %d\n", hw.MinorFaults, hw.MajorFaults)
+		fmt.Fprintf(w, "ctx switches vol/invol\t%d / %d\n", hw.VoluntaryCtxSw, hw.InvoluntaryCtxSw)
+	} else {
+		fmt.Fprintln(w, "rusage\tunavailable")
+	}
+	w.Flush()
+}

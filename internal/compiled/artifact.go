@@ -207,7 +207,7 @@ func (e *Engine) DecodeArtifact(m *wasm.Module, data []byte) (core.CompiledModul
 		if e.registerIR() {
 			ir, _ = rir.FuseMem(ir)
 		}
-		code, classes, memAcc, err := emit(ir)
+		code, classes, memAcc, elided, err := emit(ir)
 		if err != nil {
 			return nil, fmt.Errorf("compiled: artifact function %d: %w", i, err)
 		}
@@ -220,6 +220,8 @@ func (e *Engine) DecodeArtifact(m *wasm.Module, data []byte) (core.CompiledModul
 			code:      code,
 			classes:   classes,
 			memAcc:    memAcc,
+			elided:    elided,
+			index:     uint32(m.NumImportedFuncs() + i),
 			preIR:     pre,
 		})
 	}

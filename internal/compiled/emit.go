@@ -14,22 +14,25 @@ import (
 // (negative to return from the function).
 type cop func(inst *Instance, base int, pc int) int
 
-// emit compiles the slot IR to closures plus the parallel class and
-// memory-access arrays used by cycle accounting.
-func emit(ir []rir.Inst) ([]cop, []isa.OpClass, []bool, error) {
+// emit compiles the slot IR to closures plus the parallel class,
+// memory-access and check-elided arrays used by cycle accounting and
+// the sampling profiler.
+func emit(ir []rir.Inst) ([]cop, []isa.OpClass, []bool, []bool, error) {
 	code := make([]cop, 0, len(ir))
 	classes := make([]isa.OpClass, 0, len(ir))
 	memAcc := make([]bool, 0, len(ir))
+	elided := make([]bool, 0, len(ir))
 	for i := range ir {
 		c, err := emitOne(&ir[i])
 		if err != nil {
-			return nil, nil, nil, fmt.Errorf("compiled: op %d (%s): %w", i, ir[i].Op, err)
+			return nil, nil, nil, nil, fmt.Errorf("compiled: op %d (%s): %w", i, ir[i].Op, err)
 		}
 		code = append(code, c)
 		classes = append(classes, ir[i].Class)
 		memAcc = append(memAcc, ir[i].MemAcc)
+		elided = append(elided, ir[i].MemAcc && ir[i].Unchecked)
 	}
-	return code, classes, memAcc, nil
+	return code, classes, memAcc, elided, nil
 }
 
 func emitOne(s *rir.Inst) (cop, error) {

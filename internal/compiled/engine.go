@@ -10,6 +10,7 @@ import (
 	"leapsandbounds/internal/isa"
 	"leapsandbounds/internal/mem"
 	"leapsandbounds/internal/modcache"
+	"leapsandbounds/internal/prof"
 	"leapsandbounds/internal/rir"
 	"leapsandbounds/internal/trap"
 	"leapsandbounds/internal/validate"
@@ -132,6 +133,11 @@ type cfunc struct {
 	code      []cop
 	classes   []isa.OpClass
 	memAcc    []bool
+	// elided marks memory accesses whose bounds check the elision
+	// pass removed; index is the function-space index. Both feed the
+	// sampling profiler's per-op publication.
+	elided []bool
+	index  uint32
 	// preIR is the pre-elision IR retained for the disk artifact tier
 	// (artifact.go): the last all-plain-data pipeline stage, from which
 	// elide → FuseMem → emit reproduce this function exactly.
@@ -230,7 +236,7 @@ func (e *Engine) compileModule(m *wasm.Module) (*Module, error) {
 			ir, _ = rir.FuseMem(ir)
 			rir.RecordLowering(opsIn, len(ir), regs, time.Since(start).Nanoseconds())
 		}
-		code, classes, memAcc, err := emit(ir)
+		code, classes, memAcc, elided, err := emit(ir)
 		if err != nil {
 			return nil, fmt.Errorf("compiled: function %d: %w", i, err)
 		}
@@ -243,6 +249,8 @@ func (e *Engine) compileModule(m *wasm.Module) (*Module, error) {
 			code:      code,
 			classes:   classes,
 			memAcc:    memAcc,
+			elided:    elided,
+			index:     imported + uint32(i),
 			preIR:     preIR,
 		})
 	}
@@ -256,15 +264,21 @@ func (cm *Module) Instantiate(cfg core.Config, imports core.Imports) (core.Insta
 
 // InstantiateCompiled is Instantiate with a concrete result type.
 func (cm *Module) InstantiateCompiled(cfg core.Config, imports core.Imports) (*Instance, error) {
+	if cfg.ProfLabel == "" {
+		cfg.ProfLabel = cm.engine.name
+	}
 	base, err := core.NewInstanceBase(cm.wasm, cfg, imports)
 	if err != nil {
 		return nil, err
 	}
+	_, ckSoft := base.CheckClass()
 	inst := &Instance{
-		base:  base,
-		mod:   cm,
-		stack: make([]uint64, 4096),
-		count: cfg.CountCycles,
+		base:   base,
+		mod:    cm,
+		stack:  make([]uint64, 4096),
+		count:  cfg.CountCycles,
+		prof:   base.ProfCell,
+		ckSoft: ckSoft,
 	}
 	if cm.wasm.Start != nil {
 		if _, err := inst.invokeIndex(*cm.wasm.Start, nil); err != nil {
@@ -281,15 +295,21 @@ func (cm *Module) InstantiateCompiled(cfg core.Config, imports core.Imports) (*I
 // the snapshot). Compiled code is shared with every other instance of
 // this module — forks never recompile.
 func (cm *Module) InstantiateSnapshot(cfg core.Config, imports core.Imports, snap *core.StateSnapshot) (core.Instance, error) {
+	if cfg.ProfLabel == "" {
+		cfg.ProfLabel = cm.engine.name
+	}
 	base, err := core.NewInstanceBaseFromSnapshot(cm.wasm, cfg, imports, snap)
 	if err != nil {
 		return nil, err
 	}
+	_, ckSoft := base.CheckClass()
 	return &Instance{
-		base:  base,
-		mod:   cm,
-		stack: make([]uint64, 4096),
-		count: cfg.CountCycles,
+		base:   base,
+		mod:    cm,
+		stack:  make([]uint64, 4096),
+		count:  cfg.CountCycles,
+		prof:   base.ProfCell,
+		ckSoft: ckSoft,
 	}, nil
 }
 
@@ -299,6 +319,11 @@ type Instance struct {
 	mod   *Module
 	stack []uint64
 	count bool
+	// prof/ckSoft are hoisted from the base at instantiation so the
+	// run loop selects the sampled variant with one nil check per
+	// call frame (nil prof keeps the seed-identical loops).
+	prof   *prof.Cell
+	ckSoft bool
 	// Safepoint is polled at function entry when non-nil; the tiered
 	// engine (V8 analog) uses it to implement stop-the-world pauses.
 	Safepoint func()
@@ -376,21 +401,77 @@ func (inst *Instance) run(cf *cfunc, base int) {
 		inst.Safepoint()
 	}
 	code := cf.code
+	if cell := inst.prof; cell != nil {
+		inst.runProfiled(cf, base, cell)
+		return
+	}
 	if inst.count {
 		counts := &inst.base.CycleCounts
 		ck, ckOn := inst.base.CheckClass()
+		shared := inst.base.Mem != nil && inst.base.Mem.Shared()
 		memAcc := cf.memAcc
 		classes := cf.classes
 		for pc := 0; pc >= 0; {
 			counts[classes[pc]]++
-			if ckOn && memAcc[pc] {
-				counts[ck]++
+			if memAcc[pc] {
+				if ckOn {
+					counts[ck]++
+				}
+				if shared {
+					counts[isa.ClassAtomic]++
+				}
 			}
 			pc = code[pc](inst, base, pc)
 		}
 		return
 	}
 	for pc := 0; pc >= 0; {
+		pc = code[pc](inst, base, pc)
+	}
+}
+
+// runProfiled is the sampled dispatch loop: before every closure it
+// publishes (function, opcode class, check flags) into the
+// instance's cell with one atomic store. Cycle accounting, when
+// enabled, runs here too so `-cycles -profile` composes.
+func (inst *Instance) runProfiled(cf *cfunc, base int, cell *prof.Cell) {
+	code := cf.code
+	classes := cf.classes
+	memAcc := cf.memAcc
+	elided := cf.elided
+	fn := cf.index
+	ckSoft := inst.ckSoft
+	counting := inst.count
+	var counts *isa.Counts
+	var ck isa.OpClass
+	var ckOn, shared bool
+	if counting {
+		counts = &inst.base.CycleCounts
+		ck, ckOn = inst.base.CheckClass()
+		shared = inst.base.Mem != nil && inst.base.Mem.Shared()
+	}
+	for pc := 0; pc >= 0; {
+		var fl uint8
+		if memAcc[pc] {
+			switch {
+			case elided[pc]:
+				fl = prof.FlagElided
+			case ckSoft:
+				fl = prof.FlagChecked
+			}
+		}
+		cell.Set(fn, classes[pc], fl)
+		if counting {
+			counts[classes[pc]]++
+			if memAcc[pc] {
+				if ckOn {
+					counts[ck]++
+				}
+				if shared {
+					counts[isa.ClassAtomic]++
+				}
+			}
+		}
 		pc = code[pc](inst, base, pc)
 	}
 }

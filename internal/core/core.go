@@ -22,6 +22,7 @@ import (
 	"leapsandbounds/internal/isa"
 	"leapsandbounds/internal/mem"
 	"leapsandbounds/internal/obs"
+	"leapsandbounds/internal/prof"
 	"leapsandbounds/internal/trap"
 	"leapsandbounds/internal/vmm"
 	"leapsandbounds/internal/wasm"
@@ -81,6 +82,17 @@ type Config struct {
 	// harness points it at the current iteration's span; zero means
 	// root / untraced.
 	Span obs.SpanRef
+	// Prof, when non-nil and started, samples the instance: the
+	// engine publishes its current (function, opcode class, check
+	// flags) into a per-instance cell the profiler's goroutine reads.
+	// Instances created while the profiler is stopped (or with Prof
+	// nil) take the uninstrumented hot path.
+	Prof *prof.Profiler
+	// ProfLabel names the executing engine/tier in profile rows.
+	// Engines fill it in when the caller leaves it empty, so the
+	// tiered engine's baseline and optimizing tiers attribute
+	// separately.
+	ProfLabel string
 }
 
 // DefaultMaxPages caps memories that declare no maximum: 2048 wasm
@@ -315,6 +327,11 @@ type InstanceBase struct {
 	// interrupt. Zero when tracing is off.
 	invokeRef obs.SpanRef
 
+	// ProfCell is the sampling profiler's publication slot, nil
+	// unless Cfg.Prof was started before instantiation. Engines
+	// hoist it into their dispatch loops.
+	ProfCell *prof.Cell
+
 	// sharedMem marks Mem as attached (Config.SharedMem): the instance
 	// neither closes it nor repoints its span parent per invoke —
 	// sibling workers invoke concurrently, and a per-invoke repoint
@@ -325,6 +342,21 @@ type InstanceBase struct {
 // NewInstanceBase performs the engine-independent instantiation
 // steps in specification order: import resolution, memory and table
 // allocation, global initialization, then element and data segments.
+// FuncNames builds the function-index → name table the profiler
+// resolves samples against: the module's name section where present,
+// "fnN" placeholders elsewhere (imports included, so indices line up
+// with the function space the engines publish).
+func FuncNames(m *wasm.Module) []string {
+	n := m.NumImportedFuncs() + len(m.Code)
+	names := make([]string, n)
+	for i := range names {
+		if nm, ok := m.FuncNames[uint32(i)]; ok && nm != "" {
+			names[i] = nm
+		}
+	}
+	return names
+}
+
 func NewInstanceBase(m *wasm.Module, cfg Config, imports Imports) (*InstanceBase, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
@@ -337,6 +369,9 @@ func NewInstanceBase(m *wasm.Module, cfg Config, imports Imports) (*InstanceBase
 		obsTraps:     cfg.Obs.Counter("traps"),
 		obsInjected:  cfg.Obs.Counter("injected_traps"),
 		obsHostcalls: cfg.Obs.Counter("hostcalls"),
+	}
+	if cfg.Prof != nil {
+		b.ProfCell = cfg.Prof.Register(cfg.ProfLabel, cfg.Strategy.String(), FuncNames(m))
 	}
 	instSpan := cfg.Obs.StartSpan(obs.SpanInstantiate, cfg.Span)
 	defer instSpan.End()
@@ -502,6 +537,8 @@ func (b *InstanceBase) evalConst(e wasm.ConstExpr) (uint64, error) {
 }
 
 func (b *InstanceBase) close() {
+	b.Cfg.Prof.Unregister(b.ProfCell)
+	b.ProfCell = nil
 	if b.Mem != nil && !b.sharedMem {
 		_ = b.Mem.Close()
 	}
@@ -512,6 +549,8 @@ func (b *InstanceBase) close() {
 // memory is left open: its creator owns the lifetime.
 func (b *InstanceBase) Close() error {
 	b.flushCycles()
+	b.Cfg.Prof.Unregister(b.ProfCell)
+	b.ProfCell = nil
 	if b.Mem != nil && !b.sharedMem {
 		return b.Mem.Close()
 	}
@@ -546,6 +585,7 @@ func (b *InstanceBase) EndInvoke(sp obs.Span, err error) {
 		}
 	}
 	sp.End()
+	b.ProfCell.Idle()
 	b.ObsInvoke(err)
 }
 
@@ -630,6 +670,13 @@ func (b *InstanceBase) CheckClass() (isa.OpClass, bool) {
 // Invoke recovery.
 func (b *InstanceBase) CallHost(i int, args []uint64) (uint64, error) {
 	b.obsHostcalls.Inc()
+	if b.Cfg.CountCycles {
+		// The boundary crossing itself has a cycle-model price
+		// (register save/restore + indirect into the host ABI), so
+		// the wasi suite's op histograms attribute hostcall cost
+		// instead of folding it into plain calls.
+		b.CycleCounts[isa.ClassHostcall]++
+	}
 	if b.Cfg.AS != nil {
 		b.Cfg.AS.CountHostcall()
 	}

@@ -16,6 +16,7 @@ import (
 	"leapsandbounds/internal/isa"
 	"leapsandbounds/internal/mem"
 	"leapsandbounds/internal/obs"
+	"leapsandbounds/internal/prof"
 	"leapsandbounds/internal/stats"
 	"leapsandbounds/internal/workloads"
 )
@@ -39,6 +40,10 @@ type Config struct {
 	// histograms and trace events under per-run labeled scopes
 	// (see harness.Options.Obs); leapsbench -metrics wires it.
 	Metrics *obs.Registry
+	// Prof, when non-nil, samples every guest run into the given
+	// profiler (see harness.Options.Prof); leapsbench -profile and
+	// -serve wire it.
+	Prof *prof.Profiler
 	// Parallel schedules each figure's configurations through
 	// harness.RunSweep instead of running them serially: the
 	// single-isolate runs (figures 1 and 2) pack onto a worker pool,
@@ -108,6 +113,7 @@ func (c *Config) run(opts harness.Options) (*harness.Result, error) {
 		opts.Warmup = c.Warmup
 	}
 	opts.Obs = c.Metrics
+	opts.Prof = c.Prof
 	return harness.Run(opts)
 }
 
@@ -126,6 +132,7 @@ func (c *Config) runBatch(optss []harness.Options) ([]*harness.Result, error) {
 			optss[i].Warmup = c.Warmup
 		}
 		optss[i].Obs = c.Metrics
+		optss[i].Prof = c.Prof
 	}
 	sres, err := harness.RunSweep(harness.SweepOf(optss...),
 		harness.SweepOptions{Serial: !c.Parallel, Obs: c.Metrics})

@@ -47,7 +47,10 @@ type BranchTarget struct {
 
 // Func is one flattened function.
 type Func struct {
-	Name      string
+	Name string
+	// Index is the function-space index (imports included); the
+	// profiler's per-instance cells publish it per dispatched op.
+	Index     uint32
 	Type      wasm.FuncType
 	NumParams int
 	NumLocals int // params + declared locals
@@ -98,6 +101,7 @@ func Flatten(m *wasm.Module, fnIndex uint32, code *wasm.Code) (*Func, error) {
 		return nil, err
 	}
 	p := &Func{
+		Index:     fnIndex,
 		Type:      ft,
 		NumParams: len(ft.Params),
 		NumLocals: len(ft.Params) + len(code.Locals),

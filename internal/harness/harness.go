@@ -30,6 +30,7 @@ import (
 	"leapsandbounds/internal/isa"
 	"leapsandbounds/internal/mem"
 	"leapsandbounds/internal/obs"
+	"leapsandbounds/internal/prof"
 	"leapsandbounds/internal/stats"
 	"leapsandbounds/internal/sysmon"
 	"leapsandbounds/internal/tiered"
@@ -119,6 +120,18 @@ type Options struct {
 	// wait to its configuration. Nil leaves the run unobserved
 	// (each address space falls back to a private registry).
 	Obs *obs.Registry
+	// Prof, when non-nil and started, samples every instance the run
+	// creates: each isolate registers a per-instance cell keyed by
+	// engine label and strategy, and the profiler's snapshot splits
+	// self time between bounds-check and payload opcode classes. Nil
+	// (the default) compiles to the unsampled hot loops.
+	Prof *prof.Profiler
+	// HWCounters reads a perf_event counter group per worker thread
+	// plus process-wide rusage deltas around the measurement window
+	// and folds them into Result.HW. Degrades to zeroed, unsupported
+	// stats when perf_event_open is unavailable (container seccomp,
+	// perf_event_paranoid, non-Linux).
+	HWCounters bool
 }
 
 // RunLabel is the scope name a run registers under in Options.Obs.
@@ -177,6 +190,12 @@ type Result struct {
 
 	// Checksum of the workload result (identical across iterations).
 	Checksum uint64
+
+	// HW holds hardware-counter and rusage deltas over the measurement
+	// window (Options.HWCounters): perf_event group reads summed
+	// across worker threads, rusage process-wide. Zero-valued with
+	// both Supported flags false when not requested or unavailable.
+	HW prof.HWStats
 
 	// FailureCauses counts failed iterations by cause (only populated
 	// under fault injection, where failures are tolerated rather than
@@ -327,6 +346,7 @@ func Run(opts Options) (*Result, error) {
 				UffdPoll:    opts.UffdPoll,
 				EagerCommit: opts.EagerCommit,
 				Obs:         engineScopes[p],
+				Prof:        opts.Prof,
 			}
 			iterators[p] = func(parent obs.SpanRef) (time.Duration, uint64, time.Duration, error) {
 				c := cfg
@@ -375,6 +395,9 @@ func Run(opts Options) (*Result, error) {
 		haveSum bool
 		err     error
 		causes  map[string]int
+		// hw is the worker's perf-group delta over its measure phase
+		// (OK=false when counters are off or unavailable).
+		hw prof.CounterSample
 	}
 	outs := make([]workerOut, opts.Threads)
 
@@ -439,6 +462,15 @@ func Run(opts Options) (*Result, error) {
 			// paper's pinned worker threads.
 			runtime.LockOSThread()
 			defer runtime.UnlockOSThread()
+			// The perf group is opened after the OS-thread lock so its
+			// calling-thread scope covers exactly this worker's
+			// execution; it brackets the measure phase only (warm-up
+			// and cool-down iterations are excluded, matching Times).
+			var pg *prof.Group
+			if opts.HWCounters {
+				pg = prof.OpenGroup()
+				defer pg.Close()
+			}
 			as := procs[w%numProcs]
 			inner := iterators[w%numProcs]
 			// Each isolate lifecycle gets an iteration span under the
@@ -472,6 +504,10 @@ func Run(opts Options) (*Result, error) {
 			warmed.Done()
 			<-start
 			runScope.Emit(obs.EvPhase, obs.PhaseMeasure, int64(w))
+			var hw0 prof.CounterSample
+			if pg != nil {
+				hw0 = pg.Read()
+			}
 
 			for i := 0; i < opts.Measure; i++ {
 				dt, sum, sim, err := iterate()
@@ -501,6 +537,9 @@ func Run(opts Options) (*Result, error) {
 					o.sims = append(o.sims, sim)
 				}
 			}
+			if pg != nil {
+				o.hw = hw0.Delta(pg.Read())
+			}
 			measured.Add(1)
 			runScope.Emit(obs.EvPhase, obs.PhaseCooldown, int64(w))
 
@@ -520,6 +559,10 @@ func Run(opts Options) (*Result, error) {
 	}
 
 	warmed.Wait()
+	var ru0 prof.RusageSample
+	if opts.HWCounters {
+		ru0 = prof.ReadRusage()
+	}
 	before := sysmon.Read()
 	vmBefore := sumSnapshots(procs)
 	t0 := time.Now()
@@ -528,6 +571,12 @@ func Run(opts Options) (*Result, error) {
 	wall := time.Since(t0)
 	after := sysmon.Read()
 	vmAfter := sumSnapshots(procs)
+	if opts.HWCounters {
+		// Rusage is process-wide, so its window is the whole measured
+		// wall (including other workers' cool-down iterations); the
+		// per-thread perf groups above are the precise half.
+		res.HW.MergeRusage(ru0.Delta(prof.ReadRusage()))
+	}
 	close(stopWatch)
 	// Join the watcher: it reads the address spaces and a snapshot
 	// taken after Run returns must not race its final tick.
@@ -544,6 +593,7 @@ func Run(opts Options) (*Result, error) {
 		if outs[w].haveSum {
 			checksum = outs[w].sum
 		}
+		res.HW.MergeCounters(outs[w].hw)
 		for cause, n := range outs[w].causes {
 			if res.FailureCauses == nil {
 				res.FailureCauses = make(map[string]int)
@@ -653,11 +703,23 @@ func OpHistogram(engine string, wl workloads.Spec, cls workloads.Class,
 	if wl.NewEnv != nil {
 		im = wl.NewEnv(cls).Imports()
 	}
-	inst, err := cm.Instantiate(core.Config{
+	cfg := core.Config{
 		Strategy:    strategy,
 		Profile:     profile,
 		CountCycles: true,
-	}, im)
+	}
+	if wl.Suite == "shared" {
+		// Shared-suite workloads read and write a wasm-threads-style
+		// shared linear memory; attaching one makes the counting loops
+		// charge ClassAtomic ordering surcharges exactly as a threaded
+		// run would see them.
+		shm, err := core.NewSharedMemory(module, cfg)
+		if err != nil {
+			return nil, err
+		}
+		cfg.SharedMem = shm
+	}
+	inst, err := cm.Instantiate(cfg, im)
 	if err != nil {
 		return nil, err
 	}

@@ -11,6 +11,7 @@ import (
 	"leapsandbounds/internal/mem"
 	"leapsandbounds/internal/modcache"
 	"leapsandbounds/internal/numeric"
+	"leapsandbounds/internal/prof"
 	"leapsandbounds/internal/trap"
 	"leapsandbounds/internal/validate"
 	"leapsandbounds/internal/wasm"
@@ -120,6 +121,9 @@ func (cm *Module) InstantiateInterp(cfg core.Config, imports core.Imports) (*Ins
 	if cm.engine.forceTrap {
 		cfg.Strategy = mem.Trap
 	}
+	if cfg.ProfLabel == "" {
+		cfg.ProfLabel = "interp"
+	}
 	base, err := core.NewInstanceBase(cm.wasm, cfg, imports)
 	if err != nil {
 		return nil, err
@@ -147,6 +151,9 @@ func (cm *Module) InstantiateInterp(cfg core.Config, imports core.Imports) (*Ins
 func (cm *Module) InstantiateSnapshot(cfg core.Config, imports core.Imports, snap *core.StateSnapshot) (core.Instance, error) {
 	if cm.engine.forceTrap {
 		cfg.Strategy = mem.Trap
+	}
+	if cfg.ProfLabel == "" {
+		cfg.ProfLabel = "interp"
 	}
 	base, err := core.NewInstanceBaseFromSnapshot(cm.wasm, cfg, imports, snap)
 	if err != nil {
@@ -273,15 +280,33 @@ func (inst *Instance) exec(pf *flatten.Func, base int) {
 	counting := inst.count
 	counts := &inst.base.CycleCounts
 	ckClass, ckOn := inst.base.CheckClass()
+	shared := memory != nil && memory.Shared()
+	cell := inst.base.ProfCell
+	fnIndex := pf.Index
 
 	for pc := 0; ; pc++ {
 		in := &code[pc]
 		if counting {
 			counts[in.Class]++
 			counts[isa.ClassDispatch]++
-			if ckOn && (in.Class == isa.ClassLoad || in.Class == isa.ClassStore) {
-				counts[ckClass]++
+			if in.Class == isa.ClassLoad || in.Class == isa.ClassStore {
+				if ckOn {
+					counts[ckClass]++
+				}
+				if shared {
+					// Accesses to a wasm-threads shared memory pay
+					// the ordering surcharge the atomic accessors
+					// model (see isa.ClassAtomic).
+					counts[isa.ClassAtomic]++
+				}
 			}
+		}
+		if cell != nil {
+			var fl uint8
+			if ckOn && (in.Class == isa.ClassLoad || in.Class == isa.ClassStore) {
+				fl = prof.FlagChecked
+			}
+			cell.Set(fnIndex, in.Class, fl)
 		}
 		switch in.Op {
 		case flatten.OpJump:

@@ -40,6 +40,8 @@ const (
 	ClassGlobal                    // global variable access
 	ClassCheckTrap                 // software bounds check: compare + branch-to-trap
 	ClassCheckClamp                // software bounds check: clamp sequence (cmp+select on the address path)
+	ClassHostcall                  // guest→host boundary crossing (WASI hostcall)
+	ClassAtomic                    // shared-memory access ordering surcharge (wasm-threads accessors)
 	ClassDispatch                  // interpreter dispatch overhead per instruction
 	NumClasses
 )
@@ -47,7 +49,8 @@ const (
 var classNames = [NumClasses]string{
 	"alu", "mul", "divi", "fadd", "fmul", "fdiv", "conv",
 	"load", "store", "branch", "call", "callind", "select",
-	"global", "checktrap", "checkclamp", "dispatch",
+	"global", "checktrap", "checkclamp", "hostcall", "atomic",
+	"dispatch",
 }
 
 func (c OpClass) String() string {
@@ -142,6 +145,10 @@ func X86_64() *Profile {
 			// clamp = cmp+cmov on the address critical path, which
 			// lengthens the load-to-use chain.
 			ClassCheckTrap: 0.8, ClassCheckClamp: 1.4,
+			// Hostcall: register spill + indirect into the host ABI
+			// and back; atomic: lock-prefixed access surcharge on a
+			// contended coherent core.
+			ClassHostcall: 60, ClassAtomic: 8,
 			ClassDispatch: 4.0,
 		},
 	}
@@ -172,6 +179,9 @@ func ARMv8() *Profile {
 			ClassBranch: 0.5, ClassCall: 2.5, ClassCallInd: 7.0,
 			ClassSelect: 0.6, ClassGlobal: 0.8,
 			ClassCheckTrap: 1.0, ClassCheckClamp: 1.7,
+			// Slightly dearer boundary and LDAR/STLR ordering costs
+			// than the Xeon's fused lock ops.
+			ClassHostcall: 70, ClassAtomic: 12,
 			ClassDispatch: 5.0,
 		},
 	}
@@ -204,6 +214,10 @@ func RISCV64() *Profile {
 			ClassBranch: 1.5, ClassCall: 4.0, ClassCallInd: 10.0,
 			ClassSelect: 2.0, ClassGlobal: 2.0,
 			ClassCheckTrap: 2.5, ClassCheckClamp: 3.0,
+			// Boundary crossings hurt on the in-order single-issue
+			// core; AMO ordering has no coherence traffic with one
+			// hart, but the fences still stall the in-order pipe.
+			ClassHostcall: 120, ClassAtomic: 14,
 			ClassDispatch: 12.0,
 		},
 	}

@@ -61,6 +61,10 @@ const (
 	EvSpanBegin
 	// EvSpanEnd: a causal span closed. A = spanID<<8 | SpanKind.
 	EvSpanEnd
+	// EvProfSample: the guest-PC sampler observed a live instance.
+	// A = the cell's packed (function index << 24 | opcode class << 8
+	// | flags) word (see internal/prof).
+	EvProfSample
 	numEventKinds
 )
 
@@ -77,7 +81,7 @@ var eventKindNames = [numEventKinds]string{
 	"mmap", "munmap", "mprotect", "grow",
 	"arena_create", "arena_reuse", "arena_recycle",
 	"tier_up", "gc_pause", "trap", "phase", "sample",
-	"inject", "recover", "span_begin", "span_end",
+	"inject", "recover", "span_begin", "span_end", "prof_sample",
 }
 
 func (k EventKind) String() string {

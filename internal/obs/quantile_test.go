@@ -1,0 +1,84 @@
+package obs
+
+import "testing"
+
+// snapOf builds a snapshot by observing values through the real
+// bucketing path, so the tests exercise exactly what Snapshot sees.
+func snapOf(vals ...int64) HistogramSnapshot {
+	var h Histogram
+	for _, v := range vals {
+		h.Observe(v)
+	}
+	return h.snapshot()
+}
+
+func TestQuantileEmpty(t *testing.T) {
+	var h Histogram
+	s := h.snapshot()
+	for _, q := range []float64{0.5, 0.99, 1} {
+		if got := s.Quantile(q); got != 0 {
+			t.Errorf("empty histogram Quantile(%v) = %d, want 0", q, got)
+		}
+	}
+	if s.P50 != 0 || s.P95 != 0 || s.P99 != 0 {
+		t.Errorf("empty snapshot percentiles nonzero: %+v", s)
+	}
+	// Degenerate q on a non-empty snapshot: q<=0 has no rank to
+	// interpolate, q>1 clamps to the maximum.
+	s = snapOf(100, 100)
+	if got := s.Quantile(0); got != 0 {
+		t.Errorf("Quantile(0) = %d, want 0", got)
+	}
+	if got := s.Quantile(-1); got != 0 {
+		t.Errorf("Quantile(-1) = %d, want 0", got)
+	}
+	if got, want := s.Quantile(2), s.Quantile(1); got != want {
+		t.Errorf("Quantile(2) = %d, want clamp to Quantile(1) = %d", got, want)
+	}
+}
+
+func TestQuantileSingleBucket(t *testing.T) {
+	// All mass in one bucket (65..128): every quantile interpolates
+	// inside it, so results must stay within the bucket's bounds and
+	// be monotone in q.
+	s := snapOf(100, 100, 100, 100)
+	prev := int64(-1)
+	for _, q := range []float64{0.01, 0.25, 0.5, 0.75, 0.99, 1} {
+		got := s.Quantile(q)
+		if got < 64 || got > 128 {
+			t.Errorf("Quantile(%v) = %d, outside bucket (64,128]", q, got)
+		}
+		if got < prev {
+			t.Errorf("Quantile(%v) = %d not monotone (prev %d)", q, got, prev)
+		}
+		prev = got
+	}
+	// The bottom bucket (v <= 64) has lower bound 0.
+	s = snapOf(1, 1)
+	if got := s.Quantile(0.5); got < 0 || got > 64 {
+		t.Errorf("bottom-bucket Quantile(0.5) = %d, outside [0,64]", got)
+	}
+}
+
+func TestQuantileOverflowBucket(t *testing.T) {
+	// All mass beyond the top finite bound lands in the overflow
+	// bucket, which has no upper bound: quantiles there must report
+	// the top finite bound (a deliberate under-estimate), never an
+	// invented larger value, and never 0.
+	huge := maxFiniteBound * 4
+	s := snapOf(huge, huge, huge)
+	for _, q := range []float64{0.5, 0.99, 1} {
+		if got := s.Quantile(q); got != maxFiniteBound {
+			t.Errorf("overflow-bucket Quantile(%v) = %d, want %d", q, got, maxFiniteBound)
+		}
+	}
+	// Mixed mass: the median sits in the finite bucket, the p99 in
+	// the overflow; the overflow answer still caps at the bound.
+	s = snapOf(100, 100, 100, huge)
+	if got := s.Quantile(0.5); got > 128 {
+		t.Errorf("mixed Quantile(0.5) = %d, want within finite bucket", got)
+	}
+	if got := s.Quantile(1); got != maxFiniteBound {
+		t.Errorf("mixed Quantile(1) = %d, want %d", got, maxFiniteBound)
+	}
+}

@@ -1,0 +1,7 @@
+//go:build linux && amd64
+
+package prof
+
+import "syscall"
+
+const sysPerfEventOpen = syscall.SYS_PERF_EVENT_OPEN

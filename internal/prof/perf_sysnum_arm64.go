@@ -1,0 +1,7 @@
+//go:build linux && arm64
+
+package prof
+
+// arm64's syscall package predates the generated SYS_PERF_EVENT_OPEN
+// constant on some toolchains; the number is stable ABI.
+const sysPerfEventOpen = 241

@@ -79,10 +79,14 @@ func aluReads(t *Inst, reg int) bool {
 // which is exactly the superinstruction's dispatch-reduction claim.
 func fusePair(sh Shape, first, second Inst, access *Inst) Inst {
 	return Inst{
-		Shape:  sh,
-		Op:     access.Op,
-		Class:  access.Class,
-		MemAcc: access.MemAcc,
-		Pair:   []Inst{first, second},
+		Shape: sh,
+		Op:    access.Op,
+		Class: access.Class,
+		// The fused op inherits the access half's counting state,
+		// including Unchecked, so the profiler's elided/checked
+		// attribution survives superinstruction fusion.
+		MemAcc:    access.MemAcc,
+		Unchecked: access.Unchecked,
+		Pair:      []Inst{first, second},
 	}
 }

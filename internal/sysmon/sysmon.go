@@ -15,6 +15,10 @@ import (
 	"time"
 )
 
+// procStatPath is the counter source; a variable so tests can point
+// the sampler at fixtures (unreadable paths, zeroed counters).
+var procStatPath = "/proc/stat"
+
 // Sample is one reading of the host counters.
 type Sample struct {
 	// Jiffies by category, summed over all CPUs.
@@ -36,11 +40,18 @@ func (s Sample) busy() uint64 {
 // Read samples /proc/stat.
 func Read() Sample {
 	s := Sample{Time: time.Now()}
-	data, err := os.ReadFile("/proc/stat")
+	data, err := os.ReadFile(procStatPath)
 	if err != nil {
 		return s
 	}
-	for _, line := range strings.Split(string(data), "\n") {
+	parseStat(string(data), &s)
+	return s
+}
+
+// parseStat fills s from /proc/stat text. Split from Read so tests
+// can feed fixture content without a filesystem.
+func parseStat(data string, s *Sample) {
+	for _, line := range strings.Split(data, "\n") {
 		fields := strings.Fields(line)
 		if len(fields) == 0 {
 			continue
@@ -69,7 +80,6 @@ func Read() Sample {
 			}
 		}
 	}
-	return s
 }
 
 // Usage summarizes the interval between two samples.
@@ -81,14 +91,21 @@ type Usage struct {
 	CtxtPerSec float64
 	// Elapsed is the wall interval.
 	Elapsed time.Duration
-	// OK is true only when both samples were procfs-backed.
+	// OK is true only when both samples were procfs-backed and the
+	// interval was well-formed (positive duration, no counter wrap).
 	OK bool
 }
 
-// Delta computes usage between two samples (a taken before b).
+// Delta computes usage between two samples (a taken before b). A
+// zero-or-negative interval, or any jiffy counter running backwards
+// (a reboot or counter wrap between samples), degrades to OK=false —
+// uint64 subtraction would otherwise produce astronomically large
+// "busy" time and a nonsense utilization.
 func Delta(a, b Sample) Usage {
 	u := Usage{Elapsed: b.Time.Sub(a.Time), OK: a.OK && b.OK}
-	if !u.OK || u.Elapsed <= 0 {
+	if !u.OK || u.Elapsed <= 0 ||
+		b.busy() < a.busy() || b.Idle+b.IOWait < a.Idle+a.IOWait {
+		u.OK = false
 		return u
 	}
 	busy := float64(b.busy() - a.busy())

@@ -30,14 +30,45 @@ import (
 	"time"
 
 	"leapsandbounds/internal/obs"
+	"leapsandbounds/internal/prof"
 )
+
+// BuildInfo identifies the running build for the leaps_build_info
+// metric: the standard Prometheus idiom of a constant-1 gauge whose
+// labels carry the identity, so dashboards can join any series
+// against the exact binary and configuration that produced it.
+type BuildInfo struct {
+	GitSHA     string
+	Strategies string // comma-joined strategy set the process sweeps
+	Elide      bool
+	RIR        bool
+}
+
+// HandlerOptions extends the plain registry handler with build
+// identity and the guest sampling profiler.
+type HandlerOptions struct {
+	// Build, when non-zero, is exported as leaps_build_info on
+	// /metrics.
+	Build BuildInfo
+	// Prof, when non-nil, serves its live snapshot as a pprof profile
+	// at /debug/pprof/wasm (folded text via ?fmt=folded). Nil keeps
+	// the route registered but returns 404, so scrapers can probe.
+	Prof *prof.Profiler
+}
 
 // NewHandler returns an http.Handler serving the registry.
 func NewHandler(reg *obs.Registry) http.Handler {
+	return NewHandlerOptions(reg, HandlerOptions{})
+}
+
+// NewHandlerOptions is NewHandler with build identity and the guest
+// profiler attached.
+func NewHandlerOptions(reg *obs.Registry, opts HandlerOptions) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", handleIndex)
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		writeBuildInfo(w, opts.Build)
 		writeProm(w, reg.Snapshot(false))
 	})
 	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, r *http.Request) {
@@ -49,12 +80,43 @@ func NewHandler(reg *obs.Registry) http.Handler {
 	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
 		handleEvents(w, r, reg)
 	})
+	mux.HandleFunc("/debug/pprof/wasm", func(w http.ResponseWriter, r *http.Request) {
+		handleWasmProfile(w, r, opts.Prof)
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// writeBuildInfo emits the leaps_build_info gauge. A zero BuildInfo
+// still exports (with empty labels): the metric's presence is how a
+// scraper knows the process is one of ours.
+func writeBuildInfo(w io.Writer, b BuildInfo) {
+	fmt.Fprintf(w, "# TYPE leaps_build_info gauge\n")
+	fmt.Fprintf(w, "leaps_build_info{git_sha=%q,strategies=%q,elide=%q,rir=%q} 1\n",
+		b.GitSHA, b.Strategies, strconv.FormatBool(b.Elide), strconv.FormatBool(b.RIR))
+}
+
+// handleWasmProfile serves the guest sampling profiler's current
+// snapshot: pprof protobuf by default (what `go tool pprof` fetches),
+// folded-stack text with ?fmt=folded.
+func handleWasmProfile(w http.ResponseWriter, r *http.Request, p *prof.Profiler) {
+	if p == nil {
+		http.Error(w, "no wasm profiler attached", http.StatusNotFound)
+		return
+	}
+	snap := p.Snapshot()
+	if r.URL.Query().Get("fmt") == "folded" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		snap.WriteFolded(w)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Disposition", `attachment; filename="wasm.pb.gz"`)
+	_ = snap.WritePprof(w)
 }
 
 func handleIndex(w http.ResponseWriter, r *http.Request) {
@@ -67,6 +129,7 @@ func handleIndex(w http.ResponseWriter, r *http.Request) {
 /snapshot     JSON snapshot
 /events       SSE trace-event stream (draining; ?n=<max>&timeout=<dur>)
 /debug/pprof  Go profiles
+/debug/pprof/wasm  guest sampling profile (pprof; ?fmt=folded for text)
 `)
 }
 
@@ -265,11 +328,17 @@ type Server struct {
 // Start listens on addr (e.g. ":9090" or "127.0.0.1:0") and serves
 // the registry until Close.
 func Start(addr string, reg *obs.Registry) (*Server, error) {
+	return StartOptions(addr, reg, HandlerOptions{})
+}
+
+// StartOptions is Start with build identity and the guest profiler
+// attached to the handler.
+func StartOptions(addr string, reg *obs.Registry, opts HandlerOptions) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{ln: ln, srv: &http.Server{Handler: NewHandler(reg)}}
+	s := &Server{ln: ln, srv: &http.Server{Handler: NewHandlerOptions(reg, opts)}}
 	go func() { _ = s.srv.Serve(ln) }()
 	return s, nil
 }

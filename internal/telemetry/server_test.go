@@ -9,7 +9,11 @@ import (
 	"strings"
 	"testing"
 
+	"time"
+
+	"leapsandbounds/internal/isa"
 	"leapsandbounds/internal/obs"
+	"leapsandbounds/internal/prof"
 )
 
 // testRegistry builds a registry with one of everything, including a
@@ -241,5 +245,75 @@ func TestStartClose(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d", resp.StatusCode)
+	}
+}
+
+func TestBuildInfoMetric(t *testing.T) {
+	// The plain handler exports the metric with empty identity.
+	srv := httptest.NewServer(NewHandler(testRegistry()))
+	defer srv.Close()
+	_, body := get(t, srv, "/metrics")
+	if !strings.Contains(body, "# TYPE leaps_build_info gauge") {
+		t.Error("missing leaps_build_info TYPE line")
+	}
+
+	srv2 := httptest.NewServer(NewHandlerOptions(testRegistry(), HandlerOptions{
+		Build: BuildInfo{GitSHA: "abc1234", Strategies: "none,clamp,trap,mprotect,uffd", Elide: true, RIR: true},
+	}))
+	defer srv2.Close()
+	_, body = get(t, srv2, "/metrics")
+	want := `leaps_build_info{git_sha="abc1234",strategies="none,clamp,trap,mprotect,uffd",elide="true",rir="true"} 1`
+	if !strings.Contains(body, want) {
+		t.Errorf("metrics missing %q:\n%s", want, body)
+	}
+}
+
+func TestWasmProfileEndpoint(t *testing.T) {
+	// Without a profiler the route answers 404 so scrapers can probe.
+	srv := httptest.NewServer(NewHandler(testRegistry()))
+	defer srv.Close()
+	if code, _ := get(t, srv, "/debug/pprof/wasm"); code != http.StatusNotFound {
+		t.Errorf("no-profiler endpoint returned %d, want 404", code)
+	}
+
+	p := prof.New(4001, nil)
+	p.Start()
+	defer p.Stop()
+	c := p.Register("wavm", "trap", []string{"run"})
+	c.Set(0, isa.ClassCheckTrap, prof.FlagChecked)
+	deadline := time.After(5 * time.Second)
+	for p.Snapshot().Samples == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("sampler produced no samples")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+
+	srv2 := httptest.NewServer(NewHandlerOptions(testRegistry(), HandlerOptions{Prof: p}))
+	defer srv2.Close()
+
+	code, body := get(t, srv2, "/debug/pprof/wasm?fmt=folded")
+	if code != http.StatusOK {
+		t.Fatalf("folded endpoint returned %d", code)
+	}
+	if !strings.Contains(body, "wavm;trap;run;checktrap!check") {
+		t.Errorf("folded output missing frame:\n%s", body)
+	}
+
+	resp, err := srv2.Client().Get(srv2.URL + "/debug/pprof/wasm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof endpoint returned %d", resp.StatusCode)
+	}
+	sum, err := prof.ParsePprof(resp.Body)
+	if err != nil {
+		t.Fatalf("served profile does not parse as pprof: %v", err)
+	}
+	if sum.Samples == 0 {
+		t.Error("served profile has no samples")
 	}
 }

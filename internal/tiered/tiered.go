@@ -292,6 +292,17 @@ func (m *module) WaitTopTier(timeout time.Duration) bool {
 	return m.top.Load() != nil
 }
 
+// tierCfg labels the config for the sampling profiler so the tiered
+// engine's baseline and optimized tiers attribute separately, both
+// from each other and from the standalone engines' self-labels. An
+// explicit caller label wins.
+func tierCfg(cfg core.Config, label string) core.Config {
+	if cfg.ProfLabel == "" {
+		cfg.ProfLabel = label
+	}
+	return cfg
+}
+
 // module is the tiered compiled module.
 type module struct {
 	engine   *Engine
@@ -308,10 +319,10 @@ func (m *module) Instantiate(cfg core.Config, imports core.Imports) (core.Instan
 	var inner core.Instance
 	var err error
 	if top := m.top.Load(); top != nil {
-		inner, err = top.InstantiateCompiled(cfg, imports)
+		inner, err = top.InstantiateCompiled(tierCfg(cfg, "tiered-top"), imports)
 		if err != nil && cfg.AS != nil {
 			if site, ok := faultinject.IsTransient(err); ok {
-				inner, err = m.baseline.InstantiateInterp(cfg, imports)
+				inner, err = m.baseline.InstantiateInterp(tierCfg(cfg, "tiered-baseline"), imports)
 				if err == nil {
 					m.engine.tierFallbacks.Add(1)
 					cfg.AS.Injector().Recovered(site)
@@ -319,7 +330,7 @@ func (m *module) Instantiate(cfg core.Config, imports core.Imports) (core.Instan
 			}
 		}
 	} else {
-		inner, err = m.baseline.InstantiateInterp(cfg, imports)
+		inner, err = m.baseline.InstantiateInterp(tierCfg(cfg, "tiered-baseline"), imports)
 	}
 	if err != nil {
 		return nil, err
@@ -336,10 +347,10 @@ func (m *module) InstantiateSnapshot(cfg core.Config, imports core.Imports, snap
 	var inner core.Instance
 	var err error
 	if top := m.top.Load(); top != nil {
-		inner, err = top.InstantiateSnapshot(cfg, imports, snap)
+		inner, err = top.InstantiateSnapshot(tierCfg(cfg, "tiered-top"), imports, snap)
 		if err != nil && cfg.AS != nil {
 			if site, ok := faultinject.IsTransient(err); ok {
-				inner, err = m.baseline.InstantiateSnapshot(cfg, imports, snap)
+				inner, err = m.baseline.InstantiateSnapshot(tierCfg(cfg, "tiered-baseline"), imports, snap)
 				if err == nil {
 					m.engine.tierFallbacks.Add(1)
 					cfg.AS.Injector().Recovered(site)
@@ -347,7 +358,7 @@ func (m *module) InstantiateSnapshot(cfg core.Config, imports core.Imports, snap
 			}
 		}
 	} else {
-		inner, err = m.baseline.InstantiateSnapshot(cfg, imports, snap)
+		inner, err = m.baseline.InstantiateSnapshot(tierCfg(cfg, "tiered-baseline"), imports, snap)
 	}
 	if err != nil {
 		return nil, err

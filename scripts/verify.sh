@@ -31,8 +31,8 @@ go test ./...
 # hostcalls from every worker of a multithreaded guest: the shared
 # PRNG, the fd table and the in-memory filesystem are all hit
 # concurrently).
-echo "== go test -race (obs, vmm, mem, faultinject, hazard, modcache, harness, compiled, rir, tiered, telemetry, core, wasi)"
-go test -race -count=1 ./internal/obs/ ./internal/vmm/ ./internal/mem/ ./internal/faultinject/ ./internal/hazard/ ./internal/modcache/ ./internal/harness/ ./internal/compiled/ ./internal/rir/ ./internal/tiered/ ./internal/telemetry/ ./internal/core/ ./internal/wasi/
+echo "== go test -race (obs, vmm, mem, faultinject, hazard, modcache, harness, compiled, rir, tiered, telemetry, core, wasi, prof)"
+go test -race -count=1 ./internal/obs/ ./internal/vmm/ ./internal/mem/ ./internal/faultinject/ ./internal/hazard/ ./internal/modcache/ ./internal/harness/ ./internal/compiled/ ./internal/rir/ ./internal/tiered/ ./internal/telemetry/ ./internal/core/ ./internal/wasi/ ./internal/prof/
 
 # Quick elide differential: the bounds-check elision pass must be
 # observationally equivalent to per-access checks — same digests,
@@ -71,5 +71,11 @@ go test -race -count=1 -run 'TestDifferentialHostcall' ./internal/wasi/
 # fault resolution on one mapping.
 echo "== threads-diff (shared-memory grow-under-traffic differential, -race)"
 go test -race -count=1 -run 'TestDifferentialShared' ./internal/harness/
+
+# Profiler smoke: a short sampled gemm run must yield a non-empty
+# profile whose pprof export parses, through the harness (the test)
+# and through the CLI's -profile/-perf flags (the make target).
+echo "== prof-smoke (sampled gemm run: non-empty folded profile + pprof parse)"
+make prof-smoke
 
 echo "verify: OK"
